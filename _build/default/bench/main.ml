@@ -1,0 +1,712 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the experiment index).
+
+   Sections, in output order:
+     table/family-stats   (T1)  family construction audit (Sec. VI-B)
+     table/non-lsh        (T4)  random-matrix collision rates (Sec. IV-B)
+     table/kl-landscape   (T3)  U-shaped cost in k (Sec. IV-D)
+     table/bruteforce     (T2)  brute-force 1-NN errors + throughputs (Sec. VI-A)
+     table/calibration    (T5)  predicted vs measured accuracy and cost
+     figure5/unipen       (F5a) accuracy vs cost, three methods
+     figure5/mnist        (F5b)
+     figure5/hands        (F5c)
+     ablation/xsmall      (A1)  |X_small| sweep
+     ablation/levels      (A2)  hierarchical s sweep
+     ablation/vs-lsh      (A3)  DBH vs classical LSH on L2
+     ablation/baselines   (B1)  DBH vs LAESA, M-tree, FastMap filter+refine
+     ablation/multiprobe  (A4)  multi-probe / budgeted query extensions
+     micro/*                    Bechamel micro-benchmarks
+
+   DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs. *)
+
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Stats = Dbh_util.Stats
+module Report = Dbh_eval.Report
+module Figure5 = Dbh_eval.Figure5
+module Ground_truth = Dbh_eval.Ground_truth
+module Tradeoff = Dbh_eval.Tradeoff
+
+let quick =
+  match Sys.getenv_opt "DBH_BENCH_SCALE" with Some "quick" -> true | _ -> false
+
+let sc n = if quick then max 10 (n / 4) else n
+
+let seconds f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Pen digits slightly harder than the library defaults, so that the
+   brute-force 1-NN error is non-trivial (the paper's UNIPEN error is
+   2.05%) and nearest-neighbor distances spread enough to stratify. *)
+let pen_params =
+  {
+    Dbh_datasets.Pen_digits.default_params with
+    control_jitter = 0.05;
+    noise_sigma = 0.02;
+    warp_strength = 0.3;
+  }
+
+let pen_set ~rng n = Dbh_datasets.Pen_digits.generate_set ~rng ~params:pen_params n
+
+let mean_index_cost results =
+  Stats.mean
+    (Array.map (fun r -> float_of_int (Dbh.Index.total_cost r.Dbh.Index.stats)) results)
+
+(* ------------------------------------------------------- T1 family stats *)
+
+let table_family_stats () =
+  Report.print_heading "table/family-stats (T1): hash family construction, Sec. VI-B";
+  let rng = Rng.create 1 in
+  let db = pen_set ~rng (sc 2000) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let counted, counter = Space.with_counter space in
+  let family =
+    Dbh.Hash_family.make ~rng ~space:counted ~num_pivots:100 ~threshold_sample:(sc 500) db
+  in
+  let build_cost = Space.count counter in
+  Report.print_kv
+    [
+      ("|X_small| (pivots)", string_of_int (Dbh.Hash_family.num_pivots family));
+      ("binary functions (paper: 4950)", string_of_int (Dbh.Hash_family.size family));
+      ("distances spent building family", string_of_int build_cost);
+    ];
+  (* Hashing cost is bounded by |X_small| no matter how many functions a
+     query evaluates (Sec. V-B). *)
+  Space.reset counter;
+  let q = Dbh_datasets.Pen_digits.generate ~rng ~params:pen_params 0 in
+  let cache = Dbh.Hash_family.cache family q in
+  for i = 0 to Dbh.Hash_family.size family - 1 do
+    ignore (Dbh.Hash_family.eval family cache i)
+  done;
+  Report.print_kv
+    [
+      ( "distances to evaluate all functions on one query",
+        Printf.sprintf "%d (bound: %d)" (Space.count counter)
+          (Dbh.Hash_family.num_pivots family) );
+    ];
+  (* Balance of Eq. 6 thresholds on held-out data. *)
+  let holdout = Dbh_datasets.Pen_digits.generate_set ~rng:(Rng.create 2) (sc 300) in
+  let sample_fns =
+    Rng.sample_indices (Rng.create 3)
+      (min 200 (Dbh.Hash_family.size family))
+      (Dbh.Hash_family.size family)
+  in
+  let balances = Array.map (fun i -> Dbh.Hash_family.balance family i holdout) sample_fns in
+  Report.print_kv
+    [
+      ( "binary-function balance on held-out data (target 0.5)",
+        Printf.sprintf "mean %.3f, min %.3f, max %.3f" (Stats.mean balances)
+          (Stats.minimum balances) (Stats.maximum balances) );
+    ]
+
+(* ----------------------------------------------------------- T4 non-LSH *)
+
+let table_non_lsh () =
+  Report.print_heading
+    "table/non-lsh (T4): random metric matrices defeat locality sensitivity, Sec. IV-B";
+  let rng = Rng.create 4 in
+  let n = sc 200 in
+  let m = Space.random_metric_matrix rng n in
+  let space = Space.of_matrix m in
+  let db = Array.init n (fun i -> i) in
+  let family = Dbh.Hash_family.make ~rng ~space ~num_pivots:50 ~threshold_sample:n db in
+  let pairs = ref [] in
+  for _ = 1 to 400 do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    if i <> j then pairs := (i, j) :: !pairs
+  done;
+  let rates =
+    Array.of_list (List.map (fun (i, j) -> Dbh.Collision.estimate_exact family i j) !pairs)
+  in
+  let dists = Array.of_list (List.map (fun (i, j) -> m.(i).(j)) !pairs) in
+  Report.print_kv
+    [
+      ("pairs sampled", string_of_int (Array.length rates));
+      ( "collision rate C(X1,X2)",
+        Printf.sprintf "mean %.3f, stddev %.3f (paper: ~0.5 regardless of distance)"
+          (Stats.mean rates) (Stats.stddev rates) );
+      ( "corr(distance, collision rate)",
+        Printf.sprintf "%.3f (locality-sensitive families need strongly negative)"
+          (Stats.pearson dists rates) );
+    ];
+  (* Contrast with a structured space, where distance is informative. *)
+  let db2 = pen_set ~rng (sc 300) in
+  let family2 =
+    Dbh.Hash_family.make ~rng ~space:Dbh_datasets.Pen_digits.space ~num_pivots:40
+      ~threshold_sample:(sc 200) db2
+  in
+  let pairs2 = ref [] in
+  for _ = 1 to 300 do
+    let i = Rng.int rng (Array.length db2) and j = Rng.int rng (Array.length db2) in
+    if i <> j then pairs2 := (i, j) :: !pairs2
+  done;
+  let rates2 =
+    Array.of_list
+      (List.map (fun (i, j) -> Dbh.Collision.estimate_exact family2 db2.(i) db2.(j)) !pairs2)
+  in
+  let dists2 =
+    Array.of_list
+      (List.map
+         (fun (i, j) -> Dbh_datasets.Pen_digits.space.Space.distance db2.(i) db2.(j))
+         !pairs2)
+  in
+  Report.print_kv
+    [
+      ( "pen digits, corr(distance, collision rate)",
+        Printf.sprintf "%.3f (structured spaces: distances informative)"
+          (Stats.pearson dists2 rates2) );
+    ]
+
+(* ------------------------------------------------------ T3 k,l landscape *)
+
+let table_kl_landscape () =
+  Report.print_heading
+    "table/kl-landscape (T3): cost is U-shaped in k at fixed accuracy, Sec. IV-D";
+  let rng = Rng.create 5 in
+  let db = pen_set ~rng (sc 2000) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let choices =
+    Dbh.Params.landscape prepared.Dbh.Builder.analysis ~target_accuracy:0.9 ~k_min:1
+      ~k_max:30 ~l_max:1000 ()
+  in
+  Printf.printf "  target accuracy 0.90 on pen digits (n=%d)\n" (Array.length db);
+  Printf.printf "  %4s %6s %12s %12s %12s\n" "k" "min l" "lookup" "hash" "total cost";
+  Array.iter
+    (fun (c : Dbh.Params.choice) ->
+      Printf.printf "  %4d %6d %12.1f %12.1f %12.1f\n" c.Dbh.Params.k c.Dbh.Params.l
+        c.Dbh.Params.predicted_lookup c.Dbh.Params.predicted_hash c.Dbh.Params.predicted_cost)
+    choices;
+  match Dbh.Params.optimize prepared.Dbh.Builder.analysis ~target_accuracy:0.9 () with
+  | Some c -> Printf.printf "  chosen: %s\n" (Format.asprintf "%a" Dbh.Params.pp_choice c)
+  | None -> print_endline "  no feasible (k,l)"
+
+(* ------------------------------------------------- T2 brute-force table *)
+
+let throughput name distance pairs =
+  let n = Array.length pairs in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun (a, b) -> ignore (distance a b)) pairs;
+  let dt = Unix.gettimeofday () -. t0 in
+  (name, float_of_int n /. dt)
+
+let table_bruteforce () =
+  Report.print_heading
+    "table/bruteforce (T2): exact 1-NN classification and distance throughput, Sec. VI-A";
+  let rng = Rng.create 6 in
+  (* Pen digits (paper: UNIPEN, brute-force error 2.05%). *)
+  let pen_db = pen_set ~rng (sc 2000) in
+  let pen_q = pen_set ~rng:(Rng.create 7) (sc 300) in
+  let pen_truth =
+    Ground_truth.compute ~space:Dbh_datasets.Pen_digits.space ~db:pen_db ~queries:pen_q
+  in
+  let pen_err =
+    Dbh_eval.Classification.error_rate
+      ~db_labels:(Array.map (fun i -> i.Dbh_datasets.Pen_digits.label) pen_db)
+      ~query_labels:(Array.map (fun i -> i.Dbh_datasets.Pen_digits.label) pen_q)
+      (Array.map (fun i -> Some (i, 0.)) pen_truth.Ground_truth.nn_index)
+  in
+  (* Image digits (paper: MNIST + shape context, error 0.54%). *)
+  let img_db = Dbh_datasets.Image_digits.generate_set ~rng (sc 800) in
+  let img_q = Dbh_datasets.Image_digits.generate_set ~rng:(Rng.create 8) (sc 120) in
+  let img_truth =
+    Ground_truth.compute ~space:Dbh_datasets.Image_digits.space ~db:img_db ~queries:img_q
+  in
+  let img_err =
+    Dbh_eval.Classification.error_rate
+      ~db_labels:(Array.map (fun i -> i.Dbh_datasets.Image_digits.label) img_db)
+      ~query_labels:(Array.map (fun i -> i.Dbh_datasets.Image_digits.label) img_q)
+      (Array.map (fun i -> Some (i, 0.)) img_truth.Ground_truth.nn_index)
+  in
+  Printf.printf "  1-NN classification error (brute force):\n";
+  Printf.printf "    pen digits / DTW            : %5.2f%%  (paper UNIPEN: 2.05%%)\n"
+    (100. *. pen_err);
+  Printf.printf "    image digits / shape context: %5.2f%%  (paper MNIST: 0.54%%)\n"
+    (100. *. img_err);
+  (* Distance throughputs (the paper quotes 890 DTW/s, 15 SC/s, 715
+     chamfer/s on 2003-era hardware and full-size objects; only the
+     ordering — shape context most expensive — is expected to carry). *)
+  let mk_pairs arr n =
+    Array.init n (fun i ->
+        (arr.(i mod Array.length arr), arr.((i * 7 + 1) mod Array.length arr)))
+  in
+  let hands = Dbh_datasets.Hand_shapes.database ~rng ~rotations_per_class:10 in
+  let rows =
+    [
+      throughput "DTW (32-point trajectories)"
+        (fun a b -> Dbh_datasets.Pen_digits.space.Space.distance a b)
+        (mk_pairs pen_db (sc 2000));
+      throughput "shape context (24 points)"
+        (fun a b -> Dbh_datasets.Image_digits.space.Space.distance a b)
+        (mk_pairs img_db (sc 400));
+      throughput "chamfer (hand contours)"
+        (fun a b -> Dbh_datasets.Hand_shapes.space.Space.distance a b)
+        (mk_pairs hands (sc 2000));
+    ]
+  in
+  Printf.printf "  distance throughput:\n";
+  List.iter (fun (name, rate) -> Printf.printf "    %-29s: %8.0f distances/sec\n" name rate) rows
+
+(* ------------------------------------------------------- T5 calibration *)
+
+let table_calibration () =
+  Report.print_heading
+    "table/calibration (T5): predicted vs measured accuracy/cost (Eq. 11-14 in action)";
+  let rng = Rng.create 7 in
+  let db = pen_set ~rng (sc 2000) in
+  let queries = pen_set ~rng:(Rng.create 8) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let points =
+    Dbh_eval.Calibration.single_level ~rng ~prepared ~db ~queries ~truth
+      ~targets:[| 0.80; 0.85; 0.90; 0.95 |] ~config ()
+  in
+  print_string (Format.asprintf "%a" Dbh_eval.Calibration.pp_points points);
+  Printf.printf "  accuracy MAE %.4f, cost mean relative error %.3f\n"
+    (Dbh_eval.Calibration.accuracy_mae points)
+    (Dbh_eval.Calibration.cost_mre points);
+  (* Index health at the 0.9 operating point. *)
+  match Dbh.Builder.single ~rng ~prepared ~db ~target_accuracy:0.9 ~config () with
+  | None -> ()
+  | Some (index, _) ->
+      let stats = Dbh.Diagnostics.index_stats index in
+      Printf.printf "  index health: %s -> %s\n"
+        (Format.asprintf "%a" Dbh.Diagnostics.pp_table_stats stats)
+        (if Dbh.Diagnostics.healthy stats then "healthy" else "DEGENERATE")
+
+(* --------------------------------------------------------- Figure 5 runs *)
+
+let figure5_config () =
+  {
+    Figure5.targets =
+      (if quick then [| 0.8; 0.9 |] else [| 0.80; 0.85; 0.90; 0.95; 0.975; 0.99 |]);
+    vp_budget_fractions =
+      (if quick then [| 0.1; 0.5 |] else [| 0.02; 0.05; 0.1; 0.2; 0.35; 0.5; 0.75; 1.0 |]);
+    builder =
+      {
+        Dbh.Builder.default_config with
+        num_sample_queries = sc 200;
+        db_sample = sc 500;
+        threshold_sample = sc 500;
+      };
+  }
+
+let figure5_unipen () =
+  let rng = Rng.create 10 in
+  let db = pen_set ~rng (sc 4000) in
+  let queries = pen_set ~rng:(Rng.create 11) (sc 400) in
+  let result, dt =
+    seconds (fun () ->
+        Figure5.run ~rng ~dataset:"unipen analogue (pen digits + DTW)"
+          ~space:Dbh_datasets.Pen_digits.space ~db ~queries ~config:(figure5_config ()) ())
+  in
+  Report.print_figure5 result;
+  Printf.printf "  (experiment wall time: %.0f s)\n" dt
+
+let figure5_mnist () =
+  let rng = Rng.create 12 in
+  let db = Dbh_datasets.Image_digits.generate_set ~rng (sc 1200) in
+  let queries = Dbh_datasets.Image_digits.generate_set ~rng:(Rng.create 13) (sc 150) in
+  let config =
+    let base = figure5_config () in
+    { base with Figure5.builder = { base.Figure5.builder with num_sample_queries = sc 150 } }
+  in
+  let result, dt =
+    seconds (fun () ->
+        Figure5.run ~rng ~dataset:"mnist analogue (image digits + shape context)"
+          ~space:Dbh_datasets.Image_digits.space ~db ~queries ~config ())
+  in
+  Report.print_figure5 result;
+  Printf.printf "  (experiment wall time: %.0f s)\n" dt
+
+let figure5_hands () =
+  let rng = Rng.create 14 in
+  let db = Dbh_datasets.Hand_shapes.database ~rng ~rotations_per_class:(sc 200) in
+  (* Mild query noise: the paper's real-image queries sit moderately off
+     the clean synthetic manifold; heavier noise exaggerates the
+     tuning-mismatch effect far beyond Fig. 5's. *)
+  let noise =
+    { Dbh_datasets.Hand_shapes.jitter_sigma = 0.008; occlusion = 0.08; clutter = 0.06 }
+  in
+  let queries = Dbh_datasets.Hand_shapes.queries ~rng:(Rng.create 15) ~noise (sc 400) in
+  let result, dt =
+    seconds (fun () ->
+        Figure5.run ~rng ~dataset:"hands analogue (hand contours + chamfer)"
+          ~space:Dbh_datasets.Hand_shapes.space ~db ~queries ~config:(figure5_config ()) ())
+  in
+  Report.print_figure5 result;
+  Printf.printf "  (experiment wall time: %.0f s)\n" dt
+
+(* --------------------------------------------------- A1 |X_small| sweep *)
+
+let ablation_xsmall () =
+  Report.print_heading "ablation/xsmall (A1): effect of |X_small|, Sec. V-B";
+  let rng = Rng.create 20 in
+  let db = pen_set ~rng (sc 2000) in
+  let queries = pen_set ~rng:(Rng.create 21) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  (* Shared sample queries and their ground truth across family sizes. *)
+  let query_indices = Rng.sample_indices rng (sc 200) (Array.length db) in
+  let sample_truth = Ground_truth.compute_self ~space ~db ~query_indices in
+  let gt =
+    Array.init (Array.length query_indices) (fun i ->
+        (sample_truth.Ground_truth.nn_index.(i), sample_truth.Ground_truth.nn_distance.(i)))
+  in
+  Printf.printf "  %8s %10s %12s %12s %12s\n" "|Xsmall|" "functions" "accuracy" "cost/query"
+    "hash cost";
+  List.iter
+    (fun m ->
+      let rng = Rng.create (100 + m) in
+      let family =
+        Dbh.Hash_family.make ~rng ~space ~num_pivots:m ~threshold_sample:(sc 500) db
+      in
+      let analysis =
+        Dbh.Analysis.build ~rng ~family ~db ~query_indices ~ground_truth:gt ~num_fns:250
+          ~db_sample:(sc 500) ()
+      in
+      let pivot_table = Dbh.Hash_family.pivot_table family db in
+      let h =
+        Dbh.Hierarchical.build ~rng ~family ~db ~analysis ~target_accuracy:0.9 ~pivot_table ()
+      in
+      let results = Array.map (fun q -> Dbh.Hierarchical.query h q) queries in
+      let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results) in
+      let hash_cost =
+        Stats.mean
+          (Array.map (fun r -> float_of_int r.Dbh.Index.stats.Dbh.Index.hash_cost) results)
+      in
+      Printf.printf "  %8d %10d %12.3f %12.1f %12.1f\n" m (Dbh.Hash_family.size family) acc
+        (mean_index_cost results) hash_cost)
+    [ 25; 50; 100; 200 ]
+
+(* --------------------------------------------------- A2 hierarchy levels *)
+
+let ablation_levels () =
+  Report.print_heading "ablation/levels (A2): hierarchical strata count s, Sec. V-A";
+  let rng = Rng.create 30 in
+  let db = pen_set ~rng (sc 2000) in
+  let queries = pen_set ~rng:(Rng.create 31) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  Printf.printf "  %6s %12s %12s\n" "s" "accuracy" "cost/query";
+  List.iter
+    (fun s ->
+      let h =
+        Dbh.Hierarchical.build ~rng ~family:prepared.Dbh.Builder.family ~db
+          ~analysis:prepared.Dbh.Builder.analysis ~target_accuracy:0.9
+          ~pivot_table:prepared.Dbh.Builder.pivot_table ~levels:s ()
+      in
+      let results = Array.map (fun q -> Dbh.Hierarchical.query h q) queries in
+      let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results) in
+      Printf.printf "  %6d %12.3f %12.1f\n" s acc (mean_index_cost results))
+    [ 1; 3; 5; 8 ]
+
+(* --------------------------------------------------------- A3 DBH vs LSH *)
+
+let ablation_vs_lsh () =
+  Report.print_heading "ablation/vs-lsh (A3): DBH vs classical LSH on L2, where both apply";
+  let rng = Rng.create 40 in
+  let dim = 16 in
+  let all, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim (sc 4400) in
+  let db = Array.sub all 0 (sc 4000) in
+  let queries = Array.sub all (sc 4000) (sc 400) in
+  let space = Dbh_metrics.Minkowski.l2_space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let dbh_methods =
+    List.filter_map
+      (fun target ->
+        match Dbh.Builder.single ~rng ~prepared ~db ~target_accuracy:target ~config () with
+        | None -> None
+        | Some (index, _) ->
+            Some
+              {
+                Tradeoff.label = "DBH (single)";
+                setting = Printf.sprintf "target=%.2f" target;
+                run =
+                  (fun q ->
+                    let r = Dbh.Index.query index q in
+                    (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+              })
+      [ 0.9; 0.95; 0.99 ]
+  in
+  let lsh_methods =
+    List.map
+      (fun (k, l, w) ->
+        let index =
+          Dbh_lsh.Lsh.build ~rng ~family:(Dbh_lsh.Lsh.random_projection ~dim ~w) ~db ~k ~l
+        in
+        {
+          Tradeoff.label = "E2LSH";
+          setting = Printf.sprintf "k=%d,l=%d,w=%.1f" k l w;
+          run = (fun q -> Dbh_lsh.Lsh.query index ~space q);
+        })
+      [ (4, 8, 4.0); (8, 16, 4.0); (4, 8, 8.0); (8, 32, 8.0) ]
+  in
+  let vp = Dbh_vptree.Vp_tree.build ~rng ~space db in
+  let vp_methods =
+    List.map
+      (fun frac ->
+        let budget = max 1 (int_of_float (frac *. float_of_int (Array.length db))) in
+        {
+          Tradeoff.label = "VP-tree";
+          setting = Printf.sprintf "budget=%d" budget;
+          run = (fun q -> Dbh_vptree.Vp_tree.nn_budgeted vp ~budget q);
+        })
+      [ 0.05; 0.2 ]
+  in
+  Report.print_series_table
+    [
+      Tradeoff.sweep ~queries ~truth ~label:"DBH" dbh_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"E2LSH" lsh_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"VP-tree" vp_methods;
+    ]
+
+(* ------------------------------------------------ B1 all baselines panel *)
+
+let ablation_baselines () =
+  Report.print_heading
+    "ablation/baselines (B1): every distance-based method in the repo, one workload";
+  let rng = Rng.create 70 in
+  let db = pen_set ~rng (sc 2000) in
+  let queries = pen_set ~rng:(Rng.create 71) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let dbh_methods =
+    List.map
+      (fun target ->
+        let h = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
+        {
+          Tradeoff.label = "hierarchical DBH";
+          setting = Printf.sprintf "target=%.2f" target;
+          run =
+            (fun q ->
+              let r = Dbh.Hierarchical.query h q in
+              (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+        })
+      [ 0.9; 0.99 ]
+  in
+  let vp = Dbh_vptree.Vp_tree.build ~rng ~space db in
+  let vp_methods =
+    List.map
+      (fun frac ->
+        let budget = max 1 (int_of_float (frac *. float_of_int (Array.length db))) in
+        {
+          Tradeoff.label = "VP-tree";
+          setting = Printf.sprintf "budget=%d" budget;
+          run = (fun q -> Dbh_vptree.Vp_tree.nn_budgeted vp ~budget q);
+        })
+      [ 0.05; 0.15 ]
+  in
+  let laesa = Dbh_laesa.Laesa.build ~rng ~space ~num_pivots:32 db in
+  let laesa_methods =
+    [
+      {
+        Tradeoff.label = "LAESA";
+        setting = "exact (triangle)";
+        run =
+          (fun q ->
+            let answer, spent = Dbh_laesa.Laesa.nn laesa q in
+            (Some answer, spent));
+      };
+      {
+        Tradeoff.label = "LAESA";
+        setting = "budget=10%";
+        run =
+          (fun q ->
+            Dbh_laesa.Laesa.nn_budgeted laesa ~budget:(Array.length db / 10) q);
+      };
+    ]
+  in
+  let mtree = Dbh_mtree.M_tree.build ~space db in
+  let mtree_methods =
+    [
+      {
+        Tradeoff.label = "M-tree";
+        setting = "exact (triangle)";
+        run = (fun q -> Dbh_mtree.M_tree.nn mtree q);
+      };
+      {
+        Tradeoff.label = "M-tree";
+        setting = "budget=10%";
+        run = (fun q -> Dbh_mtree.M_tree.nn_budgeted mtree ~budget:(Array.length db / 10) q);
+      };
+    ]
+  in
+  let map = Dbh_embedding.Fastmap.fit ~rng ~space ~dims:8 db in
+  let fr = Dbh_embedding.Filter_refine.of_fitted ~map db in
+  let fr_methods =
+    List.map
+      (fun refine ->
+        {
+          Tradeoff.label = "FastMap f+r";
+          setting = Printf.sprintf "refine=%d" refine;
+          run = (fun q -> Dbh_embedding.Filter_refine.nn fr ~refine q);
+        })
+      [ 20; 100 ]
+  in
+  Report.print_series_table
+    [
+      Tradeoff.sweep ~queries ~truth ~label:"DBH" dbh_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"VP-tree" vp_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"LAESA" laesa_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"M-tree" mtree_methods;
+      Tradeoff.sweep ~queries ~truth ~label:"FastMap" fr_methods;
+    ]
+
+(* -------------------------------------------- A4 multiprobe and budgeted *)
+
+let ablation_multiprobe () =
+  Report.print_heading
+    "ablation/multiprobe (A4): multi-probe and collision-ranked budgeted queries (extensions)";
+  let rng = Rng.create 60 in
+  let db = pen_set ~rng (sc 2000) in
+  let queries = pen_set ~rng:(Rng.create 61) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let family =
+    Dbh.Hash_family.make ~rng ~space ~num_pivots:100 ~threshold_sample:(sc 500) db
+  in
+  let pivot_table = Dbh.Hash_family.pivot_table family db in
+  let index_of k l = Dbh.Index.build ~rng ~family ~db ~pivot_table ~k ~l () in
+  let big = index_of 10 12 in
+  let small = index_of 10 3 in
+  let as_method label setting run = { Tradeoff.label; setting; run } in
+  let run_index index q =
+    let r = Dbh.Index.query index q in
+    (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats)
+  in
+  let methods =
+    [
+      as_method "plain" "k=10,l=12" (run_index big);
+      as_method "plain" "k=10,l=3" (run_index small);
+      as_method "multiprobe" "k=10,l=3,p=3" (fun q ->
+          let r = Dbh.Index.query_multiprobe small ~probes:3 q in
+          (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+      as_method "multiprobe" "k=10,l=3,p=8" (fun q ->
+          let r = Dbh.Index.query_multiprobe small ~probes:8 q in
+          (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+      as_method "budgeted" "k=10,l=12,c=10" (fun q ->
+          let r = Dbh.Index.query_budgeted big ~max_candidates:10 q in
+          (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+      as_method "budgeted" "k=10,l=12,c=30" (fun q ->
+          let r = Dbh.Index.query_budgeted big ~max_candidates:30 q in
+          (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+    ]
+  in
+  Report.print_series_table [ Tradeoff.sweep ~queries ~truth ~label:"extensions" methods ]
+
+(* ------------------------------------------------- Bechamel micro-benches *)
+
+let micro_benchmarks () =
+  Report.print_heading "micro/*: Bechamel micro-benchmarks";
+  let open Bechamel in
+  let rng = Rng.create 50 in
+  let pen = Dbh_datasets.Pen_digits.generate_set ~rng 64 in
+  let imgs = Dbh_datasets.Image_digits.generate_set ~rng 32 in
+  let hands = Dbh_datasets.Hand_shapes.database ~rng ~rotations_per_class:2 in
+  let vecs, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:5 ~dim:16 512 in
+  let strings, _ =
+    Dbh_datasets.Strings.clusters ~rng ~alphabet:"abcdefgh" ~num_clusters:5 ~length:24
+      ~mutation_edits:3 64
+  in
+  let family =
+    Dbh.Hash_family.make ~rng ~space:Dbh_metrics.Minkowski.l2_space ~num_pivots:50
+      ~threshold_sample:200 vecs
+  in
+  let index = Dbh.Index.build ~rng ~family ~db:vecs ~k:8 ~l:10 () in
+  let hungarian_cost = Array.init 24 (fun _ -> Array.init 24 (fun _ -> Rng.float rng 1.)) in
+  let counter = ref 0 in
+  let pick arr =
+    incr counter;
+    arr.(!counter mod Array.length arr)
+  in
+  let tests =
+    [
+      Test.make ~name:"dtw-32pt"
+        (Staged.stage (fun () ->
+             Dbh_metrics.Dtw.points (pick pen).Dbh_datasets.Pen_digits.points
+               (pick pen).Dbh_datasets.Pen_digits.points));
+      Test.make ~name:"shape-context-24pt"
+        (Staged.stage (fun () ->
+             Dbh_metrics.Shape_context.matching_cost
+               (pick imgs).Dbh_datasets.Image_digits.descriptor
+               (pick imgs).Dbh_datasets.Image_digits.descriptor));
+      Test.make ~name:"chamfer-hand"
+        (Staged.stage (fun () ->
+             Dbh_metrics.Chamfer.symmetric (pick hands).Dbh_datasets.Hand_shapes.points
+               (pick hands).Dbh_datasets.Hand_shapes.points));
+      Test.make ~name:"hungarian-24x24"
+        (Staged.stage (fun () -> Dbh_hungarian.Hungarian.solve hungarian_cost));
+      Test.make ~name:"levenshtein-24"
+        (Staged.stage (fun () ->
+             Dbh_metrics.Edit_distance.levenshtein (pick strings) (pick strings)));
+      Test.make ~name:"l2-16d"
+        (Staged.stage (fun () -> Dbh_metrics.Minkowski.l2 (pick vecs) (pick vecs)));
+      Test.make ~name:"hash-all-fns-on-query"
+        (Staged.stage (fun () ->
+             let c = Dbh.Hash_family.cache family (pick vecs) in
+             for i = 0 to Dbh.Hash_family.size family - 1 do
+               ignore (Dbh.Hash_family.eval family c i)
+             done));
+      Test.make ~name:"index-query"
+        (Staged.stage (fun () -> Dbh.Index.query index (pick vecs)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"dbh" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/op\n" name ns
+      | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  Printf.printf "DBH benchmark harness%s\n" (if quick then " (quick scale)" else "");
+  Printf.printf "Reproduces the evaluation of Athitsos et al., ICDE 2008 (see DESIGN.md).\n";
+  let (), dt =
+    seconds (fun () ->
+        table_family_stats ();
+        table_non_lsh ();
+        table_kl_landscape ();
+        table_bruteforce ();
+        table_calibration ();
+        figure5_unipen ();
+        figure5_mnist ();
+        figure5_hands ();
+        ablation_xsmall ();
+        ablation_levels ();
+        ablation_vs_lsh ();
+        ablation_baselines ();
+        ablation_multiprobe ();
+        micro_benchmarks ())
+  in
+  Printf.printf "\nTotal wall time: %.0f s\n" dt

@@ -1,0 +1,277 @@
+(* dbh-cli: command-line front end for the DBH library.
+
+   Subcommands:
+     demo        build an index on a synthetic dataset and run queries
+     experiment  run one accuracy-vs-cost panel (Figure 5 of the paper)
+     tune        print the (k,l) parameter landscape for a dataset
+     health      report family balance, index structure, model calibration
+     render      print ASCII renderings of the synthetic digit images *)
+
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Ground_truth = Dbh_eval.Ground_truth
+
+(* A dataset bundle erases the element type so the CLI can treat all
+   workloads uniformly. *)
+type bundle =
+  | Bundle : {
+      space : 'a Space.t;
+      db : 'a array;
+      queries : 'a array;
+    }
+      -> bundle
+
+let make_bundle name ~seed ~db_size ~num_queries =
+  let rng = Rng.create seed in
+  let qrng = Rng.create (seed + 1) in
+  match name with
+  | "pen" ->
+      Bundle
+        {
+          space = Dbh_datasets.Pen_digits.space;
+          db = Dbh_datasets.Pen_digits.generate_set ~rng db_size;
+          queries = Dbh_datasets.Pen_digits.generate_set ~rng:qrng num_queries;
+        }
+  | "mnist" ->
+      Bundle
+        {
+          space = Dbh_datasets.Image_digits.space;
+          db = Dbh_datasets.Image_digits.generate_set ~rng db_size;
+          queries = Dbh_datasets.Image_digits.generate_set ~rng:qrng num_queries;
+        }
+  | "hands" ->
+      let rotations = max 1 (db_size / Dbh_datasets.Hand_shapes.num_classes) in
+      Bundle
+        {
+          space = Dbh_datasets.Hand_shapes.space;
+          db = Dbh_datasets.Hand_shapes.database ~rng ~rotations_per_class:rotations;
+          queries = Dbh_datasets.Hand_shapes.queries ~rng:qrng num_queries;
+        }
+  | "vectors" ->
+      let all, _ =
+        Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim:16
+          (db_size + num_queries)
+      in
+      Bundle
+        {
+          space = Dbh_metrics.Minkowski.l2_space;
+          db = Array.sub all 0 db_size;
+          queries = Array.sub all db_size num_queries;
+        }
+  | "strings" ->
+      let all, _ =
+        Dbh_datasets.Strings.clusters ~rng ~alphabet:"abcdefgh" ~num_clusters:40 ~length:24
+          ~mutation_edits:3 (db_size + num_queries)
+      in
+      Bundle
+        {
+          space = Dbh_metrics.Edit_distance.space;
+          db = Array.sub all 0 db_size;
+          queries = Array.sub all db_size num_queries;
+        }
+  | other -> invalid_arg (Printf.sprintf "unknown dataset %S" other)
+
+let builder_config ~pivots ~sample_queries =
+  { Dbh.Builder.default_config with num_pivots = pivots; num_sample_queries = sample_queries }
+
+(* ------------------------------------------------------------------ demo *)
+
+let run_demo dataset seed db_size num_queries target pivots =
+  let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
+  Printf.printf "dataset=%s  db=%d  queries=%d  space=%s  target=%.2f\n%!" dataset
+    (Array.length db) (Array.length queries) space.Space.name target;
+  let rng = Rng.create (seed + 2) in
+  let config = builder_config ~pivots ~sample_queries:(min 200 (Array.length db / 2)) in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let results = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let acc =
+    Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
+  in
+  let cost =
+    Dbh_util.Stats.mean
+      (Array.map (fun r -> float_of_int (Dbh.Index.total_cost r.Dbh.Index.stats)) results)
+  in
+  Printf.printf "accuracy           : %.3f\n" acc;
+  Printf.printf "distances per query: %.1f (brute force %d, speedup %.1fx)\n" cost
+    (Array.length db)
+    (float_of_int (Array.length db) /. cost);
+  Array.iteri
+    (fun i info ->
+      Printf.printf "level %d: k=%d l=%d radius<=%.4f\n" i info.Dbh.Hierarchical.k
+        info.Dbh.Hierarchical.l info.Dbh.Hierarchical.d_threshold)
+    (Dbh.Hierarchical.levels index);
+  0
+
+(* ------------------------------------------------------------ experiment *)
+
+let run_experiment dataset seed db_size num_queries csv_path =
+  let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
+  let rng = Rng.create (seed + 2) in
+  let result =
+    Dbh_eval.Figure5.run ~rng ~dataset ~space ~db ~queries ()
+  in
+  Dbh_eval.Report.print_figure5 result;
+  (match csv_path with
+  | None -> ()
+  | Some path ->
+      let csv =
+        Dbh_eval.Report.csv_of_series
+          [
+            result.Dbh_eval.Figure5.vp;
+            result.Dbh_eval.Figure5.single;
+            result.Dbh_eval.Figure5.hierarchical;
+          ]
+      in
+      let oc = open_out path in
+      output_string oc csv;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" path);
+  0
+
+(* ------------------------------------------------------------------ tune *)
+
+let run_tune dataset seed db_size target =
+  let (Bundle { space; db; queries = _ }) =
+    make_bundle dataset ~seed ~db_size ~num_queries:1
+  in
+  let rng = Rng.create (seed + 2) in
+  let config = builder_config ~pivots:100 ~sample_queries:(min 200 (Array.length db / 2)) in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let choices =
+    Dbh.Params.landscape prepared.Dbh.Builder.analysis ~target_accuracy:target ()
+  in
+  Printf.printf "(k,l) landscape for %s at target %.2f (n=%d)\n" dataset target
+    (Array.length db);
+  Printf.printf "%4s %6s %10s %10s %10s %10s\n" "k" "l" "accuracy" "lookup" "hash" "cost";
+  Array.iter
+    (fun (c : Dbh.Params.choice) ->
+      Printf.printf "%4d %6d %10.4f %10.1f %10.1f %10.1f\n" c.Dbh.Params.k c.Dbh.Params.l
+        c.Dbh.Params.predicted_accuracy c.Dbh.Params.predicted_lookup
+        c.Dbh.Params.predicted_hash c.Dbh.Params.predicted_cost)
+    choices;
+  (match Dbh.Params.optimize prepared.Dbh.Builder.analysis ~target_accuracy:target () with
+  | Some c -> Printf.printf "chosen: %s\n" (Format.asprintf "%a" Dbh.Params.pp_choice c)
+  | None -> print_endline "no feasible (k,l) at this target");
+  0
+
+(* ---------------------------------------------------------------- health *)
+
+let run_health dataset seed db_size num_queries target =
+  let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
+  let rng = Rng.create (seed + 2) in
+  let config = builder_config ~pivots:100 ~sample_queries:(min 200 (Array.length db / 2)) in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  (* Family balance. *)
+  let mean, mn, mx =
+    Dbh.Diagnostics.family_balance_profile ~rng prepared.Dbh.Builder.family
+      (Dbh_util.Rng.subsample rng 200 db)
+  in
+  Printf.printf "family: %d functions over %d pivots; balance mean %.3f [%.3f, %.3f]\n"
+    (Dbh.Hash_family.size prepared.Dbh.Builder.family)
+    (Dbh.Hash_family.num_pivots prepared.Dbh.Builder.family)
+    mean mn mx;
+  (* Per-level structure at the chosen target. *)
+  let h = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
+  Array.iteri
+    (fun i ((info : Dbh.Hierarchical.level_info), stats) ->
+      Printf.printf "level %d (radius<=%.4f): %s -> %s\n" i info.Dbh.Hierarchical.d_threshold
+        (Format.asprintf "%a" Dbh.Diagnostics.pp_table_stats stats)
+        (if Dbh.Diagnostics.healthy stats then "healthy" else "DEGENERATE"))
+    (Dbh.Diagnostics.hierarchical_stats h);
+  (* Calibration against held-out queries. *)
+  let truth = Ground_truth.compute ~space ~db ~queries in
+  let points =
+    Dbh_eval.Calibration.single_level ~rng ~prepared ~db ~queries ~truth
+      ~targets:[| 0.8; 0.9; target |] ~config ()
+  in
+  print_string (Format.asprintf "%a" Dbh_eval.Calibration.pp_points points);
+  if points <> [] then
+    Printf.printf "accuracy MAE %.4f, cost MRE %.3f\n"
+      (Dbh_eval.Calibration.accuracy_mae points)
+      (Dbh_eval.Calibration.cost_mre points);
+  0
+
+(* ---------------------------------------------------------------- render *)
+
+let run_render seed =
+  let rng = Rng.create seed in
+  for d = 0 to 9 do
+    Printf.printf "--- digit %d ---\n%s\n" d
+      (Dbh_datasets.Raster.to_ascii (Dbh_datasets.Image_digits.render ~rng d))
+  done;
+  0
+
+(* ------------------------------------------------------------- cmdliner *)
+
+open Cmdliner
+
+let dataset_arg =
+  let doc = "Dataset: pen | mnist | hands | vectors | strings." in
+  Arg.(value & opt string "pen" & info [ "d"; "dataset" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all output is deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let db_size_arg default =
+  let doc = "Database size." in
+  Arg.(value & opt int default & info [ "n"; "db-size" ] ~docv:"N" ~doc)
+
+let queries_arg default =
+  let doc = "Number of test queries." in
+  Arg.(value & opt int default & info [ "q"; "queries" ] ~docv:"Q" ~doc)
+
+let target_arg =
+  let doc = "Target retrieval accuracy in [0,1)." in
+  Arg.(value & opt float 0.9 & info [ "t"; "target" ] ~docv:"ACC" ~doc)
+
+let pivots_arg =
+  let doc = "Number of pivot objects |X_small|." in
+  Arg.(value & opt int 100 & info [ "p"; "pivots" ] ~docv:"P" ~doc)
+
+let csv_arg =
+  let doc = "Write the measured series to this CSV file." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let demo_cmd =
+  let doc = "build a DBH index on a synthetic dataset and query it" in
+  Cmd.v
+    (Cmd.info "demo" ~doc)
+    Term.(
+      const run_demo $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
+      $ target_arg $ pivots_arg)
+
+let experiment_cmd =
+  let doc = "run a full accuracy-vs-cost comparison (paper Figure 5 panel)" in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(
+      const run_experiment $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
+      $ csv_arg)
+
+let tune_cmd =
+  let doc = "print the offline (k,l) parameter landscape" in
+  Cmd.v
+    (Cmd.info "tune" ~doc)
+    Term.(const run_tune $ dataset_arg $ seed_arg $ db_size_arg 2000 $ target_arg)
+
+let render_cmd =
+  let doc = "print ASCII renderings of the ten synthetic digits" in
+  Cmd.v (Cmd.info "render" ~doc) Term.(const run_render $ seed_arg)
+
+let health_cmd =
+  let doc = "report hash-family balance, index structure and model calibration" in
+  Cmd.v
+    (Cmd.info "health" ~doc)
+    Term.(
+      const run_health $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 150
+      $ target_arg)
+
+let main_cmd =
+  let doc = "distance-based hashing for nearest neighbor retrieval (ICDE 2008)" in
+  Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
+    [ demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_space.ml: Array Buffer Dbh Dbh_eval Dbh_space Dbh_util Filename Float Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/digit_classification.ml: Array Dbh Dbh_datasets Dbh_eval Dbh_space Dbh_util Printf Unix

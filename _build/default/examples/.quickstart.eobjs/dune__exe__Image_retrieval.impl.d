@@ -1,0 +1,1 @@
+examples/image_retrieval.ml: Array Dbh Dbh_datasets Dbh_eval Dbh_util Float Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Buffer Dbh Dbh_datasets Dbh_eval Dbh_metrics Dbh_space Dbh_util Filename Format Printf Sys

@@ -1,0 +1,1 @@
+examples/time_series_search.ml: Array Dbh Dbh_datasets Dbh_eval Dbh_space Dbh_util List Printf

@@ -1,0 +1,1 @@
+lib/core/dbh.ml: Analysis Builder Collision Diagnostics Hash_family Hierarchical Index Online Params Projection Store

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Collision Dbh_space Dbh_util Float Hash_family

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Dbh_util Hash_family

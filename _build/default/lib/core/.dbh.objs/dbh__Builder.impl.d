@@ -1,0 +1,1 @@
+lib/core/builder.ml: Analysis Array Dbh_space Dbh_util Hash_family Hierarchical Index Logs Params

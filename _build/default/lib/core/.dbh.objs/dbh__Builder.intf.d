@@ -1,0 +1,1 @@
+lib/core/builder.mli: Analysis Dbh_space Dbh_util Hash_family Hierarchical Index Params

@@ -1,0 +1,1 @@
+lib/core/collision.ml: Array Dbh_util Float Hash_family

@@ -1,0 +1,1 @@
+lib/core/collision.mli: Dbh_util Hash_family

@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Dbh_util Format Hash_family Hierarchical Index

@@ -1,0 +1,1 @@
+lib/core/diagnostics.mli: Dbh_util Format Hash_family Hierarchical Index

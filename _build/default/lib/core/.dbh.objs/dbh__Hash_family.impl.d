@@ -1,0 +1,1 @@
+lib/core/hash_family.ml: Array Dbh_space Dbh_util Float Hashtbl List Printf Projection

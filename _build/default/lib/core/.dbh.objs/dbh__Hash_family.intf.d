@@ -1,0 +1,1 @@
+lib/core/hash_family.mli: Buffer Dbh_space Dbh_util

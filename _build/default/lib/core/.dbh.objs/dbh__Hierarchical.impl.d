@@ -1,0 +1,1 @@
+lib/core/hierarchical.ml: Analysis Array Buffer Bytes Dbh_space Dbh_util Float Hash_family Index List Params Printf Store

@@ -1,0 +1,1 @@
+lib/core/hierarchical.mli: Analysis Buffer Dbh_space Dbh_util Hash_family Index Store

@@ -1,0 +1,1 @@
+lib/core/index.ml: Array Buffer Bytes Char Dbh_space Dbh_util Fun Hash_family Hashtbl List Option Printf Store String

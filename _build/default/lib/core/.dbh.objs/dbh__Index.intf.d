@@ -1,0 +1,1 @@
+lib/core/index.mli: Buffer Bytes Dbh_space Dbh_util Hash_family Store

@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Builder Dbh_space Dbh_util Fun Hashtbl Hierarchical Index Option

@@ -1,0 +1,1 @@
+lib/core/online.mli: Builder Dbh_space Dbh_util Index

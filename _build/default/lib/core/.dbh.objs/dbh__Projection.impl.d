@@ -1,0 +1,1 @@
+lib/core/projection.ml: Dbh_space

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Dbh_util Hashtbl List

@@ -1,0 +1,73 @@
+(** Statistical performance model of DBH (paper Section IV-C).
+
+    Everything DBH knows about a space it learns from samples: for sample
+    queries [Q] (drawn from the database, as in the paper's experiments)
+    it estimates the collision rate [C(Q, N(Q))] with the true nearest
+    neighbor and the rates [C(Q, X)] against a database sample.  Accuracy
+    (Eq. 11) and lookup cost (Eq. 12) for any [(k,l)] then follow from
+    the closed forms of {!Collision}, and the hashing cost from the pivot
+    usage of the family.  All of this is offline; none of it touches the
+    cost of online retrieval (Sec. IV-D). *)
+
+type t
+(** The fitted model: pure numbers, detached from the space. *)
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  family:'a Hash_family.t ->
+  db:'a array ->
+  query_indices:int array ->
+  ?num_fns:int ->
+  ?db_sample:int ->
+  ?ground_truth:(int * float) array ->
+  unit ->
+  t
+(** [build ~rng ~family ~db ~query_indices ()] fits the model using the
+    database objects at [query_indices] as sample queries.
+
+    - [num_fns] (default 250): functions sampled (with replacement) from
+      the family to estimate collision rates.
+    - [db_sample] (default 500): database objects sampled to estimate the
+      lookup-cost sum of Eq. 12 (scaled to the full database size).
+    - [ground_truth]: optional precomputed [(nn_index, nn_distance)] per
+      sample query (self-matches excluded); brute force is used otherwise.
+
+    Offline cost: O((|queries| + db_sample) · num_pivots) distances for
+    signatures plus O(|queries| · |db|) for ground truth when not
+    supplied. *)
+
+val num_queries : t -> int
+val db_size : t -> int
+
+val nn_distance : t -> int -> float
+(** Distance from sample query [i] to its true nearest neighbor. *)
+
+val nn_collision : t -> int -> float
+(** Estimated [C(Q_i, N(Q_i))]. *)
+
+val accuracy : t -> k:int -> l:int -> float
+(** Predicted retrieval accuracy (Eq. 11): mean over sample queries of
+    [C_{k,l}(Q, N(Q))]. *)
+
+val accuracy_of_query : t -> int -> k:int -> l:int -> float
+(** Per-query success probability [C_{k,l}(Q_i, N(Q_i))]. *)
+
+val lookup_cost : t -> k:int -> l:int -> float
+(** Predicted mean lookup cost (Eq. 12), scaled to the full database. *)
+
+val hash_cost : t -> k:int -> l:int -> float
+(** Expected number of distinct pivots referenced by [k·l] functions
+    drawn with replacement — the expected [HashCost_{k,l}] (Sec. V-B),
+    never exceeding the number of pivots. *)
+
+val total_cost : t -> k:int -> l:int -> float
+(** [lookup_cost + hash_cost] (Eq. 13/14, averaged over queries). *)
+
+val restrict : t -> int array -> t
+(** Model restricted to a subset of its sample queries (by position,
+    [0 .. num_queries-1]) — used by hierarchical DBH to fit per-stratum
+    parameters. *)
+
+val queries_by_nn_distance : t -> int array
+(** Sample-query positions sorted by increasing [nn_distance] — the
+    ranking used to stratify queries in Sec. V-A. *)

@@ -1,0 +1,74 @@
+(** One-call construction of tuned DBH indexes.
+
+    Wires together the full offline pipeline of the paper: sample X_small
+    and build the hash family (Sec. V-B), draw sample queries from the
+    database, fit the statistical model (Sec. IV-C), search for the
+    optimal [(k,l)] at the desired accuracy (Sec. IV-D), and build either
+    a single-level index or the hierarchical cascade (Sec. V-A). *)
+
+type config = {
+  num_pivots : int;  (** |X_small| (default 100) *)
+  threshold_sample : int;  (** sample projected per line (default 500) *)
+  max_functions : int option;  (** cap on family size (default: all pairs) *)
+  num_sample_queries : int;  (** database objects used as sample queries (default 200) *)
+  num_fns : int;  (** functions sampled for collision estimates (default 250) *)
+  db_sample : int;  (** database sample for lookup-cost estimates (default 500) *)
+  k_min : int;
+  k_max : int;
+  l_max : int;
+  levels : int;  (** strata for the hierarchical variant (default 5) *)
+}
+
+val default_config : config
+(** The paper's settings where it states them (100 pivots, 5 levels),
+    sensible defaults elsewhere. *)
+
+type 'a prepared = {
+  family : 'a Hash_family.t;
+  analysis : Analysis.t;
+  sample_query_indices : int array;
+  pivot_table : float array array;
+      (** database × pivot distances, computed once so subsequent index
+          builds are distance-free *)
+}
+(** The reusable offline artifacts: one [prepared] can serve many target
+    accuracies and both index flavours. *)
+
+val prepare :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?config:config ->
+  'a array ->
+  'a prepared
+(** Build family + model from a database.  This is the expensive offline
+    step (it brute-forces the sample queries' true nearest neighbors). *)
+
+val single :
+  rng:Dbh_util.Rng.t ->
+  prepared:'a prepared ->
+  db:'a array ->
+  target_accuracy:float ->
+  ?config:config ->
+  unit ->
+  ('a Index.t * Params.choice) option
+(** Tuned single-level index, or [None] when the target accuracy is
+    unreachable under the model within [l_max]. *)
+
+val hierarchical :
+  rng:Dbh_util.Rng.t ->
+  prepared:'a prepared ->
+  db:'a array ->
+  target_accuracy:float ->
+  ?config:config ->
+  unit ->
+  'a Hierarchical.t
+
+val auto :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?config:config ->
+  target_accuracy:float ->
+  'a array ->
+  'a Hierarchical.t
+(** The quickstart entry point: [auto ~rng ~space ~target_accuracy db]
+    runs {!prepare} and {!hierarchical} in one call. *)

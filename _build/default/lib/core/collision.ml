@@ -1,0 +1,53 @@
+module Rng = Dbh_util.Rng
+module Bitvec = Dbh_util.Bitvec
+
+let check_rate c = if c < 0. || c > 1. then invalid_arg "Collision: rate outside [0,1]"
+
+let c_k c k =
+  check_rate c;
+  if k < 0 then invalid_arg "Collision.c_k: negative k";
+  c ** float_of_int k
+
+let c_kl c ~k ~l =
+  if l < 0 then invalid_arg "Collision.c_kl: negative l";
+  let ck = c_k c k in
+  1. -. ((1. -. ck) ** float_of_int l)
+
+let l_for_target c ~k ~target =
+  check_rate target;
+  let ck = c_k c k in
+  if ck >= 1. then Some 1
+  else if target <= 0. then Some 0
+  else if ck <= 0. then None
+  else begin
+    (* 1 - (1-ck)^l >= target  <=>  l >= log(1-target)/log(1-ck) *)
+    let l = Float.ceil (log (1. -. target) /. log (1. -. ck)) in
+    if Float.is_integer l && l >= 0. && l < 1e9 then Some (max 1 (int_of_float l)) else None
+  end
+
+let estimate ~rng ?(num_fns = 200) family x1 x2 =
+  let fn_indices = Hash_family.sample_fn_indices ~rng family num_fns in
+  let s1 = Hash_family.signature family ~fn_indices x1 in
+  let s2 = Hash_family.signature family ~fn_indices x2 in
+  Bitvec.agreement s1 s2
+
+let estimate_exact family x1 x2 =
+  let n = Hash_family.size family in
+  let fn_indices = Array.init n (fun i -> i) in
+  let s1 = Hash_family.signature family ~fn_indices x1 in
+  let s2 = Hash_family.signature family ~fn_indices x2 in
+  Bitvec.agreement s1 s2
+
+let pairwise_matrix ~rng ?(num_fns = 200) family sample =
+  let fn_indices = Hash_family.sample_fn_indices ~rng family num_fns in
+  let signatures = Array.map (Hash_family.signature family ~fn_indices) sample in
+  let n = Array.length sample in
+  let m = Array.make_matrix n n 1. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let c = Bitvec.agreement signatures.(i) signatures.(j) in
+      m.(i).(j) <- c;
+      m.(j).(i) <- c
+    done
+  done;
+  m

@@ -1,0 +1,33 @@
+(** Collision probabilities (paper Eq. 8–10).
+
+    [C(X1,X2)] is the probability that a binary function drawn uniformly
+    from the family hashes [X1] and [X2] to the same bit.  From it follow
+    the k-bit table collision probability [C_k = C^k] (Eq. 9) and the
+    probability of colliding in at least one of [l] tables
+    [C_{k,l} = 1 − (1 − C^k)^l] (Eq. 10).  These close-form maps plus
+    empirical estimates of [C] are the entire performance model of DBH. *)
+
+val c_k : float -> int -> float
+(** [c_k c k] = [c^k] (Eq. 9).  Requires [c ∈ \[0,1\]], [k >= 0]. *)
+
+val c_kl : float -> k:int -> l:int -> float
+(** [c_kl c ~k ~l] = [1 − (1 − c^k)^l] (Eq. 10).  Requires [l >= 0]. *)
+
+val l_for_target : float -> k:int -> target:float -> int option
+(** Smallest [l] with [c_kl c ~k ~l >= target], or [None] if unreachable
+    ([c_k c k = 0] with positive target).  Closed form:
+    [l = ceil (log(1−target) / log(1−c^k))]. *)
+
+val estimate :
+  rng:Dbh_util.Rng.t -> ?num_fns:int -> 'a Hash_family.t -> 'a -> 'a -> float
+(** Empirical [C(X1,X2)]: fraction of agreeing bits over [num_fns]
+    functions sampled with replacement (default 200), per Eq. 8. *)
+
+val estimate_exact : 'a Hash_family.t -> 'a -> 'a -> float
+(** Exact [C(X1,X2)] over the whole (finite) family — O(size) distance-
+    cached evaluations.  Usable when the family is small. *)
+
+val pairwise_matrix :
+  rng:Dbh_util.Rng.t -> ?num_fns:int -> 'a Hash_family.t -> 'a array -> float array array
+(** Empirical collision-rate matrix of a sample (shared function draw so
+    rates are comparable); diagonal is 1. *)

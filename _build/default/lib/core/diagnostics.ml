@@ -1,0 +1,51 @@
+type table_stats = {
+  tables : int;
+  bits_per_key : int;
+  indexed_objects : int;
+  non_empty_buckets : int;
+  largest_bucket : int;
+  mean_bucket : float;
+  largest_bucket_fraction : float;
+}
+
+let index_stats index =
+  let objects = Index.size index in
+  let buckets = Index.bucket_count index in
+  let largest = Index.largest_bucket index in
+  let l = Index.l index in
+  {
+    tables = l;
+    bits_per_key = Index.k index;
+    indexed_objects = objects;
+    non_empty_buckets = buckets;
+    largest_bucket = largest;
+    mean_bucket =
+      (if buckets = 0 then 0. else float_of_int (objects * l) /. float_of_int buckets);
+    largest_bucket_fraction =
+      (if objects = 0 then 0. else float_of_int largest /. float_of_int objects);
+  }
+
+let pp_table_stats ppf s =
+  Format.fprintf ppf
+    "l=%d k=%d objects=%d buckets=%d largest=%d (%.1f%% of objects) mean occupancy=%.2f"
+    s.tables s.bits_per_key s.indexed_objects s.non_empty_buckets s.largest_bucket
+    (100. *. s.largest_bucket_fraction)
+    s.mean_bucket
+
+let hierarchical_stats h =
+  let infos = Hierarchical.levels h in
+  let indexes = Hierarchical.indexes h in
+  Array.mapi (fun i info -> (info, index_stats indexes.(i))) infos
+
+let family_balance_profile ~rng ?(num_fns = 200) family sample =
+  if Array.length sample = 0 then
+    invalid_arg "Diagnostics.family_balance_profile: empty sample";
+  let fn_ids = Hash_family.sample_fn_indices ~rng family (min num_fns (Hash_family.size family)) in
+  let balances = Array.map (fun i -> Hash_family.balance family i sample) fn_ids in
+  ( Dbh_util.Stats.mean balances,
+    Dbh_util.Stats.minimum balances,
+    Dbh_util.Stats.maximum balances )
+
+let healthy ?(max_bucket_fraction = 0.5) s =
+  s.indexed_objects = 0
+  || (s.non_empty_buckets > 1 && s.largest_bucket_fraction <= max_bucket_fraction)

@@ -1,0 +1,38 @@
+(** Structural health checks for built indexes.
+
+    DBH's performance model assumes balanced binary functions and
+    reasonably spread buckets; this module measures what an index
+    actually looks like so deployments can notice degenerate hash
+    families (e.g. a distance measure that collapses to few values)
+    before queries get slow. *)
+
+type table_stats = {
+  tables : int;  (** l *)
+  bits_per_key : int;  (** k *)
+  indexed_objects : int;  (** alive objects in the store *)
+  non_empty_buckets : int;
+  largest_bucket : int;
+  mean_bucket : float;  (** mean occupancy of non-empty buckets *)
+  largest_bucket_fraction : float;
+      (** largest bucket / objects — near 1.0 means hashing collapsed *)
+}
+
+val index_stats : 'a Index.t -> table_stats
+val pp_table_stats : Format.formatter -> table_stats -> unit
+
+val hierarchical_stats : 'a Hierarchical.t -> (Hierarchical.level_info * table_stats) array
+(** Per-level structural stats of a cascade. *)
+
+val family_balance_profile :
+  rng:Dbh_util.Rng.t ->
+  ?num_fns:int ->
+  'a Hash_family.t ->
+  'a array ->
+  float * float * float
+(** [(mean, min, max)] balance (fraction hashed to the zero bit) of
+    [num_fns] (default 200) random binary functions over the given
+    sample — should straddle 0.5 (Eq. 6). *)
+
+val healthy : ?max_bucket_fraction:float -> table_stats -> bool
+(** Quick verdict: some bucket spread exists and no bucket holds more
+    than [max_bucket_fraction] (default 0.5) of the objects. *)

@@ -1,0 +1,254 @@
+module Rng = Dbh_util.Rng
+module Stats = Dbh_util.Stats
+module Bitvec = Dbh_util.Bitvec
+module Space = Dbh_space.Space
+
+type binary_fn = {
+  p1 : int;
+  p2 : int;
+  d12 : float;
+  t1 : float;
+  t2 : float;
+  spread : float;
+}
+
+type 'a t = {
+  space : 'a Space.t;
+  pivots : 'a array;
+  fns : binary_fn array;
+}
+
+let space t = t.space
+let size t = Array.length t.fns
+let num_pivots t = Array.length t.pivots
+let pivots t = t.pivots
+let fn t i = t.fns.(i)
+
+(* Threshold interval drawn from (a discretized) V(X1,X2), Eq. 6: a random
+   interval capturing half the sample mass.  u ~ U[0, 1/2] and
+   [t1,t2] = [q(u), q(u+1/2)] ranges over all such intervals; edges that
+   fall at the extreme order statistics are widened to ±infinity so that
+   out-of-sample queries beyond the sample range are still classified with
+   the nearby half. *)
+type threshold_strategy = Random_interval | Median_split
+
+let draw_interval rng sorted_projections =
+  let n = Array.length sorted_projections in
+  let u = Rng.float rng 0.5 in
+  let edge_lo = 1. /. float_of_int (2 * n) in
+  let edge_hi = 1. -. edge_lo in
+  let t1 = if u <= edge_lo then neg_infinity else Stats.quantiles_of_sorted sorted_projections u in
+  let hi = u +. 0.5 in
+  let t2 = if hi >= edge_hi then infinity else Stats.quantiles_of_sorted sorted_projections hi in
+  (t1, t2)
+
+let all_pairs m =
+  let pairs = Array.make (m * (m - 1) / 2) (0, 0) in
+  let idx = ref 0 in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      pairs.(!idx) <- (i, j);
+      incr idx
+    done
+  done;
+  pairs
+
+let sample_pairs rng m count =
+  (* Distinct unordered pairs by rejection; count is assumed << C(m,2)/2
+     or we fall back to enumerating. *)
+  let total = m * (m - 1) / 2 in
+  if count >= total then all_pairs m
+  else begin
+    let seen = Hashtbl.create (2 * count) in
+    let pairs = Array.make count (0, 0) in
+    let filled = ref 0 in
+    while !filled < count do
+      let i = Rng.int rng m in
+      let j = Rng.int rng m in
+      if i <> j then begin
+        let p = (min i j, max i j) in
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          pairs.(!filled) <- p;
+          incr filled
+        end
+      end
+    done;
+    pairs
+  end
+
+let make ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_functions
+    ?(threshold_strategy = Random_interval) data =
+  if Array.length data < 2 then invalid_arg "Hash_family.make: need at least 2 objects";
+  if num_pivots < 2 then invalid_arg "Hash_family.make: need at least 2 pivots";
+  let pivots = Rng.subsample rng num_pivots data in
+  let m = Array.length pivots in
+  let sample = Rng.subsample rng threshold_sample data in
+  let s = Array.length sample in
+  (* Pivot-sample distance matrix, shared across all pairs. *)
+  let dist_sp = Array.make_matrix m s 0. in
+  for p = 0 to m - 1 do
+    for i = 0 to s - 1 do
+      let d = space.Space.distance sample.(i) pivots.(p) in
+      (* Fail fast on broken distance functions: downstream quantiles and
+         projections silently corrupt on NaN or negative values. *)
+      if Float.is_nan d || d < 0. then
+        invalid_arg "Hash_family.make: distance function returned NaN or a negative value";
+      dist_sp.(p).(i) <- d
+    done
+  done;
+  let pairs =
+    match max_functions with
+    | None -> all_pairs m
+    | Some count ->
+        if count < 1 then invalid_arg "Hash_family.make: max_functions must be positive";
+        sample_pairs rng m count
+  in
+  let projections = Array.make s 0. in
+  let fns =
+    Array.to_list pairs
+    |> List.filter_map (fun (i, j) ->
+           let d12 = space.Space.distance pivots.(i) pivots.(j) in
+           if not (d12 > 0.) then None
+           else begin
+             for k = 0 to s - 1 do
+               projections.(k) <-
+                 Projection.project_with ~d1:dist_sp.(i).(k) ~d2:dist_sp.(j).(k) ~d12
+             done;
+             let sorted = Array.copy projections in
+             Array.sort compare sorted;
+             let t1, t2 =
+               match threshold_strategy with
+               | Random_interval -> draw_interval rng sorted
+               | Median_split ->
+                   (neg_infinity, Stats.quantiles_of_sorted sorted 0.5)
+             in
+             let iqr =
+               Stats.quantiles_of_sorted sorted 0.75 -. Stats.quantiles_of_sorted sorted 0.25
+             in
+             let spread = if iqr > 0. then iqr else 1. in
+             Some { p1 = i; p2 = j; d12; t1; t2; spread }
+           end)
+    |> Array.of_list
+  in
+  if Array.length fns = 0 then
+    invalid_arg "Hash_family.make: all pivot pairs are at distance 0";
+  { space; pivots; fns }
+
+type 'a cache = {
+  obj : 'a;
+  dists : float array;  (* nan = not yet computed *)
+  mutable misses : int;
+}
+
+let cache t obj = { obj; dists = Array.make (num_pivots t) nan; misses = 0 }
+
+let cache_with_distances t obj dists =
+  if Array.length dists <> num_pivots t then
+    invalid_arg "Hash_family.cache_with_distances: wrong number of distances";
+  (* The row is only read (no nan entries), so sharing it is safe. *)
+  { obj; dists; misses = 0 }
+
+let pivot_table t objs =
+  Array.map
+    (fun obj -> Array.map (fun p -> t.space.Space.distance obj p) t.pivots)
+    objs
+
+let cache_cost c = c.misses
+
+let pivot_distance t c i =
+  let d = c.dists.(i) in
+  if Float.is_nan d then begin
+    let d = t.space.Space.distance c.obj t.pivots.(i) in
+    c.dists.(i) <- d;
+    c.misses <- c.misses + 1;
+    d
+  end
+  else d
+
+let project t c i =
+  let f = t.fns.(i) in
+  let d1 = pivot_distance t c f.p1 in
+  let d2 = pivot_distance t c f.p2 in
+  Projection.project_with ~d1 ~d2 ~d12:f.d12
+
+let eval t c i =
+  let f = t.fns.(i) in
+  let v = project t c i in
+  v >= f.t1 && v <= f.t2
+
+let margin t c i =
+  let f = t.fns.(i) in
+  let v = project t c i in
+  let to_t1 = if f.t1 = neg_infinity then infinity else Float.abs (v -. f.t1) in
+  let to_t2 = if f.t2 = infinity then infinity else Float.abs (v -. f.t2) in
+  Float.min to_t1 to_t2 /. f.spread
+
+let eval_direct t obj i =
+  let f = t.fns.(i) in
+  let d1 = t.space.Space.distance obj t.pivots.(f.p1) in
+  let d2 = t.space.Space.distance obj t.pivots.(f.p2) in
+  let v = Projection.project_with ~d1 ~d2 ~d12:f.d12 in
+  v >= f.t1 && v <= f.t2
+
+let sample_fn_indices ~rng t n =
+  if n < 0 then invalid_arg "Hash_family.sample_fn_indices: negative count";
+  Array.init n (fun _ -> Rng.int rng (size t))
+
+let signature t ~fn_indices obj =
+  let c = cache t obj in
+  let bits = Bitvec.create (Array.length fn_indices) in
+  Array.iteri (fun pos i -> if eval t c i then Bitvec.set bits pos true) fn_indices;
+  bits
+
+let balance t i sample =
+  if Array.length sample = 0 then invalid_arg "Hash_family.balance: empty sample";
+  let zeros = ref 0 in
+  Array.iter (fun x -> if not (eval_direct t x i) then incr zeros) sample;
+  float_of_int !zeros /. float_of_int (Array.length sample)
+
+(* ----------------------------------------------------------- persistence *)
+
+module Binio = Dbh_util.Binio
+
+let format_tag = "DBH-family-v1"
+
+let write ~encode buf t =
+  Binio.write_string buf format_tag;
+  Binio.write_int buf (Array.length t.pivots);
+  Array.iter (fun p -> Binio.write_string buf (encode p)) t.pivots;
+  Binio.write_int buf (Array.length t.fns);
+  Array.iter
+    (fun f ->
+      Binio.write_int buf f.p1;
+      Binio.write_int buf f.p2;
+      Binio.write_float buf f.d12;
+      Binio.write_float buf f.t1;
+      Binio.write_float buf f.t2;
+      Binio.write_float buf f.spread)
+    t.fns
+
+let read ~decode ~space r =
+  let tag = Binio.read_string r in
+  if tag <> format_tag then
+    raise (Binio.Corrupt (Printf.sprintf "expected %s, found %S" format_tag tag));
+  let num_pivots = Binio.read_int r in
+  if num_pivots < 0 || num_pivots > Binio.remaining r then
+    raise (Binio.Corrupt "implausible pivot count");
+  let pivots = Array.init num_pivots (fun _ -> decode (Binio.read_string r)) in
+  let num_fns = Binio.read_int r in
+  if num_fns < 0 || num_fns > Binio.remaining r then
+    raise (Binio.Corrupt "implausible function count");
+  let fns =
+    Array.init num_fns (fun _ ->
+        let p1 = Binio.read_int r in
+        let p2 = Binio.read_int r in
+        let d12 = Binio.read_float r in
+        let t1 = Binio.read_float r in
+        let t2 = Binio.read_float r in
+        let spread = Binio.read_float r in
+        if p1 < 0 || p1 >= num_pivots || p2 < 0 || p2 >= num_pivots then
+          raise (Binio.Corrupt "pivot index out of range");
+        { p1; p2; d12; t1; t2; spread })
+  in
+  { space; pivots; fns }

@@ -1,0 +1,148 @@
+(** The distance-based family of binary hash functions H_DBH
+    (paper Section IV-A and V-B).
+
+    Each binary function is a thresholded line projection
+
+    {v h(x) = 1  iff  F^{X1,X2}(x) ∈ [t1, t2] v}
+
+    where [X1, X2] are {e pivots} drawn from a small subset X_small of the
+    database (Sec. V-B bounds the hashing cost by |X_small|), and the
+    interval [\[t1,t2\]] is drawn from V(X1,X2) — the set of intervals
+    capturing half the data mass (Eq. 6) — using the quantiles of the
+    projections of a data sample.
+
+    Query-time evaluations share a {!cache} of distances from the query to
+    the pivots, so evaluating any number of binary functions costs at most
+    [num_pivots] distance computations — the paper's [HashCost]. *)
+
+type binary_fn = private {
+  p1 : int;  (** index of X1 in {!pivots} *)
+  p2 : int;  (** index of X2 in {!pivots} *)
+  d12 : float;  (** D(X1, X2), cached at construction *)
+  t1 : float;  (** lower threshold (may be [neg_infinity]) *)
+  t2 : float;  (** upper threshold (may be [infinity]) *)
+  spread : float;
+      (** interquartile range of the sample projections on this line —
+          the scale used to normalize multi-probe bit margins *)
+}
+
+type 'a t
+
+type threshold_strategy =
+  | Random_interval
+      (** draw [t1,t2] uniformly from (a discretization of) V(X1,X2) —
+          the paper's formulation (Eq. 6) and the default *)
+  | Median_split
+      (** always use the one-sided interval [(−∞, median)] — the simplest
+          member of V(X1,X2); deterministic given the sample, less
+          diverse *)
+
+val make :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?num_pivots:int ->
+  ?threshold_sample:int ->
+  ?max_functions:int ->
+  ?threshold_strategy:threshold_strategy ->
+  'a array ->
+  'a t
+(** [make ~rng ~space data] builds the family from a database sample.
+
+    - [num_pivots] (default 100): size of X_small, drawn uniformly from
+      [data] without replacement (all of [data] when smaller).  The paper
+      reports 100 pivots → C(100,2) = 4950 functions.
+    - [threshold_sample] (default 500): how many objects are projected on
+      each line to estimate the quantiles defining V(X1,X2).
+    - [max_functions]: build only this many functions on distinct random
+      pivot pairs instead of all C(m,2) pairs.
+    - [threshold_strategy] (default {!Random_interval}): how the interval
+      of Eq. 6 is chosen per line; {!Median_split} is the ablation knob
+      for the design choice discussed in DESIGN.md §5.
+
+    Construction cost: at most [num_pivots · threshold_sample] distance
+    computations (pivot–sample distances are computed once and shared by
+    every pair), plus C(m,2) pivot–pivot distances.
+
+    Raises [Invalid_argument] when [data] has fewer than 2 distinct-
+    distance objects (no usable projection line exists). *)
+
+val space : 'a t -> 'a Dbh_space.Space.t
+val size : 'a t -> int
+(** Number of binary functions in the family. *)
+
+val num_pivots : 'a t -> int
+val pivots : 'a t -> 'a array
+(** The X_small array; do not mutate. *)
+
+val fn : 'a t -> int -> binary_fn
+(** The i-th binary function's definition. *)
+
+(** {1 Evaluation} *)
+
+type 'a cache
+(** Per-object memo of distances to pivots.  The number of distances
+    actually computed is the realized hashing cost for that object. *)
+
+val cache : 'a t -> 'a -> 'a cache
+val cache_cost : 'a cache -> int
+(** Distinct pivot distances computed through this cache so far. *)
+
+val pivot_distance : 'a t -> 'a cache -> int -> float
+(** Distance from the cached object to pivot [i], memoized. *)
+
+val eval : 'a t -> 'a cache -> int -> bool
+(** [eval family cache i] applies binary function [i]; costs at most two
+    uncached distance computations. *)
+
+val cache_with_distances : 'a t -> 'a -> float array -> 'a cache
+(** A cache whose pivot distances are already known (one float per pivot,
+    in pivot order).  Evaluations through it cost no distance
+    computations and {!cache_cost} stays 0.  Used to share the database×
+    pivot distance table across many index constructions. *)
+
+val pivot_table : 'a t -> 'a array -> float array array
+(** [pivot_table t objs] computes the distances from every object to every
+    pivot — [|objs|·|pivots|] distance computations, done once and reused
+    via {!cache_with_distances} by every subsequent index build over the
+    same database. *)
+
+val eval_direct : 'a t -> 'a -> int -> bool
+(** Uncached evaluation (exactly two distance computations); for tests. *)
+
+val project : 'a t -> 'a cache -> int -> float
+(** The raw projection value F^{X1,X2}(x) under function [i]'s line. *)
+
+val margin : 'a t -> 'a cache -> int -> float
+(** Distance from F(x) to the nearest threshold of function [i],
+    normalized by the function's projection {!binary_fn.spread} — how
+    close the object is to flipping this bit.  Small margins identify the
+    bits a multi-probe query should perturb first. *)
+
+(** {1 Sampling and signatures} *)
+
+val sample_fn_indices : rng:Dbh_util.Rng.t -> 'a t -> int -> int array
+(** [sample_fn_indices ~rng t n] draws [n] function indices uniformly
+    {e with} replacement — how the index construction picks its k·l
+    functions (Sec. IV-C). *)
+
+val signature : 'a t -> fn_indices:int array -> 'a -> Dbh_util.Bitvec.t
+(** Bits of the given functions applied to one object — the raw material
+    for empirical collision rates C(X1,X2) (Eq. 8). *)
+
+val balance : 'a t -> int -> 'a array -> float
+(** [balance t i sample] is the fraction of [sample] that function [i]
+    maps to 0 — should be close to 0.5 by construction (Eq. 6). *)
+
+(** {1 Persistence}
+
+    Families are written in a versioned binary format; objects go through
+    a caller-supplied codec since the library cannot know their
+    representation.  The space itself is not stored — supply an equivalent
+    space when reading (using a different distance silently produces a
+    different index). *)
+
+val write : encode:('a -> string) -> Buffer.t -> 'a t -> unit
+
+val read :
+  decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> Dbh_util.Binio.reader -> 'a t
+(** Raises [Dbh_util.Binio.Corrupt] on malformed input. *)

@@ -1,0 +1,193 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Binio = Dbh_util.Binio
+
+type level_info = {
+  k : int;
+  l : int;
+  d_threshold : float;
+  predicted_accuracy : float;
+  predicted_cost : float;
+}
+
+type 'a level = {
+  info : level_info;
+  index : 'a Index.t;
+}
+
+type 'a t = {
+  store : 'a Store.t;
+  family : 'a Hash_family.t;
+  levels : 'a level array;
+}
+
+let levels t = Array.map (fun lev -> lev.info) t.levels
+let indexes t = Array.map (fun lev -> lev.index) t.levels
+let store t = t.store
+
+(* When no (k,l) reaches the target within l_max, retarget to just below
+   the best accuracy any (k, l_max) achieves and optimize for cost there —
+   never blindly build l_max tables, which would make the hard stratum
+   dominate every cascaded query. *)
+let fallback_choice analysis ~k_min ~k_max ~l_max =
+  if k_min > k_max then invalid_arg "Hierarchical.build: empty k range";
+  let best_acc = ref 0. in
+  for k = k_min to k_max do
+    let acc = Analysis.accuracy analysis ~k ~l:l_max in
+    if acc > !best_acc then best_acc := acc
+  done;
+  let target = Float.min 0.9999 (Float.max 0. (!best_acc -. 0.005)) in
+  match Params.optimize analysis ~target_accuracy:target ~k_min ~k_max ~l_max () with
+  | Some c -> c
+  | None ->
+      (* Only reachable when accuracy is ~0 everywhere; one cheap table. *)
+      {
+        Params.k = k_min;
+        l = 1;
+        predicted_accuracy = !best_acc;
+        predicted_lookup = Analysis.lookup_cost analysis ~k:k_min ~l:1;
+        predicted_hash = Analysis.hash_cost analysis ~k:k_min ~l:1;
+        predicted_cost = Analysis.total_cost analysis ~k:k_min ~l:1;
+      }
+
+let build ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(levels = 5)
+    ?(k_min = 1) ?(k_max = 30) ?(l_max = 1000) () =
+  if levels < 1 then invalid_arg "Hierarchical.build: need at least one level";
+  let nq = Analysis.num_queries analysis in
+  if nq < levels then invalid_arg "Hierarchical.build: fewer sample queries than levels";
+  let store = Store.of_array db in
+  let order = Analysis.queries_by_nn_distance analysis in
+  let level_array =
+    Array.init levels (fun i ->
+        (* Contiguous percentile stratum of the NN-distance ranking. *)
+        let lo = i * nq / levels in
+        let hi = ((i + 1) * nq / levels) - 1 in
+        let positions = Array.sub order lo (hi - lo + 1) in
+        let stratum = Analysis.restrict analysis positions in
+        let d_threshold = Analysis.nn_distance analysis order.(hi) in
+        let choice =
+          match Params.optimize stratum ~target_accuracy ~k_min ~k_max ~l_max () with
+          | Some c -> c
+          | None -> fallback_choice stratum ~k_min ~k_max ~l_max
+        in
+        let index =
+          Index.build_on ~rng ~family ~store ?pivot_table ~k:choice.Params.k
+            ~l:choice.Params.l ()
+        in
+        {
+          info =
+            {
+              k = choice.Params.k;
+              l = choice.Params.l;
+              d_threshold;
+              predicted_accuracy = choice.Params.predicted_accuracy;
+              predicted_cost = choice.Params.predicted_cost;
+            };
+          index;
+        })
+  in
+  { store; family; levels = level_array }
+
+let query_verbose t q =
+  let space = Hash_family.space t.family in
+  let cache = Hash_family.cache t.family q in
+  let seen = Bytes.make (Store.length t.store) '\000' in
+  let best = ref None in
+  let lookup = ref 0 in
+  let probes = ref 0 in
+  let levels_probed = ref 0 in
+  (try
+     Array.iter
+       (fun lev ->
+         incr levels_probed;
+         probes := !probes + Index.l lev.index;
+         let fresh = Index.candidates_into lev.index cache ~seen in
+         List.iter
+           (fun id ->
+             incr lookup;
+             let d = space.Space.distance q (Store.get t.store id) in
+             match !best with
+             | Some (_, bd) when bd <= d -> ()
+             | _ -> best := Some (id, d))
+           fresh;
+         match !best with
+         | Some (_, bd) when bd <= lev.info.d_threshold -> raise Exit
+         | _ -> ())
+       t.levels
+   with Exit -> ());
+  let stats =
+    {
+      Index.hash_cost = Hash_family.cache_cost cache;
+      lookup_cost = !lookup;
+      probes = !probes;
+    }
+  in
+  ({ Index.nn = !best; stats }, !levels_probed)
+
+let query t q = fst (query_verbose t q)
+
+let insert t obj =
+  let id = Store.add t.store obj in
+  Array.iter (fun lev -> Index.index_existing lev.index id) t.levels;
+  id
+
+let delete t id = Store.delete t.store id
+
+(* ----------------------------------------------------------- persistence *)
+
+let format_tag = "DBH-hierarchical-v1"
+
+let write ~encode buf t =
+  Binio.write_string buf format_tag;
+  Hash_family.write ~encode buf t.family;
+  Index.write_store ~encode buf t.store;
+  Binio.write_int buf (Array.length t.levels);
+  Array.iter
+    (fun lev ->
+      Binio.write_float buf lev.info.d_threshold;
+      Binio.write_float buf lev.info.predicted_accuracy;
+      Binio.write_float buf lev.info.predicted_cost;
+      Index.write_body buf lev.index)
+    t.levels
+
+let read ~decode ~space r =
+  let tag = Binio.read_string r in
+  if tag <> format_tag then
+    raise (Binio.Corrupt (Printf.sprintf "expected %s, found %S" format_tag tag));
+  let family = Hash_family.read ~decode ~space r in
+  let store = Index.read_store ~decode r in
+  let num_levels = Binio.read_int r in
+  if num_levels < 1 then raise (Binio.Corrupt "no levels");
+  let levels =
+    Array.init num_levels (fun _ ->
+        let d_threshold = Binio.read_float r in
+        let predicted_accuracy = Binio.read_float r in
+        let predicted_cost = Binio.read_float r in
+        let index = Index.read_body ~family ~store r in
+        {
+          info =
+            {
+              k = Index.k index;
+              l = Index.l index;
+              d_threshold;
+              predicted_accuracy;
+              predicted_cost;
+            };
+          index;
+        })
+  in
+  { store; family; levels }
+
+let save ~encode ~path t =
+  let buf = Buffer.create 4096 in
+  write ~encode buf t;
+  let oc = open_out_bin path in
+  (try Buffer.output_buffer oc buf with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+let load ~decode ~space ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  read ~decode ~space (Binio.reader data)

@@ -1,0 +1,86 @@
+(** Hierarchical DBH (paper Section V-A).
+
+    Sample queries are ranked by their nearest-neighbor distance
+    [D(Q, N(Q))] and split into [s] strata; a separate [(k_i, l_i)] pair
+    is optimized for each stratum (queries with close neighbors tolerate
+    much cheaper indexes) and a DBH index built for each, all sharing one
+    hash family — and therefore one pivot-distance cache per query.
+
+    Retrieval cascades through the strata in increasing [D_i] order and
+    stops as soon as the best distance found is within the current
+    stratum's radius [D_i], which certifies (statistically) that later,
+    more expensive indexes are unnecessary for this query. *)
+
+type level_info = {
+  k : int;
+  l : int;
+  d_threshold : float;
+      (** [D_i]: largest sample-query NN distance in stratum [i]. *)
+  predicted_accuracy : float;
+  predicted_cost : float;
+}
+
+type 'a t
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  family:'a Hash_family.t ->
+  db:'a array ->
+  analysis:Analysis.t ->
+  target_accuracy:float ->
+  ?pivot_table:float array array ->
+  ?levels:int ->
+  ?k_min:int ->
+  ?k_max:int ->
+  ?l_max:int ->
+  unit ->
+  'a t
+(** Build the cascade.  [levels] (the paper's [s]) defaults to 5, the
+    value used in all the paper's experiments.  Strata whose accuracy
+    target is unreachable within [l_max] fall back to the most accurate
+    reachable setting.  Raises when [analysis] has fewer sample queries
+    than [levels]. *)
+
+val levels : 'a t -> level_info array
+
+val store : 'a t -> 'a Store.t
+(** The object store shared by all levels. *)
+
+val indexes : 'a t -> 'a Index.t array
+(** The per-level single-level indexes, in cascade order (shared with the
+    cascade — do not mutate through both views concurrently). *)
+
+val query : 'a t -> 'a -> 'a Index.result
+(** Cascaded retrieval.  Stats aggregate across probed levels: hash cost
+    counts distinct pivots overall (the family cache is shared), lookup
+    cost counts distinct candidates overall (candidates reappearing in
+    later levels are not recharged). *)
+
+val query_verbose : 'a t -> 'a -> 'a Index.result * int
+(** Like {!query}, also returning how many levels were probed. *)
+
+(** {1 Dynamic updates} *)
+
+val insert : 'a t -> 'a -> int
+(** Append an object to the shared store and index it in every level;
+    returns its id. *)
+
+val delete : 'a t -> int -> unit
+(** Tombstone an id; it disappears from every level at once. *)
+
+(** {1 Persistence}
+
+    Same conventions as {!Index.write}: one family and one store are
+    written, followed by each level's tables; the space is re-attached on
+    load. *)
+
+val write : encode:('a -> string) -> Buffer.t -> 'a t -> unit
+
+val read :
+  decode:(string -> 'a) ->
+  space:'a Dbh_space.Space.t ->
+  Dbh_util.Binio.reader ->
+  'a t
+
+val save : encode:('a -> string) -> path:string -> 'a t -> unit
+val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string -> 'a t

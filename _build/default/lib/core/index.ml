@@ -1,0 +1,440 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Binio = Dbh_util.Binio
+
+type stats = {
+  hash_cost : int;
+  lookup_cost : int;
+  probes : int;
+}
+
+let total_cost s = s.hash_cost + s.lookup_cost
+
+let add_stats a b =
+  {
+    hash_cost = a.hash_cost + b.hash_cost;
+    lookup_cost = a.lookup_cost + b.lookup_cost;
+    probes = a.probes + b.probes;
+  }
+
+type 'a result = {
+  nn : (int * float) option;
+  stats : stats;
+}
+
+type 'a t = {
+  family : 'a Hash_family.t;
+  store : 'a Store.t;
+  k : int;
+  l : int;
+  fn_ids : int array array;  (* l rows of k function indices *)
+  distinct_fns : int array;  (* deduplicated function indices *)
+  tables : (int, int list) Hashtbl.t array;
+}
+
+let k t = t.k
+let l t = t.l
+let store t = t.store
+let family t = t.family
+let size t = Store.alive_count t.store
+
+(* Pack the k bits of table [row] into an int key, evaluating each distinct
+   function at most once via [bit_of]. *)
+let key_of_row fn_ids bit_of row =
+  Array.fold_left
+    (fun key fn_id -> (key lsl 1) lor (if bit_of fn_id then 1 else 0))
+    0 fn_ids.(row)
+
+let distinct_of fn_ids =
+  let seen = Hashtbl.create 64 in
+  Array.iter (Array.iter (fun id -> Hashtbl.replace seen id ())) fn_ids;
+  Array.of_seq (Hashtbl.to_seq_keys seen)
+
+(* Evaluate all distinct functions once and return a memoized bit lookup. *)
+let bits_of_cache t cache =
+  let bits = Hashtbl.create (Array.length t.distinct_fns) in
+  Array.iter
+    (fun fn_id -> Hashtbl.replace bits fn_id (Hash_family.eval t.family cache fn_id))
+    t.distinct_fns;
+  fun fn_id -> Hashtbl.find bits fn_id
+
+let insert_id t cache id =
+  let bit_of = bits_of_cache t cache in
+  for row = 0 to t.l - 1 do
+    let key = key_of_row t.fn_ids bit_of row in
+    let bucket = try Hashtbl.find t.tables.(row) key with Not_found -> [] in
+    Hashtbl.replace t.tables.(row) key (id :: bucket)
+  done
+
+let build_on ~rng ~family ~store ?pivot_table ~k ~l () =
+  if k < 1 || k > 62 then invalid_arg "Index.build: k must be in [1, 62]";
+  if l < 1 then invalid_arg "Index.build: l must be >= 1";
+  if Store.length store = 0 then invalid_arg "Index.build: empty database";
+  (match pivot_table with
+  | Some table when Array.length table <> Store.length store ->
+      invalid_arg "Index.build: pivot_table length mismatch"
+  | _ -> ());
+  let fn_ids = Array.init l (fun _ -> Hash_family.sample_fn_indices ~rng family k) in
+  let t =
+    {
+      family;
+      store;
+      k;
+      l;
+      fn_ids;
+      distinct_fns = distinct_of fn_ids;
+      tables = Array.init l (fun _ -> Hashtbl.create (Store.length store));
+    }
+  in
+  for id = 0 to Store.length store - 1 do
+    if Store.is_alive store id then begin
+      let cache =
+        match pivot_table with
+        | Some table -> Hash_family.cache_with_distances family (Store.get store id) table.(id)
+        | None -> Hash_family.cache family (Store.get store id)
+      in
+      insert_id t cache id
+    end
+  done;
+  t
+
+let build ~rng ~family ~db ?pivot_table ~k ~l () =
+  build_on ~rng ~family ~store:(Store.of_array db) ?pivot_table ~k ~l ()
+
+let bucket_count t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+
+let largest_bucket t =
+  Array.fold_left
+    (fun acc tbl -> Hashtbl.fold (fun _ bucket acc -> max acc (List.length bucket)) tbl acc)
+    0 t.tables
+
+(* --------------------------------------------------------------- queries *)
+
+let collect_bucket t ~seen bucket fresh =
+  List.iter
+    (fun id ->
+      if Store.is_alive t.store id && Bytes.get seen id = '\000' then begin
+        Bytes.set seen id '\001';
+        fresh := id :: !fresh
+      end)
+    bucket
+
+let candidates_into t cache ~seen =
+  if Bytes.length seen <> Store.length t.store then
+    invalid_arg "Index.candidates_into: seen mask has wrong length";
+  let bit_of = bits_of_cache t cache in
+  let fresh = ref [] in
+  for row = 0 to t.l - 1 do
+    let key = key_of_row t.fn_ids bit_of row in
+    match Hashtbl.find_opt t.tables.(row) key with
+    | None -> ()
+    | Some bucket -> collect_bucket t ~seen bucket fresh
+  done;
+  !fresh
+
+let with_candidates t q f =
+  let cache = Hash_family.cache t.family q in
+  let seen = Bytes.make (Store.length t.store) '\000' in
+  let candidates = candidates_into t cache ~seen in
+  let value, lookup_cost = f candidates in
+  let stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost; probes = t.l } in
+  (value, stats)
+
+let best_of_candidates t q candidates =
+  let space = Hash_family.space t.family in
+  let best = ref None in
+  let count = ref 0 in
+  List.iter
+    (fun id ->
+      incr count;
+      let d = space.Space.distance q (Store.get t.store id) in
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (id, d))
+    candidates;
+  (!best, !count)
+
+let query t q =
+  let nn, stats = with_candidates t q (best_of_candidates t q) in
+  { nn; stats }
+
+let query_knn t m q =
+  if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";
+  let space = Hash_family.space t.family in
+  with_candidates t q (fun candidates ->
+      let heap = Dbh_util.Bounded_heap.create m in
+      let count = ref 0 in
+      List.iter
+        (fun id ->
+          incr count;
+          let d = space.Space.distance q (Store.get t.store id) in
+          ignore (Dbh_util.Bounded_heap.push heap d id))
+        candidates;
+      let sorted =
+        Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d))
+      in
+      (Array.of_list sorted, !count))
+
+let query_range t radius q =
+  if radius < 0. then invalid_arg "Index.query_range: negative radius";
+  let space = Hash_family.space t.family in
+  with_candidates t q (fun candidates ->
+      let hits = ref [] in
+      let count = ref 0 in
+      List.iter
+        (fun id ->
+          incr count;
+          let d = space.Space.distance q (Store.get t.store id) in
+          if d <= radius then hits := (id, d) :: !hits)
+        candidates;
+      (List.sort (fun (_, a) (_, b) -> compare a b) !hits, !count))
+
+(* Multi-probe: per table, after the base bucket, probe the buckets whose
+   keys flip the bit subsets with the smallest total margin — the bits
+   whose projection values sit closest to a threshold.  Subsets of size 1
+   and 2 suffice for practical probe counts. *)
+let probe_masks t cache row probes =
+  let fns = t.fn_ids.(row) in
+  let k = Array.length fns in
+  let margins = Array.map (fun fn_id -> Hash_family.margin t.family cache fn_id) fns in
+  let flips = ref [] in
+  for j = 0 to k - 1 do
+    (* Bit j of the key corresponds to fns.(j); keys pack bit 0 first at
+       the high end, so position j maps to mask bit (k-1-j). *)
+    let mask = 1 lsl (k - 1 - j) in
+    flips := (margins.(j), mask) :: !flips;
+    for j2 = j + 1 to k - 1 do
+      let mask2 = mask lor (1 lsl (k - 1 - j2)) in
+      flips := (margins.(j) +. margins.(j2), mask2) :: !flips
+    done
+  done;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !flips in
+  List.filteri (fun i _ -> i < probes) sorted |> List.map snd
+
+let query_multiprobe t ~probes q =
+  if probes < 0 then invalid_arg "Index.query_multiprobe: negative probes";
+  let cache = Hash_family.cache t.family q in
+  let seen = Bytes.make (Store.length t.store) '\000' in
+  let bit_of = bits_of_cache t cache in
+  let fresh = ref [] in
+  let probe_count = ref 0 in
+  for row = 0 to t.l - 1 do
+    let base_key = key_of_row t.fn_ids bit_of row in
+    let keys = base_key :: List.map (fun mask -> base_key lxor mask) (probe_masks t cache row probes) in
+    List.iter
+      (fun key ->
+        incr probe_count;
+        match Hashtbl.find_opt t.tables.(row) key with
+        | None -> ()
+        | Some bucket -> collect_bucket t ~seen bucket fresh)
+      keys
+  done;
+  let nn, lookup = best_of_candidates t q !fresh in
+  {
+    nn;
+    stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = !probe_count };
+  }
+
+let query_budgeted t ~max_candidates q =
+  if max_candidates < 1 then invalid_arg "Index.query_budgeted: budget must be >= 1";
+  let cache = Hash_family.cache t.family q in
+  let bit_of = bits_of_cache t cache in
+  (* Count, per candidate, the number of tables it collides in. *)
+  let counts = Hashtbl.create 64 in
+  for row = 0 to t.l - 1 do
+    let key = key_of_row t.fn_ids bit_of row in
+    match Hashtbl.find_opt t.tables.(row) key with
+    | None -> ()
+    | Some bucket ->
+        List.iter
+          (fun id ->
+            if Store.is_alive t.store id then
+              Hashtbl.replace counts id
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+          bucket
+  done;
+  let ranked =
+    Hashtbl.fold (fun id c acc -> (c, id) :: acc) counts []
+    |> List.sort (fun (c1, id1) (c2, id2) ->
+           if c1 <> c2 then compare c2 c1 else compare id1 id2)
+  in
+  let chosen = List.filteri (fun i _ -> i < max_candidates) ranked |> List.map snd in
+  let nn, lookup = best_of_candidates t q chosen in
+  {
+    nn;
+    stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = t.l };
+  }
+
+(* -------------------------------------------------------------- updates *)
+
+let index_existing t id =
+  if not (Store.is_alive t.store id) then invalid_arg "Index.index_existing: dead or unknown id";
+  let cache = Hash_family.cache t.family (Store.get t.store id) in
+  insert_id t cache id
+
+let insert t obj =
+  let id = Store.add t.store obj in
+  index_existing t id;
+  id
+
+let delete t id = Store.delete t.store id
+
+(* ----------------------------------------------------------- persistence *)
+
+(* Tables are stored as bit-packed keys — k bits per indexed object per
+   table — rather than bucket lists: for realistic (k, l) this is an
+   order of magnitude smaller than naive int encoding, and buckets
+   rebuild exactly from the keys.  Objects that are dead at save time are
+   dropped (compaction); their ids stay reserved. *)
+
+let pack_keys buf ~k keys =
+  let n = Array.length keys in
+  let total_bits = n * k in
+  let bytes = Bytes.make ((total_bits + 7) / 8) '\000' in
+  let bit = ref 0 in
+  Array.iter
+    (fun key ->
+      for b = k - 1 downto 0 do
+        if key lsr b land 1 = 1 then begin
+          let byte = !bit / 8 and off = !bit mod 8 in
+          Bytes.set bytes byte (Char.chr (Char.code (Bytes.get bytes byte) lor (1 lsl off)))
+        end;
+        incr bit
+      done)
+    keys;
+  Binio.write_int buf n;
+  Binio.write_string buf (Bytes.to_string bytes)
+
+let unpack_keys r ~k =
+  let n = Binio.read_int r in
+  if n < 0 then raise (Binio.Corrupt "negative key count");
+  let data = Binio.read_string r in
+  if String.length data < (n * k + 7) / 8 then raise (Binio.Corrupt "truncated key block");
+  let bit = ref 0 in
+  Array.init n (fun _ ->
+      let key = ref 0 in
+      for _ = 1 to k do
+        let byte = !bit / 8 and off = !bit mod 8 in
+        key := (!key lsl 1) lor (Char.code data.[byte] lsr off land 1);
+        incr bit
+      done;
+      !key)
+
+(* Ids this index holds, alive only, ascending; every indexed object
+   appears in every table, so membership of the first table suffices. *)
+let present_ids t =
+  let members = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun key bucket ->
+      List.iter (fun id -> if Store.is_alive t.store id then Hashtbl.replace members id key) bucket)
+    t.tables.(0);
+  let ids = Array.of_seq (Hashtbl.to_seq_keys members) in
+  Array.sort compare ids;
+  ids
+
+let keys_of_table table ids =
+  let key_of = Hashtbl.create (Array.length ids) in
+  Hashtbl.iter (fun key bucket -> List.iter (fun id -> Hashtbl.replace key_of id key) bucket) table;
+  Array.map
+    (fun id ->
+      match Hashtbl.find_opt key_of id with
+      | Some key -> key
+      | None -> raise (Invalid_argument "Index.write: object missing from a table"))
+    ids
+
+let write_body buf t =
+  Binio.write_int buf t.k;
+  Binio.write_int buf t.l;
+  Array.iter (fun row -> Binio.write_int_array buf row) t.fn_ids;
+  let ids = present_ids t in
+  Binio.write_int_array buf ids;
+  Array.iter (fun table -> pack_keys buf ~k:t.k (keys_of_table table ids)) t.tables
+
+let read_body ~family ~store r =
+  let n = Store.length store in
+  let k = Binio.read_int r in
+  let l = Binio.read_int r in
+  if k < 1 || k > 62 || l < 1 || l > Binio.remaining r then
+    raise (Binio.Corrupt "invalid k or l");
+  let fn_ids =
+    Array.init l (fun _ ->
+        let row = Binio.read_int_array r in
+        if Array.length row <> k then raise (Binio.Corrupt "bad fn row length");
+        Array.iter
+          (fun id ->
+            if id < 0 || id >= Hash_family.size family then
+              raise (Binio.Corrupt "function id out of range"))
+          row;
+        row)
+  in
+  let ids = Binio.read_int_array r in
+  Array.iter
+    (fun id -> if id < 0 || id >= n then raise (Binio.Corrupt "object id out of range"))
+    ids;
+  let tables =
+    Array.init l (fun _ ->
+        let keys = unpack_keys r ~k in
+        if Array.length keys <> Array.length ids then
+          raise (Binio.Corrupt "key block does not match id list");
+        let table = Hashtbl.create (max 16 (Array.length ids)) in
+        Array.iteri
+          (fun pos id ->
+            let key = keys.(pos) in
+            let bucket = try Hashtbl.find table key with Not_found -> [] in
+            Hashtbl.replace table key (id :: bucket))
+          ids;
+        table)
+  in
+  { family; store; k; l; fn_ids; distinct_fns = distinct_of fn_ids; tables }
+
+let write_store ~encode buf store =
+  Binio.write_int buf (Store.length store);
+  for id = 0 to Store.length store - 1 do
+    Binio.write_string buf (encode (Store.get store id))
+  done;
+  let dead =
+    List.filter (fun id -> not (Store.is_alive store id))
+      (List.init (Store.length store) Fun.id)
+  in
+  Binio.write_int_array buf (Array.of_list dead)
+
+let read_store ~decode r =
+  let n = Binio.read_int r in
+  (* Each stored object costs at least a length prefix; bound n before
+     allocating so corrupt inputs cannot trigger huge allocations. *)
+  if n < 0 || n > Binio.remaining r then raise (Binio.Corrupt "implausible store size");
+  let objects = Array.init n (fun _ -> decode (Binio.read_string r)) in
+  let store = Store.of_array objects in
+  let dead = Binio.read_int_array r in
+  Array.iter (fun id -> Store.delete store id) dead;
+  store
+
+let format_tag = "DBH-index-v1"
+
+let write ~encode buf t =
+  Binio.write_string buf format_tag;
+  Hash_family.write ~encode buf t.family;
+  write_store ~encode buf t.store;
+  write_body buf t
+
+let read ~decode ~space r =
+  let tag = Binio.read_string r in
+  if tag <> format_tag then
+    raise (Binio.Corrupt (Printf.sprintf "expected %s, found %S" format_tag tag));
+  let family = Hash_family.read ~decode ~space r in
+  let store = read_store ~decode r in
+  read_body ~family ~store r
+
+let save ~encode ~path t =
+  let buf = Buffer.create 4096 in
+  write ~encode buf t;
+  let oc = open_out_bin path in
+  (try Buffer.output_buffer oc buf with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+let load ~decode ~space ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  read ~decode ~space (Binio.reader data)

@@ -1,0 +1,159 @@
+(** Single-level DBH index (paper Section IV-A, retrieval protocol of
+    Section III applied to the DBH family).
+
+    [l] hash tables, each keyed by the concatenation of [k] binary
+    functions drawn uniformly with replacement from the family.  A query
+    is hashed into each table; the union of the colliding buckets is the
+    candidate set, which is then ranked by exact distance.  Reported cost
+    follows the paper: distances to pivots actually computed (hash cost,
+    bounded by |X_small|) plus distances to distinct candidates (lookup
+    cost).
+
+    Indexes are dynamic: objects live in a {!Store.t} that may be shared
+    between several indexes (the hierarchical cascade shares one), and
+    {!insert} / {!delete} maintain the tables incrementally. *)
+
+type stats = {
+  hash_cost : int;  (** distinct pivot distances computed for hashing *)
+  lookup_cost : int;  (** distinct candidates compared exactly *)
+  probes : int;  (** hash-table buckets inspected *)
+}
+
+val total_cost : stats -> int
+(** [hash_cost + lookup_cost] — the paper's per-query number of distance
+    computations. *)
+
+val add_stats : stats -> stats -> stats
+
+type 'a result = {
+  nn : (int * float) option;
+      (** Best candidate found: database id and exact distance; [None]
+          when every bucket was empty. *)
+  stats : stats;
+}
+
+type 'a t
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  family:'a Hash_family.t ->
+  db:'a array ->
+  ?pivot_table:float array array ->
+  k:int ->
+  l:int ->
+  unit ->
+  'a t
+(** Construct the [l] [k]-bit tables over a fresh store seeded with [db].
+    [1 <= k <= 62] (bucket keys are packed into an int) and [l >= 1].
+
+    [pivot_table] — the output of [Hash_family.pivot_table family db] —
+    supplies precomputed database-to-pivot distances, making construction
+    distance-free; without it each database object pays up to one
+    distance computation per pivot. *)
+
+val build_on :
+  rng:Dbh_util.Rng.t ->
+  family:'a Hash_family.t ->
+  store:'a Store.t ->
+  ?pivot_table:float array array ->
+  k:int ->
+  l:int ->
+  unit ->
+  'a t
+(** Like {!build} over an existing (possibly shared) store.  When given,
+    [pivot_table] must have one row per store id. *)
+
+val k : 'a t -> int
+val l : 'a t -> int
+val store : 'a t -> 'a Store.t
+val family : 'a t -> 'a Hash_family.t
+
+val size : 'a t -> int
+(** Number of alive indexed objects. *)
+
+val bucket_count : 'a t -> int
+(** Total number of non-empty buckets across tables (diagnostic). *)
+
+val largest_bucket : 'a t -> int
+(** Size of the fullest bucket (diagnostic for balance). *)
+
+(** {1 Queries} *)
+
+val query : 'a t -> 'a -> 'a result
+(** Approximate nearest neighbor of a query object. *)
+
+val query_knn : 'a t -> int -> 'a -> (int * float) array * stats
+(** [query_knn t m q]: the [m] best candidates (sorted by distance) from
+    the colliding buckets; may return fewer when buckets are sparse. *)
+
+val query_range : 'a t -> float -> 'a -> (int * float) list * stats
+(** Candidates within the given distance of the query (the near-neighbor
+    flavour of Section III), sorted by distance. *)
+
+val query_multiprobe : 'a t -> probes:int -> 'a -> 'a result
+(** Multi-probe retrieval (in the spirit of Lv et al., cited as [11] in
+    the paper): besides the query's own bucket, each table also probes
+    the [probes] buckets obtained by flipping the lowest-margin bits —
+    the binary functions whose projection value falls closest to a
+    threshold.  Recovers recall comparable to a larger [l] without
+    building more tables; hashing cost is unchanged. *)
+
+val query_budgeted : 'a t -> max_candidates:int -> 'a -> 'a result
+(** Like {!query}, but evaluates exact distances for at most
+    [max_candidates] candidates, preferring those that collide in the
+    most tables (higher empirical collision rate ⇒ higher model
+    probability of being the nearest neighbor).  Caps the lookup cost at
+    a known constant per query. *)
+
+(** {1 Dynamic updates} *)
+
+val insert : 'a t -> 'a -> int
+(** Append a new object to the store and index it; returns its id.
+    Costs at most one distance computation per pivot.  When the store is
+    shared, other indexes do {e not} see the object until they
+    {!index_existing} it. *)
+
+val index_existing : 'a t -> int -> unit
+(** Index an object already present in the (shared) store.  Idempotence
+    is not checked — indexing twice duplicates the bucket entry. *)
+
+val delete : 'a t -> int -> unit
+(** Tombstone an id in the store: it stops being returned by {e any}
+    index over that store.  O(1); table entries are skipped lazily. *)
+
+(** {1 Plumbing shared with the hierarchical index} *)
+
+val candidates_into : 'a t -> 'a Hash_family.cache -> seen:Bytes.t -> int list
+(** Fresh alive candidate ids from this index's buckets: ids whose [seen]
+    byte is unset; each is marked as seen.  [seen] must have the store
+    length.  Exposed so multi-index schemes can share the candidate dedup
+    across indexes. *)
+
+(** {1 Persistence}
+
+    The structural part of an index (family, objects, tables) is written
+    in a versioned binary format; objects go through a caller-supplied
+    codec, and the space is re-attached on load (it cannot be
+    serialized).  Loading costs no distance computations. *)
+
+val write : encode:('a -> string) -> Buffer.t -> 'a t -> unit
+
+val read :
+  decode:(string -> 'a) ->
+  space:'a Dbh_space.Space.t ->
+  Dbh_util.Binio.reader ->
+  'a t
+(** Raises [Dbh_util.Binio.Corrupt] on malformed input. *)
+
+val save : encode:('a -> string) -> path:string -> 'a t -> unit
+val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string -> 'a t
+
+(**/**)
+
+(* Plumbing for composite indexes' persistence (used by Hierarchical):
+   table structure without the family and store. *)
+val write_body : Buffer.t -> 'a t -> unit
+val read_body :
+  family:'a Hash_family.t -> store:'a Store.t -> Dbh_util.Binio.reader -> 'a t
+val write_store : encode:('a -> string) -> Buffer.t -> 'a Store.t -> unit
+val read_store : decode:(string -> 'a) -> Dbh_util.Binio.reader -> 'a Store.t

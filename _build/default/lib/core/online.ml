@@ -1,0 +1,126 @@
+module Rng = Dbh_util.Rng
+module Vec = Dbh_util.Vec
+
+type 'a result = {
+  nn : (int * float) option;
+  stats : Index.stats;
+}
+
+type 'a t = {
+  rng : Rng.t;
+  space : 'a Dbh_space.Space.t;
+  config : Builder.config;
+  rebuild_factor : float;
+  target_accuracy : float;
+  (* Stable registry: external handles never change. *)
+  registry : 'a Vec.t;
+  dead : (int, unit) Hashtbl.t;
+  (* Current generation. *)
+  mutable index : 'a Hierarchical.t;
+  mutable external_of_internal : int Vec.t;  (* internal id -> handle *)
+  mutable internal_of_external : (int, int) Hashtbl.t;
+  mutable built_size : int;
+  mutable rebuild_count : int;
+}
+
+let size t = Vec.length t.registry - Hashtbl.length t.dead
+let rebuilds t = t.rebuild_count
+
+let get t handle =
+  if handle < 0 || handle >= Vec.length t.registry || Hashtbl.mem t.dead handle then
+    invalid_arg "Online.get: dead or unknown handle";
+  Vec.get t.registry handle
+
+let alive_handles t =
+  let out = ref [] in
+  for h = Vec.length t.registry - 1 downto 0 do
+    if not (Hashtbl.mem t.dead h) then out := h :: !out
+  done;
+  !out
+
+(* Run the full offline pipeline on a snapshot of alive handles. *)
+let build_generation ~rng ~space ~config ~target_accuracy registry handles =
+  if Array.length handles = 0 then invalid_arg "Online: cannot build an empty database";
+  let db = Array.map (Vec.get registry) handles in
+  let prepared = Builder.prepare ~rng ~space ~config db in
+  let index = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy ~config () in
+  let external_of_internal = Vec.create () in
+  let internal_of_external = Hashtbl.create (Array.length handles) in
+  Array.iteri
+    (fun internal handle ->
+      ignore (Vec.push external_of_internal handle);
+      Hashtbl.replace internal_of_external handle internal)
+    handles;
+  (index, external_of_internal, internal_of_external)
+
+let rebuild t =
+  let handles = Array.of_list (alive_handles t) in
+  let index, external_of_internal, internal_of_external =
+    build_generation ~rng:t.rng ~space:t.space ~config:t.config
+      ~target_accuracy:t.target_accuracy t.registry handles
+  in
+  t.index <- index;
+  t.external_of_internal <- external_of_internal;
+  t.internal_of_external <- internal_of_external;
+  t.built_size <- Array.length handles
+
+let create ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor = 2.0)
+    ~target_accuracy db =
+  if Array.length db = 0 then invalid_arg "Online.create: empty database";
+  if rebuild_factor <= 1.0 then invalid_arg "Online.create: rebuild_factor must exceed 1";
+  let registry = Vec.of_array db in
+  let handles = Array.init (Array.length db) Fun.id in
+  let index, external_of_internal, internal_of_external =
+    build_generation ~rng ~space ~config ~target_accuracy registry handles
+  in
+  {
+    rng;
+    space;
+    config;
+    rebuild_factor;
+    target_accuracy;
+    registry;
+    dead = Hashtbl.create 16;
+    index;
+    external_of_internal;
+    internal_of_external;
+    built_size = Array.length db;
+    rebuild_count = 0;
+  }
+
+let maybe_rebuild t =
+  let alive = size t in
+  let hi = t.rebuild_factor *. float_of_int t.built_size in
+  let lo = float_of_int t.built_size /. t.rebuild_factor in
+  if float_of_int alive >= hi || float_of_int alive <= lo then begin
+    rebuild t;
+    t.rebuild_count <- t.rebuild_count + 1
+  end
+
+let insert t obj =
+  let handle = Vec.push t.registry obj in
+  let internal = Hierarchical.insert t.index obj in
+  ignore (Vec.push t.external_of_internal handle);
+  Hashtbl.replace t.internal_of_external handle internal;
+  maybe_rebuild t;
+  handle
+
+let delete t handle =
+  if handle < 0 || handle >= Vec.length t.registry then
+    invalid_arg "Online.delete: unknown handle";
+  if not (Hashtbl.mem t.dead handle) then begin
+    Hashtbl.replace t.dead handle ();
+    (match Hashtbl.find_opt t.internal_of_external handle with
+    | Some internal -> Hierarchical.delete t.index internal
+    | None -> ());
+    maybe_rebuild t
+  end
+
+let query t q =
+  let r = Hierarchical.query t.index q in
+  let nn =
+    Option.map
+      (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
+      r.Index.nn
+  in
+  { nn; stats = r.Index.stats }

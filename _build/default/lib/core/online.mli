@@ -1,0 +1,54 @@
+(** Self-maintaining DBH index for evolving databases.
+
+    The offline artifacts (hash family, statistical model, (k,l) choices)
+    are fitted to a snapshot of the database; as objects are inserted and
+    deleted they gradually go stale.  This wrapper owns a hierarchical
+    index and transparently re-runs the whole offline pipeline once the
+    database has grown or shrunk by a configurable factor since the last
+    build — the standard doubling strategy, amortizing the rebuild cost
+    over the updates that triggered it.
+
+    Object handles returned by {!insert} (and inside query results) are
+    {e stable}: they survive rebuilds. *)
+
+type 'a t
+
+type 'a result = {
+  nn : (int * float) option;
+      (** stable handle and exact distance of the best neighbor *)
+  stats : Index.stats;
+}
+
+val create :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?config:Builder.config ->
+  ?rebuild_factor:float ->
+  target_accuracy:float ->
+  'a array ->
+  'a t
+(** Build over an initial non-empty database.  [rebuild_factor] (default
+    2.0, must exceed 1.0) triggers a rebuild when the alive count leaves
+    [(built / factor, built · factor)]. *)
+
+val size : 'a t -> int
+(** Alive objects. *)
+
+val rebuilds : 'a t -> int
+(** How many times the offline pipeline has re-run (0 right after
+    {!create}). *)
+
+val get : 'a t -> int -> 'a
+(** Object behind a stable handle.  Raises [Invalid_argument] for dead or
+    unknown handles. *)
+
+val insert : 'a t -> 'a -> int
+(** Add an object, returning its stable handle.  May trigger a rebuild
+    (cost O(offline pipeline)); otherwise costs one incremental index
+    insertion. *)
+
+val delete : 'a t -> int -> unit
+(** Remove by stable handle (idempotent).  May trigger a rebuild. *)
+
+val query : 'a t -> 'a -> 'a result
+(** Approximate nearest neighbor among alive objects. *)

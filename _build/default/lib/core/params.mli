@@ -1,0 +1,49 @@
+(** Offline search for optimal (k, l) (paper Section IV-D).
+
+    For a fixed [k], accuracy grows and efficiency shrinks with [l], so
+    the smallest [l] reaching the accuracy target is found by binary
+    search; scanning [k] and keeping the cheapest [(k,l)] pair yields the
+    operating point.  All evaluation goes through the {!Analysis} model —
+    no online cost is incurred. *)
+
+type choice = {
+  k : int;
+  l : int;
+  predicted_accuracy : float;
+  predicted_lookup : float;
+  predicted_hash : float;
+  predicted_cost : float;  (** lookup + hash (Eq. 13/14) *)
+}
+
+val pp_choice : Format.formatter -> choice -> unit
+
+val min_l_for_accuracy :
+  Analysis.t -> k:int -> target:float -> l_max:int -> int option
+(** Smallest [l <= l_max] whose predicted accuracy reaches [target]
+    (binary search over the monotone accuracy-in-[l] curve), or [None]. *)
+
+val optimize :
+  Analysis.t ->
+  target_accuracy:float ->
+  ?k_min:int ->
+  ?k_max:int ->
+  ?l_max:int ->
+  unit ->
+  choice option
+(** Best [(k,l)] under the model: for each [k] in [\[k_min, k_max\]]
+    (defaults 1–30) find the minimal feasible [l] ([l_max] default 1000)
+    and keep the choice minimizing predicted total cost.  [None] when no
+    [(k,l)] reaches the target.  Requires [0 <= target_accuracy < 1]
+    (an exact 1.0 target is unreachable under the model whenever any
+    query has a collision rate below 1). *)
+
+val landscape :
+  Analysis.t ->
+  target_accuracy:float ->
+  ?k_min:int ->
+  ?k_max:int ->
+  ?l_max:int ->
+  unit ->
+  choice array
+(** The per-[k] minimal-[l] choices (only feasible [k]s) — the raw data
+    behind the paper's observation that cost is U-shaped in [k]. *)

@@ -1,0 +1,23 @@
+module Vec = Dbh_util.Vec
+
+type 'a t = {
+  objects : 'a Vec.t;
+  dead : (int, unit) Hashtbl.t;
+}
+
+let create () = { objects = Vec.create (); dead = Hashtbl.create 16 }
+let of_array arr = { objects = Vec.of_array arr; dead = Hashtbl.create 16 }
+let length t = Vec.length t.objects
+let alive_count t = Vec.length t.objects - Hashtbl.length t.dead
+let get t i = Vec.get t.objects i
+let is_alive t i = i >= 0 && i < Vec.length t.objects && not (Hashtbl.mem t.dead i)
+let add t obj = Vec.push t.objects obj
+
+let delete t i =
+  if i < 0 || i >= Vec.length t.objects then invalid_arg "Store.delete: id out of range";
+  Hashtbl.replace t.dead i ()
+
+let to_alive_array t =
+  let out = ref [] in
+  Vec.iteri (fun i obj -> if not (Hashtbl.mem t.dead i) then out := (i, obj) :: !out) t.objects;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,1 @@
+lib/datasets/digit_templates.ml: Array Dbh_metrics Float Printf

@@ -1,0 +1,1 @@
+lib/datasets/digit_templates.mli: Dbh_metrics

@@ -1,0 +1,1 @@
+lib/datasets/dna.ml: Array Bytes Dbh_metrics Dbh_space Dbh_util String

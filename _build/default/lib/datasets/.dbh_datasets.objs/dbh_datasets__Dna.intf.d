@@ -1,0 +1,1 @@
+lib/datasets/dna.mli: Dbh_space Dbh_util

@@ -1,0 +1,1 @@
+lib/datasets/documents.ml: Array Dbh_metrics Dbh_space Dbh_util Hashtbl

@@ -1,0 +1,1 @@
+lib/datasets/documents.mli: Dbh_space Dbh_util

@@ -1,0 +1,1 @@
+lib/datasets/hand_shapes.mli: Dbh_metrics Dbh_space Dbh_util

@@ -1,0 +1,1 @@
+lib/datasets/image_digits.ml: Array Dbh_metrics Dbh_space Dbh_util Digit_templates List Raster

@@ -1,0 +1,1 @@
+lib/datasets/pen_digits.ml: Array Dbh_metrics Dbh_space Dbh_util Digit_templates Float Printf

@@ -1,0 +1,1 @@
+lib/datasets/pen_digits.mli: Dbh_metrics Dbh_space Dbh_util

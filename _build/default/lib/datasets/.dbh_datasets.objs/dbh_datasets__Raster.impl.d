@@ -1,0 +1,1 @@
+lib/datasets/raster.ml: Array Buffer Bytes Dbh_metrics Dbh_util Float List

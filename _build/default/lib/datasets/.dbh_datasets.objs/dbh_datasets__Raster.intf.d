@@ -1,0 +1,1 @@
+lib/datasets/raster.mli: Bytes Dbh_metrics Dbh_util

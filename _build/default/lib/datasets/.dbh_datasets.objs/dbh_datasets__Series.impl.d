@@ -1,0 +1,1 @@
+lib/datasets/series.ml: Array Dbh_util Float

@@ -1,0 +1,1 @@
+lib/datasets/series.mli: Dbh_util

@@ -1,0 +1,1 @@
+lib/datasets/strings.ml: Array Dbh_util String

@@ -1,0 +1,1 @@
+lib/datasets/strings.mli: Dbh_util

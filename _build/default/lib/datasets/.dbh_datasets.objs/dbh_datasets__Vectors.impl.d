@@ -1,0 +1,1 @@
+lib/datasets/vectors.ml: Array Dbh_util

@@ -1,0 +1,1 @@
+lib/datasets/vectors.mli: Dbh_util

@@ -1,0 +1,74 @@
+module Geom = Dbh_metrics.Geom
+
+type stroke = Geom.point array
+
+let p = Geom.point
+
+(* Arc of an ellipse centred at (cx,cy), radii (rx,ry), from angle a0 to a1
+   (radians, counterclockwise when a1 > a0), sampled at [n] points. *)
+let arc ?(n = 12) cx cy rx ry a0 a1 =
+  Array.init n (fun i ->
+      let t = a0 +. ((a1 -. a0) *. float_of_int i /. float_of_int (n - 1)) in
+      p (cx +. (rx *. cos t)) (cy +. (ry *. sin t)))
+
+let num_classes = 10
+
+(* Control polylines, unit box, y up.  Written to be class-separable and
+   roughly evocative of each glyph; realism beyond that is irrelevant to
+   the indexing experiments. *)
+let strokes = function
+  | 0 -> [ arc ~n:16 0.5 0.5 0.28 0.42 (Float.pi /. 2.) (Float.pi /. 2. +. (2. *. Float.pi)) ]
+  | 1 -> [ [| p 0.35 0.78; p 0.52 0.95; p 0.52 0.05 |] ]
+  | 2 ->
+      [
+        Array.concat
+          [
+            arc ~n:8 0.5 0.75 0.28 0.2 Float.pi 0.;
+            [| p 0.78 0.6; p 0.3 0.25; p 0.2 0.05; p 0.8 0.05 |];
+          ];
+      ]
+  | 3 ->
+      [
+        Array.concat
+          [
+            arc ~n:8 0.45 0.72 0.3 0.22 (0.8 *. Float.pi) (-0.4 *. Float.pi);
+            arc ~n:8 0.45 0.28 0.32 0.24 (0.45 *. Float.pi) (-0.85 *. Float.pi);
+          ];
+      ]
+  | 4 -> [ [| p 0.62 0.95; p 0.2 0.42; p 0.82 0.42 |]; [| p 0.66 0.7; p 0.66 0.05 |] ]
+  | 5 ->
+      [
+        Array.concat
+          [
+            [| p 0.75 0.95; p 0.3 0.95; p 0.27 0.55 |];
+            arc ~n:10 0.48 0.32 0.28 0.28 (0.6 *. Float.pi) (-0.9 *. Float.pi);
+          ];
+      ]
+  | 6 ->
+      [
+        Array.concat
+          [
+            [| p 0.68 0.95; p 0.4 0.6 |];
+            arc ~n:12 0.5 0.3 0.24 0.26 (0.75 *. Float.pi) (0.75 *. Float.pi -. (2. *. Float.pi));
+          ];
+      ]
+  | 7 -> [ [| p 0.2 0.92; p 0.8 0.92; p 0.42 0.05 |] ]
+  | 8 ->
+      [
+        Array.concat
+          [
+            arc ~n:12 0.5 0.7 0.22 0.2 (Float.pi /. 2.) (Float.pi /. 2. -. (2. *. Float.pi));
+            arc ~n:12 0.5 0.27 0.26 0.23 (Float.pi /. 2.) (Float.pi /. 2. +. (2. *. Float.pi));
+          ];
+      ]
+  | 9 ->
+      [
+        Array.concat
+          [
+            arc ~n:10 0.52 0.7 0.22 0.2 0. (2. *. Float.pi);
+            [| p 0.74 0.7; p 0.68 0.3; p 0.58 0.05 |];
+          ];
+      ]
+  | d -> invalid_arg (Printf.sprintf "Digit_templates.strokes: %d is not a digit" d)
+
+let flattened d = Array.concat (strokes d)

@@ -1,0 +1,22 @@
+(** Stroke templates for the digits 0–9.
+
+    Each digit is a list of strokes; each stroke a polyline of control
+    points in the unit box ([0..1]², y pointing up), ordered in natural
+    writing direction.  These templates seed both synthetic workloads
+    that stand in for the paper's digit datasets: the pen-trajectory
+    generator (UNIPEN analogue, where stroke order and pen speed matter
+    to DTW) and the rasterized-image generator (MNIST analogue, where
+    only the ink pattern matters to shape context). *)
+
+type stroke = Dbh_metrics.Geom.point array
+
+val strokes : int -> stroke list
+(** [strokes d] for [d] in [0..9].  Raises [Invalid_argument] otherwise. *)
+
+val num_classes : int
+(** 10. *)
+
+val flattened : int -> Dbh_metrics.Geom.point array
+(** All strokes of a digit concatenated in writing order — the pen
+    trajectory (pen-up jumps become fast transitions, as in preprocessed
+    online handwriting data). *)

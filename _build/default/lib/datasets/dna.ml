@@ -1,0 +1,58 @@
+module Rng = Dbh_util.Rng
+
+type instance = {
+  label : int;
+  sequence : string;
+}
+
+type params = {
+  length : int;
+  point_mutations : int;
+  indels : int;
+}
+
+let default_params = { length = 80; point_mutations = 6; indels = 2 }
+
+let alphabet = "ACGT"
+
+let random_base rng = alphabet.[Rng.int rng 4]
+
+let random_sequence rng len = String.init len (fun _ -> random_base rng)
+
+let mutate ~rng ?(params = default_params) seq =
+  let buf = Bytes.of_string seq in
+  for _ = 1 to params.point_mutations do
+    if Bytes.length buf > 0 then
+      Bytes.set buf (Rng.int rng (Bytes.length buf)) (random_base rng)
+  done;
+  let s = ref (Bytes.to_string buf) in
+  for _ = 1 to params.indels do
+    let n = String.length !s in
+    if Rng.bool rng || n = 0 then begin
+      (* insertion *)
+      let pos = Rng.int rng (n + 1) in
+      s := String.sub !s 0 pos ^ String.make 1 (random_base rng) ^ String.sub !s pos (n - pos)
+    end
+    else begin
+      (* deletion *)
+      let pos = Rng.int rng n in
+      s := String.sub !s 0 pos ^ String.sub !s (pos + 1) (n - pos - 1)
+    end
+  done;
+  !s
+
+let generate_set ~rng ?(params = default_params) ~num_families count =
+  if num_families < 1 || count < 1 then invalid_arg "Dna.generate_set";
+  if params.length < 4 then invalid_arg "Dna.generate_set: ancestor too short";
+  let ancestors = Array.init num_families (fun _ -> random_sequence rng params.length) in
+  Array.init count (fun i ->
+      let label = i mod num_families in
+      { label; sequence = mutate ~rng ~params ancestors.(label) })
+
+let global_space =
+  Dbh_space.Space.make ~name:"dna/nw-global" (fun a b ->
+      Dbh_metrics.Alignment.global_distance a.sequence b.sequence)
+
+let local_space =
+  Dbh_space.Space.make ~name:"dna/sw-local" (fun a b ->
+      Dbh_metrics.Alignment.local_distance a.sequence b.sequence)

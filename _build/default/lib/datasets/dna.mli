@@ -1,0 +1,32 @@
+(** Synthetic DNA-like sequences — the biological-sequence workload the
+    paper's introduction motivates (BLAST-style retrieval).
+
+    Families of sequences descend from random ancestors through point
+    mutations and indels, so within-family alignment distances are small
+    and nearest-neighbor retrieval recovers family membership. *)
+
+type instance = {
+  label : int;  (** family *)
+  sequence : string;  (** over the alphabet ACGT *)
+}
+
+type params = {
+  length : int;  (** ancestor length (default 80) *)
+  point_mutations : int;  (** substitutions per descendant (default 6) *)
+  indels : int;  (** insertions/deletions per descendant (default 2) *)
+}
+
+val default_params : params
+
+val generate_set :
+  rng:Dbh_util.Rng.t -> ?params:params -> num_families:int -> int -> instance array
+(** A family-balanced set: random ancestors, mutated descendants. *)
+
+val mutate : rng:Dbh_util.Rng.t -> ?params:params -> string -> string
+(** One descendant of the given sequence. *)
+
+val global_space : instance Dbh_space.Space.t
+(** Needleman–Wunsch global-alignment distance. *)
+
+val local_space : instance Dbh_space.Space.t
+(** Normalized Smith–Waterman local dissimilarity. *)

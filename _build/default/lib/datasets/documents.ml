@@ -1,0 +1,49 @@
+module Rng = Dbh_util.Rng
+
+type instance = {
+  label : int;
+  terms : int array;
+}
+
+type params = {
+  vocabulary : int;
+  topic_share : int;
+  doc_terms : int;
+  noise : float;
+}
+
+let default_params = { vocabulary = 2000; topic_share = 120; doc_terms = 40; noise = 0.2 }
+
+let generate ~rng ?(params = default_params) ~num_topics label =
+  if num_topics < 1 then invalid_arg "Documents.generate: need at least one topic";
+  if label < 0 || label >= num_topics then invalid_arg "Documents.generate: topic out of range";
+  if params.doc_terms < 1 || params.vocabulary < params.doc_terms then
+    invalid_arg "Documents.generate: vocabulary too small";
+  if params.noise < 0. || params.noise > 1. then
+    invalid_arg "Documents.generate: noise in [0,1]";
+  (* Topic slices tile the vocabulary cyclically. *)
+  let slice_start = label * params.topic_share mod params.vocabulary in
+  let seen = Hashtbl.create params.doc_terms in
+  let out = ref [] in
+  let add term =
+    if not (Hashtbl.mem seen term) then begin
+      Hashtbl.add seen term ();
+      out := term :: !out
+    end
+  in
+  while Hashtbl.length seen < params.doc_terms do
+    let term =
+      if Rng.float rng 1. < params.noise then Rng.int rng params.vocabulary
+      else (slice_start + Rng.int rng params.topic_share) mod params.vocabulary
+    in
+    add term
+  done;
+  { label; terms = Array.of_list !out }
+
+let generate_set ~rng ?(params = default_params) ~num_topics count =
+  if count < 1 then invalid_arg "Documents.generate_set: count must be positive";
+  Array.init count (fun i -> generate ~rng ~params ~num_topics (i mod num_topics))
+
+let space =
+  Dbh_space.Space.make ~name:"documents/jaccard" (fun a b ->
+      Dbh_metrics.Set_distance.jaccard a.terms b.terms)

@@ -1,0 +1,32 @@
+(** Synthetic documents as term-id sets — the workload for the Jaccard
+    space (and the MinHash LSH comparison).
+
+    A simple topic model: each topic owns a preferred slice of the
+    vocabulary; a document samples most of its terms from its topic's
+    slice and the rest uniformly (noise).  Same-topic documents share
+    vocabulary, giving Jaccard-nearest neighbors class structure. *)
+
+type instance = {
+  label : int;  (** topic *)
+  terms : int array;  (** distinct term ids, unsorted *)
+}
+
+type params = {
+  vocabulary : int;  (** total vocabulary size (default 2000) *)
+  topic_share : int;  (** vocabulary slice per topic (default 120) *)
+  doc_terms : int;  (** distinct terms per document (default 40) *)
+  noise : float;  (** fraction of terms drawn outside the topic slice (default 0.2) *)
+}
+
+val default_params : params
+
+val generate : rng:Dbh_util.Rng.t -> ?params:params -> num_topics:int -> int -> instance
+(** One document of the given topic ([int] argument, in
+    [\[0, num_topics)]). *)
+
+val generate_set :
+  rng:Dbh_util.Rng.t -> ?params:params -> num_topics:int -> int -> instance array
+(** A topic-balanced set of the given size. *)
+
+val space : instance Dbh_space.Space.t
+(** Jaccard distance over the term sets. *)

@@ -1,0 +1,140 @@
+module Rng = Dbh_util.Rng
+module Geom = Dbh_metrics.Geom
+module Space = Dbh_space.Space
+
+type instance = {
+  label : int;
+  orientation : float;
+  points : Geom.point array;
+}
+
+let num_classes = 20
+
+type finger_state = Extended | Half | Folded
+
+(* 20 hand-shape classes: thumb state plus four finger states, chosen for
+   variety (counting poses, fist, open hand, pointing...). *)
+let configurations =
+  [|
+    (Extended, [| Extended; Extended; Extended; Extended |]);
+    (Folded, [| Folded; Folded; Folded; Folded |]);
+    (Folded, [| Extended; Folded; Folded; Folded |]);
+    (Folded, [| Extended; Extended; Folded; Folded |]);
+    (Folded, [| Extended; Extended; Extended; Folded |]);
+    (Folded, [| Extended; Extended; Extended; Extended |]);
+    (Extended, [| Folded; Folded; Folded; Folded |]);
+    (Extended, [| Extended; Folded; Folded; Folded |]);
+    (Extended, [| Folded; Folded; Folded; Extended |]);
+    (Half, [| Half; Half; Half; Half |]);
+    (Extended, [| Half; Half; Half; Half |]);
+    (Folded, [| Half; Extended; Extended; Half |]);
+    (Extended, [| Extended; Half; Half; Extended |]);
+    (Folded, [| Folded; Extended; Extended; Folded |]);
+    (Half, [| Extended; Extended; Extended; Extended |]);
+    (Half, [| Extended; Folded; Extended; Folded |]);
+    (Folded, [| Half; Half; Folded; Folded |]);
+    (Extended, [| Extended; Extended; Folded; Extended |]);
+    (Half, [| Folded; Half; Half; Folded |]);
+    (Extended, [| Half; Extended; Half; Folded |]);
+  |]
+
+let finger_length = function Extended -> 0.5 | Half -> 0.28 | Folded -> 0.1
+
+let palm_rx = 0.32
+let palm_ry = 0.4
+
+(* Contour points of one hand at the canonical orientation, in drawing
+   order (palm boundary counterclockwise, then fingers base-to-tip). *)
+let canonical_points label =
+  if label < 0 || label >= num_classes then invalid_arg "Hand_shapes: label out of range";
+  let thumb, fingers = configurations.(label) in
+  let palm =
+    Array.init 26 (fun i ->
+        let t = 2. *. Float.pi *. float_of_int i /. 26. in
+        Geom.point (palm_rx *. cos t) (palm_ry *. sin t))
+  in
+  (* Finger base angles measured from +x axis: four fingers fan over the
+     top of the palm, thumb off the side. *)
+  let finger_angles = [| 0.30 *. Float.pi; 0.42 *. Float.pi; 0.55 *. Float.pi; 0.68 *. Float.pi |] in
+  let thumb_angle = -0.05 *. Float.pi in
+  let finger_pts angle state extra_bend =
+    let len = finger_length state in
+    let base = Geom.point (palm_rx *. cos angle) (palm_ry *. sin angle) in
+    let dir = Geom.point (cos angle) (sin angle) in
+    let n = match state with Extended -> 8 | Half -> 5 | Folded -> 2 in
+    Array.init n (fun i ->
+        let t = float_of_int (i + 1) /. float_of_int n in
+        let along = Geom.add base (Geom.scale (t *. len) dir) in
+        (* Slight sideways bend grows towards the tip. *)
+        let side = Geom.point (-.sin angle) (cos angle) in
+        Geom.add along (Geom.scale (extra_bend *. t *. t) side))
+  in
+  let finger_arrays =
+    Array.to_list
+      (Array.mapi
+         (fun i state -> finger_pts finger_angles.(i) state (0.03 *. float_of_int (i - 1)))
+         fingers)
+  in
+  let thumb_pts = finger_pts thumb_angle thumb (-0.08) in
+  Array.concat (palm :: thumb_pts :: finger_arrays)
+
+let clean ~rng ~label ~orientation =
+  ignore rng;
+  { label; orientation; points = Geom.rotate_all orientation (canonical_points label) }
+
+let database ~rng ~rotations_per_class =
+  if rotations_per_class < 1 then invalid_arg "Hand_shapes.database: need >= 1 rotation";
+  let out =
+    Array.init (num_classes * rotations_per_class) (fun idx ->
+        let label = idx / rotations_per_class in
+        let r = idx mod rotations_per_class in
+        let orientation = 2. *. Float.pi *. float_of_int r /. float_of_int rotations_per_class in
+        clean ~rng ~label ~orientation)
+  in
+  out
+
+type noise = {
+  jitter_sigma : float;
+  occlusion : float;
+  clutter : float;
+}
+
+let default_noise = { jitter_sigma = 0.02; occlusion = 0.15; clutter = 0.15 }
+
+let query ~rng ?(noise = default_noise) () =
+  let label = Rng.int rng num_classes in
+  let orientation = Rng.float rng (2. *. Float.pi) in
+  let base = Geom.rotate_all orientation (canonical_points label) in
+  let n = Array.length base in
+  (* Occlusion: drop a contiguous run of contour points. *)
+  let dropped = int_of_float (noise.occlusion *. float_of_int n) in
+  let start = Rng.int rng n in
+  let keep =
+    Array.of_list
+      (List.filteri
+         (fun i _ ->
+           let offset = (i - start + n) mod n in
+           offset >= dropped)
+         (Array.to_list base))
+  in
+  let jittered =
+    Array.map
+      (fun (p : Geom.point) ->
+        Geom.point
+          (p.Geom.x +. Rng.gaussian ~sigma:noise.jitter_sigma rng)
+          (p.Geom.y +. Rng.gaussian ~sigma:noise.jitter_sigma rng))
+      keep
+  in
+  let clutter_n = int_of_float (noise.clutter *. float_of_int n) in
+  let clutter =
+    Array.init clutter_n (fun _ ->
+        Geom.point (Rng.float_in rng (-1.1) 1.1) (Rng.float_in rng (-1.1) 1.1))
+  in
+  { label; orientation; points = Array.append jittered clutter }
+
+let queries ~rng ?(noise = default_noise) count =
+  if count < 1 then invalid_arg "Hand_shapes.queries: count must be positive";
+  Array.init count (fun _ -> query ~rng ~noise ())
+
+let space =
+  Space.make ~name:"hands/chamfer" (fun a b -> Dbh_metrics.Chamfer.symmetric a.points b.points)

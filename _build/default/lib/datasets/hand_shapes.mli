@@ -1,0 +1,49 @@
+(** Synthetic articulated hand shapes — the hands-dataset analogue.
+
+    The paper's hands database holds 80,640 clean Poser renders: 20 hand
+    shape classes × a grid of 3-D orientations, while its queries are
+    {e real, noisy} images — the one dataset where the sample queries
+    used for tuning are not representative of the test queries, which the
+    paper calls out as the stress case for DBH's assumption.
+
+    We mirror that structure in 2-D: a hand is a palm ellipse plus five
+    finger polylines whose per-class joint configuration (extended /
+    half-bent / folded, plus spread) defines 20 classes; the database
+    enumerates clean instances on a grid of in-plane rotations; queries
+    add jitter, occlusion (a dropped contiguous run of contour points)
+    and background clutter.  Distance is the symmetric chamfer distance
+    on the contour point clouds, as in the paper. *)
+
+type instance = {
+  label : int;  (** hand-shape class, 0–19 *)
+  orientation : float;  (** in-plane rotation, radians *)
+  points : Dbh_metrics.Geom.point array;  (** contour point cloud *)
+}
+
+val num_classes : int
+(** 20. *)
+
+type noise = {
+  jitter_sigma : float;  (** per-point Gaussian noise (default 0.02) *)
+  occlusion : float;  (** fraction of contiguous contour dropped (default 0.15) *)
+  clutter : float;  (** clutter points as a fraction of contour size (default 0.15) *)
+}
+
+val default_noise : noise
+
+val clean : rng:Dbh_util.Rng.t -> label:int -> orientation:float -> instance
+(** One noise-free instance (the imaging model behind database entries). *)
+
+val database : rng:Dbh_util.Rng.t -> rotations_per_class:int -> instance array
+(** Clean instances on a uniform orientation grid for every class —
+    [20 · rotations_per_class] objects, mirroring the paper's database
+    construction. *)
+
+val query : rng:Dbh_util.Rng.t -> ?noise:noise -> unit -> instance
+(** A noisy instance of a random class at a random orientation —
+    mirroring the paper's real-image queries. *)
+
+val queries : rng:Dbh_util.Rng.t -> ?noise:noise -> int -> instance array
+
+val space : instance Dbh_space.Space.t
+(** Symmetric chamfer distance over the point clouds. *)

@@ -1,0 +1,77 @@
+module Rng = Dbh_util.Rng
+module Geom = Dbh_metrics.Geom
+module Space = Dbh_space.Space
+module Shape_context = Dbh_metrics.Shape_context
+
+type instance = {
+  label : int;
+  edge_points : Geom.point array;
+  descriptor : Shape_context.descriptor;
+}
+
+type params = {
+  image_size : int;
+  thickness : int;
+  sample_points : int;
+  control_jitter : float;
+  rotation_sigma : float;
+  log_scale_sigma : float;
+  sc_params : Shape_context.params;
+}
+
+let default_params =
+  {
+    image_size = 28;
+    thickness = 2;
+    sample_points = 24;
+    control_jitter = 0.03;
+    rotation_sigma = 0.10;
+    log_scale_sigma = 0.10;
+    sc_params = Shape_context.default_params;
+  }
+
+let jittered_strokes ~rng ~params label =
+  let theta = Rng.gaussian ~sigma:params.rotation_sigma rng in
+  let scale = exp (Rng.gaussian ~sigma:params.log_scale_sigma rng) in
+  let center = Geom.point 0.5 0.5 in
+  List.map
+    (fun stroke ->
+      Array.map
+        (fun (pt : Geom.point) ->
+          let jittered =
+            Geom.point
+              (pt.Geom.x +. Rng.gaussian ~sigma:params.control_jitter rng)
+              (pt.Geom.y +. Rng.gaussian ~sigma:params.control_jitter rng)
+          in
+          let rel = Geom.sub jittered center in
+          (* Shrink into the frame a little so thick strokes don't clip. *)
+          Geom.add center (Geom.scale (0.85 *. scale) (Geom.rotate theta rel)))
+        stroke)
+    (Digit_templates.strokes label)
+
+let render ~rng ?(params = default_params) label =
+  let strokes = jittered_strokes ~rng ~params label in
+  Raster.render_strokes ~width:params.image_size ~height:params.image_size
+    ~thickness:params.thickness strokes
+
+let generate ~rng ?(params = default_params) label =
+  if params.sample_points < 3 then invalid_arg "Image_digits.generate: too few sample points";
+  let rec attempt tries =
+    let img = render ~rng ~params label in
+    let boundary = Raster.boundary_points img in
+    if Array.length boundary >= 3 then
+      let edge_points = Raster.sample_points ~rng params.sample_points boundary in
+      let descriptor = Shape_context.compute ~params:params.sc_params edge_points in
+      { label; edge_points; descriptor }
+    else if tries > 0 then attempt (tries - 1)
+    else invalid_arg "Image_digits.generate: rendering produced no boundary"
+  in
+  attempt 5
+
+let generate_set ~rng ?(params = default_params) count =
+  if count < 1 then invalid_arg "Image_digits.generate_set: count must be positive";
+  Array.init count (fun i -> generate ~rng ~params (i mod Digit_templates.num_classes))
+
+let space =
+  Space.make ~name:"image-digits/shape-context" (fun a b ->
+      Shape_context.matching_cost a.descriptor b.descriptor)

@@ -1,0 +1,38 @@
+(** Synthetic handwritten-digit images — the MNIST analogue.
+
+    Each instance renders a jittered digit template to a 28×28 binary
+    bitmap, extracts its boundary pixels and subsamples a fixed number of
+    edge points, from which a shape-context descriptor is computed once
+    (descriptors are reused across the many distance evaluations an
+    experiment performs — the paper's pipeline).  The distance is
+    shape-context matching: χ² costs + Hungarian assignment, cubic in the
+    number of sample points, which reproduces the paper's regime where a
+    single distance evaluation is very expensive. *)
+
+type instance = {
+  label : int;
+  edge_points : Dbh_metrics.Geom.point array;
+  descriptor : Dbh_metrics.Shape_context.descriptor;
+}
+
+type params = {
+  image_size : int;  (** pixels per side (default 28) *)
+  thickness : int;  (** stroke thickness in pixels (default 2) *)
+  sample_points : int;  (** edge points kept for shape context (default 24) *)
+  control_jitter : float;  (** σ of control-point perturbation (default 0.03) *)
+  rotation_sigma : float;  (** σ of global rotation (default 0.10) *)
+  log_scale_sigma : float;  (** σ of log scale (default 0.10) *)
+  sc_params : Dbh_metrics.Shape_context.params;
+}
+
+val default_params : params
+
+val generate : rng:Dbh_util.Rng.t -> ?params:params -> int -> instance
+val generate_set : rng:Dbh_util.Rng.t -> ?params:params -> int -> instance array
+(** Label-balanced set (labels cycle through 0–9). *)
+
+val render : rng:Dbh_util.Rng.t -> ?params:params -> int -> Raster.image
+(** Just the bitmap of a random instance of the digit (for demos). *)
+
+val space : instance Dbh_space.Space.t
+(** Shape-context matching cost over precomputed descriptors. *)

@@ -1,0 +1,95 @@
+module Geom = Dbh_metrics.Geom
+module Rng = Dbh_util.Rng
+
+type image = {
+  width : int;
+  height : int;
+  pixels : Bytes.t;
+}
+
+let create ~width ~height =
+  if width < 1 || height < 1 then invalid_arg "Raster.create: empty image";
+  { width; height; pixels = Bytes.make (width * height) '\000' }
+
+let in_bounds img x y = x >= 0 && x < img.width && y >= 0 && y < img.height
+
+let get img x y = in_bounds img x y && Bytes.get img.pixels ((y * img.width) + x) = '\001'
+
+let set img x y = if in_bounds img x y then Bytes.set img.pixels ((y * img.width) + x) '\001'
+
+let ink_count img =
+  let acc = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr acc) img.pixels;
+  !acc
+
+(* Unit box (y up) to pixel coordinates (y down). *)
+let to_pixel img (p : Geom.point) =
+  let px = p.Geom.x *. float_of_int (img.width - 1) in
+  let py = (1. -. p.Geom.y) *. float_of_int (img.height - 1) in
+  (px, py)
+
+let stamp img thickness cx cy =
+  let r = float_of_int thickness /. 2. in
+  let lo = -(thickness / 2) - 1 and hi = (thickness / 2) + 1 in
+  for dy = lo to hi do
+    for dx = lo to hi do
+      let x = int_of_float (Float.round cx) + dx in
+      let y = int_of_float (Float.round cy) + dy in
+      let ddx = float_of_int x -. cx and ddy = float_of_int y -. cy in
+      if (ddx *. ddx) +. (ddy *. ddy) <= r *. r +. 0.25 then set img x y
+    done
+  done
+
+let draw_polyline img ~thickness poly =
+  if thickness < 1 then invalid_arg "Raster.draw_polyline: thickness must be >= 1";
+  let n = Array.length poly in
+  if n = 1 then begin
+    let x, y = to_pixel img poly.(0) in
+    stamp img thickness x y
+  end
+  else
+    for i = 0 to n - 2 do
+      let x0, y0 = to_pixel img poly.(i) in
+      let x1, y1 = to_pixel img poly.(i + 1) in
+      let steps =
+        1 + int_of_float (Float.ceil (Float.max (Float.abs (x1 -. x0)) (Float.abs (y1 -. y0))))
+      in
+      for s = 0 to steps do
+        let t = float_of_int s /. float_of_int steps in
+        stamp img thickness (x0 +. (t *. (x1 -. x0))) (y0 +. (t *. (y1 -. y0)))
+      done
+    done
+
+let render_strokes ~width ~height ~thickness strokes =
+  let img = create ~width ~height in
+  List.iter (fun s -> draw_polyline img ~thickness s) strokes;
+  img
+
+let boundary_points img =
+  let out = ref [] in
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      if
+        get img x y
+        && not (get img (x - 1) y && get img (x + 1) y && get img x (y - 1) && get img x (y + 1))
+      then begin
+        let ux = float_of_int x /. float_of_int (img.width - 1) in
+        let uy = 1. -. (float_of_int y /. float_of_int (img.height - 1)) in
+        out := Geom.point ux uy :: !out
+      end
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let sample_points ~rng n pts =
+  if n >= Array.length pts then Array.copy pts else Rng.sample_without_replacement rng n pts
+
+let to_ascii img =
+  let buf = Buffer.create ((img.width + 1) * img.height) in
+  for y = 0 to img.height - 1 do
+    for x = 0 to img.width - 1 do
+      Buffer.add_char buf (if get img x y then '#' else '.')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Binary rasterization of stroke drawings — the imaging model behind the
+    MNIST-analogue dataset. *)
+
+type image = {
+  width : int;
+  height : int;
+  pixels : Bytes.t;  (** row-major; ['\001'] = ink *)
+}
+
+val create : width:int -> height:int -> image
+val get : image -> int -> int -> bool
+(** [get img x y]; out-of-bounds reads are [false]. *)
+
+val set : image -> int -> int -> unit
+(** Ignore out-of-bounds writes (strokes may clip at the border). *)
+
+val ink_count : image -> int
+
+val draw_polyline :
+  image -> thickness:int -> Dbh_metrics.Geom.point array -> unit
+(** Draw a polyline given in unit-box coordinates ([0..1]², y up) onto
+    the image with the given stroke thickness (in pixels, >= 1). *)
+
+val render_strokes :
+  width:int -> height:int -> thickness:int -> Dbh_metrics.Geom.point array list -> image
+(** Blank image + {!draw_polyline} per stroke. *)
+
+val boundary_points : image -> Dbh_metrics.Geom.point array
+(** Ink pixels with at least one non-ink 4-neighbour — the edge pixels
+    shape context consumes — as unit-box coordinates (pixel centres,
+    y up). *)
+
+val sample_points :
+  rng:Dbh_util.Rng.t -> int -> Dbh_metrics.Geom.point array -> Dbh_metrics.Geom.point array
+(** Uniform subsample without replacement to at most the requested count
+    (the standard shape-context preprocessing step). *)
+
+val to_ascii : image -> string
+(** Multi-line ASCII art of the bitmap, for demos and debugging. *)

@@ -1,0 +1,46 @@
+module Rng = Dbh_util.Rng
+
+let sine ~rng ~length ?(freq = 1.) ?(amp = 1.) ?(phase = 0.) ?(noise = 0.05) () =
+  if length < 2 then invalid_arg "Series.sine: length too small";
+  Array.init length (fun i ->
+      let t = 2. *. Float.pi *. float_of_int i /. float_of_int (length - 1) in
+      (amp *. sin ((freq *. t) +. phase)) +. Rng.gaussian ~sigma:noise rng)
+
+let sine_family ~rng ~length ~num_classes count =
+  if num_classes < 1 || count < 1 then invalid_arg "Series.sine_family";
+  let labels = Array.init count (fun i -> i mod num_classes) in
+  let members =
+    Array.map
+      (fun label ->
+        let freq = 1. +. (0.75 *. float_of_int label) in
+        sine ~rng ~length ~freq
+          ~amp:(exp (Rng.gaussian ~sigma:0.15 rng))
+          ~phase:(Rng.float rng (Float.pi /. 2.))
+          ~noise:0.05 ())
+      labels
+  in
+  (members, labels)
+
+let random_walk ~rng ~length ?(step = 1.) () =
+  if length < 1 then invalid_arg "Series.random_walk: empty";
+  let out = Array.make length 0. in
+  for i = 1 to length - 1 do
+    out.(i) <- out.(i - 1) +. Rng.gaussian ~sigma:step rng
+  done;
+  out
+
+let warp ~rng ~strength series =
+  let n = Array.length series in
+  if n < 2 then invalid_arg "Series.warp: too short";
+  if strength < 0. || strength >= 1. then invalid_arg "Series.warp: strength in [0,1)";
+  let a = Rng.float_in rng (-.strength) strength in
+  let f = float_of_int (Rng.int_in rng 1 3) in
+  Array.init n (fun i ->
+      let u = float_of_int i /. float_of_int (n - 1) in
+      let w = u +. (a /. (Float.pi *. f) *. sin (Float.pi *. f *. u)) in
+      let w = Float.max 0. (Float.min 1. w) in
+      let pos = w *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = pos -. float_of_int lo in
+      series.(lo) +. (frac *. (series.(hi) -. series.(lo))))

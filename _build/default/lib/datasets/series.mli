@@ -1,0 +1,24 @@
+(** Synthetic scalar time series for the 1-D DTW space. *)
+
+val sine :
+  rng:Dbh_util.Rng.t ->
+  length:int ->
+  ?freq:float ->
+  ?amp:float ->
+  ?phase:float ->
+  ?noise:float ->
+  unit ->
+  float array
+(** Noisy sinusoid sampled on [\[0, 2π\]]. *)
+
+val sine_family :
+  rng:Dbh_util.Rng.t -> length:int -> num_classes:int -> int -> float array array * int array
+(** Classes = distinct base frequencies; members vary in phase, amplitude
+    and noise.  Returns series and class labels. *)
+
+val random_walk : rng:Dbh_util.Rng.t -> length:int -> ?step:float -> unit -> float array
+(** Gaussian random walk started at 0. *)
+
+val warp : rng:Dbh_util.Rng.t -> strength:float -> float array -> float array
+(** Resample a series under a smooth random monotone time warp — produces
+    DTW-close but pointwise-far variants. *)

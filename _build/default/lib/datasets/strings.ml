@@ -1,0 +1,42 @@
+module Rng = Dbh_util.Rng
+
+let check_alphabet alphabet =
+  if String.length alphabet = 0 then invalid_arg "Strings: empty alphabet"
+
+let random_string ~rng ~alphabet len =
+  check_alphabet alphabet;
+  if len < 0 then invalid_arg "Strings.random_string: negative length";
+  String.init len (fun _ -> alphabet.[Rng.int rng (String.length alphabet)])
+
+let mutate ~rng ~alphabet ~edits s =
+  check_alphabet alphabet;
+  if edits < 0 then invalid_arg "Strings.mutate: negative edits";
+  let random_char () = alphabet.[Rng.int rng (String.length alphabet)] in
+  let apply s =
+    let n = String.length s in
+    match Rng.int rng 3 with
+    | 0 ->
+        (* insert *)
+        let pos = Rng.int rng (n + 1) in
+        String.sub s 0 pos ^ String.make 1 (random_char ()) ^ String.sub s pos (n - pos)
+    | 1 when n > 0 ->
+        (* delete *)
+        let pos = Rng.int rng n in
+        String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1)
+    | _ when n > 0 ->
+        (* substitute *)
+        let pos = Rng.int rng n in
+        String.sub s 0 pos ^ String.make 1 (random_char ()) ^ String.sub s (pos + 1) (n - pos - 1)
+    | _ -> s ^ String.make 1 (random_char ())
+  in
+  let rec go s i = if i = 0 then s else go (apply s) (i - 1) in
+  go s edits
+
+let clusters ~rng ~alphabet ~num_clusters ~length ~mutation_edits count =
+  if num_clusters < 1 || count < 1 then invalid_arg "Strings.clusters";
+  let centers = Array.init num_clusters (fun _ -> random_string ~rng ~alphabet length) in
+  let labels = Array.init count (fun _ -> Rng.int rng num_clusters) in
+  let members =
+    Array.map (fun label -> mutate ~rng ~alphabet ~edits:mutation_edits centers.(label)) labels
+  in
+  (members, labels)

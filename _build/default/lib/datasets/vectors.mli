@@ -1,0 +1,34 @@
+(** Synthetic vector workloads (for the LSH comparison and the metric
+    control experiments). *)
+
+val gaussian_mixture :
+  rng:Dbh_util.Rng.t ->
+  num_clusters:int ->
+  dim:int ->
+  ?cluster_sigma:float ->
+  ?center_scale:float ->
+  int ->
+  float array array * int array
+(** [gaussian_mixture ~rng ~num_clusters ~dim count] draws [count] points
+    from a mixture of spherical Gaussians with uniformly placed centres;
+    returns the points and their cluster labels.  [cluster_sigma]
+    (default 0.15) is the within-cluster spread, [center_scale]
+    (default 1.0) the size of the box holding centres. *)
+
+val uniform_cube : rng:Dbh_util.Rng.t -> dim:int -> int -> float array array
+(** Points uniform in [\[0,1\]^dim]. *)
+
+val perturb : rng:Dbh_util.Rng.t -> sigma:float -> float array -> float array
+(** Gaussian perturbation of a vector — planted near-neighbor queries. *)
+
+val binary : rng:Dbh_util.Rng.t -> dim:int -> int -> bool array array
+(** Uniform random bit vectors. *)
+
+val flip_bits : rng:Dbh_util.Rng.t -> flips:int -> bool array -> bool array
+(** Copy with [flips] distinct random positions flipped — planted Hamming
+    near neighbors. *)
+
+val histograms : rng:Dbh_util.Rng.t -> bins:int -> ?concentration:float -> int -> float array array
+(** Random discrete distributions (normalized positive vectors) for the
+    KL-divergence space; larger [concentration] (default 1.0) gives more
+    uniform histograms. *)

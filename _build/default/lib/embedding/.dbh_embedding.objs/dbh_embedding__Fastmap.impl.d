@@ -1,0 +1,1 @@
+lib/embedding/fastmap.ml: Array Dbh_metrics Dbh_space Dbh_util Float

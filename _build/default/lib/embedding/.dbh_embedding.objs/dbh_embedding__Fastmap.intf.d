@@ -1,0 +1,1 @@
+lib/embedding/fastmap.mli: Dbh_space Dbh_util

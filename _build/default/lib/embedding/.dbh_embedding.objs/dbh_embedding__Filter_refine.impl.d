@@ -1,0 +1,1 @@
+lib/embedding/filter_refine.ml: Array Dbh_metrics Dbh_space Dbh_util Fastmap List

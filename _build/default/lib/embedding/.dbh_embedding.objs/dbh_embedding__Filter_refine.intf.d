@@ -1,0 +1,1 @@
+lib/embedding/filter_refine.mli: Fastmap

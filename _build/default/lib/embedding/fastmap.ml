@@ -1,0 +1,122 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+
+type 'a t = {
+  space : 'a Space.t;
+  pivots : ('a * 'a) array;  (* one pair per dimension *)
+  pivot_coords : (float array * float array) array;
+      (* coordinates of each dimension's pivots in the preceding dimensions *)
+  coords : float array array;  (* fitted database, row per object *)
+}
+
+let dims t = Array.length t.pivots
+let space t = t.space
+let db_coordinates t = t.coords
+
+(* Residual squared distance after the first [upto] dimensions, given the
+   original distance and both objects' coordinates; clamped at zero. *)
+let residual_sq ~upto d xa xb =
+  let acc = ref (d *. d) in
+  for j = 0 to upto - 1 do
+    let diff = xa.(j) -. xb.(j) in
+    acc := !acc -. (diff *. diff)
+  done;
+  Float.max 0. !acc
+
+let coordinate ~upto ~d_qa ~d_qb ~d_ab a_coords b_coords q_coords =
+  (* Project in residual space: x = (da² + dab² − db²) / (2 dab). *)
+  let da2 = residual_sq ~upto d_qa q_coords a_coords in
+  let db2 = residual_sq ~upto d_qb q_coords b_coords in
+  let dab2 = residual_sq ~upto d_ab a_coords b_coords in
+  let dab = sqrt dab2 in
+  if dab <= 0. then 0. else (da2 +. dab2 -. db2) /. (2. *. dab)
+
+let fit ~rng ~space ~dims db =
+  if Array.length db = 0 then invalid_arg "Fastmap.fit: empty database";
+  if dims < 1 then invalid_arg "Fastmap.fit: dims must be >= 1";
+  let n = Array.length db in
+  let coords = Array.init n (fun _ -> Array.make dims 0.) in
+  let pivots = Array.make dims (db.(0), db.(0)) in
+  let pivot_coords = Array.make dims ([||], [||]) in
+  (* Original distances to the current pivots, cached per dimension. *)
+  let dist = space.Space.distance in
+  for d = 0 to dims - 1 do
+    (* Farthest-pair heuristic in residual space. *)
+    let res_dist_to p_idx i known =
+      (* residual distance between db.(p_idx) and db.(i) in first d dims *)
+      let orig = match known with Some v -> v | None -> dist db.(p_idx) db.(i) in
+      sqrt (residual_sq ~upto:d orig coords.(p_idx) coords.(i))
+    in
+    let seed = Rng.int rng n in
+    let farthest_from p =
+      let best = ref p and best_d = ref neg_infinity in
+      for i = 0 to n - 1 do
+        if i <> p then begin
+          let rd = res_dist_to p i None in
+          if rd > !best_d then begin
+            best_d := rd;
+            best := i
+          end
+        end
+      done;
+      !best
+    in
+    let a = farthest_from seed in
+    let b = farthest_from a in
+    let d_ab = dist db.(a) db.(b) in
+    pivots.(d) <- (db.(a), db.(b));
+    pivot_coords.(d) <- (Array.copy coords.(a), Array.copy coords.(b));
+    if d_ab <= 0. then
+      (* Degenerate residual space: all remaining coordinates stay 0. *)
+      ()
+    else begin
+      let a_c = coords.(a) and b_c = coords.(b) in
+      for i = 0 to n - 1 do
+        let d_ia = dist db.(i) db.(a) in
+        let d_ib = dist db.(i) db.(b) in
+        let x =
+          coordinate ~upto:d ~d_qa:d_ia ~d_qb:d_ib ~d_ab a_c b_c coords.(i)
+        in
+        coords.(i).(d) <- x
+      done
+    end
+  done;
+  { space; pivots; pivot_coords; coords }
+
+let embed t q =
+  let dims = dims t in
+  let q_coords = Array.make dims 0. in
+  let spent = ref 0 in
+  let dist a b =
+    incr spent;
+    t.space.Space.distance a b
+  in
+  for d = 0 to dims - 1 do
+    let a, b = t.pivots.(d) in
+    let a_c, b_c = t.pivot_coords.(d) in
+    let d_ab = t.space.Space.distance a b in
+    (* Pivot-pivot distances are part of the model, not query cost. *)
+    if d_ab > 0. then begin
+      let d_qa = dist q a in
+      let d_qb = dist q b in
+      q_coords.(d) <- coordinate ~upto:d ~d_qa ~d_qb ~d_ab a_c b_c q_coords
+    end
+  done;
+  (q_coords, !spent)
+
+let stress t sample ~sample_pairs ~rng =
+  let n = Array.length sample in
+  if n < 2 then invalid_arg "Fastmap.stress: need at least 2 objects";
+  if sample_pairs < 1 then invalid_arg "Fastmap.stress: need at least one pair";
+  let embedded = Array.map (fun x -> fst (embed t x)) sample in
+  let num = ref 0. and den = ref 0. in
+  for _ = 1 to sample_pairs do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    if i <> j then begin
+      let d = t.space.Space.distance sample.(i) sample.(j) in
+      let dhat = Dbh_metrics.Minkowski.l2 embedded.(i) embedded.(j) in
+      num := !num +. ((d -. dhat) *. (d -. dhat));
+      den := !den +. (d *. d)
+    end
+  done;
+  if !den <= 0. then 0. else sqrt (!num /. !den)

@@ -1,0 +1,47 @@
+(** FastMap (Faloutsos & Lin, 1995): embed an arbitrary space into R^d
+    using only black-box distances.
+
+    Each output dimension projects objects onto the "line" through a pair
+    of distant pivot objects — the same pseudo line projection DBH's hash
+    functions threshold (paper Eq. 4, citing [38]) — and recurses in the
+    residual space where the projected component has been subtracted.
+
+    The paper's related work positions embedding methods as the other
+    distance-based family: they replace the expensive distance with a
+    cheap Euclidean one but, used alone, still scan the whole database.
+    {!Filter_refine} builds that retrieval scheme on top, as a baseline
+    for the experiments. *)
+
+type 'a t
+
+val fit :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  dims:int ->
+  'a array ->
+  'a t
+(** Learn a [dims]-dimensional embedding from a non-empty database.
+    Pivot pairs are chosen per dimension with the classic farthest-pair
+    heuristic (random seed object → farthest object → its farthest
+    object) in the residual space.  Residual squared distances can go
+    negative when the space is non-Euclidean (expected for the non-metric
+    measures here); they are clamped at zero, as in the original paper.
+    O(dims · n) distance computations. *)
+
+val dims : 'a t -> int
+
+val space : 'a t -> 'a Dbh_space.Space.t
+(** The space the map was fitted on. *)
+
+val db_coordinates : 'a t -> float array array
+(** Embedded coordinates of the fitted database, row per object. *)
+
+val embed : 'a t -> 'a -> float array * int
+(** Embed an out-of-sample object; returns the coordinates and the number
+    of distance computations spent (2 per dimension, minus pivot-distance
+    cache hits when pivot objects repeat across dimensions). *)
+
+val stress : 'a t -> 'a array -> sample_pairs:int -> rng:Dbh_util.Rng.t -> float
+(** Normalized embedding stress on random object pairs:
+    [sqrt (Σ (D − D̂)² / Σ D²)] with [D̂] the embedded L2 distance —
+    a standard embedding-quality diagnostic. *)

@@ -1,0 +1,60 @@
+module Space = Dbh_space.Space
+
+type 'a t = {
+  map : 'a Fastmap.t;
+  db : 'a array;
+  embedded : float array array;
+  space : 'a Space.t;
+}
+
+let build ~map db =
+  if Array.length db = 0 then invalid_arg "Filter_refine.build: empty database";
+  let embedded = Array.map (fun x -> fst (Fastmap.embed map x)) db in
+  { map; db; embedded; space = Fastmap.space map }
+
+let of_fitted ~map db =
+  let coords = Fastmap.db_coordinates map in
+  if Array.length coords <> Array.length db then
+    invalid_arg "Filter_refine.of_fitted: db does not match the fitted array";
+  { map; db; embedded = coords; space = Fastmap.space map }
+
+(* Indices of the [refine] nearest embedded rows to [q_coords]. *)
+let filter t q_coords refine =
+  let heap = Dbh_util.Bounded_heap.create refine in
+  Array.iteri
+    (fun i row ->
+      ignore (Dbh_util.Bounded_heap.push heap (Dbh_metrics.Minkowski.l2_squared q_coords row) i))
+    t.embedded;
+  Dbh_util.Bounded_heap.to_sorted_list heap |> List.map snd
+
+let nn t ~refine q =
+  if refine < 1 then invalid_arg "Filter_refine.nn: refine must be >= 1";
+  let q_coords, embed_cost = Fastmap.embed t.map q in
+  let candidates = filter t q_coords refine in
+  let best = ref None in
+  let spent = ref embed_cost in
+  List.iter
+    (fun i ->
+      incr spent;
+      let d = t.space.Space.distance q t.db.(i) in
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (i, d))
+    candidates;
+  (!best, !spent)
+
+let knn t ~refine k q =
+  if refine < 1 then invalid_arg "Filter_refine.knn: refine must be >= 1";
+  if k < 1 then invalid_arg "Filter_refine.knn: k must be >= 1";
+  let q_coords, embed_cost = Fastmap.embed t.map q in
+  let candidates = filter t q_coords refine in
+  let heap = Dbh_util.Bounded_heap.create k in
+  let spent = ref embed_cost in
+  List.iter
+    (fun i ->
+      incr spent;
+      let d = t.space.Space.distance q t.db.(i) in
+      ignore (Dbh_util.Bounded_heap.push heap d i))
+    candidates;
+  let out = Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d)) in
+  (Array.of_list out, !spent)

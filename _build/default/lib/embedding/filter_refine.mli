@@ -1,0 +1,28 @@
+(** Filter-and-refine retrieval over a FastMap embedding.
+
+    The standard way to use an embedding for search (paper Sec. II): rank
+    the whole database by the cheap embedded L2 distance (the {e filter}
+    step, costing no black-box distance computations), then re-rank the
+    top candidates with the true distance (the {e refine} step).
+    Sweeping the refine depth traces an accuracy/cost curve comparable to
+    DBH's — the cost per query is the query-embedding cost (2·dims) plus
+    the refine depth. *)
+
+type 'a t
+
+val build : map:'a Fastmap.t -> 'a array -> 'a t
+(** Precompute the embedded database.  [db] must be the array the map was
+    fitted on (or any array of objects to serve as the database —
+    embedding them costs 2·dims distances each). *)
+
+val of_fitted : map:'a Fastmap.t -> 'a array -> 'a t
+(** Zero-cost variant reusing the coordinates computed by
+    {!Fastmap.fit}; [db] must be exactly the fitted array. *)
+
+val nn : 'a t -> refine:int -> 'a -> (int * float) option * int
+(** Approximate nearest neighbor: embed the query, take the [refine]
+    nearest database objects in embedded L2, return the true-distance
+    best among them.  Cost = embedding distances + [refine]. *)
+
+val knn : 'a t -> refine:int -> int -> 'a -> (int * float) array * int
+(** Top-k by true distance among the [refine] embedded-space candidates. *)

@@ -1,0 +1,1 @@
+lib/eval/calibration.ml: Array Dbh Dbh_util Float Format Ground_truth List

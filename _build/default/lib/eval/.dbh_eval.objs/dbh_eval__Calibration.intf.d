@@ -1,0 +1,1 @@
+lib/eval/calibration.mli: Dbh Dbh_util Format Ground_truth

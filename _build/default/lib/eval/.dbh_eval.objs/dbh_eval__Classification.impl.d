@@ -1,0 +1,1 @@
+lib/eval/classification.ml: Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/eval/figure5.ml: Array Dbh Dbh_util Dbh_vptree Ground_truth List Printf Tradeoff

@@ -1,0 +1,1 @@
+lib/eval/figure5.mli: Dbh Dbh_space Dbh_util Tradeoff

@@ -1,0 +1,1 @@
+lib/eval/ground_truth.ml: Array Dbh_space Dbh_util Float List

@@ -1,0 +1,1 @@
+lib/eval/ground_truth.mli: Dbh_space

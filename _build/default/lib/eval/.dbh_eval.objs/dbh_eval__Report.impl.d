@@ -1,0 +1,1 @@
+lib/eval/report.ml: Array Buffer Char Dbh_util Figure5 List Printf String Tradeoff

@@ -1,0 +1,1 @@
+lib/eval/tradeoff.ml: Array Dbh_util Ground_truth List

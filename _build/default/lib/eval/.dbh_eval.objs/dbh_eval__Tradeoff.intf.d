@@ -1,0 +1,1 @@
+lib/eval/tradeoff.mli: Ground_truth

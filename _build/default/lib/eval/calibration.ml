@@ -1,0 +1,64 @@
+type point = {
+  target : float;
+  predicted_accuracy : float;
+  measured_accuracy : float;
+  predicted_cost : float;
+  measured_cost : float;
+  k : int;
+  l : int;
+}
+
+let single_level ~rng ~prepared ~db ~queries ~truth ~targets ?config () =
+  Array.to_list targets
+  |> List.filter_map (fun target ->
+         match Dbh.Builder.single ~rng ~prepared ~db ~target_accuracy:target ?config () with
+         | None -> None
+         | Some (index, choice) ->
+             let results = Array.map (fun q -> Dbh.Index.query index q) queries in
+             let measured_accuracy =
+               Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
+             in
+             let measured_cost =
+               Dbh_util.Stats.mean
+                 (Array.map
+                    (fun r -> float_of_int (Dbh.Index.total_cost r.Dbh.Index.stats))
+                    results)
+             in
+             Some
+               {
+                 target;
+                 predicted_accuracy = choice.Dbh.Params.predicted_accuracy;
+                 measured_accuracy;
+                 predicted_cost = choice.Dbh.Params.predicted_cost;
+                 measured_cost;
+                 k = choice.Dbh.Params.k;
+                 l = choice.Dbh.Params.l;
+               })
+
+let accuracy_mae points =
+  if points = [] then invalid_arg "Calibration.accuracy_mae: no points";
+  let total =
+    List.fold_left
+      (fun acc p -> acc +. Float.abs (p.predicted_accuracy -. p.measured_accuracy))
+      0. points
+  in
+  total /. float_of_int (List.length points)
+
+let cost_mre points =
+  if points = [] then invalid_arg "Calibration.cost_mre: no points";
+  let total =
+    List.fold_left
+      (fun acc p ->
+        acc +. (Float.abs (p.predicted_cost -. p.measured_cost) /. Float.max 1. p.measured_cost))
+      0. points
+  in
+  total /. float_of_int (List.length points)
+
+let pp_points ppf points =
+  Format.fprintf ppf "%8s %6s %6s %12s %12s %10s %10s@." "target" "k" "l" "pred acc"
+    "meas acc" "pred cost" "meas cost";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%8.3f %6d %6d %12.4f %12.4f %10.1f %10.1f@." p.target p.k p.l
+        p.predicted_accuracy p.measured_accuracy p.predicted_cost p.measured_cost)
+    points

@@ -1,0 +1,39 @@
+(** Model-calibration measurement: how well do the statistical predictions
+    of {!Dbh.Analysis} (fitted on database samples, Eq. 11–14) match the
+    accuracy and cost realized on held-out queries?
+
+    This is the empirical check behind the paper's method: the offline
+    optimizer is only as good as these predictions.  The hands dataset —
+    where tuning samples are unrepresentative of the queries — is the
+    paper's own example of calibration breaking down. *)
+
+type point = {
+  target : float;  (** requested accuracy *)
+  predicted_accuracy : float;  (** model prediction at the chosen (k,l) *)
+  measured_accuracy : float;  (** realized on the held-out queries *)
+  predicted_cost : float;
+  measured_cost : float;
+  k : int;
+  l : int;
+}
+
+val single_level :
+  rng:Dbh_util.Rng.t ->
+  prepared:'a Dbh.Builder.prepared ->
+  db:'a array ->
+  queries:'a array ->
+  truth:Ground_truth.t ->
+  targets:float array ->
+  ?config:Dbh.Builder.config ->
+  unit ->
+  point list
+(** One calibration point per reachable target: tune a single-level index
+    to it, run the queries, compare.  Unreachable targets are skipped. *)
+
+val accuracy_mae : point list -> float
+(** Mean absolute error between predicted and measured accuracy. *)
+
+val cost_mre : point list -> float
+(** Mean relative error between predicted and measured cost. *)
+
+val pp_points : Format.formatter -> point list -> unit

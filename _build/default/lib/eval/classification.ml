@@ -1,0 +1,55 @@
+let error_rate ~db_labels ~query_labels answers =
+  let n = Array.length answers in
+  if n = 0 || n <> Array.length query_labels then invalid_arg "Classification.error_rate";
+  let errors = ref 0 in
+  Array.iteri
+    (fun qi answer ->
+      match answer with
+      | Some (idx, _) when db_labels.(idx) = query_labels.(qi) -> ()
+      | Some _ | None -> incr errors)
+    answers;
+  float_of_int !errors /. float_of_int n
+
+let majority_label ~db_labels neighbors =
+  (* Vote; ties resolved towards the label of the nearest member. *)
+  let votes = Hashtbl.create 8 in
+  Array.iter
+    (fun (idx, _) ->
+      let label = db_labels.(idx) in
+      Hashtbl.replace votes label (1 + Option.value ~default:0 (Hashtbl.find_opt votes label)))
+    neighbors;
+  let best = ref None in
+  Array.iter
+    (fun (idx, d) ->
+      let label = db_labels.(idx) in
+      let count = Hashtbl.find votes label in
+      match !best with
+      | Some (bc, bd, _) when bc > count || (bc = count && bd <= d) -> ()
+      | _ -> best := Some (count, d, label))
+    neighbors;
+  Option.map (fun (_, _, label) -> label) !best
+
+let knn_error_rate ~db_labels ~query_labels answers =
+  let n = Array.length answers in
+  if n = 0 || n <> Array.length query_labels then invalid_arg "Classification.knn_error_rate";
+  let errors = ref 0 in
+  Array.iteri
+    (fun qi neighbors ->
+      match majority_label ~db_labels neighbors with
+      | Some label when label = query_labels.(qi) -> ()
+      | Some _ | None -> incr errors)
+    answers;
+  float_of_int !errors /. float_of_int n
+
+let confusion_matrix ~num_classes ~db_labels ~query_labels answers =
+  if num_classes < 1 then invalid_arg "Classification.confusion_matrix";
+  let m = Array.make_matrix num_classes num_classes 0 in
+  Array.iteri
+    (fun qi answer ->
+      match answer with
+      | None -> ()
+      | Some (idx, _) ->
+          let truth = query_labels.(qi) and predicted = db_labels.(idx) in
+          m.(truth).(predicted) <- m.(truth).(predicted) + 1)
+    answers;
+  m

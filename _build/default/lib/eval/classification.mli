@@ -1,0 +1,20 @@
+(** Nearest-neighbor classification, the paper's target application for
+    the digit datasets (Sec. VI-A quotes brute-force 1-NN error rates). *)
+
+val error_rate :
+  db_labels:int array -> query_labels:int array -> (int * float) option array -> float
+(** Fraction of queries whose retrieved neighbor's label differs from the
+    query's (queries with no answer count as errors). *)
+
+val knn_error_rate :
+  db_labels:int array -> query_labels:int array -> (int * float) array array -> float
+(** Majority vote over each query's retrieved neighbor list (ties broken
+    towards the nearer neighbor); empty lists count as errors. *)
+
+val confusion_matrix :
+  num_classes:int ->
+  db_labels:int array ->
+  query_labels:int array ->
+  (int * float) option array ->
+  int array array
+(** [m.(truth).(predicted)] counts; unanswered queries are dropped. *)

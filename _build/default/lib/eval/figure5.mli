@@ -1,0 +1,44 @@
+(** The paper's headline experiment (Figure 5): accuracy versus number of
+    distance computations per query, for VP-trees, single-level DBH and
+    hierarchical DBH, on one dataset.
+
+    Protocol, following Section VI: the hash family and the statistical
+    model are fitted on the database only; the test queries are disjoint
+    and used purely for measurement.  DBH curves are traced by sweeping
+    the target accuracy handed to the offline optimizer; VP-tree curves
+    by sweeping the search's distance budget. *)
+
+type config = {
+  targets : float array;  (** DBH accuracy targets, e.g. 0.80 … 0.99 *)
+  vp_budget_fractions : float array;
+      (** VP-tree budgets as fractions of the database size *)
+  builder : Dbh.Builder.config;
+}
+
+val default_config : config
+
+type result = {
+  dataset : string;
+  db_size : int;
+  num_queries : int;
+  vp : Tradeoff.series;
+  single : Tradeoff.series;
+  hierarchical : Tradeoff.series;
+  brute_force_cost : int;  (** distance computations of the exact scan *)
+}
+
+val run :
+  rng:Dbh_util.Rng.t ->
+  dataset:string ->
+  space:'a Dbh_space.Space.t ->
+  db:'a array ->
+  queries:'a array ->
+  ?config:config ->
+  unit ->
+  result
+
+val speedup_at : result -> accuracy:float -> (float * float) option
+(** [(cost_vp / cost_hier, cost_vp / cost_single)] at the smallest
+    measured accuracy level at least [accuracy] on each curve — the
+    "DBH is 2–3× faster than VP-trees" comparison.  [None] when a curve
+    never reaches that accuracy. *)

@@ -1,0 +1,56 @@
+(** Exact nearest neighbors by brute force — the reference answers against
+    which every method's retrieval accuracy is measured, and the
+    definition of the "accuracy" axis of Figure 5. *)
+
+type t = {
+  nn_index : int array;  (** per query: database index of the true NN *)
+  nn_distance : float array;
+  cost_per_query : int;  (** distance computations brute force spends (= database size) *)
+}
+
+val compute : space:'a Dbh_space.Space.t -> db:'a array -> queries:'a array -> t
+(** O(|queries| · |db|) distance computations. *)
+
+val compute_self : space:'a Dbh_space.Space.t -> db:'a array -> query_indices:int array -> t
+(** Ground truth for queries that are database members (self-match
+    excluded) — used when tuning on database samples, as the paper does. *)
+
+val is_correct : t -> int -> (int * float) option -> bool
+(** [is_correct truth qi answer]: an answer is correct when it names the
+    true NN or (tie) anything at the same distance (within 1e-9
+    relative). *)
+
+val accuracy : t -> (int * float) option array -> float
+(** Fraction of correct answers. *)
+
+(** {1 k-nearest neighbors} *)
+
+type knn = {
+  neighbor_ids : int array array;  (** per query: ids of the k nearest, best first *)
+  neighbor_distances : float array array;
+}
+
+val compute_knn :
+  space:'a Dbh_space.Space.t -> db:'a array -> queries:'a array -> k:int -> knn
+(** Exact k-NN lists by brute force ([k] clamped to the database size). *)
+
+val recall_at_k : knn -> (int * float) array array -> float
+(** Mean fraction of each query's true k-NN retrieved by the answer
+    lists.  Ties are honoured by distance: a returned neighbor no farther
+    than the true k-th distance counts as a hit. *)
+
+(** {1 Range queries}
+
+    The paper's Section III notes the same table structure answers
+    near-neighbor (range) queries; these helpers provide the exact
+    reference sets and the recall measure for them. *)
+
+val compute_range :
+  space:'a Dbh_space.Space.t -> db:'a array -> queries:'a array -> radius:float -> int list array
+(** Per query: ids of all database objects within [radius], ascending by
+    id.  O(|queries|·|db|) distances. *)
+
+val range_recall : int list array -> (int * float) list array -> float
+(** Mean fraction of each query's true range set present in the returned
+    lists.  Queries whose true range set is empty are skipped; if all are
+    empty the recall is defined as [1.]. *)

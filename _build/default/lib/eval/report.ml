@@ -1,0 +1,109 @@
+let print_heading title =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '-');
+  (* Sections can take minutes; keep redirected logs live. *)
+  flush stdout
+
+let print_series_table series_list =
+  Printf.printf "  %-20s %-14s %9s %14s\n" "method" "setting" "accuracy" "cost/query";
+  List.iter
+    (fun (s : Tradeoff.series) ->
+      Array.iter
+        (fun (p : Tradeoff.point) ->
+          Printf.printf "  %-20s %-14s %9.4f %9.1f ±%4.1f\n" p.Tradeoff.method_label
+            p.Tradeoff.setting p.Tradeoff.accuracy p.Tradeoff.mean_cost p.Tradeoff.cost_ci95)
+        (Tradeoff.sort_by_accuracy s).Tradeoff.points)
+    series_list
+
+let print_kv pairs =
+  let width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "  %-*s : %s\n" width k v) pairs
+
+let ascii_plot ?(width = 64) ?(height = 18) ?(x_label = "accuracy")
+    ?(y_label = "cost/query") series_list =
+  let points =
+    List.concat_map
+      (fun (s : Tradeoff.series) ->
+        Array.to_list s.Tradeoff.points
+        |> List.map (fun (p : Tradeoff.point) -> (p.Tradeoff.accuracy, p.Tradeoff.mean_cost)))
+      series_list
+  in
+  if points = [] then print_endline "  (no points)"
+  else begin
+    let xs = Array.of_list (List.map fst points) in
+    let ys = Array.of_list (List.map snd points) in
+    let x_min = Dbh_util.Stats.minimum xs and x_max = Dbh_util.Stats.maximum xs in
+    let y_min = Dbh_util.Stats.minimum ys and y_max = Dbh_util.Stats.maximum ys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let marker i = Char.chr (Char.code 'a' + (i mod 26)) in
+    List.iteri
+      (fun si (s : Tradeoff.series) ->
+        Array.iter
+          (fun (p : Tradeoff.point) ->
+            let col =
+              int_of_float ((p.Tradeoff.accuracy -. x_min) /. x_span *. float_of_int (width - 1))
+            in
+            let row =
+              (* y grows downward in the grid; cost grows upward on the plot *)
+              height - 1
+              - int_of_float
+                  ((p.Tradeoff.mean_cost -. y_min) /. y_span *. float_of_int (height - 1))
+            in
+            let col = max 0 (min (width - 1) col) and row = max 0 (min (height - 1) row) in
+            grid.(row).(col) <- (if grid.(row).(col) = ' ' then marker si else '*'))
+          s.Tradeoff.points)
+      series_list;
+    Printf.printf "  %s (max %.0f)\n" y_label y_max;
+    Array.iter
+      (fun row ->
+        print_string "  |";
+        Array.iter print_char row;
+        print_newline ())
+      grid;
+    Printf.printf "  +%s\n" (String.make width '-');
+    Printf.printf "   %-10.3f %s %45.3f\n" x_min x_label x_max;
+    List.iteri
+      (fun si (s : Tradeoff.series) ->
+        Printf.printf "   %c = %s%s\n" (marker si) s.Tradeoff.series_label
+          (if si = 0 then "   (* = overlap)" else ""))
+      series_list
+  end
+
+let print_figure5 (r : Figure5.result) =
+  print_heading (Printf.sprintf "Figure 5 — %s" r.Figure5.dataset);
+  print_kv
+    [
+      ("database size", string_of_int r.Figure5.db_size);
+      ("test queries", string_of_int r.Figure5.num_queries);
+      ("brute-force cost/query", string_of_int r.Figure5.brute_force_cost);
+    ];
+  print_newline ();
+  print_series_table [ r.Figure5.vp; r.Figure5.single; r.Figure5.hierarchical ];
+  print_newline ();
+  ascii_plot [ r.Figure5.vp; r.Figure5.single; r.Figure5.hierarchical ];
+  List.iter
+    (fun acc ->
+      match Figure5.speedup_at r ~accuracy:acc with
+      | None -> ()
+      | Some (hier_speedup, single_speedup) ->
+          Printf.printf
+            "  at accuracy >= %.2f: hierarchical DBH %.2fx cheaper than VP-tree, single-level %.2fx\n"
+            acc hier_speedup single_speedup)
+    [ 0.85; 0.90; 0.95 ]
+
+let csv_of_series series_list =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "method,setting,accuracy,mean_cost,cost_ci95\n";
+  List.iter
+    (fun (s : Tradeoff.series) ->
+      Array.iter
+        (fun (p : Tradeoff.point) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%.6f,%.3f,%.3f\n" p.Tradeoff.method_label p.Tradeoff.setting
+               p.Tradeoff.accuracy p.Tradeoff.mean_cost p.Tradeoff.cost_ci95))
+        s.Tradeoff.points)
+    series_list;
+  Buffer.contents buf

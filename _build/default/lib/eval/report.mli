@@ -1,0 +1,25 @@
+(** Plain-text rendering of experiment results (the bench harness prints
+    through this module so all tables share one format). *)
+
+val print_heading : string -> unit
+(** Underlined section heading on stdout. *)
+
+val print_series_table : Tradeoff.series list -> unit
+(** One aligned table: method | setting | accuracy | mean cost ± ci. *)
+
+val print_figure5 : Figure5.result -> unit
+(** Full per-dataset report: sizes, brute-force cost, the three series,
+    and headline speedups. *)
+
+val csv_of_series : Tradeoff.series list -> string
+(** "method,setting,accuracy,mean_cost,cost_ci95" lines (with header). *)
+
+val print_kv : (string * string) list -> unit
+(** Aligned key: value block. *)
+
+val ascii_plot :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  Tradeoff.series list -> unit
+(** Terminal scatter plot of accuracy (x) against mean cost (y), one
+    marker letter per series (legend printed underneath) — makes the
+    Figure 5 curve shapes visible directly in the bench log. *)

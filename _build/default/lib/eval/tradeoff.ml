@@ -1,0 +1,47 @@
+type 'q method_at = {
+  label : string;
+  setting : string;
+  run : 'q -> (int * float) option * int;
+}
+
+type point = {
+  method_label : string;
+  setting : string;
+  accuracy : float;
+  mean_cost : float;
+  cost_ci95 : float;
+}
+
+let measure ~queries ~truth m =
+  let n = Array.length queries in
+  if n = 0 then invalid_arg "Tradeoff.measure: no queries";
+  let answers = Array.make n None in
+  let costs = Array.make n 0. in
+  Array.iteri
+    (fun i q ->
+      let answer, cost = m.run q in
+      answers.(i) <- answer;
+      costs.(i) <- float_of_int cost)
+    queries;
+  let mean_cost, cost_ci95 = Dbh_util.Stats.mean_ci95 costs in
+  {
+    method_label = m.label;
+    setting = m.setting;
+    accuracy = Ground_truth.accuracy truth answers;
+    mean_cost;
+    cost_ci95;
+  }
+
+type series = {
+  series_label : string;
+  points : point array;
+}
+
+let sweep ~queries ~truth ~label methods =
+  let points = List.map (measure ~queries ~truth) methods in
+  { series_label = label; points = Array.of_list points }
+
+let sort_by_accuracy s =
+  let points = Array.copy s.points in
+  Array.sort (fun a b -> compare a.accuracy b.accuracy) points;
+  { s with points }

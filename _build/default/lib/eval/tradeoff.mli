@@ -1,0 +1,35 @@
+(** Accuracy-vs-cost measurement — the axes of the paper's Figure 5.
+
+    A retrieval method at one operating point is a function from a query
+    to an answer plus its distance-computation count; running it over a
+    query set against ground truth yields one point of an
+    accuracy/efficiency curve. *)
+
+type 'q method_at = {
+  label : string;  (** e.g. "hierarchical DBH" *)
+  setting : string;  (** e.g. "target=0.95" or "budget=800" *)
+  run : 'q -> (int * float) option * int;
+      (** answer (database index, distance) and distance computations *)
+}
+
+type point = {
+  method_label : string;
+  setting : string;
+  accuracy : float;  (** fraction of queries retrieving the true NN *)
+  mean_cost : float;  (** mean distance computations per query *)
+  cost_ci95 : float;  (** 95% confidence half-width of the mean cost *)
+}
+
+val measure : queries:'q array -> truth:Ground_truth.t -> 'q method_at -> point
+
+type series = {
+  series_label : string;
+  points : point array;  (** one per operating point, as produced *)
+}
+
+val sweep :
+  queries:'q array -> truth:Ground_truth.t -> label:string -> 'q method_at list -> series
+(** Measure several operating points of one method. *)
+
+val sort_by_accuracy : series -> series
+(** Points ordered by increasing accuracy — plotting order. *)

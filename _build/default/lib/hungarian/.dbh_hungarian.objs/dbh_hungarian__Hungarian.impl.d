@@ -1,0 +1,1 @@
+lib/hungarian/hungarian.ml: Array

@@ -1,0 +1,136 @@
+type assignment = {
+  row_to_col : int array;
+  col_to_row : int array;
+  cost : float;
+}
+
+let check_matrix cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian.solve: empty matrix";
+  let m = Array.length cost.(0) in
+  if m = 0 then invalid_arg "Hungarian.solve: empty rows";
+  Array.iter
+    (fun row -> if Array.length row <> m then invalid_arg "Hungarian.solve: ragged matrix")
+    cost;
+  (n, m)
+
+(* Shortest-augmenting-path Hungarian algorithm with potentials.
+   Rows and columns are 1-indexed internally; index 0 is a virtual column
+   used to seed each augmentation.  Invariant: for matched pairs the
+   reduced cost [cost(i,j) - u(i) - v(j)] is zero, and it stays
+   non-negative everywhere, which certifies optimality on termination. *)
+let solve cost =
+  let n, m = check_matrix cost in
+  if n > m then invalid_arg "Hungarian.solve: more rows than columns";
+  let u = Array.make (n + 1) 0. in
+  let v = Array.make (m + 1) 0. in
+  let p = Array.make (m + 1) 0 in
+  (* p.(j): row matched to column j, 0 when free *)
+  let way = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (m + 1) infinity in
+    let used = Array.make (m + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref infinity in
+      let j1 = ref 0 in
+      for j = 1 to m do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to m do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* Unwind the augmenting path recorded in [way]. *)
+    let j = ref !j0 in
+    while !j <> 0 do
+      let j1 = way.(!j) in
+      p.(!j) <- p.(j1);
+      j := j1
+    done
+  done;
+  let row_to_col = Array.make n (-1) in
+  let col_to_row = Array.make m (-1) in
+  for j = 1 to m do
+    if p.(j) > 0 then begin
+      row_to_col.(p.(j) - 1) <- j - 1;
+      col_to_row.(j - 1) <- p.(j) - 1
+    end
+  done;
+  let total = ref 0. in
+  Array.iteri (fun i j -> total := !total +. cost.(i).(j)) row_to_col;
+  { row_to_col; col_to_row; cost = !total }
+
+let transpose cost =
+  let n = Array.length cost and m = Array.length cost.(0) in
+  Array.init m (fun j -> Array.init n (fun i -> cost.(i).(j)))
+
+let solve_rectangular cost =
+  let n, m = check_matrix cost in
+  if n <= m then solve cost
+  else begin
+    let a = solve (transpose cost) in
+    let row_to_col = Array.make n (-1) in
+    let col_to_row = Array.make m (-1) in
+    Array.iteri
+      (fun j i ->
+        (* In the transposed problem, rows are original columns. *)
+        col_to_row.(j) <- i;
+        row_to_col.(i) <- j)
+      a.row_to_col;
+    { row_to_col; col_to_row; cost = a.cost }
+  end
+
+let brute_force cost =
+  let n, m = check_matrix cost in
+  if n <> m then invalid_arg "Hungarian.brute_force: matrix must be square";
+  if n > 9 then invalid_arg "Hungarian.brute_force: too large";
+  let best_cost = ref infinity in
+  let best_perm = Array.init n (fun i -> i) in
+  let perm = Array.init n (fun i -> i) in
+  let rec permute k =
+    if k = n then begin
+      let c = ref 0. in
+      for i = 0 to n - 1 do
+        c := !c +. cost.(i).(perm.(i))
+      done;
+      if !c < !best_cost then begin
+        best_cost := !c;
+        Array.blit perm 0 best_perm 0 n
+      end
+    end
+    else
+      for i = k to n - 1 do
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(i);
+        perm.(i) <- tmp;
+        permute (k + 1);
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(i);
+        perm.(i) <- tmp
+      done
+  in
+  permute 0;
+  let col_to_row = Array.make n (-1) in
+  Array.iteri (fun i j -> col_to_row.(j) <- i) best_perm;
+  { row_to_col = best_perm; col_to_row; cost = !best_cost }

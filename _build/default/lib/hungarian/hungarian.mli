@@ -1,0 +1,34 @@
+(** Minimum-cost assignment (Hungarian / Kuhn–Munkres algorithm).
+
+    Shape-context matching — the distance measure the paper uses on MNIST —
+    computes an optimal one-to-one correspondence between the feature
+    points of two images.  This module provides the O(n³) shortest
+    augmenting path formulation with row/column potentials (the
+    Jonker–Volgenant variant of the Hungarian algorithm).
+
+    Costs may be arbitrary finite floats (negative allowed). *)
+
+type assignment = {
+  row_to_col : int array;  (** [row_to_col.(i)] is the column matched to row [i]. *)
+  col_to_row : int array;
+      (** Inverse map; [-1] for unmatched columns when the matrix is
+          rectangular with more columns than rows. *)
+  cost : float;  (** Total cost of the optimal assignment. *)
+}
+
+val solve : float array array -> assignment
+(** [solve cost] computes a minimum-cost perfect matching of rows to
+    columns.  The matrix must be rectangular with [rows <= cols]; every row
+    is matched to a distinct column.  Raises [Invalid_argument] on an empty
+    or ragged matrix, or when [rows > cols] (transpose first, or use
+    {!solve_rectangular}). *)
+
+val solve_rectangular : float array array -> assignment
+(** Like {!solve} but accepts matrices of any shape: when [rows > cols]
+    the problem is solved on the transpose and the result mapped back, so
+    every {e column} is matched and [row_to_col.(i) = -1] for unmatched
+    rows. *)
+
+val brute_force : float array array -> assignment
+(** Exhaustive search over all permutations — O(n!·n).  Only for tests on
+    tiny square matrices ([n <= 9]); raises beyond that. *)

@@ -1,0 +1,1 @@
+lib/laesa/laesa.ml: Array Dbh_space Dbh_util Float List

@@ -1,0 +1,1 @@
+lib/laesa/laesa.mli: Dbh_space Dbh_util

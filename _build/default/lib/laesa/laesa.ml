@@ -1,0 +1,105 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+
+type 'a t = {
+  space : 'a Space.t;
+  db : 'a array;
+  pivot_ids : int array;  (* indices into db *)
+  table : float array array;  (* per object: distances to pivots *)
+}
+
+let size t = Array.length t.db
+let num_pivots t = Array.length t.pivot_ids
+
+let build ~rng ~space ?(num_pivots = 16) db =
+  if Array.length db = 0 then invalid_arg "Laesa.build: empty database";
+  if num_pivots < 1 then invalid_arg "Laesa.build: need at least one pivot";
+  let pivot_ids = Rng.sample_indices rng (min num_pivots (Array.length db)) (Array.length db) in
+  let table =
+    Array.map (fun x -> Array.map (fun p -> space.Space.distance x db.(p)) pivot_ids) db
+  in
+  { space; db; pivot_ids; table }
+
+(* Distances from the query to the pivots, plus the lower bound function. *)
+let query_pivots t q =
+  let qp = Array.map (fun p -> t.space.Space.distance q t.db.(p)) t.pivot_ids in
+  let lower_bound obj_id =
+    let row = t.table.(obj_id) in
+    let best = ref 0. in
+    for i = 0 to Array.length qp - 1 do
+      let b = Float.abs (qp.(i) -. row.(i)) in
+      if b > !best then best := b
+    done;
+    !best
+  in
+  (qp, lower_bound)
+
+(* Candidates ordered by increasing lower bound; visiting in this order
+   front-loads the likely neighbors so elimination kicks in early. *)
+let ordered_candidates t lower_bound =
+  let order = Array.init (Array.length t.db) (fun i -> (lower_bound i, i)) in
+  Array.sort compare order;
+  order
+
+(* Shared scan: [tau] supplies the current elimination radius, [visit]
+   absorbs each measured candidate.  Stops early once lower bounds exceed
+   tau (the order is non-decreasing).  [budget] caps total distance
+   computations (pivot distances already spent are passed in). *)
+let scan t q ~spent ~budget ~tau ~visit order =
+  let n = Array.length order in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < n && !spent < budget do
+    let lb, obj_id = order.(!i) in
+    if lb > tau () then stop := true
+    else begin
+      incr spent;
+      visit obj_id (t.space.Space.distance q t.db.(obj_id))
+    end;
+    incr i
+  done
+
+let nn_budgeted t ~budget q =
+  let m = num_pivots t in
+  if budget < m then (None, 0)
+  else begin
+    let _, lower_bound = query_pivots t q in
+    let spent = ref m in
+    let best = ref None in
+    let visit obj_id d =
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (obj_id, d)
+    in
+    let tau () = match !best with None -> infinity | Some (_, bd) -> bd in
+    scan t q ~spent ~budget ~tau ~visit (ordered_candidates t lower_bound);
+    (!best, !spent)
+  end
+
+let nn t q =
+  match nn_budgeted t ~budget:max_int q with
+  | Some answer, spent -> (answer, spent)
+  | None, _ -> assert false (* budget = max_int always covers the pivots *)
+
+let knn t k q =
+  if k < 1 then invalid_arg "Laesa.knn: k must be >= 1";
+  let m = num_pivots t in
+  let _, lower_bound = query_pivots t q in
+  let spent = ref m in
+  let heap = Dbh_util.Bounded_heap.create k in
+  let visit obj_id d = ignore (Dbh_util.Bounded_heap.push heap d obj_id) in
+  let tau () = Dbh_util.Bounded_heap.threshold heap in
+  scan t q ~spent ~budget:max_int ~tau ~visit (ordered_candidates t lower_bound);
+  let out = Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d)) in
+  (Array.of_list out, !spent)
+
+let range t radius q =
+  if radius < 0. then invalid_arg "Laesa.range: negative radius";
+  let m = num_pivots t in
+  let _, lower_bound = query_pivots t q in
+  let spent = ref m in
+  let hits = ref [] in
+  let visit obj_id d = if d <= radius then hits := (obj_id, d) :: !hits in
+  let tau () = radius in
+  scan t q ~spent ~budget:max_int ~tau ~visit (ordered_candidates t lower_bound);
+  (List.sort (fun (_, a) (_, b) -> compare a b) !hits, !spent)

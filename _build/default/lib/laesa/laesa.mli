@@ -1,0 +1,50 @@
+(** LAESA — Linear Approximating and Eliminating Search Algorithm
+    (Micó, Oncina & Vidal, 1994).
+
+    A classic pivot-based, distance-based index: precompute the distances
+    from every database object to a small set of pivots; at query time,
+    measure the query against the pivots and eliminate any object whose
+    triangle-inequality lower bound
+
+    {v max_p |D(Q,p) − D(X,p)| v}
+
+    exceeds the best distance found so far.  Exact in metric spaces;
+    heuristic (like every triangle-based method — see paper Sec. II) when
+    the distance is non-metric.
+
+    Included as a baseline: it shares DBH's pivot idea but uses geometry
+    (the triangle inequality) instead of statistics, which is precisely
+    the trade the paper's introduction discusses. *)
+
+type 'a t
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?num_pivots:int ->
+  'a array ->
+  'a t
+(** Precompute the pivot table over a non-empty database.
+    [num_pivots] defaults to 16; pivots are drawn uniformly from the
+    database.  O(n · num_pivots) distance computations. *)
+
+val size : 'a t -> int
+val num_pivots : 'a t -> int
+
+val nn : 'a t -> 'a -> (int * float) * int
+(** Nearest neighbor and the number of distance computations spent
+    (pivot distances included).  Candidates are visited in order of
+    increasing lower bound, which maximizes elimination. *)
+
+val nn_budgeted : 'a t -> budget:int -> 'a -> (int * float) option * int
+(** Anytime variant: stop after [budget] distance computations; the
+    best-so-far answer is returned.  [None] only if the budget does not
+    even cover the pivot distances. *)
+
+val knn : 'a t -> int -> 'a -> (int * float) array * int
+(** Exact-mode k nearest neighbors (same elimination rule against the
+    current k-th best). *)
+
+val range : 'a t -> float -> 'a -> (int * float) list * int
+(** All objects within the radius (exact in metric spaces), sorted by
+    distance. *)

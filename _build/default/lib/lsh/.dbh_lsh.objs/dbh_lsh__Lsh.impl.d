@@ -1,0 +1,1 @@
+lib/lsh/lsh.ml: Array Dbh_space Dbh_util Float Hashtbl List

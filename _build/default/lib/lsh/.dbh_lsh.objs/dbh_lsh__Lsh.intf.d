@@ -1,0 +1,1 @@
+lib/lsh/lsh.mli: Dbh_space Dbh_util

@@ -1,0 +1,121 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+
+type 'a family = {
+  family_name : string;
+  sample_fn : Rng.t -> 'a -> int;
+}
+
+let bit_sampling ~dim =
+  if dim < 1 then invalid_arg "Lsh.bit_sampling: dim must be positive";
+  let sample_fn rng =
+    let i = Rng.int rng dim in
+    fun (x : bool array) -> if x.(i) then 1 else 0
+  in
+  { family_name = "bit-sampling"; sample_fn }
+
+let random_projection ~dim ~w =
+  if dim < 1 then invalid_arg "Lsh.random_projection: dim must be positive";
+  if w <= 0. then invalid_arg "Lsh.random_projection: w must be positive";
+  let sample_fn rng =
+    let a = Array.init dim (fun _ -> Rng.gaussian rng) in
+    let b = Rng.float rng w in
+    fun (x : float array) ->
+      let dot = ref 0. in
+      for i = 0 to dim - 1 do
+        dot := !dot +. (a.(i) *. x.(i))
+      done;
+      int_of_float (Float.floor ((!dot +. b) /. w))
+  in
+  { family_name = "p-stable-L2"; sample_fn }
+
+let minhash ~universe =
+  if universe < 1 then invalid_arg "Lsh.minhash: universe must be positive";
+  let sample_fn rng =
+    let rank = Rng.permutation rng universe in
+    fun (set : int array) ->
+      if Array.length set = 0 then universe
+      else
+        Array.fold_left
+          (fun acc e ->
+            if e < 0 || e >= universe then invalid_arg "Lsh.minhash: element outside universe"
+            else min acc rank.(e))
+          max_int set
+  in
+  { family_name = "minhash"; sample_fn }
+
+type 'a t = {
+  db : 'a array;
+  k : int;
+  l : int;
+  hashers : ('a -> int) array array;  (* l rows of k sampled functions *)
+  tables : (int list, int list) Hashtbl.t array;  (* key: k hash values *)
+}
+
+let k t = t.k
+let l t = t.l
+let database t = t.db
+
+let key_of t row x = Array.to_list (Array.map (fun h -> h x) t.hashers.(row))
+
+let build ~rng ~family ~db ~k ~l =
+  if k < 1 then invalid_arg "Lsh.build: k must be >= 1";
+  if l < 1 then invalid_arg "Lsh.build: l must be >= 1";
+  if Array.length db = 0 then invalid_arg "Lsh.build: empty database";
+  let hashers = Array.init l (fun _ -> Array.init k (fun _ -> family.sample_fn rng)) in
+  let t = { db; k; l; hashers; tables = Array.init l (fun _ -> Hashtbl.create (Array.length db)) } in
+  Array.iteri
+    (fun obj_id obj ->
+      for row = 0 to l - 1 do
+        let key = key_of t row obj in
+        let bucket = try Hashtbl.find t.tables.(row) key with Not_found -> [] in
+        Hashtbl.replace t.tables.(row) key (obj_id :: bucket)
+      done)
+    db;
+  t
+
+let candidates t q =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  for row = 0 to t.l - 1 do
+    let key = key_of t row q in
+    match Hashtbl.find_opt t.tables.(row) key with
+    | None -> ()
+    | Some bucket ->
+        List.iter
+          (fun obj_id ->
+            if not (Hashtbl.mem seen obj_id) then begin
+              Hashtbl.add seen obj_id ();
+              out := obj_id :: !out
+            end)
+          bucket
+  done;
+  !out
+
+let query t ~space q =
+  let cands = candidates t q in
+  let best = ref None in
+  let count = ref 0 in
+  List.iter
+    (fun obj_id ->
+      incr count;
+      let d = space.Space.distance q t.db.(obj_id) in
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (obj_id, d))
+    cands;
+  (!best, !count)
+
+let query_knn t ~space m q =
+  if m < 1 then invalid_arg "Lsh.query_knn: m must be >= 1";
+  let cands = candidates t q in
+  let heap = Dbh_util.Bounded_heap.create m in
+  let count = ref 0 in
+  List.iter
+    (fun obj_id ->
+      incr count;
+      let d = space.Space.distance q t.db.(obj_id) in
+      ignore (Dbh_util.Bounded_heap.push heap d obj_id))
+    cands;
+  let out = Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d)) in
+  (Array.of_list out, !count)

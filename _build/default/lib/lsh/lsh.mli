@@ -1,0 +1,58 @@
+(** Classical Locality Sensitive Hashing (paper Section III).
+
+    DBH borrows LSH's indexing skeleton — [l] tables keyed by
+    concatenations of [k] discrete hash functions — but LSH requires a
+    locality-sensitive family, which only exists for specific spaces.
+    This module implements the classical constructions for those spaces:
+    bit sampling for the Hamming cube (Gionis–Indyk–Motwani), p-stable
+    random projections for L2 (Datar et al.), and MinHash for Jaccard.
+
+    It serves as (a) a correctness reference for the table machinery,
+    and (b) the comparator for the "DBH vs. LSH where LSH applies"
+    experiment. *)
+
+type 'a family = {
+  family_name : string;
+  sample_fn : Dbh_util.Rng.t -> 'a -> int;
+      (** Draw one random discrete hash function from the family. *)
+}
+
+val bit_sampling : dim:int -> bool array family
+(** h(x) = x_i for a uniformly random coordinate [i] — locality sensitive
+    for Hamming distance. *)
+
+val random_projection : dim:int -> w:float -> float array family
+(** h(x) = ⌊(a·x + b)/w⌋ with gaussian [a], [b ~ U\[0,w)] — the p-stable
+    construction for L2.  [w] is the quantization width. *)
+
+val minhash : universe:int -> int array family
+(** h(S) = min over the set's elements of a random permutation's rank —
+    locality sensitive for Jaccard similarity over subsets of
+    [\[0, universe)].  Sets are given as sorted-or-not int arrays. *)
+
+type 'a t
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  family:'a family ->
+  db:'a array ->
+  k:int ->
+  l:int ->
+  'a t
+(** [l] tables keyed by [k]-wise concatenations, as in Section III. *)
+
+val k : 'a t -> int
+val l : 'a t -> int
+val database : 'a t -> 'a array
+
+val candidates : 'a t -> 'a -> int list
+(** Distinct database indices colliding with the query in at least one
+    table. *)
+
+val query :
+  'a t -> space:'a Dbh_space.Space.t -> 'a -> (int * float) option * int
+(** Nearest candidate by exact distance in the given space, plus the
+    number of exact distance computations (= number of candidates). *)
+
+val query_knn :
+  'a t -> space:'a Dbh_space.Space.t -> int -> 'a -> (int * float) array * int

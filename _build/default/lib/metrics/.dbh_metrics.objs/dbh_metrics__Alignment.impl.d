@@ -1,0 +1,1 @@
+lib/metrics/alignment.ml: Array Dbh_space Float String

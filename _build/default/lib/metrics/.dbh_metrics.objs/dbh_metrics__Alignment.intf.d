@@ -1,0 +1,1 @@
+lib/metrics/alignment.mli: Dbh_space

@@ -1,0 +1,1 @@
+lib/metrics/chamfer.ml: Array Dbh_space Float Geom

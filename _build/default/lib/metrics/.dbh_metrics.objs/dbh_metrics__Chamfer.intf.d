@@ -1,0 +1,1 @@
+lib/metrics/chamfer.mli: Dbh_space Geom

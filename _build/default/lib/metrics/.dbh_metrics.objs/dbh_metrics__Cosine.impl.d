@@ -1,0 +1,1 @@
+lib/metrics/cosine.ml: Array Dbh_space Float

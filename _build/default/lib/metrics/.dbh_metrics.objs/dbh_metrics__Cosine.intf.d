@@ -1,0 +1,1 @@
+lib/metrics/cosine.mli: Dbh_space

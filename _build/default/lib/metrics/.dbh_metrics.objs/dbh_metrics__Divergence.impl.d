@@ -1,0 +1,1 @@
+lib/metrics/divergence.ml: Array Dbh_space Float

@@ -1,0 +1,1 @@
+lib/metrics/divergence.mli: Dbh_space

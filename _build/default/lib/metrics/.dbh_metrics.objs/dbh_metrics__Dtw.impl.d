@@ -1,0 +1,1 @@
+lib/metrics/dtw.ml: Array Dbh_space Float Geom List Printf

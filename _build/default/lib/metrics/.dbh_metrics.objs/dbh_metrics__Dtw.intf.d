@@ -1,0 +1,1 @@
+lib/metrics/dtw.mli: Dbh_space Geom

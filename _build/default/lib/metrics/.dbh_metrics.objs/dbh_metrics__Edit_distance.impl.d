@@ -1,0 +1,1 @@
+lib/metrics/edit_distance.ml: Array Dbh_space Float String

@@ -1,0 +1,1 @@
+lib/metrics/edit_distance.mli: Dbh_space

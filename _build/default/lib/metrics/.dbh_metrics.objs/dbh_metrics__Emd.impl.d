@@ -1,0 +1,1 @@
+lib/metrics/emd.ml: Array Dbh_space Dbh_util Float Printf

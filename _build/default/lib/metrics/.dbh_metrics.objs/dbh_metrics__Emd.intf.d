@@ -1,0 +1,1 @@
+lib/metrics/emd.mli: Dbh_space

@@ -1,0 +1,1 @@
+lib/metrics/geom.ml: Array Float

@@ -1,0 +1,1 @@
+lib/metrics/hamming.ml: Array Dbh_space String

@@ -1,0 +1,1 @@
+lib/metrics/hamming.mli: Dbh_space

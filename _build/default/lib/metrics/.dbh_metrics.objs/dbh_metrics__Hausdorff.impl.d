@@ -1,0 +1,1 @@
+lib/metrics/hausdorff.ml: Array Dbh_space Dbh_util Float Geom Printf

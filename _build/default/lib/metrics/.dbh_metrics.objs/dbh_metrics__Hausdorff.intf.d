@@ -1,0 +1,1 @@
+lib/metrics/hausdorff.mli: Dbh_space Geom

@@ -1,0 +1,1 @@
+lib/metrics/minkowski.ml: Array Dbh_space Float Printf

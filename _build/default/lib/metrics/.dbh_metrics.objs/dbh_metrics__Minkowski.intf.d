@@ -1,0 +1,1 @@
+lib/metrics/minkowski.mli: Dbh_space

@@ -1,0 +1,1 @@
+lib/metrics/set_distance.ml: Array Dbh_space List

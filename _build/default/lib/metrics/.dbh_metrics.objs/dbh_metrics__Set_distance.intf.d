@@ -1,0 +1,1 @@
+lib/metrics/set_distance.mli: Dbh_space

@@ -1,0 +1,1 @@
+lib/metrics/shape_context.ml: Array Dbh_hungarian Dbh_space Divergence Float Geom

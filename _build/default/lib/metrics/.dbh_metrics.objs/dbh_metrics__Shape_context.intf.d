@@ -1,0 +1,1 @@
+lib/metrics/shape_context.mli: Dbh_space Geom

@@ -1,0 +1,18 @@
+let similarity a b =
+  if Array.length a <> Array.length b then invalid_arg "Cosine: dimension mismatch";
+  let dot = ref 0. and na = ref 0. and nb = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    dot := !dot +. (a.(i) *. b.(i));
+    na := !na +. (a.(i) *. a.(i));
+    nb := !nb +. (b.(i) *. b.(i))
+  done;
+  if !na = 0. || !nb = 0. then 0. else !dot /. sqrt (!na *. !nb)
+
+let distance a b = 1. -. similarity a b
+
+let angular a b =
+  let s = Float.max (-1.) (Float.min 1. (similarity a b)) in
+  acos s /. Float.pi
+
+let space = Dbh_space.Space.make ~name:"cosine" distance
+let angular_space = Dbh_space.Space.make ~name:"angular" angular

@@ -1,0 +1,16 @@
+(** Cosine dissimilarity on float vectors — a common non-metric measure
+    (it violates the triangle inequality) used as an additional test
+    space. *)
+
+val similarity : float array -> float array -> float
+(** Cosine of the angle between the vectors; [0.] when either is zero. *)
+
+val distance : float array -> float array -> float
+(** [1 − similarity]. *)
+
+val angular : float array -> float array -> float
+(** [acos similarity / π] — a proper metric on the unit sphere, useful as
+    a metric control. *)
+
+val space : float array Dbh_space.Space.t
+val angular_space : float array Dbh_space.Space.t

@@ -1,0 +1,34 @@
+(** Dynamic time warping (Kruskal–Liberman), the paper's distance measure
+    for the UNIPEN online-handwriting benchmark.
+
+    DTW aligns two sequences monotonically, charging a ground cost per
+    aligned pair; the distance is the minimal total cost.  It is symmetric
+    (with a symmetric ground cost) but violates the triangle inequality —
+    one of the paper's three motivating non-metric measures. *)
+
+val distance : ?band:int -> cost:('a -> 'a -> float) -> 'a array -> 'a array -> float
+(** [distance ~cost a b] is the DTW distance with ground cost [cost].
+    [band], when given, restricts the warping path to the Sakoe–Chiba band
+    of half-width [band] around the diagonal (after slope normalization
+    for unequal lengths); paths outside yield [infinity] only if no banded
+    path exists, which cannot happen for [band >= 0] since the
+    (slope-adjusted) diagonal is always admissible.  Raises on empty
+    sequences.  O(|a|·|b|) time, O(min) space. *)
+
+val path :
+  cost:('a -> 'a -> float) -> 'a array -> 'a array -> (int * int) list * float
+(** Optimal alignment as index pairs (in order) together with its cost.
+    O(|a|·|b|) space. *)
+
+val floats : ?band:int -> float array -> float array -> float
+(** DTW on scalar series with ground cost [|x − y|]. *)
+
+val points : ?band:int -> Geom.point array -> Geom.point array -> float
+(** DTW on planar trajectories with Euclidean ground cost — the UNIPEN
+    configuration. *)
+
+val float_space : float array Dbh_space.Space.t
+val point_space : Geom.point array Dbh_space.Space.t
+
+val point_space_banded : int -> Geom.point array Dbh_space.Space.t
+(** Banded variant used to trade exactness for speed in big sweeps. *)

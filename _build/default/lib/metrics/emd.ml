@@ -1,0 +1,44 @@
+let check p q name =
+  if Array.length p = 0 then invalid_arg (Printf.sprintf "Emd.%s: empty input" name);
+  if Array.length p <> Array.length q then
+    invalid_arg (Printf.sprintf "Emd.%s: length mismatch" name)
+
+let normalize_total name p =
+  let total = Array.fold_left ( +. ) 0. p in
+  if total <= 0. then invalid_arg (Printf.sprintf "Emd.%s: non-positive mass" name);
+  total
+
+let histograms p q =
+  check p q "histograms";
+  let tp = normalize_total "histograms" p and tq = normalize_total "histograms" q in
+  let acc = ref 0. and cdf_diff = ref 0. in
+  for i = 0 to Array.length p - 1 do
+    cdf_diff := !cdf_diff +. (p.(i) /. tp) -. (q.(i) /. tq);
+    acc := !acc +. Float.abs !cdf_diff
+  done;
+  !acc
+
+let sorted_samples a b =
+  check a b "sorted_samples";
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (a.(i) -. b.(i))
+  done;
+  !acc /. float_of_int (Array.length a)
+
+let circular p q =
+  check p q "circular";
+  let tp = normalize_total "circular" p and tq = normalize_total "circular" q in
+  let n = Array.length p in
+  (* Cumulative differences; the optimal rotation shifts them by their
+     median (Rabin, Delon & Gousseau). *)
+  let cum = Array.make n 0. in
+  let running = ref 0. in
+  for i = 0 to n - 1 do
+    running := !running +. (p.(i) /. tp) -. (q.(i) /. tq);
+    cum.(i) <- !running
+  done;
+  let mu = Dbh_util.Stats.median cum in
+  Array.fold_left (fun acc c -> acc +. Float.abs (c -. mu)) 0. cum
+
+let histogram_space = Dbh_space.Space.make ~name:"emd-1d" histograms

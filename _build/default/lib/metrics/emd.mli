@@ -1,0 +1,23 @@
+(** Earth mover's distance in one dimension.
+
+    For distributions on an ordered domain, EMD has the closed form
+    [Σ |CDF_p(i) − CDF_q(i)|] — no transportation solver needed.  Used as
+    another inexpensive non-Lp measure for histograms (and, with
+    {!circular}, for angular histograms such as shape-context sectors). *)
+
+val histograms : float array -> float array -> float
+(** EMD between two same-length histograms over an ordered domain with
+    unit bin spacing.  Histograms are normalized internally, so mass
+    scales do not matter.  Raises on empty or mismatched inputs, or
+    non-positive total mass. *)
+
+val sorted_samples : float array -> float array -> float
+(** EMD between two empirical distributions given as equal-length sorted
+    sample arrays: [mean_i |a_i − b_i|]. *)
+
+val circular : float array -> float array -> float
+(** EMD on a circular domain (Rabin et al. closed form): the minimum over
+    rotations of the linear EMD; computed via the median-shift trick on
+    cumulative differences. *)
+
+val histogram_space : float array Dbh_space.Space.t

@@ -1,0 +1,95 @@
+type point = { x : float; y : float }
+
+let point x y = { x; y }
+let origin = { x = 0.; y = 0. }
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y }
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+let scale s p = { x = s *. p.x; y = s *. p.y }
+let dot a b = (a.x *. b.x) +. (a.y *. b.y)
+let norm p = sqrt (dot p p)
+let dist_sq a b = ((a.x -. b.x) *. (a.x -. b.x)) +. ((a.y -. b.y) *. (a.y -. b.y))
+let dist a b = sqrt (dist_sq a b)
+
+let rotate theta p =
+  let c = cos theta and s = sin theta in
+  { x = (c *. p.x) -. (s *. p.y); y = (s *. p.x) +. (c *. p.y) }
+
+let angle_of p =
+  let a = atan2 p.y p.x in
+  if a < 0. then a +. (2. *. Float.pi) else a
+
+let centroid pts =
+  if Array.length pts = 0 then invalid_arg "Geom.centroid: empty point set";
+  let acc = Array.fold_left add origin pts in
+  scale (1. /. float_of_int (Array.length pts)) acc
+
+let translate offset pts = Array.map (add offset) pts
+let rotate_all theta pts = Array.map (rotate theta) pts
+let scale_all s pts = Array.map (scale s) pts
+
+let mean_pairwise_distance pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Geom.mean_pairwise_distance: need at least two points";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      total := !total +. dist pts.(i) pts.(j)
+    done
+  done;
+  !total /. float_of_int (n * (n - 1) / 2)
+
+let path_length poly =
+  let total = ref 0. in
+  for i = 0 to Array.length poly - 2 do
+    total := !total +. dist poly.(i) poly.(i + 1)
+  done;
+  !total
+
+let resample n poly =
+  if n < 2 then invalid_arg "Geom.resample: need n >= 2";
+  let len = Array.length poly in
+  if len = 0 then invalid_arg "Geom.resample: empty polyline";
+  if len = 1 then Array.make n poly.(0)
+  else begin
+    let total = path_length poly in
+    if total <= 0. then Array.make n poly.(0)
+    else begin
+      let step = total /. float_of_int (n - 1) in
+      let out = Array.make n poly.(0) in
+      out.(n - 1) <- poly.(len - 1);
+      (* Walk the polyline, emitting a point every [step] of arc length. *)
+      let seg = ref 0 in
+      let seg_start = ref 0. in
+      for i = 1 to n - 2 do
+        let target = float_of_int i *. step in
+        while
+          !seg < len - 2 && !seg_start +. dist poly.(!seg) poly.(!seg + 1) < target
+        do
+          seg_start := !seg_start +. dist poly.(!seg) poly.(!seg + 1);
+          incr seg
+        done;
+        let seg_len = dist poly.(!seg) poly.(!seg + 1) in
+        let frac = if seg_len > 0. then (target -. !seg_start) /. seg_len else 0. in
+        let frac = Float.max 0. (Float.min 1. frac) in
+        out.(i) <- add poly.(!seg) (scale frac (sub poly.(!seg + 1) poly.(!seg)))
+      done;
+      out
+    end
+  end
+
+let normalize_to_unit_box pts =
+  if Array.length pts = 0 then invalid_arg "Geom.normalize_to_unit_box: empty point set";
+  let min_x = ref pts.(0).x and max_x = ref pts.(0).x in
+  let min_y = ref pts.(0).y and max_y = ref pts.(0).y in
+  Array.iter
+    (fun p ->
+      if p.x < !min_x then min_x := p.x;
+      if p.x > !max_x then max_x := p.x;
+      if p.y < !min_y then min_y := p.y;
+      if p.y > !max_y then max_y := p.y)
+    pts;
+  let cx = (!min_x +. !max_x) /. 2. and cy = (!min_y +. !max_y) /. 2. in
+  let half_span = Float.max ((!max_x -. !min_x) /. 2.) ((!max_y -. !min_y) /. 2.) in
+  let s = if half_span > 0. then 1. /. half_span else 1. in
+  Array.map (fun p -> { x = s *. (p.x -. cx); y = s *. (p.y -. cy) }) pts

@@ -1,0 +1,101 @@
+type params = {
+  radial_bins : int;
+  angular_bins : int;
+  r_inner : float;
+  r_outer : float;
+}
+
+let default_params = { radial_bins = 5; angular_bins = 12; r_inner = 0.125; r_outer = 2.0 }
+
+type descriptor = {
+  pts : Geom.point array;
+  histograms : float array array;
+}
+
+let compute ?(params = default_params) pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Shape_context.compute: need at least 2 points";
+  if params.radial_bins < 1 || params.angular_bins < 1 then
+    invalid_arg "Shape_context.compute: bins must be positive";
+  if params.r_inner <= 0. || params.r_outer <= params.r_inner then
+    invalid_arg "Shape_context.compute: need 0 < r_inner < r_outer";
+  let mean_dist = Geom.mean_pairwise_distance pts in
+  let scale = if mean_dist > 0. then mean_dist else 1. in
+  (* Log-spaced radial shell edges between r_inner and r_outer. *)
+  let log_lo = log params.r_inner and log_hi = log params.r_outer in
+  let radial_bin r =
+    if r <= 0. then 0
+    else begin
+      let lr = log (r /. scale) in
+      if lr < log_lo then 0
+      else if lr >= log_hi then params.radial_bins - 1
+      else
+        let frac = (lr -. log_lo) /. (log_hi -. log_lo) in
+        min (params.radial_bins - 1) (int_of_float (frac *. float_of_int params.radial_bins))
+    end
+  in
+  let bins = params.radial_bins * params.angular_bins in
+  let histograms =
+    Array.init n (fun i ->
+        let h = Array.make bins 0. in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            let rel = Geom.sub pts.(j) pts.(i) in
+            let r = Geom.norm rel in
+            let rb = radial_bin r in
+            let theta = Geom.angle_of rel in
+            let ab =
+              min (params.angular_bins - 1)
+                (int_of_float (theta /. (2. *. Float.pi) *. float_of_int params.angular_bins))
+            in
+            let cell = (rb * params.angular_bins) + ab in
+            h.(cell) <- h.(cell) +. 1.
+          end
+        done;
+        (* Normalize so χ² costs are size-invariant. *)
+        let total = float_of_int (n - 1) in
+        Array.map (fun c -> c /. total) h)
+  in
+  { pts; histograms }
+
+let points d = d.pts
+let histogram d i = d.histograms.(i)
+let num_points d = Array.length d.pts
+
+let cost_matrix a b =
+  let na = num_points a and nb = num_points b in
+  Array.init na (fun i -> Array.init nb (fun j -> Divergence.chi2 a.histograms.(i) b.histograms.(j)))
+
+let matching_cost a b =
+  (* Orient so rows <= cols; cost is symmetric in the arguments. *)
+  let small, large = if num_points a <= num_points b then (a, b) else (b, a) in
+  let costs = cost_matrix small large in
+  let assignment = Dbh_hungarian.Hungarian.solve costs in
+  assignment.cost /. float_of_int (num_points small)
+
+let greedy_cost a b =
+  let small, large = if num_points a <= num_points b then (a, b) else (b, a) in
+  let costs = cost_matrix small large in
+  let na = num_points small and nb = num_points large in
+  (* All pairs sorted by cost; greedily accept compatible ones. *)
+  let pairs = Array.make (na * nb) (0., 0, 0) in
+  for i = 0 to na - 1 do
+    for j = 0 to nb - 1 do
+      pairs.((i * nb) + j) <- (costs.(i).(j), i, j)
+    done
+  done;
+  Array.sort (fun (c1, _, _) (c2, _, _) -> compare c1 c2) pairs;
+  let row_used = Array.make na false and col_used = Array.make nb false in
+  let matched = ref 0 and total = ref 0. in
+  Array.iter
+    (fun (c, i, j) ->
+      if !matched < na && (not row_used.(i)) && not col_used.(j) then begin
+        row_used.(i) <- true;
+        col_used.(j) <- true;
+        incr matched;
+        total := !total +. c
+      end)
+    pairs;
+  !total /. float_of_int na
+
+let space = Dbh_space.Space.make ~name:"shape-context" matching_cost

@@ -1,0 +1,46 @@
+(** Shape-context matching (Belongie, Malik & Puzicha), the paper's
+    distance measure for MNIST.
+
+    Each point of a shape gets a log-polar histogram of the relative
+    positions of all other points; the distance between two shapes is the
+    cost of the optimal one-to-one correspondence between their points
+    under the χ² histogram cost, computed with the Hungarian algorithm —
+    O(n³) in the number of sample points, which is why the paper reports
+    only 15 distance evaluations per second on MNIST. *)
+
+type params = {
+  radial_bins : int;  (** log-spaced radial shells (default 5) *)
+  angular_bins : int;  (** angular sectors (default 12) *)
+  r_inner : float;  (** innermost shell radius, relative to mean pairwise distance (default 0.125) *)
+  r_outer : float;  (** outermost shell radius, same scale (default 2.0) *)
+}
+
+val default_params : params
+
+type descriptor
+(** A shape: its sample points plus one normalized log-polar histogram per
+    point.  Compute once per object, reuse across distance evaluations. *)
+
+val compute : ?params:params -> Geom.point array -> descriptor
+(** Build the descriptor of a shape with at least 2 points.  Scale
+    invariance comes from normalizing radii by the mean pairwise
+    distance; the descriptor is translation invariant by construction. *)
+
+val points : descriptor -> Geom.point array
+val histogram : descriptor -> int -> float array
+(** Normalized histogram of the i-th sample point. *)
+
+val num_points : descriptor -> int
+
+val matching_cost : descriptor -> descriptor -> float
+(** Optimal-assignment matching cost: mean χ² cost of matched pairs under
+    the minimum-cost assignment.  Handles shapes of different sizes by
+    matching all points of the smaller shape.  Symmetric; non-metric. *)
+
+val greedy_cost : descriptor -> descriptor -> float
+(** Cheaper O(n² log n) greedy lower-quality matching (each point matched
+    to its best remaining partner in global cost order).  An upper bound
+    on {!matching_cost}; used in tests and as a fast filter. *)
+
+val space : descriptor Dbh_space.Space.t
+(** {!matching_cost} as a space. *)

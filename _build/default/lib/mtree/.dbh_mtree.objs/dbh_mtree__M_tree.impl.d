@@ -1,0 +1,1 @@
+lib/mtree/m_tree.ml: Array Dbh_space Dbh_util Float List

@@ -1,0 +1,1 @@
+lib/mtree/m_tree.mli: Dbh_space

@@ -1,0 +1,202 @@
+module Space = Dbh_space.Space
+module Vec = Dbh_util.Vec
+module Pqueue = Dbh_util.Pqueue
+
+(* Entries reference objects by id into the tree's object vector.  Leaf
+   entries have [child = None] and radius 0; internal entries route a
+   subtree contained in the ball (router, radius). *)
+type 'a entry = {
+  router : int;
+  mutable radius : float;
+  child : 'a node option;
+}
+
+and 'a node = {
+  leaf : bool;
+  mutable entries : 'a entry list;
+}
+
+type 'a t = {
+  space : 'a Space.t;
+  capacity : int;
+  objects : 'a Vec.t;
+  mutable root : 'a node;
+}
+
+let create ~space ?(capacity = 16) () =
+  if capacity < 4 then invalid_arg "M_tree.create: capacity must be >= 4";
+  { space; capacity; objects = Vec.create (); root = { leaf = true; entries = [] } }
+
+let size t = Vec.length t.objects
+
+let rec node_height node =
+  match node.entries with
+  | [] -> 1
+  | { child = Some c; _ } :: _ -> 1 + node_height c
+  | { child = None; _ } :: _ -> 1
+
+let height t = node_height t.root
+
+let dist t a_id b_id = t.space.Space.distance (Vec.get t.objects a_id) (Vec.get t.objects b_id)
+
+(* Split an overflowing node: promote the two farthest-apart routers and
+   partition entries to the nearest one; covering radii bound each
+   member's own ball via the triangle inequality. *)
+let split t node =
+  let entries = Array.of_list node.entries in
+  let n = Array.length entries in
+  (* Farthest pair among the entry routers (O(n²) distances, split only). *)
+  let best_i = ref 0 and best_j = ref 1 and best_d = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = dist t entries.(i).router entries.(j).router in
+      if d > !best_d then begin
+        best_d := d;
+        best_i := i;
+        best_j := j
+      end
+    done
+  done;
+  let r1 = entries.(!best_i).router and r2 = entries.(!best_j).router in
+  let part1 = ref [] and part2 = ref [] in
+  let rad1 = ref 0. and rad2 = ref 0. in
+  Array.iter
+    (fun e ->
+      let d1 = dist t r1 e.router and d2 = dist t r2 e.router in
+      if d1 <= d2 then begin
+        part1 := e :: !part1;
+        rad1 := Float.max !rad1 (d1 +. e.radius)
+      end
+      else begin
+        part2 := e :: !part2;
+        rad2 := Float.max !rad2 (d2 +. e.radius)
+      end)
+    entries;
+  let mk part = { leaf = node.leaf; entries = part } in
+  ( { router = r1; radius = !rad1; child = Some (mk !part1) },
+    { router = r2; radius = !rad2; child = Some (mk !part2) } )
+
+(* Returns [Some (e1, e2)] when the node overflowed and was split. *)
+let rec insert_into t node obj_id =
+  if node.leaf then begin
+    node.entries <- { router = obj_id; radius = 0.; child = None } :: node.entries;
+    if List.length node.entries > t.capacity then Some (split t node) else None
+  end
+  else begin
+    (* Route to the entry whose ball is nearest (min enlargement). *)
+    let best = ref None in
+    List.iter
+      (fun e ->
+        let d = dist t e.router obj_id in
+        let enlargement = Float.max 0. (d -. e.radius) in
+        match !best with
+        | Some (be, _, benl) when benl < enlargement || (benl = enlargement && be.radius <= e.radius)
+          ->
+            ()
+        | _ -> best := Some (e, d, enlargement))
+      node.entries;
+    match !best with
+    | None -> assert false (* internal nodes are never empty *)
+    | Some (e, d, _) -> (
+        e.radius <- Float.max e.radius d;
+        let child = match e.child with Some c -> c | None -> assert false in
+        match insert_into t child obj_id with
+        | None -> None
+        | Some (e1, e2) ->
+            node.entries <-
+              e1 :: e2 :: List.filter (fun e' -> e' != e) node.entries;
+            if List.length node.entries > t.capacity then Some (split t node) else None)
+  end
+
+let insert t obj =
+  let obj_id = Vec.push t.objects obj in
+  (match insert_into t t.root obj_id with
+  | None -> ()
+  | Some (e1, e2) -> t.root <- { leaf = false; entries = [ e1; e2 ] });
+  obj_id
+
+let build ~space ?capacity db =
+  let t = create ~space ?capacity () in
+  Array.iter (fun obj -> ignore (insert t obj)) db;
+  t
+
+(* Best-first search shared by nn/knn: frontier of nodes keyed by an
+   optimistic bound; [consider] absorbs measured objects, [tau] is the
+   current pruning radius. *)
+let search t q ~budget ~tau ~consider =
+  let spent = ref 0 in
+  let frontier = Pqueue.create () in
+  Pqueue.push frontier 0. t.root;
+  let exhausted = ref false in
+  while (not !exhausted) && !spent < budget do
+    match Pqueue.pop frontier with
+    | None -> exhausted := true
+    | Some (bound, node) ->
+        if bound <= tau () then
+          List.iter
+            (fun e ->
+              if !spent < budget then begin
+                incr spent;
+                let d = t.space.Space.distance q (Vec.get t.objects e.router) in
+                (match e.child with
+                | None -> consider e.router d
+                | Some c ->
+                    (* The router is a real object too: it lives in some
+                       leaf, so do not [consider] it here. *)
+                    let child_bound = Float.max 0. (d -. e.radius) in
+                    if child_bound <= tau () then Pqueue.push frontier child_bound c);
+                ()
+              end)
+            node.entries
+  done;
+  !spent
+
+let nn_budgeted t ~budget q =
+  if budget < 1 || size t = 0 then (None, 0)
+  else begin
+    let best = ref None in
+    let consider id d =
+      match !best with
+      | Some (_, bd) when bd <= d -> ()
+      | _ -> best := Some (id, d)
+    in
+    let tau () = match !best with None -> infinity | Some (_, bd) -> bd in
+    let spent = search t q ~budget ~tau ~consider in
+    (!best, spent)
+  end
+
+let nn t q = nn_budgeted t ~budget:max_int q
+
+let knn t k q =
+  if k < 1 then invalid_arg "M_tree.knn: k must be >= 1";
+  let heap = Dbh_util.Bounded_heap.create k in
+  let consider id d = ignore (Dbh_util.Bounded_heap.push heap d id) in
+  let tau () = Dbh_util.Bounded_heap.threshold heap in
+  let spent = search t q ~budget:max_int ~tau ~consider in
+  let out = Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d)) in
+  (Array.of_list out, spent)
+
+let range t radius q =
+  if radius < 0. then invalid_arg "M_tree.range: negative radius";
+  let hits = ref [] in
+  let consider id d = if d <= radius then hits := (id, d) :: !hits in
+  let tau () = radius in
+  let spent = search t q ~budget:max_int ~tau ~consider in
+  (List.sort (fun (_, a) (_, b) -> compare a b) !hits, spent)
+
+let check_invariants t =
+  let ok = ref true in
+  let rec walk node constraints =
+    List.iter
+      (fun e ->
+        match e.child with
+        | None ->
+            List.iter
+              (fun (router, radius) ->
+                if dist t router e.router > radius +. 1e-9 then ok := false)
+              constraints
+        | Some c -> walk c ((e.router, e.radius) :: constraints))
+      node.entries
+  in
+  walk t.root [];
+  !ok

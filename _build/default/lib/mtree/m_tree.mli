@@ -1,0 +1,42 @@
+(** M-tree (Ciaccia, Patella & Zezula, 1997) — a dynamic, balanced,
+    distance-based tree, simplified to an in-memory setting.
+
+    Objects are inserted one at a time; each internal entry keeps a
+    routing object and a covering radius, so subtrees can be pruned with
+    the triangle inequality.  The paper cites M-trees as the metric-tree
+    family designed for dynamic databases; it serves here as the dynamic
+    baseline next to (static) VP-trees and LAESA.  Exact in metric
+    spaces, heuristic for non-metric measures. *)
+
+type 'a t
+
+val create : space:'a Dbh_space.Space.t -> ?capacity:int -> unit -> 'a t
+(** Empty tree.  [capacity] (default 16, minimum 4) is the maximum number
+    of entries per node before a split. *)
+
+val build :
+  space:'a Dbh_space.Space.t -> ?capacity:int -> 'a array -> 'a t
+(** Iterated insertion of all the given objects. *)
+
+val insert : 'a t -> 'a -> int
+(** Insert an object; returns its id (insertion order).  Costs
+    O(height · capacity) distance computations. *)
+
+val size : 'a t -> int
+val height : 'a t -> int
+
+val nn : 'a t -> 'a -> (int * float) option * int
+(** Nearest neighbor (best-first with covering-radius bounds) and the
+    number of distance computations spent.  [None] on an empty tree. *)
+
+val nn_budgeted : 'a t -> budget:int -> 'a -> (int * float) option * int
+(** Anytime variant: stop after [budget] distance computations. *)
+
+val knn : 'a t -> int -> 'a -> (int * float) array * int
+
+val range : 'a t -> float -> 'a -> (int * float) list * int
+(** All objects within the radius, sorted by distance. *)
+
+val check_invariants : 'a t -> bool
+(** Every stored object lies within the covering radius of each ancestor
+    router (test hook; O(n · height) distances). *)

@@ -1,0 +1,1 @@
+lib/space/space.ml: Array Dbh_util Float Printf

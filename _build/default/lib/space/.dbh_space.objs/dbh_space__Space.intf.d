@@ -1,0 +1,1 @@
+lib/space/space.mli: Dbh_util

@@ -1,0 +1,87 @@
+type 'a t = {
+  name : string;
+  distance : 'a -> 'a -> float;
+}
+
+let make ~name distance = { name; distance }
+let rename name t = { t with name }
+
+type counter = { mutable calls : int }
+
+let counter () = { calls = 0 }
+let count c = c.calls
+let reset c = c.calls <- 0
+
+let counted c t =
+  let distance x y =
+    c.calls <- c.calls + 1;
+    t.distance x y
+  in
+  { t with distance }
+
+let with_counter t =
+  let c = counter () in
+  (counted c t, c)
+
+let of_matrix ?(name = "matrix") m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Space.of_matrix: matrix not square")
+    m;
+  let distance i j = m.(i).(j) in
+  { name; distance }
+
+let random_metric_matrix rng n =
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Dbh_util.Rng.float_in rng 1. 2. in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done
+  done;
+  m
+
+let transform ~name f s =
+  let distance x y = s.distance (f x) (f y) in
+  { name; distance }
+
+let max_product a b =
+  let distance (xa, xb) (ya, yb) = Float.max (a.distance xa ya) (b.distance xb yb) in
+  { name = Printf.sprintf "max(%s,%s)" a.name b.name; distance }
+
+let sum_product a b =
+  let distance (xa, xb) (ya, yb) = a.distance xa ya +. b.distance xb yb in
+  { name = Printf.sprintf "sum(%s,%s)" a.name b.name; distance }
+
+let is_symmetric ?(tol = 1e-9) t sample =
+  let n = Array.length sample in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d1 = t.distance sample.(i) sample.(j)
+      and d2 = t.distance sample.(j) sample.(i) in
+      if Float.abs (d1 -. d2) > tol then ok := false
+    done
+  done;
+  !ok
+
+let triangle_violations ?(tol = 1e-9) t sample =
+  let n = Array.length sample in
+  (* Cache pairwise distances to avoid O(n^3) distance evaluations. *)
+  let d = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then d.(i).(j) <- t.distance sample.(i) sample.(j)
+    done
+  done;
+  let violations = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        if i <> j && j <> k && i <> k && d.(i).(k) > d.(i).(j) +. d.(j).(k) +. tol then
+          incr violations
+      done
+    done
+  done;
+  !violations

@@ -1,0 +1,1 @@
+lib/util/binio.ml: Array Buffer Char Int64 Printf String

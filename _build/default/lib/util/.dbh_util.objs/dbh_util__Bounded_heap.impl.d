@@ -1,0 +1,1 @@
+lib/util/bounded_heap.ml: Array List

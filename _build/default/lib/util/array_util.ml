@@ -1,0 +1,62 @@
+let argmin xs =
+  if Array.length xs = 0 then invalid_arg "Array_util.argmin: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(!best) then best := i
+  done;
+  !best
+
+let argmax xs =
+  if Array.length xs = 0 then invalid_arg "Array_util.argmax: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) > xs.(!best) then best := i
+  done;
+  !best
+
+let min_by f arr =
+  if Array.length arr = 0 then invalid_arg "Array_util.min_by: empty array";
+  let best_i = ref 0 and best_v = ref (f arr.(0)) in
+  for i = 1 to Array.length arr - 1 do
+    let v = f arr.(i) in
+    if v < !best_v then begin
+      best_i := i;
+      best_v := v
+    end
+  done;
+  (!best_i, arr.(!best_i), !best_v)
+
+let mapi_float f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n 0. in
+    for i = 0 to n - 1 do
+      out.(i) <- f i arr.(i)
+    done;
+    out
+  end
+
+let range lo hi =
+  if hi <= lo then [||] else Array.init (hi - lo) (fun i -> lo + i)
+
+let take n arr =
+  let n = max 0 (min n (Array.length arr)) in
+  Array.sub arr 0 n
+
+let drop n arr =
+  let len = Array.length arr in
+  let n = max 0 (min n len) in
+  Array.sub arr n (len - n)
+
+let mean_by f arr =
+  if Array.length arr = 0 then invalid_arg "Array_util.mean_by: empty array";
+  let acc = Array.fold_left (fun acc x -> acc +. f x) 0. arr in
+  acc /. float_of_int (Array.length arr)
+
+let count pred arr = Array.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 arr
+
+let fold_lefti f init arr =
+  let acc = ref init in
+  Array.iteri (fun i x -> acc := f !acc i x) arr;
+  !acc

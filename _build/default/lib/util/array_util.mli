@@ -1,0 +1,32 @@
+(** Small array helpers shared across the library. *)
+
+val argmin : float array -> int
+(** Index of the smallest element (first on ties).  Raises on empty. *)
+
+val argmax : float array -> int
+(** Index of the largest element (first on ties).  Raises on empty. *)
+
+val min_by : ('a -> float) -> 'a array -> int * 'a * float
+(** [min_by f arr] is [(index, element, f element)] minimizing [f].
+    Raises on empty. *)
+
+val mapi_float : (int -> 'a -> float) -> 'a array -> float array
+(** Like [Array.mapi] but producing an unboxed float array. *)
+
+val range : int -> int -> int array
+(** [range lo hi] is [\[|lo; lo+1; ...; hi-1|\]]. *)
+
+val take : int -> 'a array -> 'a array
+(** First [n] elements (or all of them when shorter). *)
+
+val drop : int -> 'a array -> 'a array
+(** All but the first [n] elements (or [\[||\]] when shorter). *)
+
+val mean_by : ('a -> float) -> 'a array -> float
+(** Average of [f] over a non-empty array. *)
+
+val count : ('a -> bool) -> 'a array -> int
+(** Number of elements satisfying the predicate. *)
+
+val fold_lefti : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+(** Left fold with the element index. *)

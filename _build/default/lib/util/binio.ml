@@ -1,0 +1,71 @@
+exception Corrupt of string
+
+let write_int buf v =
+  let v = Int64.of_int v in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let write_float buf f =
+  let v = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let write_string buf s =
+  write_int buf (String.length s);
+  Buffer.add_string buf s
+
+let write_int_array buf arr =
+  write_int buf (Array.length arr);
+  Array.iter (write_int buf) arr
+
+let write_float_array buf arr =
+  write_int buf (Array.length arr);
+  Array.iter (write_float buf) arr
+
+type reader = {
+  data : string;
+  mutable offset : int;
+}
+
+let reader data = { data; offset = 0 }
+let pos r = r.offset
+let at_end r = r.offset >= String.length r.data
+let remaining r = max 0 (String.length r.data - r.offset)
+
+let need r n =
+  if r.offset + n > String.length r.data then
+    raise (Corrupt (Printf.sprintf "truncated input at offset %d (need %d bytes)" r.offset n))
+
+let read_raw64 r =
+  need r 8;
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.data.[r.offset + i]))
+  done;
+  r.offset <- r.offset + 8;
+  !v
+
+let read_int r = Int64.to_int (read_raw64 r)
+let read_float r = Int64.float_of_bits (read_raw64 r)
+
+let read_string r =
+  let len = read_int r in
+  if len < 0 then raise (Corrupt "negative string length");
+  need r len;
+  let s = String.sub r.data r.offset len in
+  r.offset <- r.offset + len;
+  s
+
+let read_array read_elem r =
+  let len = read_int r in
+  if len < 0 then raise (Corrupt "negative array length");
+  (* Guard absurd lengths before allocating. *)
+  if len > String.length r.data - r.offset then raise (Corrupt "array length exceeds input");
+  Array.init len (fun _ -> read_elem r)
+
+let read_int_array r = read_array read_int r
+let read_float_array r = read_array read_float r

@@ -1,0 +1,38 @@
+(** Minimal binary (de)serialization helpers.
+
+    Used by the index persistence layer: little-endian fixed-width ints,
+    IEEE doubles, and length-prefixed strings over [Buffer]/[string].
+    The reader tracks its own offset and fails loudly on truncation. *)
+
+val write_int : Buffer.t -> int -> unit
+(** 8 bytes, little endian, two's complement. *)
+
+val write_float : Buffer.t -> float -> unit
+(** IEEE-754 double bits, 8 bytes little endian. *)
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed ({!write_int}) byte string. *)
+
+val write_int_array : Buffer.t -> int array -> unit
+val write_float_array : Buffer.t -> float array -> unit
+
+type reader
+
+val reader : string -> reader
+(** Start reading at offset 0. *)
+
+val pos : reader -> int
+val at_end : reader -> bool
+
+val remaining : reader -> int
+(** Bytes left to read — used to sanity-check length prefixes before
+    allocating. *)
+
+val read_int : reader -> int
+val read_float : reader -> float
+val read_string : reader -> string
+val read_int_array : reader -> int array
+val read_float_array : reader -> float array
+
+exception Corrupt of string
+(** Raised on truncated input or impossible lengths. *)

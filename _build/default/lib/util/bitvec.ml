@@ -1,0 +1,53 @@
+type t = {
+  len : int;
+  words : int array;  (* 62 payload bits per word; sign bits unused *)
+}
+
+let bits_per_word = 62
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make ((len + bits_per_word - 1) / bits_per_word) 0 }
+
+let length t = t.len
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) lsr b land 1 = 1
+
+let set t i v =
+  check_index t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  if v then t.words.(w) <- t.words.(w) lor (1 lsl b)
+  else t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let of_bools bools =
+  let t = create (Array.length bools) in
+  Array.iteri (fun i b -> if b then set t i true) bools;
+  t
+
+let to_bools t = Array.init t.len (get t)
+
+(* SWAR popcount on the 63-bit magnitude of a non-negative int. *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56 land 0xFF
+
+let hamming a b =
+  if a.len <> b.len then invalid_arg "Bitvec.hamming: length mismatch";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) lxor b.words.(w))
+  done;
+  !acc
+
+let agreement a b =
+  if a.len = 0 then invalid_arg "Bitvec.agreement: empty vectors";
+  let d = hamming a b in
+  1. -. (float_of_int d /. float_of_int a.len)

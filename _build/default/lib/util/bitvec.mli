@@ -1,0 +1,29 @@
+(** Fixed-length packed bit vectors.
+
+    DBH's statistical analysis estimates collision rates [C(X1,X2)] by
+    applying a few hundred binary hash functions to sample objects and
+    comparing the resulting bit strings; packing them 62 bits per word
+    makes the pairwise comparison a handful of XOR/popcounts. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n]-bit vector of zeros. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val of_bools : bool array -> t
+val to_bools : t -> bool array
+
+val hamming : t -> t -> int
+(** Number of differing bits of two equal-length vectors. *)
+
+val agreement : t -> t -> float
+(** Fraction of positions where the vectors agree — the empirical
+    collision rate over the sampled hash functions.  Raises on empty or
+    mismatched lengths. *)
+
+val popcount : int -> int
+(** Number of set bits of a native int (exposed for tests). *)

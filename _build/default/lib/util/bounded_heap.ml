@@ -1,0 +1,83 @@
+type 'a t = {
+  cap : int;
+  keys : float array;
+  values : 'a option array;
+  mutable len : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Bounded_heap.create: capacity must be positive";
+  { cap; keys = Array.make cap nan; values = Array.make cap None; len = 0 }
+
+let capacity t = t.cap
+let size t = t.len
+let is_full t = t.len = t.cap
+let threshold t = if is_full t then t.keys.(0) else infinity
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(parent) < t.keys.(i) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let largest = ref i in
+  if left < t.len && t.keys.(left) > t.keys.(!largest) then largest := left;
+  if right < t.len && t.keys.(right) > t.keys.(!largest) then largest := right;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let push t key v =
+  if t.len < t.cap then begin
+    t.keys.(t.len) <- key;
+    t.values.(t.len) <- Some v;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1);
+    true
+  end
+  else if key < t.keys.(0) then begin
+    t.keys.(0) <- key;
+    t.values.(0) <- Some v;
+    sift_down t 0;
+    true
+  end
+  else false
+
+let to_sorted_list t =
+  let items = ref [] in
+  for i = 0 to t.len - 1 do
+    match t.values.(i) with
+    | Some v -> items := (t.keys.(i), v) :: !items
+    | None -> assert false
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !items
+
+let best t =
+  if t.len = 0 then None
+  else begin
+    let idx = ref 0 in
+    for i = 1 to t.len - 1 do
+      if t.keys.(i) < t.keys.(!idx) then idx := i
+    done;
+    match t.values.(!idx) with
+    | Some v -> Some (t.keys.(!idx), v)
+    | None -> assert false
+  end
+
+let clear t =
+  Array.fill t.values 0 t.cap None;
+  t.len <- 0

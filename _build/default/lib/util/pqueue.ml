@@ -1,0 +1,68 @@
+type 'a entry = { key : float; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let new_cap = max 8 (2 * cap) in
+    let data = Array.make new_cap entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(parent).key > t.data.(i).key then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && t.data.(left).key < t.data.(!smallest).key then smallest := left;
+  if right < t.len && t.data.(right).key < t.data.(!smallest).key then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  let entry = { key; value } in
+  grow t entry;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek t = if t.len = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0

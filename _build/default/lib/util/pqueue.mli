@@ -1,0 +1,21 @@
+(** Growable binary min-heap keyed by floats.
+
+    Used as the frontier of best-first searches (e.g. the budgeted VP-tree
+    traversal): pop always yields the entry with the smallest key. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert an entry with the given priority key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key entry, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-key entry without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,36 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+let of_array arr = { data = Array.copy arr; len = Array.length arr }
+let length t = t.len
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let cap = max 8 (2 * Array.length t.data) in
+    let data = Array.make cap v in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

@@ -1,0 +1,24 @@
+(** Growable arrays (amortized O(1) append).
+
+    The backing structure for dynamic databases: indexes hold a shared
+    [Vec.t] of objects so that insertions extend every index over the
+    same store. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val of_array : 'a array -> 'a t
+(** Copies the input. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Appends and returns the new element's index. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

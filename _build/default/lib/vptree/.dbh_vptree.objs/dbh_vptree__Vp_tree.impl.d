@@ -1,0 +1,1 @@
+lib/vptree/vp_tree.ml: Array Dbh_space Dbh_util Float List

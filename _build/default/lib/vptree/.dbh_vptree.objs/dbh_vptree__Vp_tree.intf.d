@@ -1,0 +1,1 @@
+lib/vptree/vp_tree.mli: Dbh_space Dbh_util

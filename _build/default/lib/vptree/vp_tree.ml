@@ -1,0 +1,148 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Pqueue = Dbh_util.Pqueue
+module Bounded_heap = Dbh_util.Bounded_heap
+
+type node =
+  | Leaf of int array  (* database indices *)
+  | Node of {
+      pivot : int;  (* database index of the vantage point *)
+      mu : float;  (* median distance: inside covers d(pivot, x) <= mu *)
+      inside : node;
+      outside : node;
+    }
+
+type 'a t = {
+  space : 'a Space.t;
+  db : 'a array;
+  root : node;
+}
+
+let size t = Array.length t.db
+let database t = t.db
+
+let rec node_depth = function
+  | Leaf _ -> 1
+  | Node { inside; outside; _ } -> 1 + max (node_depth inside) (node_depth outside)
+
+let depth t = node_depth t.root
+
+let build ~rng ~space ?(leaf_size = 8) db =
+  if Array.length db = 0 then invalid_arg "Vp_tree.build: empty database";
+  if leaf_size < 1 then invalid_arg "Vp_tree.build: leaf_size must be >= 1";
+  let rec go ids =
+    if Array.length ids <= leaf_size then Leaf ids
+    else begin
+      let pivot_pos = Rng.int rng (Array.length ids) in
+      let pivot = ids.(pivot_pos) in
+      let rest =
+        Array.of_list (List.filteri (fun i _ -> i <> pivot_pos) (Array.to_list ids))
+      in
+      let dists = Array.map (fun id -> space.Space.distance db.(pivot) db.(id)) rest in
+      let mu = Dbh_util.Stats.median dists in
+      let inside = ref [] and outside = ref [] in
+      Array.iteri
+        (fun i id -> if dists.(i) <= mu then inside := id :: !inside else outside := id :: !outside)
+        rest;
+      (* A degenerate split (all ties on one side) would not shrink; leaf out. *)
+      if !inside = [] || !outside = [] then Leaf ids
+      else
+        Node
+          {
+            pivot;
+            mu;
+            inside = go (Array.of_list !inside);
+            outside = go (Array.of_list !outside);
+          }
+    end
+  in
+  { space; db; root = go (Array.init (Array.length db) (fun i -> i)) }
+
+(* Exact-mode traversal with triangle-inequality pruning.  [update] absorbs
+   scanned (id, distance) pairs and [tau] returns the current pruning
+   radius. *)
+let exact_traverse t q ~update ~tau =
+  let spent = ref 0 in
+  let dist id =
+    incr spent;
+    t.space.Space.distance q t.db.(id)
+  in
+  let rec go = function
+    | Leaf ids -> Array.iter (fun id -> update id (dist id)) ids
+    | Node { pivot; mu; inside; outside } ->
+        let dp = dist pivot in
+        update pivot dp;
+        (* Visit the side containing q first; prune with the ball bound. *)
+        let near, far = if dp <= mu then (inside, outside) else (outside, inside) in
+        go near;
+        let bound = Float.abs (dp -. mu) in
+        if bound <= tau () then go far
+  in
+  go t.root;
+  !spent
+
+let nn t q =
+  let best = ref (-1, infinity) in
+  let update id d = if d < snd !best then best := (id, d) in
+  let tau () = snd !best in
+  let spent = exact_traverse t q ~update ~tau in
+  (!best, spent)
+
+let knn t m q =
+  if m < 1 then invalid_arg "Vp_tree.knn: m must be >= 1";
+  let heap = Bounded_heap.create m in
+  let update id d = ignore (Bounded_heap.push heap d id) in
+  let tau () = Bounded_heap.threshold heap in
+  let spent = exact_traverse t q ~update ~tau in
+  let out = Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d)) in
+  (Array.of_list out, spent)
+
+let range t radius q =
+  if radius < 0. then invalid_arg "Vp_tree.range: negative radius";
+  let hits = ref [] in
+  let update id d = if d <= radius then hits := (id, d) :: !hits in
+  let tau () = radius in
+  let spent = exact_traverse t q ~update ~tau in
+  (List.sort (fun (_, a) (_, b) -> compare a b) !hits, spent)
+
+(* Best-first anytime search: the frontier is ordered by an optimistic
+   lower bound on the distance from q to anything below the node (valid in
+   metric spaces; heuristic otherwise).  Each popped node charges the
+   distance to its pivot (or to every member, for leaves) against the
+   budget. *)
+let nn_budgeted t ~budget q =
+  if budget < 1 then (None, 0)
+  else begin
+    let spent = ref 0 in
+    let best = ref None in
+    let better d = match !best with None -> true | Some (_, bd) -> d < bd in
+    let consider id d = if better d then best := Some (id, d) in
+    let frontier = Pqueue.create () in
+    Pqueue.push frontier 0. t.root;
+    let exhausted = ref false in
+    while (not !exhausted) && !spent < budget do
+      match Pqueue.pop frontier with
+      | None -> exhausted := true
+      | Some (bound, node) ->
+          let still_useful = match !best with None -> true | Some (_, bd) -> bound < bd in
+          if still_useful then begin
+            match node with
+            | Leaf ids ->
+                let i = ref 0 in
+                let n = Array.length ids in
+                while !i < n && !spent < budget do
+                  let id = ids.(!i) in
+                  incr spent;
+                  consider id (t.space.Space.distance q t.db.(id));
+                  incr i
+                done
+            | Node { pivot; mu; inside; outside } ->
+                incr spent;
+                let dp = t.space.Space.distance q t.db.(pivot) in
+                consider pivot dp;
+                Pqueue.push frontier (Float.max 0. (dp -. mu)) inside;
+                Pqueue.push frontier (Float.max 0. (mu -. dp)) outside
+          end
+    done;
+    (!best, !spent)
+  end

@@ -1,0 +1,48 @@
+(** Vantage-point trees (Yianilos 1993), the paper's baseline.
+
+    A VP-tree recursively picks a vantage point and splits the remaining
+    objects at the median of their distances to it.  Exact search prunes
+    subtrees with the triangle inequality — correct in metric spaces,
+    heuristic in the non-metric spaces of the experiments (where, as the
+    paper notes, VP-trees cannot guarantee perfect accuracy either).
+
+    The accuracy/efficiency trade-off of the comparison (the modification
+    of Athitsos et al. [36] the paper cites) is realized by a {e distance
+    budget}: a best-first traversal ordered by optimistic distance bounds
+    that stops after the given number of distance computations.  Sweeping
+    the budget traces the VP-tree curves of Figure 5. *)
+
+type 'a t
+
+val build :
+  rng:Dbh_util.Rng.t ->
+  space:'a Dbh_space.Space.t ->
+  ?leaf_size:int ->
+  'a array ->
+  'a t
+(** Build over a non-empty database (retained, not copied).  Vantage
+    points are chosen uniformly at random; [leaf_size] (default 8) caps
+    the size of unsplit leaves.  O(n log n) expected distance
+    computations. *)
+
+val size : 'a t -> int
+val depth : 'a t -> int
+val database : 'a t -> 'a array
+
+val nn : 'a t -> 'a -> (int * float) * int
+(** Exact-mode nearest neighbor: triangle-inequality pruning, unlimited
+    budget.  Returns the best [(index, distance)] and the number of
+    distance computations spent.  Exact in metric spaces. *)
+
+val nn_budgeted : 'a t -> budget:int -> 'a -> (int * float) option * int
+(** Best-first search that stops after [budget] distance computations
+    (or when the frontier is exhausted — in which case the result equals
+    {!nn}).  Returns [None] only when the budget doesn't even cover the
+    first vantage point. *)
+
+val knn : 'a t -> int -> 'a -> (int * float) array * int
+(** Exact-mode k-nearest neighbors, best first. *)
+
+val range : 'a t -> float -> 'a -> (int * float) list * int
+(** Exact-mode range query: all objects within the radius, sorted by
+    distance. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Dbh_datasets Dbh_embedding Dbh_laesa Dbh_metrics Dbh_mtree Dbh_space Dbh_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Dbh Dbh_datasets Dbh_metrics Dbh_space Dbh_util Float List Printf

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Dbh_datasets Dbh_metrics Dbh_space Dbh_util Float List String

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Buffer Dbh Dbh_datasets Dbh_eval Dbh_metrics Dbh_space Dbh_util Filename Fun Printf String Sys

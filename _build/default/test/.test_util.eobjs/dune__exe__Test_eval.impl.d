@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Dbh Dbh_datasets Dbh_eval Dbh_metrics Dbh_space Dbh_util List Printf String

@@ -1,0 +1,1 @@
+test/test_hungarian.ml: Alcotest Array Dbh_hungarian Dbh_util List

@@ -1,0 +1,1 @@
+test/test_lsh.ml: Alcotest Array Dbh_datasets Dbh_lsh Dbh_metrics Dbh_util List

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Dbh_metrics Dbh_util Float List QCheck QCheck_alcotest String

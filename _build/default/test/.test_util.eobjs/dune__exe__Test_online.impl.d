@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Dbh Dbh_datasets Dbh_eval Dbh_metrics Dbh_space Dbh_util Float Format Fun List Printf String

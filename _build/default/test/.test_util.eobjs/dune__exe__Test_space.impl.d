@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Array Dbh_space Dbh_util String

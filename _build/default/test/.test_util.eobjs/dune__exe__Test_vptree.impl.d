@@ -1,0 +1,1 @@
+test/test_vptree.ml: Alcotest Array Dbh_datasets Dbh_metrics Dbh_space Dbh_util Dbh_vptree List

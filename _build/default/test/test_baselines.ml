@@ -1,0 +1,259 @@
+(* Tests for the additional distance-based baselines: LAESA, M-tree,
+   FastMap, filter-and-refine. *)
+
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Minkowski = Dbh_metrics.Minkowski
+module Laesa = Dbh_laesa.Laesa
+module M_tree = Dbh_mtree.M_tree
+module Fastmap = Dbh_embedding.Fastmap
+module Filter_refine = Dbh_embedding.Filter_refine
+
+let l2 = Minkowski.l2_space
+let check_loose tol = Alcotest.(check (float tol))
+
+let test_db seed n dim =
+  let rng = Rng.create seed in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:6 ~dim n in
+  db
+
+let brute_nn db q =
+  let best = ref (-1) and best_d = ref infinity in
+  Array.iteri
+    (fun i x ->
+      let d = Minkowski.l2 q x in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    db;
+  (!best, !best_d)
+
+(* ------------------------------------------------------------------ LAESA *)
+
+let test_laesa_exact () =
+  let db = test_db 1 400 5 in
+  let rng = Rng.create 2 in
+  let index = Laesa.build ~rng ~space:l2 ~num_pivots:12 db in
+  for _ = 1 to 40 do
+    let q = Array.init 5 (fun _ -> Rng.float_in rng (-1.5) 1.5) in
+    let (_, d), spent = Laesa.nn index q in
+    let _, bd = brute_nn db q in
+    check_loose 1e-9 "exact in metric space" bd d;
+    Alcotest.(check bool) "spends at least pivots" true (spent >= 12)
+  done
+
+let test_laesa_prunes () =
+  let db = test_db 3 1000 3 in
+  let rng = Rng.create 4 in
+  let index = Laesa.build ~rng ~space:l2 ~num_pivots:16 db in
+  let total = ref 0 in
+  for i = 0 to 49 do
+    let q = Array.map (fun x -> x +. 0.01) db.(i * 17) in
+    let _, spent = Laesa.nn index q in
+    total := !total + spent
+  done;
+  let mean = float_of_int !total /. 50. in
+  Alcotest.(check bool) (Printf.sprintf "prunes (mean %.0f < 700)" mean) true (mean < 700.)
+
+let test_laesa_knn_and_range () =
+  let db = test_db 5 300 4 in
+  let rng = Rng.create 6 in
+  let index = Laesa.build ~rng ~space:l2 db in
+  let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  let knn, _ = Laesa.knn index 5 q in
+  Alcotest.(check int) "five" 5 (Array.length knn);
+  let all = Array.mapi (fun i x -> (Minkowski.l2 q x, i)) db in
+  Array.sort compare all;
+  for j = 0 to 4 do
+    check_loose 1e-9 "knn matches brute force" (fst all.(j)) (snd knn.(j))
+  done;
+  let hits, _ = Laesa.range index 0.4 db.(0) in
+  let expected =
+    Array.to_list db
+    |> List.mapi (fun i x -> (i, Minkowski.l2 db.(0) x))
+    |> List.filter (fun (_, d) -> d <= 0.4)
+  in
+  Alcotest.(check int) "range count" (List.length expected) (List.length hits)
+
+let test_laesa_budget () =
+  let db = test_db 7 500 4 in
+  let rng = Rng.create 8 in
+  let index = Laesa.build ~rng ~space:l2 ~num_pivots:10 db in
+  let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  let answer, spent = Laesa.nn_budgeted index ~budget:5 q in
+  Alcotest.(check bool) "below pivots -> none" true (answer = None && spent = 0);
+  let _, spent = Laesa.nn_budgeted index ~budget:50 q in
+  Alcotest.(check bool) "respects budget" true (spent <= 50)
+
+(* ----------------------------------------------------------------- M-tree *)
+
+let test_mtree_exact () =
+  let db = test_db 11 400 5 in
+  let tree = M_tree.build ~space:l2 db in
+  Alcotest.(check int) "size" 400 (M_tree.size tree);
+  Alcotest.(check bool) "invariants" true (M_tree.check_invariants tree);
+  let rng = Rng.create 12 in
+  for _ = 1 to 40 do
+    let q = Array.init 5 (fun _ -> Rng.float_in rng (-1.5) 1.5) in
+    match M_tree.nn tree q with
+    | Some (_, d), _ ->
+        let _, bd = brute_nn db q in
+        check_loose 1e-9 "exact in metric space" bd d
+    | None, _ -> Alcotest.fail "nonempty tree must answer"
+  done
+
+let test_mtree_dynamic_growth () =
+  let tree = M_tree.create ~space:l2 ~capacity:4 () in
+  Alcotest.(check bool) "empty nn" true (fst (M_tree.nn tree [| 0.; 0. |]) = None);
+  let rng = Rng.create 13 in
+  for i = 0 to 199 do
+    let v = [| Rng.float rng 1.; Rng.float rng 1. |] in
+    Alcotest.(check int) "insertion order ids" i (M_tree.insert tree v)
+  done;
+  Alcotest.(check int) "size" 200 (M_tree.size tree);
+  Alcotest.(check bool) "invariants after splits" true (M_tree.check_invariants tree);
+  Alcotest.(check bool) "height grew" true (M_tree.height tree >= 2)
+
+let test_mtree_knn_and_range () =
+  let db = test_db 14 300 4 in
+  let tree = M_tree.build ~space:l2 ~capacity:8 db in
+  let rng = Rng.create 15 in
+  let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  let knn, _ = M_tree.knn tree 5 q in
+  let all = Array.mapi (fun i x -> (Minkowski.l2 q x, i)) db in
+  Array.sort compare all;
+  for j = 0 to 4 do
+    check_loose 1e-9 "knn matches brute force" (fst all.(j)) (snd knn.(j))
+  done;
+  let hits, _ = M_tree.range tree 0.5 db.(7) in
+  let expected =
+    Array.to_list db
+    |> List.mapi (fun i x -> (i, Minkowski.l2 db.(7) x))
+    |> List.filter (fun (_, d) -> d <= 0.5)
+  in
+  Alcotest.(check int) "range count" (List.length expected) (List.length hits)
+
+let test_mtree_budget () =
+  let db = test_db 16 500 4 in
+  let tree = M_tree.build ~space:l2 db in
+  let q = [| 0.; 0.; 0.; 0. |] in
+  let _, spent = M_tree.nn_budgeted tree ~budget:40 q in
+  Alcotest.(check bool) "respects budget" true (spent <= 40)
+
+(* ---------------------------------------------------------------- FastMap *)
+
+let test_fastmap_euclidean_preserves () =
+  (* Embedding R^3 data into 3 dims should reproduce L2 well. *)
+  let db = test_db 21 300 3 in
+  let rng = Rng.create 22 in
+  let map = Fastmap.fit ~rng ~space:l2 ~dims:3 db in
+  let s = Fastmap.stress map (Array.sub db 0 80) ~sample_pairs:500 ~rng in
+  Alcotest.(check bool) (Printf.sprintf "low stress %.3f" s) true (s < 0.2)
+
+let test_fastmap_embed_cost () =
+  let db = test_db 23 200 4 in
+  let rng = Rng.create 24 in
+  let map = Fastmap.fit ~rng ~space:l2 ~dims:6 db in
+  let coords, spent = Fastmap.embed map db.(0) in
+  Alcotest.(check int) "dims" 6 (Array.length coords);
+  Alcotest.(check bool) "2 per dim" true (spent <= 12)
+
+let test_fastmap_consistent_with_fit () =
+  (* Embedding a database member reproduces its fitted coordinates. *)
+  let db = test_db 25 150 4 in
+  let rng = Rng.create 26 in
+  let map = Fastmap.fit ~rng ~space:l2 ~dims:4 db in
+  let fitted = Fastmap.db_coordinates map in
+  for i = 0 to 20 do
+    let coords, _ = Fastmap.embed map db.(i * 7) in
+    Array.iteri
+      (fun d v -> check_loose 1e-6 "coordinate matches" fitted.(i * 7).(d) v)
+      coords
+  done
+
+let test_fastmap_nonmetric_does_not_crash () =
+  (* DTW pen digits: residuals go negative; clamping must keep
+     everything finite. *)
+  let rng = Rng.create 27 in
+  let db = Dbh_datasets.Pen_digits.generate_set ~rng 120 in
+  let map = Fastmap.fit ~rng ~space:Dbh_datasets.Pen_digits.space ~dims:5 db in
+  Array.iter
+    (fun row -> Array.iter (fun v -> Alcotest.(check bool) "finite" true (Float.is_finite v)) row)
+    (Fastmap.db_coordinates map)
+
+(* ----------------------------------------------------------- FilterRefine *)
+
+let test_filter_refine_converges () =
+  let db = test_db 31 500 5 in
+  let rng = Rng.create 32 in
+  let map = Fastmap.fit ~rng ~space:l2 ~dims:5 db in
+  let fr = Filter_refine.of_fitted ~map db in
+  (* Full refine = brute force. *)
+  let q = Array.init 5 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  (match Filter_refine.nn fr ~refine:500 q with
+  | Some (_, d), _ ->
+      let _, bd = brute_nn db q in
+      check_loose 1e-9 "full refine exact" bd d
+  | None, _ -> Alcotest.fail "must answer");
+  (* Accuracy grows with refine depth. *)
+  let queries = Array.init 60 (fun i -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(i * 8)) in
+  let accuracy refine =
+    let ok = ref 0 in
+    Array.iter
+      (fun q ->
+        let _, bd = brute_nn db q in
+        match fst (Filter_refine.nn fr ~refine q) with
+        | Some (_, d) when d <= bd +. 1e-9 -> incr ok
+        | _ -> ())
+      queries;
+    float_of_int !ok /. 60.
+  in
+  let small = accuracy 2 and large = accuracy 50 in
+  Alcotest.(check bool) "improves" true (large >= small);
+  Alcotest.(check bool) "deep refine accurate" true (large > 0.9)
+
+let test_filter_refine_cost () =
+  let db = test_db 33 300 4 in
+  let rng = Rng.create 34 in
+  let map = Fastmap.fit ~rng ~space:l2 ~dims:4 db in
+  let fr = Filter_refine.of_fitted ~map db in
+  let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  let _, spent = Filter_refine.nn fr ~refine:10 q in
+  Alcotest.(check bool) "cost = embed + refine" true (spent <= (2 * 4) + 10);
+  let knn, _ = Filter_refine.knn fr ~refine:20 3 q in
+  Alcotest.(check bool) "at most 3" true (Array.length knn <= 3);
+  for i = 0 to Array.length knn - 2 do
+    Alcotest.(check bool) "sorted" true (snd knn.(i) <= snd knn.(i + 1))
+  done
+
+let () =
+  Alcotest.run "dbh_baselines"
+    [
+      ( "laesa",
+        [
+          Alcotest.test_case "exact = brute force" `Quick test_laesa_exact;
+          Alcotest.test_case "prunes" `Quick test_laesa_prunes;
+          Alcotest.test_case "knn/range" `Quick test_laesa_knn_and_range;
+          Alcotest.test_case "budget" `Quick test_laesa_budget;
+        ] );
+      ( "mtree",
+        [
+          Alcotest.test_case "exact = brute force" `Quick test_mtree_exact;
+          Alcotest.test_case "dynamic growth" `Quick test_mtree_dynamic_growth;
+          Alcotest.test_case "knn/range" `Quick test_mtree_knn_and_range;
+          Alcotest.test_case "budget" `Quick test_mtree_budget;
+        ] );
+      ( "fastmap",
+        [
+          Alcotest.test_case "euclidean preserves" `Quick test_fastmap_euclidean_preserves;
+          Alcotest.test_case "embed cost" `Quick test_fastmap_embed_cost;
+          Alcotest.test_case "consistent with fit" `Quick test_fastmap_consistent_with_fit;
+          Alcotest.test_case "nonmetric robust" `Quick test_fastmap_nonmetric_does_not_crash;
+        ] );
+      ( "filter_refine",
+        [
+          Alcotest.test_case "converges to exact" `Quick test_filter_refine_converges;
+          Alcotest.test_case "cost accounting" `Quick test_filter_refine_cost;
+        ] );
+    ]

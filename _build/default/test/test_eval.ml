@@ -1,0 +1,274 @@
+(* Tests for Dbh_eval: ground truth, tradeoff measurement, classification,
+   report rendering. *)
+
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Minkowski = Dbh_metrics.Minkowski
+module Ground_truth = Dbh_eval.Ground_truth
+module Tradeoff = Dbh_eval.Tradeoff
+module Classification = Dbh_eval.Classification
+module Report = Dbh_eval.Report
+
+let l2 = Minkowski.l2_space
+let check_loose tol = Alcotest.(check (float tol))
+
+let tiny_db = [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 5.; 5. |] |]
+
+let test_ground_truth_basic () =
+  let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |] |] in
+  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  Alcotest.(check int) "q0 nn" 0 t.Ground_truth.nn_index.(0);
+  Alcotest.(check int) "q1 nn" 3 t.Ground_truth.nn_index.(1);
+  check_loose 1e-9 "q0 dist" 0.1 t.Ground_truth.nn_distance.(0);
+  Alcotest.(check int) "cost" 4 t.Ground_truth.cost_per_query
+
+let test_ground_truth_self () =
+  let t = Ground_truth.compute_self ~space:l2 ~db:tiny_db ~query_indices:[| 0; 3 |] in
+  (* NN of (0,0) excluding itself is (1,0) or (0,1), distance 1. *)
+  check_loose 1e-9 "self excluded" 1. t.Ground_truth.nn_distance.(0);
+  Alcotest.(check bool) "nn is not self" true (t.Ground_truth.nn_index.(0) <> 0);
+  Alcotest.(check int) "cost excludes self" 3 t.Ground_truth.cost_per_query
+
+let test_is_correct_ties () =
+  let db = [| [| 0. |]; [| 2. |]; [| -2. |] |] in
+  let t = Ground_truth.compute ~space:l2 ~db ~queries:[| [| 1. |] |] in
+  (* Both index 0 and index 1 are at distance 1: ties count as correct. *)
+  Alcotest.(check bool) "named nn" true (Ground_truth.is_correct t 0 (Some (t.Ground_truth.nn_index.(0), 1.)));
+  let other = if t.Ground_truth.nn_index.(0) = 0 then 1 else 0 in
+  Alcotest.(check bool) "tied alternative" true (Ground_truth.is_correct t 0 (Some (other, 1.)));
+  Alcotest.(check bool) "wrong answer" false (Ground_truth.is_correct t 0 (Some (2, 3.)));
+  Alcotest.(check bool) "no answer" false (Ground_truth.is_correct t 0 None)
+
+let test_accuracy () =
+  let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |] |] in
+  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  let answers = [| Some (0, 0.1); Some (1, 9.9) |] in
+  check_loose 1e-9 "half right" 0.5 (Ground_truth.accuracy t answers)
+
+let test_knn_ground_truth () =
+  let db = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 10. |] |] in
+  let t = Ground_truth.compute_knn ~space:l2 ~db ~queries:[| [| 0.4 |] |] ~k:2 in
+  Alcotest.(check (array int)) "two nearest" [| 0; 1 |] t.Ground_truth.neighbor_ids.(0);
+  check_loose 1e-9 "first distance" 0.4 t.Ground_truth.neighbor_distances.(0).(0);
+  check_loose 1e-9 "second distance" 0.6 t.Ground_truth.neighbor_distances.(0).(1);
+  (* k clamps to the database size. *)
+  let t = Ground_truth.compute_knn ~space:l2 ~db ~queries:[| [| 0. |] |] ~k:100 in
+  Alcotest.(check int) "clamped" 4 (Array.length t.Ground_truth.neighbor_ids.(0))
+
+let test_recall_at_k () =
+  let db = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 10. |] |] in
+  let t = Ground_truth.compute_knn ~space:l2 ~db ~queries:[| [| 0. |]; [| 10. |] |] ~k:2 in
+  (* Query 0: truth {0,1}. Found both -> 1.0. Query 1: truth {3,2};
+     found only 3 -> 0.5. *)
+  let answers = [| [| (0, 0.); (1, 1.) |]; [| (3, 0.) |] |] in
+  check_loose 1e-9 "mean recall" 0.75 (Ground_truth.recall_at_k t answers);
+  (* Empty answers give zero recall. *)
+  let answers = [| [||]; [||] |] in
+  check_loose 1e-9 "zero" 0. (Ground_truth.recall_at_k t answers)
+
+let test_recall_ties () =
+  (* Two objects at the same distance: either counts as a hit. *)
+  let db = [| [| 1. |]; [| -1. |]; [| 5. |] |] in
+  let t = Ground_truth.compute_knn ~space:l2 ~db ~queries:[| [| 0. |] |] ~k:1 in
+  let other = if t.Ground_truth.neighbor_ids.(0).(0) = 0 then 1 else 0 in
+  check_loose 1e-9 "tie counts" 1. (Ground_truth.recall_at_k t [| [| (other, 1.) |] |])
+
+let test_range_ground_truth () =
+  let db = [| [| 0. |]; [| 1. |]; [| 2. |]; [| 10. |] |] in
+  let truth = Ground_truth.compute_range ~space:l2 ~db ~queries:[| [| 0.5 |]; [| 20. |] |] ~radius:1.5 in
+  Alcotest.(check (list int)) "q0 hits" [ 0; 1; 2 ] truth.(0);
+  Alcotest.(check (list int)) "q1 empty" [] truth.(1)
+
+let test_range_recall () =
+  let truth = [| [ 0; 1; 2 ]; []; [ 3 ] |] in
+  let returned = [| [ (0, 0.1); (2, 0.3) ]; []; [ (3, 0.2) ] |] in
+  (* q0: 2/3; q1 skipped; q2: 1. Mean over counted = (2/3 + 1)/2. *)
+  check_loose 1e-9 "recall" ((2. /. 3.) +. 1.) (2. *. Ground_truth.range_recall truth returned);
+  check_loose 1e-9 "all empty defined as 1" 1. (Ground_truth.range_recall [| [] |] [| [] |])
+
+let test_range_through_index () =
+  (* End-to-end: DBH range queries return a subset of the true range set
+     (never false positives) with decent recall at a generous l. *)
+  let rng = Dbh_util.Rng.create 91 in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:6 ~dim:4 500 in
+  let queries = Array.init 40 (fun i -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(i * 11)) in
+  let radius = 0.3 in
+  let truth = Ground_truth.compute_range ~space:l2 ~db ~queries ~radius in
+  let family =
+    Dbh.Hash_family.make ~rng ~space:l2 ~num_pivots:25 ~threshold_sample:200 db
+  in
+  let index = Dbh.Index.build ~rng ~family ~db ~k:4 ~l:20 () in
+  let returned = Array.map (fun q -> fst (Dbh.Index.query_range index radius q)) queries in
+  (* No false positives: every returned id is in the truth set. *)
+  Array.iteri
+    (fun qi hits ->
+      List.iter
+        (fun (id, _) ->
+          Alcotest.(check bool) "returned within radius" true (List.mem id truth.(qi)))
+        hits)
+    returned;
+  let recall = Ground_truth.range_recall truth returned in
+  Alcotest.(check bool) (Printf.sprintf "recall %.3f" recall) true (recall > 0.7)
+
+let test_tradeoff_measure () =
+  let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |]; [| 0.; 0.9 |] |] in
+  let truth = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  (* A fake method: answers brute force for even queries, nothing for odd,
+     charging 7 distances each. *)
+  let state = ref 0 in
+  let m =
+    {
+      Tradeoff.label = "fake";
+      setting = "s";
+      run =
+        (fun q ->
+          incr state;
+          if !state mod 2 = 1 then begin
+            let best = ref (0, l2.Space.distance q tiny_db.(0)) in
+            Array.iteri
+              (fun i x ->
+                let d = l2.Space.distance q x in
+                if d < snd !best then best := (i, d))
+              tiny_db;
+            (Some !best, 7)
+          end
+          else (None, 7));
+    }
+  in
+  let p = Tradeoff.measure ~queries ~truth m in
+  check_loose 1e-9 "two of three" (2. /. 3.) p.Tradeoff.accuracy;
+  check_loose 1e-9 "mean cost" 7. p.Tradeoff.mean_cost;
+  Alcotest.(check string) "label" "fake" p.Tradeoff.method_label
+
+let test_tradeoff_sort () =
+  let s =
+    {
+      Tradeoff.series_label = "x";
+      points =
+        [|
+          { Tradeoff.method_label = "m"; setting = "a"; accuracy = 0.9; mean_cost = 1.; cost_ci95 = 0. };
+          { Tradeoff.method_label = "m"; setting = "b"; accuracy = 0.5; mean_cost = 2.; cost_ci95 = 0. };
+        |];
+    }
+  in
+  let sorted = Tradeoff.sort_by_accuracy s in
+  check_loose 1e-12 "ascending" 0.5 sorted.Tradeoff.points.(0).Tradeoff.accuracy
+
+let test_classification_error () =
+  let db_labels = [| 0; 1; 0; 1 |] in
+  let query_labels = [| 0; 1; 1 |] in
+  let answers = [| Some (0, 0.1); Some (2, 0.1); None |] in
+  (* q0: label 0 = 0 ok; q1: db 2 has label 0 <> 1 error; q2: none error. *)
+  check_loose 1e-9 "error rate" (2. /. 3.)
+    (Classification.error_rate ~db_labels ~query_labels answers)
+
+let test_classification_knn_majority () =
+  let db_labels = [| 0; 0; 1; 1; 1 |] in
+  let query_labels = [| 1; 0 |] in
+  let answers =
+    [|
+      [| (2, 0.1); (3, 0.2); (0, 0.3) |] (* votes: 1,1,0 -> 1 correct *);
+      [| (2, 0.1); (0, 0.2); (1, 0.3) |] (* votes: 1,0,0 -> 0 correct *);
+    |]
+  in
+  check_loose 1e-9 "majority vote" 0.
+    (Classification.knn_error_rate ~db_labels ~query_labels answers)
+
+let test_classification_knn_tie_break () =
+  let db_labels = [| 0; 1 |] in
+  let query_labels = [| 1 |] in
+  (* One vote each: tie broken towards the nearer neighbor (label 1). *)
+  let answers = [| [| (1, 0.1); (0, 0.5) |] |] in
+  check_loose 1e-9 "tie to nearest" 0.
+    (Classification.knn_error_rate ~db_labels ~query_labels answers)
+
+let test_confusion_matrix () =
+  let db_labels = [| 0; 1 |] in
+  let query_labels = [| 0; 0; 1 |] in
+  let answers = [| Some (0, 0.); Some (1, 0.); None |] in
+  let m = Classification.confusion_matrix ~num_classes:2 ~db_labels ~query_labels answers in
+  Alcotest.(check int) "true 0 pred 0" 1 m.(0).(0);
+  Alcotest.(check int) "true 0 pred 1" 1 m.(0).(1);
+  Alcotest.(check int) "unanswered dropped" 0 (m.(1).(0) + m.(1).(1))
+
+let test_csv_format () =
+  let s =
+    {
+      Tradeoff.series_label = "x";
+      points =
+        [|
+          {
+            Tradeoff.method_label = "m";
+            setting = "t=0.9";
+            accuracy = 0.925;
+            mean_cost = 120.5;
+            cost_ci95 = 3.25;
+          };
+        |];
+    }
+  in
+  let csv = Report.csv_of_series [ s ] in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + row" 2 (List.length lines);
+  Alcotest.(check string) "header" "method,setting,accuracy,mean_cost,cost_ci95"
+    (List.nth lines 0);
+  Alcotest.(check string) "row" "m,t=0.9,0.925000,120.500,3.250" (List.nth lines 1)
+
+let test_ascii_plot_smoke () =
+  (* Pure smoke: the plot must render any series without raising,
+     including degenerate single-point input. *)
+  let mk label pts =
+    {
+      Tradeoff.series_label = label;
+      points =
+        Array.of_list
+          (List.map
+             (fun (a, c) ->
+               {
+                 Tradeoff.method_label = label;
+                 setting = "";
+                 accuracy = a;
+                 mean_cost = c;
+                 cost_ci95 = 0.;
+               })
+             pts);
+    }
+  in
+  Report.ascii_plot [ mk "one" [ (0.8, 100.); (0.9, 150.); (0.99, 400.) ]; mk "two" [ (0.85, 90.) ] ];
+  Report.ascii_plot [ mk "degenerate" [ (0.5, 10.) ] ];
+  Report.ascii_plot []
+
+let () =
+  Alcotest.run "dbh_eval"
+    [
+      ( "ground_truth",
+        [
+          Alcotest.test_case "basic" `Quick test_ground_truth_basic;
+          Alcotest.test_case "self queries" `Quick test_ground_truth_self;
+          Alcotest.test_case "tie handling" `Quick test_is_correct_ties;
+          Alcotest.test_case "accuracy" `Quick test_accuracy;
+          Alcotest.test_case "knn ground truth" `Quick test_knn_ground_truth;
+          Alcotest.test_case "recall@k" `Quick test_recall_at_k;
+          Alcotest.test_case "recall ties" `Quick test_recall_ties;
+          Alcotest.test_case "range ground truth" `Quick test_range_ground_truth;
+          Alcotest.test_case "range recall" `Quick test_range_recall;
+          Alcotest.test_case "range through index" `Quick test_range_through_index;
+        ] );
+      ( "tradeoff",
+        [
+          Alcotest.test_case "measure" `Quick test_tradeoff_measure;
+          Alcotest.test_case "sort" `Quick test_tradeoff_sort;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "1-nn error" `Quick test_classification_error;
+          Alcotest.test_case "knn majority" `Quick test_classification_knn_majority;
+          Alcotest.test_case "knn tie break" `Quick test_classification_knn_tie_break;
+          Alcotest.test_case "confusion matrix" `Quick test_confusion_matrix;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "csv format" `Quick test_csv_format;
+          Alcotest.test_case "ascii plot smoke" `Quick test_ascii_plot_smoke;
+        ] );
+    ]

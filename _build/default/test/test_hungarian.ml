@@ -1,0 +1,136 @@
+(* Tests for Dbh_hungarian.Hungarian. *)
+
+module Hungarian = Dbh_hungarian.Hungarian
+module Rng = Dbh_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let is_valid_assignment rows cols (a : Hungarian.assignment) =
+  Array.length a.row_to_col = rows
+  && Array.length a.col_to_row = cols
+  && Array.for_all (fun j -> j >= 0 && j < cols) a.row_to_col
+  &&
+  (* injective *)
+  let used = Array.make cols false in
+  Array.for_all
+    (fun j ->
+      if used.(j) then false
+      else begin
+        used.(j) <- true;
+        true
+      end)
+    a.row_to_col
+
+let test_identity_cheapest () =
+  let cost = [| [| 0.; 5.; 5. |]; [| 5.; 0.; 5. |]; [| 5.; 5.; 0. |] |] in
+  let a = Hungarian.solve cost in
+  Alcotest.(check (array int)) "diagonal" [| 0; 1; 2 |] a.row_to_col;
+  check_float "cost" 0. a.cost
+
+let test_antidiagonal () =
+  let cost = [| [| 9.; 1. |]; [| 1.; 9. |] |] in
+  let a = Hungarian.solve cost in
+  Alcotest.(check (array int)) "swap" [| 1; 0 |] a.row_to_col;
+  check_float "cost" 2. a.cost
+
+let test_classic_example () =
+  (* Well-known 3x3 instance: optimal cost 5 via (0,1)(1,0)(2,2) etc. *)
+  let cost = [| [| 4.; 1.; 3. |]; [| 2.; 0.; 5. |]; [| 3.; 2.; 2. |] |] in
+  let a = Hungarian.solve cost in
+  check_float "optimal cost" 5. a.cost;
+  Alcotest.(check bool) "valid" true (is_valid_assignment 3 3 a)
+
+let test_negative_costs () =
+  let cost = [| [| -5.; 0. |]; [| 0.; -5. |] |] in
+  let a = Hungarian.solve cost in
+  check_float "negative optimum" (-10.) a.cost
+
+let test_rectangular_wide () =
+  (* 2 rows, 3 columns: every row matched, one column free. *)
+  let cost = [| [| 10.; 1.; 10. |]; [| 1.; 10.; 10. |] |] in
+  let a = Hungarian.solve cost in
+  check_float "cost" 2. a.cost;
+  Alcotest.(check bool) "valid" true (is_valid_assignment 2 3 a);
+  let unmatched = Array.to_list a.col_to_row |> List.filter (fun r -> r = -1) in
+  Alcotest.(check int) "one free column" 1 (List.length unmatched)
+
+let test_rectangular_tall () =
+  (* 3 rows, 2 columns via solve_rectangular: every column matched. *)
+  let cost = [| [| 1.; 10. |]; [| 10.; 1. |]; [| 10.; 10. |] |] in
+  let a = Hungarian.solve_rectangular cost in
+  check_float "cost" 2. a.cost;
+  let unmatched_rows = Array.to_list a.row_to_col |> List.filter (fun c -> c = -1) in
+  Alcotest.(check int) "one free row" 1 (List.length unmatched_rows);
+  Array.iteri
+    (fun j i ->
+      Alcotest.(check bool) "col matched" true (i >= 0);
+      Alcotest.(check int) "inverse consistent" j a.row_to_col.(i))
+    a.col_to_row
+
+let test_tall_rejected_by_solve () =
+  Alcotest.check_raises "rows > cols"
+    (Invalid_argument "Hungarian.solve: more rows than columns")
+    (fun () -> ignore (Hungarian.solve [| [| 1. |]; [| 2. |] |]))
+
+let test_single_cell () =
+  let a = Hungarian.solve [| [| 42. |] |] in
+  check_float "trivial" 42. a.cost;
+  Alcotest.(check (array int)) "row 0 -> col 0" [| 0 |] a.row_to_col
+
+let test_brute_force_agrees_small () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int rng 6 in
+    let cost =
+      Array.init n (fun _ -> Array.init n (fun _ -> Rng.float_in rng (-10.) 10.))
+    in
+    let fast = Hungarian.solve cost in
+    let brute = Hungarian.brute_force cost in
+    Alcotest.(check (float 1e-6)) "same optimal cost" brute.cost fast.cost;
+    Alcotest.(check bool) "valid" true (is_valid_assignment n n fast)
+  done
+
+let test_cost_matches_assignment () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 20 do
+    let n = 2 + Rng.int rng 8 in
+    let m = n + Rng.int rng 4 in
+    let cost = Array.init n (fun _ -> Array.init m (fun _ -> Rng.float rng 100.)) in
+    let a = Hungarian.solve cost in
+    let recomputed = ref 0. in
+    Array.iteri (fun i j -> recomputed := !recomputed +. cost.(i).(j)) a.row_to_col;
+    Alcotest.(check (float 1e-9)) "cost consistent" !recomputed a.cost
+  done
+
+let test_brute_force_guards () =
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Hungarian.brute_force: too large")
+    (fun () ->
+      ignore (Hungarian.brute_force (Array.make_matrix 10 10 0.)))
+
+let test_ties_still_optimal () =
+  (* All-equal costs: any permutation optimal; check validity and cost. *)
+  let cost = Array.make_matrix 4 4 3. in
+  let a = Hungarian.solve cost in
+  check_float "cost" 12. a.cost;
+  Alcotest.(check bool) "valid" true (is_valid_assignment 4 4 a)
+
+let () =
+  Alcotest.run "dbh_hungarian"
+    [
+      ( "hungarian",
+        [
+          Alcotest.test_case "identity cheapest" `Quick test_identity_cheapest;
+          Alcotest.test_case "antidiagonal" `Quick test_antidiagonal;
+          Alcotest.test_case "classic example" `Quick test_classic_example;
+          Alcotest.test_case "negative costs" `Quick test_negative_costs;
+          Alcotest.test_case "rectangular wide" `Quick test_rectangular_wide;
+          Alcotest.test_case "rectangular tall" `Quick test_rectangular_tall;
+          Alcotest.test_case "tall rejected by solve" `Quick test_tall_rejected_by_solve;
+          Alcotest.test_case "single cell" `Quick test_single_cell;
+          Alcotest.test_case "matches brute force" `Quick test_brute_force_agrees_small;
+          Alcotest.test_case "cost matches assignment" `Quick test_cost_matches_assignment;
+          Alcotest.test_case "brute force guards" `Quick test_brute_force_guards;
+          Alcotest.test_case "ties still optimal" `Quick test_ties_still_optimal;
+        ] );
+    ]

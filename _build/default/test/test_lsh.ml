@@ -1,0 +1,132 @@
+(* Tests for Dbh_lsh.Lsh: classical LSH constructions. *)
+
+module Rng = Dbh_util.Rng
+module Lsh = Dbh_lsh.Lsh
+module Hamming = Dbh_metrics.Hamming
+module Minkowski = Dbh_metrics.Minkowski
+module Vectors = Dbh_datasets.Vectors
+
+let test_bit_sampling_planted_neighbors () =
+  let rng = Rng.create 1 in
+  let dim = 64 in
+  let db = Vectors.binary ~rng ~dim 500 in
+  let index = Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim) ~db ~k:8 ~l:10 in
+  (* Queries two flips away from a known database object. *)
+  let ok = ref 0 in
+  for i = 0 to 49 do
+    let target = i * 7 in
+    let q = Vectors.flip_bits ~rng ~flips:2 db.(target) in
+    match fst (Lsh.query index ~space:Hamming.bool_space q) with
+    | Some (_, d) when d <= 2. -> incr ok
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "planted neighbors found" true (!ok >= 45)
+
+let test_bit_sampling_distant_rarely_collides () =
+  let rng = Rng.create 2 in
+  let dim = 64 in
+  let db = Vectors.binary ~rng ~dim 300 in
+  let index = Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim) ~db ~k:12 ~l:4 in
+  (* Random (far) queries should inspect only a small candidate fraction. *)
+  let total = ref 0 in
+  for _ = 0 to 49 do
+    let q = Array.init dim (fun _ -> Rng.bool rng) in
+    total := !total + List.length (Lsh.candidates index q)
+  done;
+  let mean = float_of_int !total /. 50. in
+  Alcotest.(check bool) "few candidates for random queries" true (mean < 100.)
+
+let test_euclidean_lsh () =
+  let rng = Rng.create 3 in
+  let dim = 8 in
+  let db, _ = Vectors.gaussian_mixture ~rng ~num_clusters:10 ~dim 600 in
+  let index = Lsh.build ~rng ~family:(Lsh.random_projection ~dim ~w:1.0) ~db ~k:4 ~l:8 in
+  let ok = ref 0 in
+  for i = 0 to 49 do
+    let target = i * 11 in
+    let q = Vectors.perturb ~rng ~sigma:0.02 db.(target) in
+    match fst (Lsh.query index ~space:Minkowski.l2_space q) with
+    | Some (_, d) when d < 0.3 -> incr ok
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "near neighbors found" true (!ok >= 45)
+
+let test_minhash_similar_sets_collide () =
+  let rng = Rng.create 4 in
+  let universe = 200 in
+  let family = Lsh.minhash ~universe in
+  (* Two highly overlapping sets vs. two disjoint sets. *)
+  let a = Array.init 40 (fun i -> i) in
+  let b = Array.init 40 (fun i -> i + 2) (* Jaccard ~ 0.9 *) in
+  let c = Array.init 40 (fun i -> i + 100) (* disjoint from a *) in
+  let trials = 300 in
+  let collisions x y =
+    let count = ref 0 in
+    for _ = 1 to trials do
+      let h = family.Lsh.sample_fn rng in
+      if h x = h y then incr count
+    done;
+    float_of_int !count /. float_of_int trials
+  in
+  let close = collisions a b and far = collisions a c in
+  Alcotest.(check bool) "similar collide often" true (close > 0.75);
+  Alcotest.(check bool) "disjoint collide rarely" true (far < 0.1)
+
+let test_minhash_rejects_out_of_universe () =
+  let rng = Rng.create 5 in
+  let family = Lsh.minhash ~universe:10 in
+  let h = family.Lsh.sample_fn rng in
+  Alcotest.check_raises "outside universe"
+    (Invalid_argument "Lsh.minhash: element outside universe")
+    (fun () -> ignore (h [| 10 |]))
+
+let test_candidates_distinct () =
+  let rng = Rng.create 6 in
+  let dim = 32 in
+  let db = Vectors.binary ~rng ~dim 200 in
+  let index = Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim) ~db ~k:4 ~l:12 in
+  let q = db.(0) in
+  let cands = Lsh.candidates index q in
+  Alcotest.(check int) "no duplicates" (List.length (List.sort_uniq compare cands))
+    (List.length cands);
+  Alcotest.(check bool) "self among candidates" true (List.mem 0 cands)
+
+let test_query_knn_sorted () =
+  let rng = Rng.create 7 in
+  let dim = 16 in
+  let db = Vectors.binary ~rng ~dim 300 in
+  let index = Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim) ~db ~k:3 ~l:10 in
+  let q = Vectors.flip_bits ~rng ~flips:1 db.(42) in
+  let knn, cost = Lsh.query_knn index ~space:Hamming.bool_space 5 q in
+  Alcotest.(check bool) "cost positive" true (cost > 0);
+  for i = 0 to Array.length knn - 2 do
+    Alcotest.(check bool) "sorted" true (snd knn.(i) <= snd knn.(i + 1))
+  done
+
+let test_build_guards () =
+  let rng = Rng.create 8 in
+  Alcotest.check_raises "empty db" (Invalid_argument "Lsh.build: empty database")
+    (fun () ->
+      ignore
+        (Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim:4) ~db:([||] : bool array array) ~k:2
+           ~l:2));
+  let db = Vectors.binary ~rng ~dim:4 10 in
+  Alcotest.check_raises "bad k" (Invalid_argument "Lsh.build: k must be >= 1")
+    (fun () -> ignore (Lsh.build ~rng ~family:(Lsh.bit_sampling ~dim:4) ~db ~k:0 ~l:2))
+
+let () =
+  Alcotest.run "dbh_lsh"
+    [
+      ( "lsh",
+        [
+          Alcotest.test_case "bit sampling planted" `Quick test_bit_sampling_planted_neighbors;
+          Alcotest.test_case "distant rarely collides" `Quick
+            test_bit_sampling_distant_rarely_collides;
+          Alcotest.test_case "euclidean lsh" `Quick test_euclidean_lsh;
+          Alcotest.test_case "minhash collision rates" `Quick test_minhash_similar_sets_collide;
+          Alcotest.test_case "minhash universe guard" `Quick test_minhash_rejects_out_of_universe;
+          Alcotest.test_case "candidates distinct" `Quick test_candidates_distinct;
+          Alcotest.test_case "knn sorted" `Quick test_query_knn_sorted;
+          Alcotest.test_case "build guards" `Quick test_build_guards;
+        ] );
+    ]

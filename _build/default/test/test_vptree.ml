@@ -1,0 +1,194 @@
+(* Tests for Dbh_vptree.Vp_tree: exactness in metric spaces, budgeted
+   anytime behavior, k-NN and range queries. *)
+
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+module Minkowski = Dbh_metrics.Minkowski
+module Vp_tree = Dbh_vptree.Vp_tree
+
+let l2 = Minkowski.l2_space
+let check_loose tol = Alcotest.(check (float tol))
+
+let test_db seed n dim =
+  let rng = Rng.create seed in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:6 ~dim n in
+  db
+
+let brute_nn db q =
+  let best = ref (-1) and best_d = ref infinity in
+  Array.iteri
+    (fun i x ->
+      let d = Minkowski.l2 q x in
+      if d < !best_d then begin
+        best_d := d;
+        best := i
+      end)
+    db;
+  (!best, !best_d)
+
+let test_exact_matches_brute_force () =
+  let db = test_db 1 400 5 in
+  let rng = Rng.create 2 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  for _ = 1 to 50 do
+    let q = Array.init 5 (fun _ -> Rng.float_in rng (-1.5) 1.5) in
+    let (idx, d), _spent = Vp_tree.nn tree q in
+    let _bidx, bd = brute_nn db q in
+    (* Distance must match exactly (index may differ on ties). *)
+    check_loose 1e-9 "exact nn distance" bd d;
+    check_loose 1e-9 "returned distance correct" (Minkowski.l2 q db.(idx)) d
+  done
+
+let test_exact_prunes () =
+  (* In a clustered low-dimensional space, pruning must beat brute force. *)
+  let db = test_db 3 1000 3 in
+  let rng = Rng.create 4 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let total = ref 0 in
+  for i = 0 to 49 do
+    let q = Array.map (fun x -> x +. 0.01) db.(i * 13) in
+    let _, spent = Vp_tree.nn tree q in
+    total := !total + spent
+  done;
+  let mean = float_of_int !total /. 50. in
+  Alcotest.(check bool) "prunes substantially" true (mean < 500.)
+
+let test_knn_matches_sorted_brute_force () =
+  let db = test_db 5 300 4 in
+  let rng = Rng.create 6 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  for t = 0 to 10 do
+    let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+    ignore t;
+    let knn, _ = Vp_tree.knn tree 5 q in
+    Alcotest.(check int) "five found" 5 (Array.length knn);
+    let all = Array.mapi (fun i x -> (Minkowski.l2 q x, i)) db in
+    Array.sort compare all;
+    for j = 0 to 4 do
+      check_loose 1e-9 "j-th distance" (fst all.(j)) (snd knn.(j))
+    done
+  done
+
+let test_range_query () =
+  let db = test_db 7 300 4 in
+  let rng = Rng.create 8 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let q = db.(0) in
+  let radius = 0.5 in
+  let hits, _ = Vp_tree.range tree radius q in
+  (* Same result as brute force filter. *)
+  let expected =
+    Array.to_list db
+    |> List.mapi (fun i x -> (i, Minkowski.l2 q x))
+    |> List.filter (fun (_, d) -> d <= radius)
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  Alcotest.(check int) "same count" (List.length expected) (List.length hits);
+  List.iter2
+    (fun (_, de) (_, dh) -> check_loose 1e-9 "same distances" de dh)
+    expected hits
+
+let test_budgeted_converges_to_exact () =
+  let db = test_db 9 400 4 in
+  let rng = Rng.create 10 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  for t = 0 to 20 do
+    ignore t;
+    let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+    let answer, spent = Vp_tree.nn_budgeted tree ~budget:10_000 q in
+    Alcotest.(check bool) "spends less than budget" true (spent <= 10_000);
+    match answer with
+    | None -> Alcotest.fail "unlimited budget must answer"
+    | Some (_, d) ->
+        let _, bd = brute_nn db q in
+        check_loose 1e-9 "equals exact" bd d
+  done
+
+let test_budgeted_respects_budget () =
+  let db = test_db 11 500 4 in
+  let rng = Rng.create 12 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let q = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+  List.iter
+    (fun b ->
+      let _, spent = Vp_tree.nn_budgeted tree ~budget:b q in
+      Alcotest.(check bool) "spent <= budget" true (spent <= b))
+    [ 1; 5; 20; 100; 499 ]
+
+let test_budgeted_accuracy_improves () =
+  (* Larger budgets must not hurt accuracy (statistically). *)
+  let db = test_db 13 600 6 in
+  let rng = Rng.create 14 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let queries = Array.init 60 (fun _ -> Array.init 6 (fun _ -> Rng.float_in rng (-1.) 1.)) in
+  let accuracy budget =
+    let ok = ref 0 in
+    Array.iter
+      (fun q ->
+        let _, bd = brute_nn db q in
+        match Vp_tree.nn_budgeted tree ~budget q with
+        | Some (_, d), _ when d <= bd +. 1e-9 -> incr ok
+        | _ -> ())
+      queries;
+    float_of_int !ok /. 60.
+  in
+  let small = accuracy 20 and large = accuracy 600 in
+  Alcotest.(check bool) "improves with budget" true (large >= small);
+  Alcotest.(check bool) "large budget accurate" true (large > 0.9)
+
+let test_budget_zero () =
+  let db = test_db 15 100 3 in
+  let rng = Rng.create 16 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let answer, spent = Vp_tree.nn_budgeted tree ~budget:0 [| 0.; 0.; 0. |] in
+  Alcotest.(check bool) "no answer" true (answer = None);
+  Alcotest.(check int) "no spend" 0 spent
+
+let test_tree_shape () =
+  let db = test_db 17 500 3 in
+  let rng = Rng.create 18 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  Alcotest.(check int) "size" 500 (Vp_tree.size tree);
+  let d = Vp_tree.depth tree in
+  (* Median splits give roughly balanced trees. *)
+  Alcotest.(check bool) "reasonable depth" true (d >= 5 && d <= 40)
+
+let test_leaf_size_one () =
+  let db = test_db 19 64 3 in
+  let rng = Rng.create 20 in
+  let tree = Vp_tree.build ~rng ~space:l2 ~leaf_size:1 db in
+  let (idx, d), _ = Vp_tree.nn tree db.(10) in
+  Alcotest.(check int) "finds itself" 10 idx;
+  check_loose 1e-12 "zero" 0. d
+
+let test_duplicate_objects () =
+  (* Degenerate split handling: many identical points must not loop. *)
+  let db = Array.make 50 [| 1.; 2. |] in
+  let rng = Rng.create 21 in
+  let tree = Vp_tree.build ~rng ~space:l2 db in
+  let (_, d), _ = Vp_tree.nn tree [| 1.; 2. |] in
+  check_loose 1e-12 "zero distance" 0. d
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Vp_tree.build: empty database")
+    (fun () -> ignore (Vp_tree.build ~rng:(Rng.create 1) ~space:l2 ([||] : float array array)))
+
+let () =
+  Alcotest.run "dbh_vptree"
+    [
+      ( "vp_tree",
+        [
+          Alcotest.test_case "exact = brute force" `Quick test_exact_matches_brute_force;
+          Alcotest.test_case "exact prunes" `Quick test_exact_prunes;
+          Alcotest.test_case "knn = brute force" `Quick test_knn_matches_sorted_brute_force;
+          Alcotest.test_case "range query" `Quick test_range_query;
+          Alcotest.test_case "budgeted converges" `Quick test_budgeted_converges_to_exact;
+          Alcotest.test_case "budget respected" `Quick test_budgeted_respects_budget;
+          Alcotest.test_case "accuracy improves with budget" `Quick test_budgeted_accuracy_improves;
+          Alcotest.test_case "budget zero" `Quick test_budget_zero;
+          Alcotest.test_case "tree shape" `Quick test_tree_shape;
+          Alcotest.test_case "leaf size one" `Quick test_leaf_size_one;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_objects;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+    ]
