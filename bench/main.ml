@@ -15,6 +15,7 @@
      ablation/vs-lsh      (A3)  DBH vs classical LSH on L2
      ablation/baselines   (B1)  DBH vs LAESA, M-tree, FastMap filter+refine
      ablation/multiprobe  (A4)  multi-probe / budgeted query extensions
+     robust/faults        (R1)  hardened pipeline under injected faults
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs. *)
@@ -616,6 +617,79 @@ let ablation_multiprobe () =
   in
   Report.print_series_table [ Tradeoff.sweep ~queries ~truth ~label:"extensions" methods ]
 
+(* --------------------------------------------- R1 robustness under faults *)
+
+let robust_faults () =
+  Report.print_heading
+    "robust/faults (R1): accuracy and cost through guard + breaker under injected faults";
+  let base = Dbh_metrics.Minkowski.l2_space in
+  let rng = Rng.create 90 in
+  let all, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim:16 (sc 2200) in
+  let db = Array.sub all 0 (sc 2000) in
+  let queries = Array.sub all (sc 2000) (sc 200) in
+  let truth = Ground_truth.compute ~space:base ~db ~queries in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  Printf.printf "  %-16s %10s %12s %10s %10s %6s %6s\n" "fault mix" "accuracy" "cost/query"
+    "anomalies" "fallbacks" "trips" "recov";
+  List.iter
+    (fun (label, fault_config) ->
+      let faulty, faults = Dbh_robust.Faulty_space.wrap ~rng:(Rng.create 91) base in
+      let guarded, guard = Dbh_robust.Guard.wrap faulty in
+      let online =
+        Dbh.Online.create ~rng:(Rng.create 92) ~space:guarded ~config ~target_accuracy:0.9 db
+      in
+      let breaker = Dbh_robust.Breaker.create ~guard online in
+      Dbh_robust.Faulty_space.set_config faults fault_config;
+      let cost = ref 0 in
+      let nns =
+        Array.map
+          (fun q ->
+            let out = Dbh_robust.Breaker.query breaker q in
+            cost := !cost + Dbh.Index.total_cost out.Dbh_robust.Breaker.result.Dbh.Online.stats;
+            out.Dbh_robust.Breaker.result.Dbh.Online.nn)
+          queries
+      in
+      Printf.printf "  %-16s %10.3f %12.1f %10d %10d %6d %6d\n" label
+        (Ground_truth.accuracy truth nns)
+        (float_of_int !cost /. float_of_int (Array.length queries))
+        (Dbh_robust.Guard.anomalies guard)
+        (Dbh_robust.Breaker.fallback_queries breaker)
+        (Dbh_robust.Breaker.trips breaker)
+        (Dbh_robust.Breaker.recoveries breaker))
+    [
+      ("none", Dbh_robust.Faulty_space.quiet);
+      ("nan=2%", Dbh_robust.Faulty_space.faults ~nan:0.02 ());
+      ("nan=5% exn=1%", Dbh_robust.Faulty_space.faults ~nan:0.05 ~exn_:0.01 ());
+      ("perturb=25%", Dbh_robust.Faulty_space.faults ~perturb:0.25 ());
+    ];
+  (* Hard per-query distance budgets on a clean index: graceful accuracy
+     degradation with a guaranteed cost ceiling. *)
+  let online =
+    Dbh.Online.create ~rng:(Rng.create 93) ~space:base ~config ~target_accuracy:0.9 db
+  in
+  Printf.printf "  budgeted queries (clean space):\n";
+  Printf.printf "  %10s %10s %12s %10s\n" "budget" "accuracy" "cost/query" "truncated";
+  List.iter
+    (fun budget ->
+      let cost = ref 0 and truncated = ref 0 in
+      let nns =
+        Array.map
+          (fun q ->
+            let b = Dbh.Budget.create budget in
+            let r = Dbh.Online.query ~budget:b online q in
+            cost := !cost + Dbh.Budget.spent b;
+            if r.Dbh.Online.truncated then incr truncated;
+            r.Dbh.Online.nn)
+          queries
+      in
+      Printf.printf "  %10d %10.3f %12.1f %10d\n" budget
+        (Ground_truth.accuracy truth nns)
+        (float_of_int !cost /. float_of_int (Array.length queries))
+        !truncated)
+    [ 25; 50; 100; 200 ]
+
 (* ------------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -707,6 +781,7 @@ let () =
         ablation_vs_lsh ();
         ablation_baselines ();
         ablation_multiprobe ();
+        robust_faults ();
         micro_benchmarks ())
   in
   Printf.printf "\nTotal wall time: %.0f s\n" dt

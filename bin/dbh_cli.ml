@@ -5,7 +5,8 @@
      experiment  run one accuracy-vs-cost panel (Figure 5 of the paper)
      tune        print the (k,l) parameter landscape for a dataset
      health      report family balance, index structure, model calibration
-     render      print ASCII renderings of the synthetic digit images *)
+     render      print ASCII renderings of the synthetic digit images
+     stress      query through guard + circuit breaker while injecting faults *)
 
 module Rng = Dbh_util.Rng
 module Space = Dbh_space.Space
@@ -193,6 +194,75 @@ let run_health dataset seed db_size num_queries target =
       (Dbh_eval.Calibration.cost_mre points);
   0
 
+(* ---------------------------------------------------------------- stress *)
+
+module Guard = Dbh_robust.Guard
+module Faulty_space = Dbh_robust.Faulty_space
+module Breaker = Dbh_robust.Breaker
+
+(* Three phases over the same query set: healthy, faulted, restored.  The
+   breaker should serve phase 1 from the index, trip to the linear-scan
+   fallback during phase 2, and recover during phase 3. *)
+let run_stress dataset seed db_size num_queries target nan exn_p negative perturb policy
+    budget =
+  try
+  let (Bundle { space = base; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
+  (* Validate the fault mix before spending time building the index. *)
+  let fault_config = Faulty_space.faults ~nan ~exn_:exn_p ~negative ~perturb () in
+  let faulty_space, faults = Faulty_space.wrap ~rng:(Rng.create (seed + 3)) base in
+  Faulty_space.set_config faults fault_config;
+  Faulty_space.disable faults;
+  let guarded, guard = Guard.wrap ~policy faulty_space in
+  let config = builder_config ~pivots:50 ~sample_queries:(min 100 (Array.length db / 2)) in
+  let online =
+    Dbh.Online.create ~rng:(Rng.create (seed + 2)) ~space:guarded ~config
+      ~target_accuracy:target db
+  in
+  let breaker = Breaker.create ~guard online in
+  let truth = Ground_truth.compute ~space:base ~db ~queries in
+  Printf.printf "dataset=%s  db=%d  queries/phase=%d  space=%s  budget=%s\n%!" dataset
+    (Array.length db) (Array.length queries) guarded.Space.name
+    (if budget > 0 then string_of_int budget else "none");
+  let run_phase label =
+    let nns = Array.make (Array.length queries) None in
+    let linear = ref 0 and truncated = ref 0 and cost = ref 0 in
+    Array.iteri
+      (fun i q ->
+        let b = if budget > 0 then Some (Dbh.Budget.create budget) else None in
+        let out = Breaker.query ?budget:b breaker q in
+        nns.(i) <- out.Breaker.result.Dbh.Online.nn;
+        (match out.Breaker.served_by with `Linear_scan -> incr linear | `Index -> ());
+        if out.Breaker.result.Dbh.Online.truncated then incr truncated;
+        cost := !cost + Dbh.Index.total_cost out.Breaker.result.Dbh.Online.stats)
+      queries;
+    Printf.printf
+      "%-20s accuracy=%.3f  cost/query=%.1f  index=%d linear=%d truncated=%d  state=%s trips=%d recoveries=%d\n%!"
+      label
+      (Ground_truth.accuracy truth nns)
+      (float_of_int !cost /. float_of_int (Array.length queries))
+      (Array.length queries - !linear)
+      !linear !truncated
+      (Format.asprintf "%a" Breaker.pp_state (Breaker.state breaker))
+      (Breaker.trips breaker) (Breaker.recoveries breaker)
+  in
+  run_phase "phase 1 (healthy)";
+  Faulty_space.set_config faults fault_config;
+  run_phase "phase 2 (faulted)";
+  Faulty_space.disable faults;
+  run_phase "phase 3 (restored)";
+  Printf.printf "guard : %s\n" (Format.asprintf "%a" Guard.pp guard);
+  Printf.printf "faults: calls=%d injected=%d (nan=%d exn=%d negative=%d perturbed=%d)\n"
+    (Faulty_space.calls faults) (Faulty_space.injected faults) (Faulty_space.injected_nan faults)
+    (Faulty_space.injected_exn faults)
+    (Faulty_space.injected_negative faults)
+    (Faulty_space.perturbed faults);
+  Printf.printf "index : rebuilds=%d  fallback queries total=%d\n" (Dbh.Online.rebuilds online)
+    (Breaker.fallback_queries breaker);
+  0
+  with Invalid_argument msg ->
+    Printf.eprintf "dbh-cli: %s\n" msg;
+    1
+
 (* ---------------------------------------------------------------- render *)
 
 let run_render seed =
@@ -261,6 +331,40 @@ let render_cmd =
   let doc = "print ASCII renderings of the ten synthetic digits" in
   Cmd.v (Cmd.info "render" ~doc) Term.(const run_render $ seed_arg)
 
+let nan_arg =
+  let doc = "Probability that a distance evaluation returns NaN." in
+  Arg.(value & opt float 0.05 & info [ "nan" ] ~docv:"P" ~doc)
+
+let exn_arg =
+  let doc = "Probability that a distance evaluation raises an exception." in
+  Arg.(value & opt float 0.01 & info [ "exn" ] ~docv:"P" ~doc)
+
+let negative_arg =
+  let doc = "Probability that a distance evaluation returns a negative value." in
+  Arg.(value & opt float 0. & info [ "negative" ] ~docv:"P" ~doc)
+
+let perturb_arg =
+  let doc = "Probability that a distance value is multiplicatively perturbed." in
+  Arg.(value & opt float 0. & info [ "perturb" ] ~docv:"P" ~doc)
+
+let policy_arg =
+  let doc = "Guard policy for anomalous distances: $(b,raise), $(b,skip) or $(b,clamp)." in
+  let policies = [ ("raise", Guard.Raise); ("skip", Guard.Skip); ("clamp", Guard.Clamp) ] in
+  Arg.(value & opt (enum policies) Guard.Skip & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let budget_arg =
+  let doc = "Per-query distance budget (0 = unlimited)." in
+  Arg.(value & opt int 0 & info [ "b"; "budget" ] ~docv:"N" ~doc)
+
+let stress_cmd =
+  let doc = "run a three-phase fault-injection workload through the hardened pipeline" in
+  Cmd.v
+    (Cmd.info "stress" ~doc)
+    Term.(
+      const run_stress $ dataset_arg $ seed_arg $ db_size_arg 1000 $ queries_arg 200
+      $ target_arg $ nan_arg $ exn_arg $ negative_arg $ perturb_arg $ policy_arg
+      $ budget_arg)
+
 let health_cmd =
   let doc = "report hash-family balance, index structure and model calibration" in
   Cmd.v
@@ -272,6 +376,6 @@ let health_cmd =
 let main_cmd =
   let doc = "distance-based hashing for nearest neighbor retrieval (ICDE 2008)" in
   Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
-    [ demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd ]
+    [ demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

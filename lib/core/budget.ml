@@ -1,0 +1,25 @@
+type t = {
+  limit : int;
+  mutable spent : int;
+  mutable exhausted : bool;
+}
+
+exception Exhausted
+
+let create limit =
+  if limit < 0 then invalid_arg "Budget.create: negative limit";
+  { limit; spent = 0; exhausted = false }
+
+let limit t = t.limit
+let spent t = t.spent
+let remaining t = t.limit - t.spent
+let exhausted t = t.exhausted
+
+let charge t =
+  if t.spent >= t.limit then begin
+    t.exhausted <- true;
+    raise Exhausted
+  end;
+  t.spent <- t.spent + 1
+
+let is_exhausted_exn = function Exhausted -> true | _ -> false

@@ -1,0 +1,46 @@
+(** Per-query distance-computation budgets.
+
+    Queries over a black-box distance measure have no intrinsic latency
+    bound: one adversarial bucket can cost thousands of expensive distance
+    evaluations.  A budget caps the number of distance computations a
+    single query (or a shared pool of queries) may spend; query functions
+    accepting a [?budget] terminate early with the best answer found so
+    far and report [truncated = true] instead of exhibiting unbounded tail
+    latency.
+
+    The protocol is charge-before-compute: {!charge} is called immediately
+    before every distance evaluation, so the spend can {e never} exceed
+    the limit — not even by one computation.  A refused charge marks the
+    budget {!exhausted} and raises {!Exhausted}, which the query machinery
+    catches to return its best-so-far result. *)
+
+type t
+
+exception Exhausted
+(** Raised by {!charge} when the budget has no computations left. *)
+
+val create : int -> t
+(** [create limit] is a fresh budget allowing at most [limit] distance
+    computations ([limit >= 0]; a zero budget refuses the first charge). *)
+
+val limit : t -> int
+
+val spent : t -> int
+(** Computations charged so far; invariant: [spent t <= limit t]. *)
+
+val remaining : t -> int
+
+val exhausted : t -> bool
+(** Whether a charge has ever been refused — i.e. whether the bound was
+    actually hit.  This is exactly the [truncated] flag query results
+    report.  Finishing with [spent = limit] but never needing more does
+    {e not} set it. *)
+
+val charge : t -> unit
+(** Consume one computation.  Raises {!Exhausted} (after marking the
+    budget exhausted) when none remain; the caller must then skip the
+    distance evaluation it was about to perform. *)
+
+val is_exhausted_exn : exn -> bool
+(** Recognize {!Exhausted} without naming the exception (for wrappers that
+    must not swallow budget signals). *)

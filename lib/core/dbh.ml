@@ -23,6 +23,7 @@
     - {!Analysis}: sample-based accuracy and cost estimation (Eq. 11–14)
     - {!Params}: optimal (k, l) search (Sec. IV-D)
     - {!Store}: dynamic object store shared between indexes
+    - {!Budget}: per-query distance-computation budgets
     - {!Index}: single-level index — build, NN / k-NN / range /
       multi-probe / budgeted queries, insert/delete, save/load
     - {!Hierarchical}: the s-level cascade (Sec. V-A)
@@ -37,6 +38,7 @@ module Collision = Collision
 module Analysis = Analysis
 module Params = Params
 module Store = Store
+module Budget = Budget
 module Index = Index
 module Hierarchical = Hierarchical
 module Builder = Builder

@@ -139,15 +139,19 @@ type 'a cache = {
   obj : 'a;
   dists : float array;  (* nan = not yet computed *)
   mutable misses : int;
+  budget : Budget.t option;  (* charged before each uncached distance *)
 }
 
-let cache t obj = { obj; dists = Array.make (num_pivots t) nan; misses = 0 }
+let cache t obj = { obj; dists = Array.make (num_pivots t) nan; misses = 0; budget = None }
+
+let cache_budgeted t ~budget obj =
+  { obj; dists = Array.make (num_pivots t) nan; misses = 0; budget = Some budget }
 
 let cache_with_distances t obj dists =
   if Array.length dists <> num_pivots t then
     invalid_arg "Hash_family.cache_with_distances: wrong number of distances";
   (* The row is only read (no nan entries), so sharing it is safe. *)
-  { obj; dists; misses = 0 }
+  { obj; dists; misses = 0; budget = None }
 
 let pivot_table t objs =
   Array.map
@@ -159,6 +163,7 @@ let cache_cost c = c.misses
 let pivot_distance t c i =
   let d = c.dists.(i) in
   if Float.is_nan d then begin
+    (match c.budget with Some b -> Budget.charge b | None -> ());
     let d = t.space.Space.distance c.obj t.pivots.(i) in
     c.dists.(i) <- d;
     c.misses <- c.misses + 1;

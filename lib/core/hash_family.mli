@@ -87,6 +87,11 @@ val cache : 'a t -> 'a -> 'a cache
 val cache_cost : 'a cache -> int
 (** Distinct pivot distances computed through this cache so far. *)
 
+val cache_budgeted : 'a t -> budget:Budget.t -> 'a -> 'a cache
+(** Like {!cache}, but [Budget.charge budget] is called before every
+    uncached pivot distance, so hashing stops (with [Budget.Exhausted])
+    the moment the budget runs out — partial hashing never overshoots. *)
+
 val pivot_distance : 'a t -> 'a cache -> int -> float
 (** Distance from the cached object to pivot [i], memoized. *)
 

@@ -88,14 +88,22 @@ let build ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(levels = 5)
   in
   { store; family; levels = level_array }
 
-let query_verbose t q =
+let query_verbose ?budget t q =
   let space = Hash_family.space t.family in
-  let cache = Hash_family.cache t.family q in
+  let cache =
+    match budget with
+    | None -> Hash_family.cache t.family q
+    | Some b -> Hash_family.cache_budgeted t.family ~budget:b q
+  in
   let seen = Bytes.make (Store.length t.store) '\000' in
   let best = ref None in
   let lookup = ref 0 in
   let probes = ref 0 in
   let levels_probed = ref 0 in
+  (* The budget is charged before every distance evaluation — pivot
+     distances through the shared cache and candidate comparisons here —
+     so exhaustion mid-cascade stops cleanly with the best answer the
+     paid-for computations found. *)
   (try
      Array.iter
        (fun lev ->
@@ -104,6 +112,7 @@ let query_verbose t q =
          let fresh = Index.candidates_into lev.index cache ~seen in
          List.iter
            (fun id ->
+             (match budget with Some b -> Budget.charge b | None -> ());
              incr lookup;
              let d = space.Space.distance q (Store.get t.store id) in
              match !best with
@@ -114,7 +123,9 @@ let query_verbose t q =
          | Some (_, bd) when bd <= lev.info.d_threshold -> raise Exit
          | _ -> ())
        t.levels
-   with Exit -> ());
+   with
+  | Exit -> ()
+  | Budget.Exhausted -> ());
   let stats =
     {
       Index.hash_cost = Hash_family.cache_cost cache;
@@ -122,9 +133,10 @@ let query_verbose t q =
       probes = !probes;
     }
   in
-  ({ Index.nn = !best; stats }, !levels_probed)
+  let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
+  ({ Index.nn = !best; stats; truncated }, !levels_probed)
 
-let query t q = fst (query_verbose t q)
+let query ?budget t q = fst (query_verbose ?budget t q)
 
 let insert t obj =
   let id = Store.add t.store obj in

@@ -50,13 +50,17 @@ val indexes : 'a t -> 'a Index.t array
 (** The per-level single-level indexes, in cascade order (shared with the
     cascade — do not mutate through both views concurrently). *)
 
-val query : 'a t -> 'a -> 'a Index.result
+val query : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result
 (** Cascaded retrieval.  Stats aggregate across probed levels: hash cost
     counts distinct pivots overall (the family cache is shared), lookup
     cost counts distinct candidates overall (candidates reappearing in
-    later levels are not recharged). *)
+    later levels are not recharged).
 
-val query_verbose : 'a t -> 'a -> 'a Index.result * int
+    [budget] caps total distance computations across the whole cascade
+    (charged before each evaluation, so never exceeded); on exhaustion
+    the result is best-so-far with [truncated = true]. *)
+
+val query_verbose : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result * int
 (** Like {!query}, also returning how many levels were probed. *)
 
 (** {1 Dynamic updates} *)

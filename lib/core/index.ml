@@ -20,6 +20,7 @@ let add_stats a b =
 type 'a result = {
   nn : (int * float) option;
   stats : stats;
+  truncated : bool;
 }
 
 type 'a t = {
@@ -154,9 +155,54 @@ let best_of_candidates t q candidates =
     candidates;
   (!best, !count)
 
-let query t q =
-  let nn, stats = with_candidates t q (best_of_candidates t q) in
-  { nn; stats }
+(* NN query, optionally under a distance-computation budget.  Buckets are
+   probed row by row and candidates ranked as they surface (equivalent to
+   collecting the union first: the candidate set, lookup cost and best
+   answer are identical), so that when a budget runs out mid-query the
+   best-so-far over everything already paid for is returned.  The budget
+   is charged before every distance evaluation — both pivot distances
+   inside the hash cache and candidate comparisons here — so the spend
+   never exceeds the limit. *)
+let query ?budget t q =
+  let cache =
+    match budget with
+    | None -> Hash_family.cache t.family q
+    | Some b -> Hash_family.cache_budgeted t.family ~budget:b q
+  in
+  let space = Hash_family.space t.family in
+  let seen = Bytes.make (Store.length t.store) '\000' in
+  let best = ref None in
+  let lookup = ref 0 in
+  let probes = ref 0 in
+  (try
+     let bit_of = bits_of_cache t cache in
+     for row = 0 to t.l - 1 do
+       incr probes;
+       let key = key_of_row t.fn_ids bit_of row in
+       match Hashtbl.find_opt t.tables.(row) key with
+       | None -> ()
+       | Some bucket ->
+           List.iter
+             (fun id ->
+               if Store.is_alive t.store id && Bytes.get seen id = '\000' then begin
+                 Bytes.set seen id '\001';
+                 (match budget with Some b -> Budget.charge b | None -> ());
+                 incr lookup;
+                 let d = space.Space.distance q (Store.get t.store id) in
+                 match !best with
+                 | Some (_, bd) when bd <= d -> ()
+                 | _ -> best := Some (id, d)
+               end)
+             bucket
+     done
+   with Budget.Exhausted -> ());
+  let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
+  {
+    nn = !best;
+    stats =
+      { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes };
+    truncated;
+  }
 
 let query_knn t m q =
   if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";
@@ -233,6 +279,7 @@ let query_multiprobe t ~probes q =
   {
     nn;
     stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = !probe_count };
+    truncated = false;
   }
 
 let query_budgeted t ~max_candidates q =
@@ -263,6 +310,7 @@ let query_budgeted t ~max_candidates q =
   {
     nn;
     stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = t.l };
+    truncated = false;
   }
 
 (* -------------------------------------------------------------- updates *)

@@ -30,6 +30,10 @@ type 'a result = {
       (** Best candidate found: database id and exact distance; [None]
           when every bucket was empty. *)
   stats : stats;
+  truncated : bool;
+      (** [true] exactly when a distance budget ran out before the query
+          completed — [nn] is then the best answer the paid-for
+          computations could certify.  Always [false] without a budget. *)
 }
 
 type 'a t
@@ -79,8 +83,16 @@ val largest_bucket : 'a t -> int
 
 (** {1 Queries} *)
 
-val query : 'a t -> 'a -> 'a result
-(** Approximate nearest neighbor of a query object. *)
+val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+(** Approximate nearest neighbor of a query object.
+
+    [budget] caps the total distance computations (hashing + candidate
+    comparisons) this query may spend.  The budget is charged before
+    every evaluation, so the cap is never exceeded; when it runs out the
+    result carries the best candidate found so far and
+    [truncated = true].  Budgets are single-use per query in the common
+    case, but sharing one across several queries gives a query-batch
+    pool. *)
 
 val query_knn : 'a t -> int -> 'a -> (int * float) array * stats
 (** [query_knn t m q]: the [m] best candidates (sorted by distance) from

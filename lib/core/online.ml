@@ -4,6 +4,7 @@ module Vec = Dbh_util.Vec
 type 'a result = {
   nn : (int * float) option;
   stats : Index.stats;
+  truncated : bool;
 }
 
 type 'a t = {
@@ -25,6 +26,8 @@ type 'a t = {
 
 let size t = Vec.length t.registry - Hashtbl.length t.dead
 let rebuilds t = t.rebuild_count
+let space t = t.space
+let index t = t.index
 
 let get t handle =
   if handle < 0 || handle >= Vec.length t.registry || Hashtbl.mem t.dead handle then
@@ -88,6 +91,10 @@ let create ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor = 2.0
     rebuild_count = 0;
   }
 
+let rebuild_now t =
+  rebuild t;
+  t.rebuild_count <- t.rebuild_count + 1
+
 let maybe_rebuild t =
   let alive = size t in
   let hi = t.rebuild_factor *. float_of_int t.built_size in
@@ -116,11 +123,11 @@ let delete t handle =
     maybe_rebuild t
   end
 
-let query t q =
-  let r = Hierarchical.query t.index q in
+let query ?budget t q =
+  let r = Hierarchical.query ?budget t.index q in
   let nn =
     Option.map
       (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
       r.Index.nn
   in
-  { nn; stats = r.Index.stats }
+  { nn; stats = r.Index.stats; truncated = r.Index.truncated }

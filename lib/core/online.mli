@@ -17,6 +17,7 @@ type 'a result = {
   nn : (int * float) option;
       (** stable handle and exact distance of the best neighbor *)
   stats : Index.stats;
+  truncated : bool;  (** a distance budget ran out mid-query *)
 }
 
 val create :
@@ -50,5 +51,29 @@ val insert : 'a t -> 'a -> int
 val delete : 'a t -> int -> unit
 (** Remove by stable handle (idempotent).  May trigger a rebuild. *)
 
-val query : 'a t -> 'a -> 'a result
-(** Approximate nearest neighbor among alive objects. *)
+val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+(** Approximate nearest neighbor among alive objects.  [budget] bounds
+    the distance computations spent, as in {!Index.query}. *)
+
+(** {1 Introspection and control}
+
+    Hooks for operational wrappers (health monitors, circuit breakers)
+    that need to look inside the running index or force maintenance. *)
+
+val space : 'a t -> 'a Dbh_space.Space.t
+(** The space this index was created over (queries and rebuilds go
+    through it — wrap it before {!create} to instrument every distance). *)
+
+val index : 'a t -> 'a Hierarchical.t
+(** The current-generation hierarchical index (replaced wholesale on
+    rebuild — do not cache across updates; read-only). *)
+
+val alive_handles : 'a t -> int list
+(** All alive stable handles, ascending. *)
+
+val rebuild_now : 'a t -> unit
+(** Re-run the whole offline pipeline immediately on the alive snapshot,
+    regardless of the growth thresholds; counts toward {!rebuilds}.
+    Handles remain stable.  Used by degradation wrappers to refresh an
+    index whose structure went bad (e.g. after a spell of anomalous
+    distances polluted its tables). *)

@@ -1,0 +1,118 @@
+module Rng = Dbh_util.Rng
+module Space = Dbh_space.Space
+
+type config = {
+  nan_prob : float;
+  exn_prob : float;
+  negative_prob : float;
+  perturb_prob : float;
+  perturb_scale : float;
+  latency_prob : float;
+  latency_spin : int;
+}
+
+let quiet =
+  {
+    nan_prob = 0.;
+    exn_prob = 0.;
+    negative_prob = 0.;
+    perturb_prob = 0.;
+    perturb_scale = 0.25;
+    latency_prob = 0.;
+    latency_spin = 10_000;
+  }
+
+let faults ?(nan = 0.) ?(exn_ = 0.) ?(negative = 0.) ?(perturb = 0.) ?(latency = 0.) () =
+  {
+    quiet with
+    nan_prob = nan;
+    exn_prob = exn_;
+    negative_prob = negative;
+    perturb_prob = perturb;
+    latency_prob = latency;
+  }
+
+exception Injected of string
+
+type t = {
+  rng : Rng.t;
+  mutable config : config;
+  mutable calls : int;
+  mutable nan : int;
+  mutable exn : int;
+  mutable negative : int;
+  mutable perturbed : int;
+  mutable stalled : int;
+}
+
+let check_prob name p =
+  if Float.is_nan p || p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Faulty_space: %s must be in [0,1]" name)
+
+let validate c =
+  check_prob "nan_prob" c.nan_prob;
+  check_prob "exn_prob" c.exn_prob;
+  check_prob "negative_prob" c.negative_prob;
+  check_prob "perturb_prob" c.perturb_prob;
+  check_prob "latency_prob" c.latency_prob
+
+let config t = t.config
+
+let set_config t c =
+  validate c;
+  t.config <- c
+
+let disable t = t.config <- quiet
+let calls t = t.calls
+let injected t = t.nan + t.exn + t.negative + t.perturbed + t.stalled
+let injected_nan t = t.nan
+let injected_exn t = t.exn
+let injected_negative t = t.negative
+let perturbed t = t.perturbed
+let stalled t = t.stalled
+
+let spin n =
+  (* Deterministic stand-in for a stalled remote distance service; the
+     accumulator escapes through opaque_identity so the loop survives
+     optimization. *)
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let wrap ~rng ?(config = quiet) space =
+  validate config;
+  let t = { rng; config; calls = 0; nan = 0; exn = 0; negative = 0; perturbed = 0; stalled = 0 } in
+  let distance x y =
+    t.calls <- t.calls + 1;
+    let c = t.config in
+    (* Two draws per call regardless of configuration, so the fault
+       pattern stays aligned with the call sequence even when the config
+       changes mid-run. *)
+    let u_latency = Rng.float t.rng 1. in
+    let u = Rng.float t.rng 1. in
+    if u_latency < c.latency_prob then begin
+      t.stalled <- t.stalled + 1;
+      spin c.latency_spin
+    end;
+    if u < c.nan_prob then begin
+      t.nan <- t.nan + 1;
+      Float.nan
+    end
+    else if u < c.nan_prob +. c.exn_prob then begin
+      t.exn <- t.exn + 1;
+      raise (Injected (Printf.sprintf "injected failure in %s" space.Space.name))
+    end
+    else if u < c.nan_prob +. c.exn_prob +. c.negative_prob then begin
+      t.negative <- t.negative + 1;
+      -.Float.abs (space.Space.distance x y) -. 1.
+    end
+    else if u < c.nan_prob +. c.exn_prob +. c.negative_prob +. c.perturb_prob then begin
+      t.perturbed <- t.perturbed + 1;
+      let factor = 1. +. (c.perturb_scale *. Rng.float_in t.rng (-1.) 1.) in
+      space.Space.distance x y *. Float.abs factor
+    end
+    else space.Space.distance x y
+  in
+  ({ Space.name = "faulty:" ^ space.Space.name; distance }, t)

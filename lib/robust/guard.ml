@@ -1,0 +1,115 @@
+module Space = Dbh_space.Space
+
+type policy = Raise | Skip | Clamp
+
+type anomaly = Nan | Pos_infinite | Neg_infinite | Negative | Exn
+
+exception Invalid_distance of string
+
+type t = {
+  policy : policy;
+  space_name : string;
+  mutable calls : int;
+  mutable nan : int;
+  mutable pos_inf : int;
+  mutable neg_inf : int;
+  mutable negative : int;
+  mutable exn : int;
+}
+
+let policy t = t.policy
+let calls t = t.calls
+
+let count t = function
+  | Nan -> t.nan
+  | Pos_infinite -> t.pos_inf
+  | Neg_infinite -> t.neg_inf
+  | Negative -> t.negative
+  | Exn -> t.exn
+
+let anomalies t = t.nan + t.pos_inf + t.neg_inf + t.negative + t.exn
+
+let anomaly_rate t =
+  if t.calls = 0 then 0. else float_of_int (anomalies t) /. float_of_int t.calls
+
+let reset t =
+  t.calls <- 0;
+  t.nan <- 0;
+  t.pos_inf <- 0;
+  t.neg_inf <- 0;
+  t.negative <- 0;
+  t.exn <- 0
+
+let anomaly_name = function
+  | Nan -> "nan"
+  | Pos_infinite -> "+inf"
+  | Neg_infinite -> "-inf"
+  | Negative -> "negative"
+  | Exn -> "exn"
+
+let tally t = function
+  | Nan -> t.nan <- t.nan + 1
+  | Pos_infinite -> t.pos_inf <- t.pos_inf + 1
+  | Neg_infinite -> t.neg_inf <- t.neg_inf + 1
+  | Negative -> t.negative <- t.negative + 1
+  | Exn -> t.exn <- t.exn + 1
+
+(* Value substituted for an anomalous distance, per policy.  Skip makes
+   the pair maximally far apart; Clamp repairs sign errors but cannot
+   invent a value for NaN or a raised exception. *)
+let resolve t kind detail =
+  tally t kind;
+  match (t.policy, kind) with
+  | Raise, _ ->
+      raise
+        (Invalid_distance
+           (Printf.sprintf "%s: %s distance (%s)" t.space_name (anomaly_name kind) detail))
+  | Skip, _ -> infinity
+  | Clamp, (Neg_infinite | Negative) -> 0.
+  | Clamp, (Nan | Pos_infinite | Exn) -> infinity
+
+let wrap ?(policy = Skip) space =
+  let t =
+    {
+      policy;
+      space_name = space.Space.name;
+      calls = 0;
+      nan = 0;
+      pos_inf = 0;
+      neg_inf = 0;
+      negative = 0;
+      exn = 0;
+    }
+  in
+  let distance x y =
+    t.calls <- t.calls + 1;
+    match space.Space.distance x y with
+    | d when Float.is_nan d -> resolve t Nan "NaN"
+    | d when d = infinity -> resolve t Pos_infinite "+infinity"
+    | d when d = neg_infinity -> resolve t Neg_infinite "-infinity"
+    | d when d < 0. -> resolve t Negative (Printf.sprintf "%g" d)
+    | d -> d
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e when Dbh.Budget.is_exhausted_exn e -> raise e
+    | exception e -> resolve t Exn (Printexc.to_string e)
+  in
+  ({ Space.name = "guarded:" ^ space.Space.name; distance }, t)
+
+let pp ppf t =
+  Format.fprintf ppf "calls=%d anomalies=%d (%.1f%%)" t.calls (anomalies t)
+    (100. *. anomaly_rate t);
+  let parts =
+    List.filter
+      (fun (_, n) -> n > 0)
+      [
+        ("nan", t.nan);
+        ("+inf", t.pos_inf);
+        ("-inf", t.neg_inf);
+        ("negative", t.negative);
+        ("exn", t.exn);
+      ]
+  in
+  if parts <> [] then begin
+    Format.fprintf ppf ":";
+    List.iter (fun (name, n) -> Format.fprintf ppf " %s=%d" name n) parts
+  end

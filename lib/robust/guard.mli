@@ -1,0 +1,63 @@
+(** Hardened wrapper over a black-box distance measure.
+
+    DBH treats the distance as a black box (paper Sec. III), and a
+    production black box misbehaves: DTW on a malformed series returns
+    NaN, a chamfer kernel raises, a buggy feature pipeline yields
+    negative or infinite values.  Raw anomalies are poison — a single NaN
+    silently corrupts bucket keys and candidate ranking, and one raised
+    exception aborts a whole query.
+
+    [Guard] validates {e every} distance evaluation, tallies anomalies in
+    per-kind counters (cheap enough to leave on in production — the
+    observability the breaker and health endpoints read), and applies a
+    configurable policy to each offending value. *)
+
+type policy =
+  | Raise  (** fail fast: raise {!Invalid_distance} on the first anomaly *)
+  | Skip
+      (** substitute [+∞]: the pair is treated as maximally far apart, so
+          anomalous candidates can never win a ranking — the safe default
+          for serving *)
+  | Clamp
+      (** salvage what has an obvious repair: negative and [-∞] values
+          clamp to [0.] (preserving the "close" signal of a sign bug);
+          NaN and exceptions still map to [+∞] like [Skip] *)
+
+type anomaly = Nan | Pos_infinite | Neg_infinite | Negative | Exn
+
+exception Invalid_distance of string
+(** Raised under the [Raise] policy; the message names the space and the
+    anomaly.  Counters are updated before raising. *)
+
+type t
+(** Shared mutable counters of one guarded space (thread through
+    observability endpoints). *)
+
+val wrap : ?policy:policy -> 'a Dbh_space.Space.t -> 'a Dbh_space.Space.t * t
+(** [wrap ~policy space] is a space computing the same distances but
+    validating every result, plus the counter handle.  Default policy is
+    [Skip].  [Out_of_memory] and [Stack_overflow] are never swallowed,
+    and budget-exhaustion signals ({!Dbh.Budget.Exhausted}) pass through
+    untouched. *)
+
+val policy : t -> policy
+val calls : t -> int
+(** Total distance evaluations requested through the guard. *)
+
+val count : t -> anomaly -> int
+val anomalies : t -> int
+(** Sum over all anomaly kinds. *)
+
+val anomaly_rate : t -> float
+(** [anomalies / calls] over the guard's lifetime ([0.] before any
+    call).  Windowed rates are the caller's job: snapshot {!calls} and
+    {!anomalies} and difference them. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line counter rendering, e.g.
+    ["calls=812 anomalies=49 (6.0%): nan=41 exn=8"]. *)
+
+val anomaly_name : anomaly -> string

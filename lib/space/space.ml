@@ -26,7 +26,13 @@ let with_counter t =
 let of_matrix ?(name = "matrix") m =
   let n = Array.length m in
   Array.iter
-    (fun row -> if Array.length row <> n then invalid_arg "Space.of_matrix: matrix not square")
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Space.of_matrix: matrix not square";
+      Array.iter
+        (fun d ->
+          if Float.is_nan d then invalid_arg "Space.of_matrix: NaN entry";
+          if d < 0. then invalid_arg "Space.of_matrix: negative entry")
+        row)
     m;
   let distance i j = m.(i).(j) in
   { name; distance }

@@ -43,9 +43,12 @@ val counted : counter -> 'a t -> 'a t
 val of_matrix : ?name:string -> float array array -> int t
 (** [of_matrix m] is the finite space whose elements are indices
     [0 .. n-1] and whose distance is the matrix lookup [m.(i).(j)].  The
-    matrix must be square; it is {e not} copied.  This realizes the
-    paper's Section IV-B construction (random distance matrices) used to
-    show that the DBH family need not be locality sensitive. *)
+    matrix must be square with no NaN or negative entries (the checks
+    downstream index construction relies on); it is {e not} copied — but
+    also not re-validated, so don't mutate entries to invalid values
+    afterwards.  This realizes the paper's Section IV-B construction
+    (random distance matrices) used to show that the DBH family need not
+    be locality sensitive. *)
 
 val random_metric_matrix : Dbh_util.Rng.t -> int -> float array array
 (** [random_metric_matrix rng n] draws a symmetric [n]×[n] matrix with

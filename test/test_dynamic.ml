@@ -50,6 +50,35 @@ let test_store_delete_guard () =
   Alcotest.check_raises "range" (Invalid_argument "Store.delete: id out of range") (fun () ->
       Store.delete s 5)
 
+let test_online_delete_idempotent_under_rebuild () =
+  (* Deleting a handle twice, with a forced rebuild in between and after,
+     keeps the store consistent: size stable, handle dead, queries clean. *)
+  let db = test_db 81 150 in
+  let t =
+    Dbh.Online.create ~rng:(Rng.create 82)
+      ~config:
+        { Builder.default_config with num_pivots = 20; num_sample_queries = 60; db_sample = 150 }
+      ~space:l2 ~target_accuracy:0.9 db
+  in
+  Dbh.Online.delete t 10;
+  Dbh.Online.delete t 10;
+  Alcotest.(check int) "one deletion counted" 149 (Dbh.Online.size t);
+  Dbh.Online.rebuild_now t;
+  Dbh.Online.delete t 10;
+  Alcotest.(check int) "still one deletion after rebuild" 149 (Dbh.Online.size t);
+  Alcotest.(check bool) "handle stays dead" false
+    (List.mem 10 (Dbh.Online.alive_handles t));
+  Alcotest.check_raises "get refuses dead handle"
+    (Invalid_argument "Online.get: dead or unknown handle") (fun () ->
+      ignore (Dbh.Online.get t 10));
+  Dbh.Online.rebuild_now t;
+  Alcotest.(check int) "rebuilds counted" 2 (Dbh.Online.rebuilds t);
+  (match (Dbh.Online.query t db.(10)).Dbh.Online.nn with
+  | Some (found, _) -> Alcotest.(check bool) "dead handle never returned" true (found <> 10)
+  | None -> ());
+  (* Other handles still resolve to their original objects. *)
+  Alcotest.(check (array (float 0.))) "neighbors unaffected" db.(11) (Dbh.Online.get t 11)
+
 (* -------------------------------------------------------- insert / delete *)
 
 let make_index ?(seed = 1) ?(n = 300) ?(k = 4) ?(l = 8) () =
@@ -58,6 +87,27 @@ let make_index ?(seed = 1) ?(n = 300) ?(k = 4) ?(l = 8) () =
   let family = Hash_family.make ~rng ~space:l2 ~num_pivots:20 ~threshold_sample:150 db in
   let index = Index.build ~rng ~family ~db ~k ~l () in
   (index, db, rng)
+
+let test_store_delete_then_query_never_resurrects () =
+  (* A tombstoned id must never come back from a query, no matter how
+     close the query sits to the dead object. *)
+  let index, db, rng = make_index ~seed:7 () in
+  let dead = List.init 30 (fun i -> i * 9) in
+  List.iter (fun id -> Index.delete index id) dead;
+  List.iter
+    (fun id ->
+      (* Query exactly at the deleted object and at small perturbations. *)
+      let targets =
+        db.(id) :: List.init 5 (fun _ -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.01 db.(id))
+      in
+      List.iter
+        (fun q ->
+          match (Index.query index q).Index.nn with
+          | Some (found, _) ->
+              Alcotest.(check bool) "alive answer only" true (not (List.mem found dead))
+          | None -> ())
+        targets)
+    dead
 
 let test_insert_found_afterwards () =
   let index, _, rng = make_index () in
@@ -369,6 +419,10 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_store_basics;
           Alcotest.test_case "delete guard" `Quick test_store_delete_guard;
+          Alcotest.test_case "delete never resurrects" `Quick
+            test_store_delete_then_query_never_resurrects;
+          Alcotest.test_case "delete idempotent under rebuild" `Quick
+            test_online_delete_idempotent_under_rebuild;
         ] );
       ( "updates",
         [

@@ -44,6 +44,14 @@ let test_of_matrix_ragged () =
     (Invalid_argument "Space.of_matrix: matrix not square")
     (fun () -> ignore (Space.of_matrix [| [| 0. |]; [| 1.; 2. |] |]))
 
+let test_of_matrix_rejects_nan () =
+  Alcotest.check_raises "nan entry" (Invalid_argument "Space.of_matrix: NaN entry") (fun () ->
+      ignore (Space.of_matrix [| [| 0.; Float.nan |]; [| 1.; 0. |] |]))
+
+let test_of_matrix_rejects_negative () =
+  Alcotest.check_raises "negative entry" (Invalid_argument "Space.of_matrix: negative entry")
+    (fun () -> ignore (Space.of_matrix [| [| 0.; -1. |]; [| -1.; 0. |] |]))
+
 let test_random_metric_matrix () =
   let rng = Rng.create 1 in
   let m = Space.random_metric_matrix rng 20 in
@@ -100,6 +108,8 @@ let () =
           Alcotest.test_case "counted preserves distance" `Quick test_counted_preserves_distance;
           Alcotest.test_case "of_matrix" `Quick test_of_matrix;
           Alcotest.test_case "of_matrix ragged" `Quick test_of_matrix_ragged;
+          Alcotest.test_case "of_matrix rejects NaN" `Quick test_of_matrix_rejects_nan;
+          Alcotest.test_case "of_matrix rejects negative" `Quick test_of_matrix_rejects_negative;
           Alcotest.test_case "random metric matrix" `Quick test_random_metric_matrix;
           Alcotest.test_case "transform" `Quick test_transform;
           Alcotest.test_case "products" `Quick test_products;
