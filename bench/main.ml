@@ -16,9 +16,12 @@
      ablation/baselines   (B1)  DBH vs LAESA, M-tree, FastMap filter+refine
      ablation/multiprobe  (A4)  multi-probe / budgeted query extensions
      robust/faults        (R1)  hardened pipeline under injected faults
+     parallel             (P1)  domain-pool scaling, writes BENCH_parallel.json
      micro/*                    Bechamel micro-benchmarks
 
-   DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs. *)
+   DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
+   DBH_BENCH_SECTIONS=key,key runs only the named sections (see the
+   [sections] list at the bottom). *)
 
 module Rng = Dbh_util.Rng
 module Space = Dbh_space.Space
@@ -204,7 +207,7 @@ let table_bruteforce () =
   let pen_db = pen_set ~rng (sc 2000) in
   let pen_q = pen_set ~rng:(Rng.create 7) (sc 300) in
   let pen_truth =
-    Ground_truth.compute ~space:Dbh_datasets.Pen_digits.space ~db:pen_db ~queries:pen_q
+    Ground_truth.compute ~space:Dbh_datasets.Pen_digits.space ~db:pen_db ~queries:pen_q ()
   in
   let pen_err =
     Dbh_eval.Classification.error_rate
@@ -216,7 +219,7 @@ let table_bruteforce () =
   let img_db = Dbh_datasets.Image_digits.generate_set ~rng (sc 800) in
   let img_q = Dbh_datasets.Image_digits.generate_set ~rng:(Rng.create 8) (sc 120) in
   let img_truth =
-    Ground_truth.compute ~space:Dbh_datasets.Image_digits.space ~db:img_db ~queries:img_q
+    Ground_truth.compute ~space:Dbh_datasets.Image_digits.space ~db:img_db ~queries:img_q ()
   in
   let img_err =
     Dbh_eval.Classification.error_rate
@@ -262,7 +265,7 @@ let table_calibration () =
   let db = pen_set ~rng (sc 2000) in
   let queries = pen_set ~rng:(Rng.create 8) (sc 200) in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config =
     { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
   in
@@ -355,7 +358,7 @@ let ablation_xsmall () =
   let db = pen_set ~rng (sc 2000) in
   let queries = pen_set ~rng:(Rng.create 21) (sc 200) in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   (* Shared sample queries and their ground truth across family sizes. *)
   let query_indices = Rng.sample_indices rng (sc 200) (Array.length db) in
   let sample_truth = Ground_truth.compute_self ~space ~db ~query_indices in
@@ -397,7 +400,7 @@ let ablation_levels () =
   let db = pen_set ~rng (sc 2000) in
   let queries = pen_set ~rng:(Rng.create 31) (sc 200) in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config =
     { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
   in
@@ -425,7 +428,7 @@ let ablation_vs_lsh () =
   let db = Array.sub all 0 (sc 4000) in
   let queries = Array.sub all (sc 4000) (sc 400) in
   let space = Dbh_metrics.Minkowski.l2_space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config =
     { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
   in
@@ -488,7 +491,7 @@ let ablation_baselines () =
   let db = pen_set ~rng (sc 2000) in
   let queries = pen_set ~rng:(Rng.create 71) (sc 200) in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config =
     { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
   in
@@ -584,7 +587,7 @@ let ablation_multiprobe () =
   let db = pen_set ~rng (sc 2000) in
   let queries = pen_set ~rng:(Rng.create 61) (sc 200) in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let family =
     Dbh.Hash_family.make ~rng ~space ~num_pivots:100 ~threshold_sample:(sc 500) db
   in
@@ -627,7 +630,7 @@ let robust_faults () =
   let all, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim:16 (sc 2200) in
   let db = Array.sub all 0 (sc 2000) in
   let queries = Array.sub all (sc 2000) (sc 200) in
-  let truth = Ground_truth.compute ~space:base ~db ~queries in
+  let truth = Ground_truth.compute ~space:base ~db ~queries () in
   let config =
     { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
   in
@@ -689,6 +692,129 @@ let robust_faults () =
         (float_of_int !cost /. float_of_int (Array.length queries))
         !truncated)
     [ 25; 50; 100; 200 ]
+
+(* ------------------------------------------------- P1 parallel scaling *)
+
+(* Build + collision-matrix + batched-query wall time at 1/2/4/N domains,
+   with bit-identity checks against the sequential run, recorded to
+   BENCH_parallel.json so the perf trajectory is tracked across PRs.
+   Speedups are whatever the machine gives — on a single hardware core
+   the pool can only add overhead, and the JSON says so honestly. *)
+
+let parallel_scaling () =
+  Report.print_heading
+    "parallel (P1): domain-pool scaling of build, collision estimation and batched queries";
+  let module Pool = Dbh_util.Pool in
+  let space = Dbh_metrics.Minkowski.l2_space in
+  let data_rng = Rng.create 60 in
+  let all, _ =
+    Dbh_datasets.Vectors.gaussian_mixture ~rng:data_rng ~num_clusters:20 ~dim:32 (sc 2400)
+  in
+  let db = Array.sub all 0 (sc 2000) in
+  let queries = Array.sub all (sc 2000) (sc 400) in
+  let collision_sample = Array.sub db 0 (sc 250) in
+  let encode (v : float array) =
+    let buf = Buffer.create 32 in
+    Dbh_util.Binio.write_float_array buf v;
+    Buffer.contents buf
+  in
+  let serialized index =
+    let buf = Buffer.create 4096 in
+    Dbh.Index.write ~encode buf index;
+    Buffer.contents buf
+  in
+  (* One measured round at a given pool width; identical seeds each time,
+     so every round must produce the same artifacts. *)
+  let round pool =
+    let build () =
+      let rng = Rng.create 61 in
+      let family =
+        Dbh.Hash_family.make ?pool ~rng ~space ~num_pivots:(sc 80)
+          ~threshold_sample:(sc 400) db
+      in
+      let pivot_table = Dbh.Hash_family.pivot_table ?pool family db in
+      Dbh.Index.build ?pool ~rng ~family ~db ~pivot_table ~k:10 ~l:10 ()
+    in
+    let index, build_s = seconds build in
+    let matrix, collision_s =
+      seconds (fun () ->
+          Dbh.Collision.pairwise_matrix ?pool ~rng:(Rng.create 62) ~num_fns:200
+            (Dbh.Index.family index) collision_sample)
+    in
+    let results, query_s =
+      seconds (fun () -> Dbh.Index.query_batch ?pool ~budget:400 index queries)
+    in
+    (index, matrix, results, build_s, collision_s, query_s)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let widths =
+    List.sort_uniq compare [ 1; 2; 4; cores ] |> List.filter (fun d -> d >= 1)
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let index, matrix, results, build_s, collision_s, query_s =
+          if domains = 1 then round None
+          else Pool.with_pool ~domains (fun pool -> round (Some pool))
+        in
+        (domains, index, matrix, results, build_s, collision_s, query_s))
+      widths
+  in
+  (* Bit-identity of every parallel run against the sequential baseline. *)
+  let _, base_index, base_matrix, base_results, base_build, base_collision, base_query =
+    List.hd rows
+  in
+  let base_blob = serialized base_index in
+  let identical =
+    List.for_all
+      (fun (_, index, matrix, results, _, _, _) ->
+        serialized index = base_blob && matrix = base_matrix && results = base_results)
+      (List.tl rows)
+  in
+  let per_query =
+    Array.map (fun q -> Dbh.Index.query ~budget:(Dbh.Budget.create 400) base_index q) queries
+  in
+  let batch_matches = base_results = per_query in
+  Printf.printf "  hardware cores: %d\n" cores;
+  Printf.printf "  %8s %10s %14s %14s %10s %10s %10s\n" "domains" "build(s)" "collision(s)"
+    "queries(s)" "build-x" "coll-x" "query-x";
+  List.iter
+    (fun (domains, _, _, _, build_s, collision_s, query_s) ->
+      Printf.printf "  %8d %10.3f %14.3f %14.3f %10.2f %10.2f %10.2f\n" domains build_s
+        collision_s query_s (base_build /. build_s) (base_collision /. collision_s)
+        (base_query /. query_s))
+    rows;
+  Printf.printf "  bit-identical across pool widths: %b\n" identical;
+  Printf.printf "  query_batch matches per-query results: %b\n" batch_matches;
+  if not (identical && batch_matches) then
+    failwith "parallel (P1): parallel results diverged from sequential baseline";
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"hardware_cores\": %d,\n" cores;
+  Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+  Printf.fprintf oc
+    "  \"dataset\": { \"db_size\": %d, \"queries\": %d, \"dim\": 32, \"space\": \"l2\" },\n"
+    (Array.length db) (Array.length queries);
+  Printf.fprintf oc "  \"index\": { \"k\": 10, \"l\": 10, \"pivots\": %d },\n" (sc 80);
+  Printf.fprintf oc "  \"rounds\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (domains, _, _, _, build_s, collision_s, query_s) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"build_s\": %.6f, \"collision_matrix_s\": %.6f, \
+         \"query_batch_s\": %.6f, \"build_speedup\": %.3f, \"collision_speedup\": %.3f, \
+         \"query_speedup\": %.3f }%s\n"
+        domains build_s collision_s query_s (base_build /. build_s)
+        (base_collision /. collision_s) (base_query /. query_s)
+        (if i = last then "" else ",")
+    )
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"bit_identical_across_widths\": %b,\n" identical;
+  Printf.fprintf oc "  \"query_batch_matches_per_query\": %b\n" batch_matches;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json\n"
 
 (* ------------------------------------------------- Bechamel micro-benches *)
 
@@ -763,25 +889,40 @@ let micro_benchmarks () =
 
 (* ------------------------------------------------------------------ main *)
 
+(* DBH_BENCH_SECTIONS=kl-landscape,parallel runs only the named sections
+   (comma-separated keys below); unset runs everything. *)
+let sections =
+  [
+    ("family-stats", table_family_stats);
+    ("non-lsh", table_non_lsh);
+    ("kl-landscape", table_kl_landscape);
+    ("bruteforce", table_bruteforce);
+    ("calibration", table_calibration);
+    ("figure5-unipen", figure5_unipen);
+    ("figure5-mnist", figure5_mnist);
+    ("figure5-hands", figure5_hands);
+    ("xsmall", ablation_xsmall);
+    ("levels", ablation_levels);
+    ("vs-lsh", ablation_vs_lsh);
+    ("baselines", ablation_baselines);
+    ("multiprobe", ablation_multiprobe);
+    ("faults", robust_faults);
+    ("parallel", parallel_scaling);
+    ("micro", micro_benchmarks);
+  ]
+
 let () =
   Printf.printf "DBH benchmark harness%s\n" (if quick then " (quick scale)" else "");
   Printf.printf "Reproduces the evaluation of Athitsos et al., ICDE 2008 (see DESIGN.md).\n";
+  let wanted =
+    match Sys.getenv_opt "DBH_BENCH_SECTIONS" with
+    | None | Some "" -> fun _ -> true
+    | Some spec ->
+        let keys = String.split_on_char ',' spec |> List.map String.trim in
+        fun name -> List.mem name keys
+  in
   let (), dt =
     seconds (fun () ->
-        table_family_stats ();
-        table_non_lsh ();
-        table_kl_landscape ();
-        table_bruteforce ();
-        table_calibration ();
-        figure5_unipen ();
-        figure5_mnist ();
-        figure5_hands ();
-        ablation_xsmall ();
-        ablation_levels ();
-        ablation_vs_lsh ();
-        ablation_baselines ();
-        ablation_multiprobe ();
-        robust_faults ();
-        micro_benchmarks ())
+        List.iter (fun (name, section) -> if wanted name then section ()) sections)
   in
   Printf.printf "\nTotal wall time: %.0f s\n" dt

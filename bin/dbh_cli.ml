@@ -75,6 +75,17 @@ let make_bundle name ~seed ~db_size ~num_queries =
 let builder_config ~pivots ~sample_queries =
   { Dbh.Builder.default_config with num_pivots = pivots; num_sample_queries = sample_queries }
 
+(* Run [f] with the pool implied by --domains: none for 1 (fully
+   sequential, the default), a properly shut-down pool otherwise.
+   Results are bit-identical either way; only wall time changes. *)
+let with_domains domains f =
+  if domains < 1 then begin
+    Printf.eprintf "dbh-cli: --domains must be >= 1 (got %d)\n" domains;
+    1
+  end
+  else if domains = 1 then f None
+  else Dbh_util.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 (* ------------------------------------------------------------------ demo *)
 
 let run_demo dataset seed db_size num_queries target pivots =
@@ -85,7 +96,7 @@ let run_demo dataset seed db_size num_queries target pivots =
   let config = builder_config ~pivots ~sample_queries:(min 200 (Array.length db / 2)) in
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let results = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
   let acc =
     Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
@@ -107,11 +118,12 @@ let run_demo dataset seed db_size num_queries target pivots =
 
 (* ------------------------------------------------------------ experiment *)
 
-let run_experiment dataset seed db_size num_queries csv_path =
+let run_experiment dataset seed db_size num_queries csv_path domains =
+  with_domains domains @@ fun pool ->
   let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
   let rng = Rng.create (seed + 2) in
   let result =
-    Dbh_eval.Figure5.run ~rng ~dataset ~space ~db ~queries ()
+    Dbh_eval.Figure5.run ?pool ~rng ~dataset ~space ~db ~queries ()
   in
   Dbh_eval.Report.print_figure5 result;
   (match csv_path with
@@ -182,7 +194,7 @@ let run_health dataset seed db_size num_queries target =
         (if Dbh.Diagnostics.healthy stats then "healthy" else "DEGENERATE"))
     (Dbh.Diagnostics.hierarchical_stats h);
   (* Calibration against held-out queries. *)
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let points =
     Dbh_eval.Calibration.single_level ~rng ~prepared ~db ~queries ~truth
       ~targets:[| 0.8; 0.9; target |] ~config ()
@@ -204,7 +216,8 @@ module Breaker = Dbh_robust.Breaker
    breaker should serve phase 1 from the index, trip to the linear-scan
    fallback during phase 2, and recover during phase 3. *)
 let run_stress dataset seed db_size num_queries target nan exn_p negative perturb policy
-    budget =
+    budget domains =
+  with_domains domains @@ fun pool ->
   try
   let (Bundle { space = base; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
   (* Validate the fault mix before spending time building the index. *)
@@ -215,11 +228,11 @@ let run_stress dataset seed db_size num_queries target nan exn_p negative pertur
   let guarded, guard = Guard.wrap ~policy faulty_space in
   let config = builder_config ~pivots:50 ~sample_queries:(min 100 (Array.length db / 2)) in
   let online =
-    Dbh.Online.create ~rng:(Rng.create (seed + 2)) ~space:guarded ~config
+    Dbh.Online.create ?pool ~rng:(Rng.create (seed + 2)) ~space:guarded ~config
       ~target_accuracy:target db
   in
   let breaker = Breaker.create ~guard online in
-  let truth = Ground_truth.compute ~space:base ~db ~queries in
+  let truth = Ground_truth.compute ?pool ~space:base ~db ~queries () in
   Printf.printf "dataset=%s  db=%d  queries/phase=%d  space=%s  budget=%s\n%!" dataset
     (Array.length db) (Array.length queries) guarded.Space.name
     (if budget > 0 then string_of_int budget else "none");
@@ -305,6 +318,13 @@ let csv_arg =
   let doc = "Write the measured series to this CSV file." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
 
+let domains_arg =
+  let doc =
+    "Domains for parallel build/estimation/queries (1 = sequential; results are \
+     bit-identical at any width)."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let demo_cmd =
   let doc = "build a DBH index on a synthetic dataset and query it" in
   Cmd.v
@@ -319,7 +339,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc)
     Term.(
       const run_experiment $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
-      $ csv_arg)
+      $ csv_arg $ domains_arg)
 
 let tune_cmd =
   let doc = "print the offline (k,l) parameter landscape" in
@@ -363,7 +383,7 @@ let stress_cmd =
     Term.(
       const run_stress $ dataset_arg $ seed_arg $ db_size_arg 1000 $ queries_arg 200
       $ target_arg $ nan_arg $ exn_arg $ negative_arg $ perturb_arg $ policy_arg
-      $ budget_arg)
+      $ budget_arg $ domains_arg)
 
 let health_cmd =
   let doc = "report hash-family balance, index structure and model calibration" in

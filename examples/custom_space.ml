@@ -78,7 +78,7 @@ let () =
   let config = { Dbh.Builder.default_config with num_sample_queries = 150 } in
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.95 ~config () in
-  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
   let results = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
   let acc =
     Dbh_eval.Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)

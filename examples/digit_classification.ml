@@ -53,7 +53,7 @@ let () =
 
   (* Brute-force reference. *)
   let t0 = Unix.gettimeofday () in
-  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
   let brute_time = Unix.gettimeofday () -. t0 in
   let brute_err =
     Dbh_eval.Classification.error_rate ~db_labels ~query_labels

@@ -22,7 +22,7 @@ let () =
     { Dbh.Builder.default_config with num_sample_queries = 150; db_sample = 400 }
   in
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
-  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
 
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
   let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in

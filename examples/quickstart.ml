@@ -32,7 +32,7 @@ let () =
 
   (* 3. Query.  Each result carries the retrieved neighbor and the number
      of distance computations spent (the paper's cost measure). *)
-  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
   let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
   let accuracy =
     Dbh_eval.Ground_truth.accuracy truth

@@ -28,7 +28,7 @@ let () =
     { Dbh.Builder.default_config with num_sample_queries = 150; db_sample = 400 }
   in
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
-  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
 
   List.iter
     (fun target ->

@@ -36,40 +36,81 @@ let pivot_usage_of_family family =
   done;
   Array.map (fun c -> float_of_int c /. float_of_int nf) counts
 
-let build ~rng ~family ~db ~query_indices ?(num_fns = 250) ?(db_sample = 500) ?ground_truth
-    () =
+let build ?pool ~rng ~family ~db ~query_indices ?(num_fns = 250) ?(db_sample = 500)
+    ?ground_truth () =
   let n = Array.length db in
   if n < 2 then invalid_arg "Analysis.build: database too small";
   if Array.length query_indices = 0 then invalid_arg "Analysis.build: no sample queries";
   let space = Hash_family.space family in
   let fn_indices = Hash_family.sample_fn_indices ~rng family num_fns in
   let sig_of = Hash_family.signature family ~fn_indices in
-  (* Ground truth nearest neighbors of the sample queries. *)
+  (* All rng draws happen above/below on the submitting domain; the
+     fanned-out work (brute-force NN scans, signatures, agreement rows)
+     is pure per index, so the fitted model is bit-identical to the
+     sequential build for the same seed. *)
+  let map_array f arr =
+    match pool with
+    | None -> Array.map f arr
+    | Some pool -> Dbh_util.Pool.parallel_map_array pool f arr
+  in
+  (* Ground truth nearest neighbors of the sample queries — the dominant
+     O(|queries| · |db|) distance cost when not supplied. *)
   let nn =
     match ground_truth with
     | Some gt ->
         if Array.length gt <> Array.length query_indices then
           invalid_arg "Analysis.build: ground_truth length mismatch";
         gt
-    | None -> Array.map (fun qi -> brute_force_nn space db qi) query_indices
+    | None -> map_array (fun qi -> brute_force_nn space db qi) query_indices
   in
   (* Database sample for the Eq. 12 lookup-cost sum. *)
   let sample_ids = Rng.sample_indices rng (min db_sample n) n in
-  let sample_sigs = Array.map (fun j -> sig_of db.(j)) sample_ids in
+  let sample_sigs = map_array (fun j -> sig_of db.(j)) sample_ids in
+  (* Signatures are needed for every sample query and for every true NN,
+     and one object can play several of those roles at once (the NN of
+     many queries, or a query that is also some other query's NN).
+     Compute each signature exactly once, over the deduplicated id list:
+     this avoids repeating the pivot-distance work, and it keeps every
+     distance pair on a single task so fault-injected spaces see a
+     schedule-independent call sequence under a pool. *)
+  let sig_ids =
+    let seen = Hashtbl.create (2 * Array.length query_indices) in
+    let order = ref [] in
+    let add id =
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        order := id :: !order
+      end
+    in
+    Array.iter add query_indices;
+    Array.iter (fun (j, _) -> add j) nn;
+    Array.of_list (List.rev !order)
+  in
+  let sigs = map_array (fun id -> sig_of db.(id)) sig_ids in
+  let sig_tbl = Hashtbl.create (Array.length sig_ids) in
+  Array.iteri (fun i id -> Hashtbl.replace sig_tbl id sigs.(i)) sig_ids;
+  let sig_cached id = Hashtbl.find sig_tbl id in
   let c_nn = Array.make (Array.length query_indices) 0. in
   let nn_dist = Array.make (Array.length query_indices) 0. in
   let c_db = Array.make (Array.length query_indices) [||] in
-  Array.iteri
-    (fun i qi ->
-      let q_sig = sig_of db.(qi) in
-      let nn_j, nn_d = nn.(i) in
-      c_nn.(i) <- Bitvec.agreement q_sig (sig_of db.(nn_j));
-      nn_dist.(i) <- nn_d;
-      c_db.(i) <-
-        Array.mapi
-          (fun s j -> if j = qi then nan else Bitvec.agreement q_sig sample_sigs.(s))
-          sample_ids)
-    query_indices;
+  (* Pure bit-vector agreements from here on: no distance calls. *)
+  let fit_query i =
+    let qi = query_indices.(i) in
+    let q_sig = sig_cached qi in
+    let nn_j, nn_d = nn.(i) in
+    c_nn.(i) <- Bitvec.agreement q_sig (sig_cached nn_j);
+    nn_dist.(i) <- nn_d;
+    c_db.(i) <-
+      Array.mapi
+        (fun s j -> if j = qi then nan else Bitvec.agreement q_sig sample_sigs.(s))
+        sample_ids
+  in
+  (match pool with
+  | None ->
+      for i = 0 to Array.length query_indices - 1 do
+        fit_query i
+      done
+  | Some pool -> Dbh_util.Pool.parallel_for pool (Array.length query_indices) fit_query);
   {
     db_size = n;
     c_nn;

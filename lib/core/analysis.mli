@@ -13,6 +13,7 @@ type t
 (** The fitted model: pure numbers, detached from the space. *)
 
 val build :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   family:'a Hash_family.t ->
   db:'a array ->
@@ -34,7 +35,9 @@ val build :
 
     Offline cost: O((|queries| + db_sample) · num_pivots) distances for
     signatures plus O(|queries| · |db|) for ground truth when not
-    supplied. *)
+    supplied.  [pool] fans the ground-truth scans, signatures and
+    per-query collision rows across domains; the fitted model is
+    bit-identical to the sequential build for the same seed. *)
 
 val num_queries : t -> int
 val db_size : t -> int

@@ -38,28 +38,28 @@ type 'a prepared = {
   pivot_table : float array array;
 }
 
-let prepare ~rng ~space ?(config = default_config) db =
+let prepare ?pool ~rng ~space ?(config = default_config) db =
   Log.info (fun m ->
       m "preparing family over %d objects (space %s, %d pivots)" (Array.length db)
         space.Dbh_space.Space.name config.num_pivots);
   let family =
-    Hash_family.make ~rng ~space ~num_pivots:config.num_pivots
+    Hash_family.make ?pool ~rng ~space ~num_pivots:config.num_pivots
       ~threshold_sample:config.threshold_sample ?max_functions:config.max_functions db
   in
   let n = Array.length db in
   let query_indices = Rng.sample_indices rng (min config.num_sample_queries n) n in
   let analysis =
-    Analysis.build ~rng ~family ~db ~query_indices ~num_fns:config.num_fns
+    Analysis.build ?pool ~rng ~family ~db ~query_indices ~num_fns:config.num_fns
       ~db_sample:config.db_sample ()
   in
-  let pivot_table = Hash_family.pivot_table family db in
+  let pivot_table = Hash_family.pivot_table ?pool family db in
   Log.info (fun m ->
       m "prepared: %d binary functions, %d sample queries, pivot table %dx%d"
         (Hash_family.size family) (Array.length query_indices) (Array.length pivot_table)
         (Hash_family.num_pivots family));
   { family; analysis; sample_query_indices = query_indices; pivot_table }
 
-let single ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
+let single ?pool ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
   match
     Params.optimize prepared.analysis ~target_accuracy ~k_min:config.k_min
       ~k_max:config.k_max ~l_max:config.l_max ()
@@ -68,16 +68,16 @@ let single ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
   | Some choice ->
       Log.info (fun m -> m "single-level: %a" Params.pp_choice choice);
       let index =
-        Index.build ~rng ~family:prepared.family ~db ~pivot_table:prepared.pivot_table
-          ~k:choice.Params.k ~l:choice.Params.l ()
+        Index.build ?pool ~rng ~family:prepared.family ~db
+          ~pivot_table:prepared.pivot_table ~k:choice.Params.k ~l:choice.Params.l ()
       in
       Some (index, choice)
 
-let hierarchical ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
-  Hierarchical.build ~rng ~family:prepared.family ~db ~analysis:prepared.analysis
+let hierarchical ?pool ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
+  Hierarchical.build ?pool ~rng ~family:prepared.family ~db ~analysis:prepared.analysis
     ~target_accuracy ~pivot_table:prepared.pivot_table ~levels:config.levels
     ~k_min:config.k_min ~k_max:config.k_max ~l_max:config.l_max ()
 
-let auto ~rng ~space ?(config = default_config) ~target_accuracy db =
-  let prepared = prepare ~rng ~space ~config db in
-  hierarchical ~rng ~prepared ~db ~target_accuracy ~config ()
+let auto ?pool ~rng ~space ?(config = default_config) ~target_accuracy db =
+  let prepared = prepare ?pool ~rng ~space ~config db in
+  hierarchical ?pool ~rng ~prepared ~db ~target_accuracy ~config ()

@@ -35,15 +35,19 @@ type 'a prepared = {
     accuracies and both index flavours. *)
 
 val prepare :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   space:'a Dbh_space.Space.t ->
   ?config:config ->
   'a array ->
   'a prepared
 (** Build family + model from a database.  This is the expensive offline
-    step (it brute-forces the sample queries' true nearest neighbors). *)
+    step (it brute-forces the sample queries' true nearest neighbors).
+    [pool] fans it across domains; the artifacts are bit-identical to the
+    sequential run for the same seed. *)
 
 val single :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   prepared:'a prepared ->
   db:'a array ->
@@ -55,6 +59,7 @@ val single :
     unreachable under the model within [l_max]. *)
 
 val hierarchical :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   prepared:'a prepared ->
   db:'a array ->
@@ -64,6 +69,7 @@ val hierarchical :
   'a Hierarchical.t
 
 val auto :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   space:'a Dbh_space.Space.t ->
   ?config:config ->

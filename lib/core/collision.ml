@@ -38,16 +38,34 @@ let estimate_exact family x1 x2 =
   let s2 = Hash_family.signature family ~fn_indices x2 in
   Bitvec.agreement s1 s2
 
-let pairwise_matrix ~rng ?(num_fns = 200) family sample =
+let pairwise_matrix ?pool ~rng ?(num_fns = 200) family sample =
   let fn_indices = Hash_family.sample_fn_indices ~rng family num_fns in
-  let signatures = Array.map (Hash_family.signature family ~fn_indices) sample in
+  (* Signatures dominate the cost (each pays up to num_pivots distances);
+     they are independent per object, so they fan out across the pool.
+     The function draw happens before, so the matrix is bit-identical to
+     the sequential run for the same seed. *)
+  let sig_of = Hash_family.signature family ~fn_indices in
+  let signatures =
+    match pool with
+    | None -> Array.map sig_of sample
+    | Some pool -> Dbh_util.Pool.parallel_map_array pool sig_of sample
+  in
   let n = Array.length sample in
   let m = Array.make_matrix n n 1. in
-  for i = 0 to n - 1 do
+  let fill_row i =
     for j = i + 1 to n - 1 do
       let c = Bitvec.agreement signatures.(i) signatures.(j) in
       m.(i).(j) <- c;
       m.(j).(i) <- c
     done
-  done;
+  in
+  (match pool with
+  | None ->
+      for i = 0 to n - 1 do
+        fill_row i
+      done
+  | Some pool ->
+      (* Rows write disjoint cells: row task i writes m.(i).(j>i) and the
+         mirror cells m.(j>i).(i), never a cell another row task touches. *)
+      Dbh_util.Pool.parallel_for pool n fill_row);
   m

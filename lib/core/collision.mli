@@ -28,6 +28,15 @@ val estimate_exact : 'a Hash_family.t -> 'a -> 'a -> float
     cached evaluations.  Usable when the family is small. *)
 
 val pairwise_matrix :
-  rng:Dbh_util.Rng.t -> ?num_fns:int -> 'a Hash_family.t -> 'a array -> float array array
+  ?pool:Dbh_util.Pool.t ->
+  rng:Dbh_util.Rng.t ->
+  ?num_fns:int ->
+  'a Hash_family.t ->
+  'a array ->
+  float array array
 (** Empirical collision-rate matrix of a sample (shared function draw so
-    rates are comparable); diagonal is 1. *)
+    rates are comparable); diagonal is 1.  [pool] fans the per-object
+    signature computations — the expensive step, up to [num_pivots]
+    distances each — and the pairwise agreement rows across domains;
+    the matrix is bit-identical to the sequential run for the same
+    seed. *)

@@ -77,7 +77,7 @@ let sample_pairs rng m count =
     pairs
   end
 
-let make ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_functions
+let make ?pool ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_functions
     ?(threshold_strategy = Random_interval) data =
   if Array.length data < 2 then invalid_arg "Hash_family.make: need at least 2 objects";
   if num_pivots < 2 then invalid_arg "Hash_family.make: need at least 2 pivots";
@@ -85,9 +85,11 @@ let make ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_function
   let m = Array.length pivots in
   let sample = Rng.subsample rng threshold_sample data in
   let s = Array.length sample in
-  (* Pivot-sample distance matrix, shared across all pairs. *)
+  (* Pivot-sample distance matrix, shared across all pairs.  Rows are
+     independent, so a pool computes them in parallel; values (and the
+     NaN/negative validation) are identical either way. *)
   let dist_sp = Array.make_matrix m s 0. in
-  for p = 0 to m - 1 do
+  let fill_row p =
     for i = 0 to s - 1 do
       let d = space.Space.distance sample.(i) pivots.(p) in
       (* Fail fast on broken distance functions: downstream quantiles and
@@ -96,7 +98,13 @@ let make ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_function
         invalid_arg "Hash_family.make: distance function returned NaN or a negative value";
       dist_sp.(p).(i) <- d
     done
-  done;
+  in
+  (match pool with
+  | None ->
+      for p = 0 to m - 1 do
+        fill_row p
+      done
+  | Some pool -> Dbh_util.Pool.parallel_for pool m fill_row);
   let pairs =
     match max_functions with
     | None -> all_pairs m
@@ -104,32 +112,68 @@ let make ~rng ~space ?(num_pivots = 100) ?(threshold_sample = 500) ?max_function
         if count < 1 then invalid_arg "Hash_family.make: max_functions must be positive";
         sample_pairs rng m count
   in
-  let projections = Array.make s 0. in
+  (* Threshold drawing consumes [rng] and therefore stays sequential, in
+     pair order, for every pool size: the family is bit-identical to the
+     sequential build. *)
+  let finish (i, j) d12 sorted =
+    let t1, t2 =
+      match threshold_strategy with
+      | Random_interval -> draw_interval rng sorted
+      | Median_split -> (neg_infinity, Stats.quantiles_of_sorted sorted 0.5)
+    in
+    let iqr =
+      Stats.quantiles_of_sorted sorted 0.75 -. Stats.quantiles_of_sorted sorted 0.25
+    in
+    let spread = if iqr > 0. then iqr else 1. in
+    { p1 = i; p2 = j; d12; t1; t2; spread }
+  in
   let fns =
-    Array.to_list pairs
-    |> List.filter_map (fun (i, j) ->
-           let d12 = space.Space.distance pivots.(i) pivots.(j) in
-           if not (d12 > 0.) then None
-           else begin
-             for k = 0 to s - 1 do
-               projections.(k) <-
-                 Projection.project_with ~d1:dist_sp.(i).(k) ~d2:dist_sp.(j).(k) ~d12
-             done;
-             let sorted = Array.copy projections in
-             Array.sort compare sorted;
-             let t1, t2 =
-               match threshold_strategy with
-               | Random_interval -> draw_interval rng sorted
-               | Median_split ->
-                   (neg_infinity, Stats.quantiles_of_sorted sorted 0.5)
-             in
-             let iqr =
-               Stats.quantiles_of_sorted sorted 0.75 -. Stats.quantiles_of_sorted sorted 0.25
-             in
-             let spread = if iqr > 0. then iqr else 1. in
-             Some { p1 = i; p2 = j; d12; t1; t2; spread }
-           end)
-    |> Array.of_list
+    match pool with
+    | None ->
+        (* Streaming path: one scratch projection buffer, thresholds drawn
+           as each pair is processed. *)
+        let projections = Array.make s 0. in
+        Array.to_list pairs
+        |> List.filter_map (fun (i, j) ->
+               let d12 = space.Space.distance pivots.(i) pivots.(j) in
+               if not (d12 > 0.) then None
+               else begin
+                 for k = 0 to s - 1 do
+                   projections.(k) <-
+                     Projection.project_with ~d1:dist_sp.(i).(k) ~d2:dist_sp.(j).(k) ~d12
+                 done;
+                 let sorted = Array.copy projections in
+                 Array.sort compare sorted;
+                 Some (finish (i, j) d12 sorted)
+               end)
+        |> Array.of_list
+    | Some pool ->
+        (* Two-phase: the pure, expensive part (pivot-pair distance,
+           projections, sort) fans out across the pool; the rng-dependent
+           thresholds are then drawn sequentially in pair order. *)
+        let pre =
+          Dbh_util.Pool.parallel_map_array pool
+            (fun (i, j) ->
+              let d12 = space.Space.distance pivots.(i) pivots.(j) in
+              if not (d12 > 0.) then None
+              else begin
+                let sorted =
+                  Array.init s (fun k ->
+                      Projection.project_with ~d1:dist_sp.(i).(k) ~d2:dist_sp.(j).(k) ~d12)
+                in
+                Array.sort compare sorted;
+                Some (d12, sorted)
+              end)
+            pairs
+        in
+        let out = ref [] in
+        Array.iteri
+          (fun idx pair ->
+            match pre.(idx) with
+            | None -> ()
+            | Some (d12, sorted) -> out := finish pair d12 sorted :: !out)
+          pairs;
+        Array.of_list (List.rev !out)
   in
   if Array.length fns = 0 then
     invalid_arg "Hash_family.make: all pivot pairs are at distance 0";
@@ -153,10 +197,11 @@ let cache_with_distances t obj dists =
   (* The row is only read (no nan entries), so sharing it is safe. *)
   { obj; dists; misses = 0; budget = None }
 
-let pivot_table t objs =
-  Array.map
-    (fun obj -> Array.map (fun p -> t.space.Space.distance obj p) t.pivots)
-    objs
+let pivot_table ?pool t objs =
+  let row obj = Array.map (fun p -> t.space.Space.distance obj p) t.pivots in
+  match pool with
+  | None -> Array.map row objs
+  | Some pool -> Dbh_util.Pool.parallel_map_array pool row objs
 
 let cache_cost c = c.misses
 

@@ -38,6 +38,7 @@ type threshold_strategy =
           diverse *)
 
 val make :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   space:'a Dbh_space.Space.t ->
   ?num_pivots:int ->
@@ -62,6 +63,11 @@ val make :
     Construction cost: at most [num_pivots · threshold_sample] distance
     computations (pivot–sample distances are computed once and shared by
     every pair), plus C(m,2) pivot–pivot distances.
+
+    [pool] parallelizes the pivot–sample distance matrix and the per-pair
+    projection/sort work across domains; threshold intervals are still
+    drawn from [rng] sequentially in pair order, so the family is
+    bit-identical to the sequential build for the same seed.
 
     Raises [Invalid_argument] when [data] has fewer than 2 distinct-
     distance objects (no usable projection line exists). *)
@@ -105,11 +111,12 @@ val cache_with_distances : 'a t -> 'a -> float array -> 'a cache
     computations and {!cache_cost} stays 0.  Used to share the database×
     pivot distance table across many index constructions. *)
 
-val pivot_table : 'a t -> 'a array -> float array array
+val pivot_table : ?pool:Dbh_util.Pool.t -> 'a t -> 'a array -> float array array
 (** [pivot_table t objs] computes the distances from every object to every
     pivot — [|objs|·|pivots|] distance computations, done once and reused
     via {!cache_with_distances} by every subsequent index build over the
-    same database. *)
+    same database.  [pool] spreads the rows (one per object) across
+    domains; the table is identical either way. *)
 
 val eval_direct : 'a t -> 'a -> int -> bool
 (** Uncached evaluation (exactly two distance computations); for tests. *)

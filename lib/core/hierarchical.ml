@@ -50,7 +50,7 @@ let fallback_choice analysis ~k_min ~k_max ~l_max =
         predicted_cost = Analysis.total_cost analysis ~k:k_min ~l:1;
       }
 
-let build ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(levels = 5)
+let build ?pool ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(levels = 5)
     ?(k_min = 1) ?(k_max = 30) ?(l_max = 1000) () =
   if levels < 1 then invalid_arg "Hierarchical.build: need at least one level";
   let nq = Analysis.num_queries analysis in
@@ -70,8 +70,10 @@ let build ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(levels = 5)
           | Some c -> c
           | None -> fallback_choice stratum ~k_min ~k_max ~l_max
         in
+        (* Levels stay sequential — each consumes rng draws in level
+           order — but every level's own build fans out over the pool. *)
         let index =
-          Index.build_on ~rng ~family ~store ?pivot_table ~k:choice.Params.k
+          Index.build_on ?pool ~rng ~family ~store ?pivot_table ~k:choice.Params.k
             ~l:choice.Params.l ()
         in
         {
@@ -137,6 +139,15 @@ let query_verbose ?budget t q =
   ({ Index.nn = !best; stats; truncated }, !levels_probed)
 
 let query ?budget t q = fst (query_verbose ?budget t q)
+
+let query_batch ?pool ?budget t qs =
+  let run q =
+    let budget = Option.map Budget.create budget in
+    query ?budget t q
+  in
+  match pool with
+  | None -> Array.map run qs
+  | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
 
 let insert t obj =
   let id = Store.add t.store obj in

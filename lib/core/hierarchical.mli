@@ -23,6 +23,7 @@ type level_info = {
 type 'a t
 
 val build :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   family:'a Hash_family.t ->
   db:'a array ->
@@ -39,7 +40,11 @@ val build :
     value used in all the paper's experiments.  Strata whose accuracy
     target is unreachable within [l_max] fall back to the most accurate
     reachable setting.  Raises when [analysis] has fewer sample queries
-    than [levels]. *)
+    than [levels].
+
+    [pool] fans each level's per-object hashing across domains (levels
+    themselves stay sequential — they share the rng stream); the cascade
+    is bit-identical to the sequential build for the same seed. *)
 
 val levels : 'a t -> level_info array
 
@@ -59,6 +64,12 @@ val query : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result
     [budget] caps total distance computations across the whole cascade
     (charged before each evaluation, so never exceeded); on exhaustion
     the result is best-so-far with [truncated = true]. *)
+
+val query_batch :
+  ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a Index.result array
+(** One cascaded {!query} per element, in input order, each under its own
+    fresh budget of [budget] distance computations — semantics identical
+    to the per-query calls.  [pool] fans the queries across domains. *)
 
 val query_verbose : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result * int
 (** Like {!query}, also returning how many levels were probed. *)

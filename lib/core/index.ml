@@ -67,7 +67,18 @@ let insert_id t cache id =
     Hashtbl.replace t.tables.(row) key (id :: bucket)
   done
 
-let build_on ~rng ~family ~store ?pivot_table ~k ~l () =
+(* All l bucket keys of one object, through a private distance cache —
+   pure given the store and pivot table, so it can run on any domain. *)
+let keys_of_id t pivot_table id =
+  let cache =
+    match pivot_table with
+    | Some table -> Hash_family.cache_with_distances t.family (Store.get t.store id) table.(id)
+    | None -> Hash_family.cache t.family (Store.get t.store id)
+  in
+  let bit_of = bits_of_cache t cache in
+  Array.init t.l (key_of_row t.fn_ids bit_of)
+
+let build_on ?pool ~rng ~family ~store ?pivot_table ~k ~l () =
   if k < 1 || k > 62 then invalid_arg "Index.build: k must be in [1, 62]";
   if l < 1 then invalid_arg "Index.build: l must be >= 1";
   if Store.length store = 0 then invalid_arg "Index.build: empty database";
@@ -87,20 +98,38 @@ let build_on ~rng ~family ~store ?pivot_table ~k ~l () =
       tables = Array.init l (fun _ -> Hashtbl.create (Store.length store));
     }
   in
-  for id = 0 to Store.length store - 1 do
-    if Store.is_alive store id then begin
-      let cache =
-        match pivot_table with
-        | Some table -> Hash_family.cache_with_distances family (Store.get store id) table.(id)
-        | None -> Hash_family.cache family (Store.get store id)
-      in
-      insert_id t cache id
-    end
-  done;
+  (match pool with
+  | None ->
+      for id = 0 to Store.length store - 1 do
+        if Store.is_alive store id then begin
+          let cache =
+            match pivot_table with
+            | Some table ->
+                Hash_family.cache_with_distances family (Store.get store id) table.(id)
+            | None -> Hash_family.cache family (Store.get store id)
+          in
+          insert_id t cache id
+        end
+      done
+  | Some pool ->
+      (* Hashing dominates the build cost and is pure per object, so it
+         fans out; insertion then replays sequentially in ascending id
+         order, reproducing the sequential bucket lists exactly. *)
+      let n = Store.length store in
+      let keys = Array.make n [||] in
+      Dbh_util.Pool.parallel_for pool n (fun id ->
+          if Store.is_alive store id then keys.(id) <- keys_of_id t pivot_table id);
+      for id = 0 to n - 1 do
+        Array.iteri
+          (fun row key ->
+            let bucket = try Hashtbl.find t.tables.(row) key with Not_found -> [] in
+            Hashtbl.replace t.tables.(row) key (id :: bucket))
+          keys.(id)
+      done);
   t
 
-let build ~rng ~family ~db ?pivot_table ~k ~l () =
-  build_on ~rng ~family ~store:(Store.of_array db) ?pivot_table ~k ~l ()
+let build ?pool ~rng ~family ~db ?pivot_table ~k ~l () =
+  build_on ?pool ~rng ~family ~store:(Store.of_array db) ?pivot_table ~k ~l ()
 
 let bucket_count t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
 
@@ -203,6 +232,18 @@ let query ?budget t q =
       { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes };
     truncated;
   }
+
+(* Queries only read the index (tables, store, family) and every query
+   allocates its own cache, seen mask and budget, so a batch fans out
+   with no shared mutable state beyond the atomic distance counters. *)
+let query_batch ?pool ?budget t qs =
+  let run q =
+    let budget = Option.map Budget.create budget in
+    query ?budget t q
+  in
+  match pool with
+  | None -> Array.map run qs
+  | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
 
 let query_knn t m q =
   if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";

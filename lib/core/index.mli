@@ -39,6 +39,7 @@ type 'a result = {
 type 'a t
 
 val build :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   family:'a Hash_family.t ->
   db:'a array ->
@@ -53,9 +54,14 @@ val build :
     [pivot_table] — the output of [Hash_family.pivot_table family db] —
     supplies precomputed database-to-pivot distances, making construction
     distance-free; without it each database object pays up to one
-    distance computation per pivot. *)
+    distance computation per pivot.
+
+    [pool] fans the per-object hashing across domains; bucket insertion
+    stays sequential in id order, so the resulting index is bit-identical
+    to the sequential build for the same seed. *)
 
 val build_on :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   family:'a Hash_family.t ->
   store:'a Store.t ->
@@ -93,6 +99,15 @@ val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
     [truncated = true].  Budgets are single-use per query in the common
     case, but sharing one across several queries gives a query-batch
     pool. *)
+
+val query_batch :
+  ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
+(** One {!query} per element, in input order.  [budget] caps the distance
+    computations of {e each} query separately (a fresh [Budget.t] per
+    query), so batched results — answers, stats, truncation flags — are
+    exactly what the same per-query calls would return.  [pool] fans the
+    queries across domains; queries only read the index, so the batch is
+    safe and the results identical to the sequential run. *)
 
 val query_knn : 'a t -> int -> 'a -> (int * float) array * stats
 (** [query_knn t m q]: the [m] best candidates (sorted by distance) from

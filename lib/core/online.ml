@@ -10,6 +10,7 @@ type 'a result = {
 type 'a t = {
   rng : Rng.t;
   space : 'a Dbh_space.Space.t;
+  pool : Dbh_util.Pool.t option;  (* used by every (re)build and batched query *)
   config : Builder.config;
   rebuild_factor : float;
   target_accuracy : float;
@@ -42,11 +43,11 @@ let alive_handles t =
   !out
 
 (* Run the full offline pipeline on a snapshot of alive handles. *)
-let build_generation ~rng ~space ~config ~target_accuracy registry handles =
+let build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles =
   if Array.length handles = 0 then invalid_arg "Online: cannot build an empty database";
   let db = Array.map (Vec.get registry) handles in
-  let prepared = Builder.prepare ~rng ~space ~config db in
-  let index = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy ~config () in
+  let prepared = Builder.prepare ?pool ~rng ~space ~config db in
+  let index = Builder.hierarchical ?pool ~rng ~prepared ~db ~target_accuracy ~config () in
   let external_of_internal = Vec.create () in
   let internal_of_external = Hashtbl.create (Array.length handles) in
   Array.iteri
@@ -59,7 +60,7 @@ let build_generation ~rng ~space ~config ~target_accuracy registry handles =
 let rebuild t =
   let handles = Array.of_list (alive_handles t) in
   let index, external_of_internal, internal_of_external =
-    build_generation ~rng:t.rng ~space:t.space ~config:t.config
+    build_generation ?pool:t.pool ~rng:t.rng ~space:t.space ~config:t.config
       ~target_accuracy:t.target_accuracy t.registry handles
   in
   t.index <- index;
@@ -67,18 +68,19 @@ let rebuild t =
   t.internal_of_external <- internal_of_external;
   t.built_size <- Array.length handles
 
-let create ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor = 2.0)
+let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor = 2.0)
     ~target_accuracy db =
   if Array.length db = 0 then invalid_arg "Online.create: empty database";
   if rebuild_factor <= 1.0 then invalid_arg "Online.create: rebuild_factor must exceed 1";
   let registry = Vec.of_array db in
   let handles = Array.init (Array.length db) Fun.id in
   let index, external_of_internal, internal_of_external =
-    build_generation ~rng ~space ~config ~target_accuracy registry handles
+    build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles
   in
   {
     rng;
     space;
+    pool;
     config;
     rebuild_factor;
     target_accuracy;
@@ -131,3 +133,18 @@ let query ?budget t q =
       r.Index.nn
   in
   { nn; stats = r.Index.stats; truncated = r.Index.truncated }
+
+let query_batch ?pool ?budget t qs =
+  let pool = match pool with Some _ -> pool | None -> t.pool in
+  (* Handle translation reads generation state that only updates mutate,
+     so a pure query batch is safe to fan out. *)
+  let results = Hierarchical.query_batch ?pool ?budget t.index qs in
+  Array.map
+    (fun (r : 'a Index.result) ->
+      let nn =
+        Option.map
+          (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
+          r.Index.nn
+      in
+      { nn; stats = r.Index.stats; truncated = r.Index.truncated })
+    results

@@ -21,6 +21,7 @@ type 'a result = {
 }
 
 val create :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   space:'a Dbh_space.Space.t ->
   ?config:Builder.config ->
@@ -30,7 +31,12 @@ val create :
   'a t
 (** Build over an initial non-empty database.  [rebuild_factor] (default
     2.0, must exceed 1.0) triggers a rebuild when the alive count leaves
-    [(built / factor, built · factor)]. *)
+    [(built / factor, built · factor)].
+
+    [pool] is remembered: the initial build, every automatic rebuild and
+    {!query_batch} fan out over it.  The pool must outlive this index (or
+    rather, every rebuild and batch run through it).  Indexes built with
+    and without a pool are bit-identical for the same seed. *)
 
 val size : 'a t -> int
 (** Alive objects. *)
@@ -54,6 +60,12 @@ val delete : 'a t -> int -> unit
 val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
 (** Approximate nearest neighbor among alive objects.  [budget] bounds
     the distance computations spent, as in {!Index.query}. *)
+
+val query_batch : ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
+(** One {!query} per element, in input order, each under its own fresh
+    budget of [budget] distance computations.  Fans out over [pool] when
+    given, else over the pool remembered at {!create}, else runs
+    sequentially.  Do not interleave with {!insert}/{!delete}. *)
 
 (** {1 Introspection and control}
 

@@ -23,10 +23,10 @@ type result = {
   brute_force_cost : int;
 }
 
-let run ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
-  let truth = Ground_truth.compute ~space ~db ~queries in
+let run ?pool ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
+  let truth = Ground_truth.compute ?pool ~space ~db ~queries () in
   (* Offline: family + statistical model, from the database only. *)
-  let prepared = Dbh.Builder.prepare ~rng ~space ~config:config.builder db in
+  let prepared = Dbh.Builder.prepare ?pool ~rng ~space ~config:config.builder db in
   let dbh_run index q =
     let r = Dbh.Index.query index q in
     (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats)
@@ -35,7 +35,7 @@ let run ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
     Array.to_list config.targets
     |> List.filter_map (fun target ->
            match
-             Dbh.Builder.single ~rng ~prepared ~db ~target_accuracy:target
+             Dbh.Builder.single ?pool ~rng ~prepared ~db ~target_accuracy:target
                ~config:config.builder ()
            with
            | None -> None
@@ -51,7 +51,7 @@ let run ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
     Array.to_list config.targets
     |> List.map (fun target ->
            let h =
-             Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target
+             Dbh.Builder.hierarchical ?pool ~rng ~prepared ~db ~target_accuracy:target
                ~config:config.builder ()
            in
            {

@@ -28,6 +28,7 @@ type result = {
 }
 
 val run :
+  ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
   dataset:string ->
   space:'a Dbh_space.Space.t ->

@@ -20,10 +20,15 @@ let scan space db ~exclude q =
     db;
   (!best, !best_d)
 
-let compute ~space ~db ~queries =
+let compute ?pool ~space ~db ~queries () =
   if Array.length db = 0 then invalid_arg "Ground_truth.compute: empty database";
   if Array.length queries = 0 then invalid_arg "Ground_truth.compute: no queries";
-  let pairs = Array.map (fun q -> scan space db ~exclude:(-1) q) queries in
+  let scan_query q = scan space db ~exclude:(-1) q in
+  let pairs =
+    match pool with
+    | None -> Array.map scan_query queries
+    | Some pool -> Dbh_util.Pool.parallel_map_array pool scan_query queries
+  in
   {
     nn_index = Array.map fst pairs;
     nn_distance = Array.map snd pairs;

@@ -8,8 +8,15 @@ type t = {
   cost_per_query : int;  (** distance computations brute force spends (= database size) *)
 }
 
-val compute : space:'a Dbh_space.Space.t -> db:'a array -> queries:'a array -> t
-(** O(|queries| · |db|) distance computations. *)
+val compute :
+  ?pool:Dbh_util.Pool.t ->
+  space:'a Dbh_space.Space.t ->
+  db:'a array ->
+  queries:'a array ->
+  unit ->
+  t
+(** O(|queries| · |db|) distance computations; [pool] fans the per-query
+    scans across domains (results are identical either way). *)
 
 val compute_self : space:'a Dbh_space.Space.t -> db:'a array -> query_indices:int array -> t
 (** Ground truth for queries that are database members (self-match

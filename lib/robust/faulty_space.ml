@@ -34,8 +34,13 @@ let faults ?(nan = 0.) ?(exn_ = 0.) ?(negative = 0.) ?(perturb = 0.) ?(latency =
 
 exception Injected of string
 
+(* [lock] serializes the occurrence table and counters, so tallies stay
+   exact even when the wrapped space is called from several domains (the
+   underlying distance itself runs outside the lock). *)
 type t = {
-  rng : Rng.t;
+  base : int64;
+  lock : Mutex.t;
+  seen : (int * int, int) Hashtbl.t;
   mutable config : config;
   mutable calls : int;
   mutable nan : int;
@@ -81,38 +86,91 @@ let spin n =
   done;
   ignore (Sys.opaque_identity !acc)
 
+(* splitmix64 finalizer: full-avalanche scramble of one 64-bit word. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+(* Uniform in [0,1) as a pure function of (seed, argument pair, how many
+   times that pair has been evaluated, stream).  Because no shared rng
+   stream is consumed, the fault assigned to a given call does not depend
+   on how calls from concurrent domains interleave: parallel and
+   sequential runs of the same workload fault the same evaluations. *)
+let uniform t ~hx ~hy ~occurrence ~stream =
+  let open Int64 in
+  let z = t.base in
+  let z = mix64 (add z (mul (of_int hx) 0x9E3779B97F4A7C15L)) in
+  let z = mix64 (add z (mul (of_int hy) 0xBF58476D1CE4E5B9L)) in
+  let z = mix64 (add z (mul (of_int occurrence) 0x94D049BB133111EBL)) in
+  let z = mix64 (add z (of_int stream)) in
+  to_float (shift_right_logical z 11) *. 0x1p-53
+
+(* What one call should do, decided under the lock so the occurrence
+   table and counters stay serialized; the actual distance work happens
+   outside. *)
+type outcome = Pass | Return_nan | Raise_exn | Negate | Perturb of float
+
 let wrap ~rng ?(config = quiet) space =
   validate config;
-  let t = { rng; config; calls = 0; nan = 0; exn = 0; negative = 0; perturbed = 0; stalled = 0 } in
+  let t =
+    {
+      base = Rng.bits64 rng;
+      lock = Mutex.create ();
+      seen = Hashtbl.create 1024;
+      config;
+      calls = 0;
+      nan = 0;
+      exn = 0;
+      negative = 0;
+      perturbed = 0;
+      stalled = 0;
+    }
+  in
   let distance x y =
+    let hx = Hashtbl.hash x and hy = Hashtbl.hash y in
+    Mutex.lock t.lock;
     t.calls <- t.calls + 1;
+    let occurrence =
+      match Hashtbl.find_opt t.seen (hx, hy) with None -> 0 | Some n -> n
+    in
+    Hashtbl.replace t.seen (hx, hy) (occurrence + 1);
     let c = t.config in
-    (* Two draws per call regardless of configuration, so the fault
-       pattern stays aligned with the call sequence even when the config
-       changes mid-run. *)
-    let u_latency = Rng.float t.rng 1. in
-    let u = Rng.float t.rng 1. in
-    if u_latency < c.latency_prob then begin
-      t.stalled <- t.stalled + 1;
-      spin c.latency_spin
-    end;
-    if u < c.nan_prob then begin
-      t.nan <- t.nan + 1;
-      Float.nan
-    end
-    else if u < c.nan_prob +. c.exn_prob then begin
-      t.exn <- t.exn + 1;
-      raise (Injected (Printf.sprintf "injected failure in %s" space.Space.name))
-    end
-    else if u < c.nan_prob +. c.exn_prob +. c.negative_prob then begin
-      t.negative <- t.negative + 1;
-      -.Float.abs (space.Space.distance x y) -. 1.
-    end
-    else if u < c.nan_prob +. c.exn_prob +. c.negative_prob +. c.perturb_prob then begin
-      t.perturbed <- t.perturbed + 1;
-      let factor = 1. +. (c.perturb_scale *. Rng.float_in t.rng (-1.) 1.) in
-      space.Space.distance x y *. Float.abs factor
-    end
-    else space.Space.distance x y
+    (* The draws depend only on (pair, occurrence), never on the live
+       configuration, so the fault pattern stays aligned with the call
+       sequence even when the config changes mid-run. *)
+    let u_latency = uniform t ~hx ~hy ~occurrence ~stream:0 in
+    let u = uniform t ~hx ~hy ~occurrence ~stream:1 in
+    let stall = u_latency < c.latency_prob in
+    if stall then t.stalled <- t.stalled + 1;
+    let outcome =
+      if u < c.nan_prob then begin
+        t.nan <- t.nan + 1;
+        Return_nan
+      end
+      else if u < c.nan_prob +. c.exn_prob then begin
+        t.exn <- t.exn + 1;
+        Raise_exn
+      end
+      else if u < c.nan_prob +. c.exn_prob +. c.negative_prob then begin
+        t.negative <- t.negative + 1;
+        Negate
+      end
+      else if u < c.nan_prob +. c.exn_prob +. c.negative_prob +. c.perturb_prob then begin
+        t.perturbed <- t.perturbed + 1;
+        let u_p = uniform t ~hx ~hy ~occurrence ~stream:2 in
+        Perturb (1. +. (c.perturb_scale *. ((2. *. u_p) -. 1.)))
+      end
+      else Pass
+    in
+    Mutex.unlock t.lock;
+    if stall then spin c.latency_spin;
+    match outcome with
+    | Return_nan -> Float.nan
+    | Raise_exn -> raise (Injected (Printf.sprintf "injected failure in %s" space.Space.name))
+    | Negate -> -.Float.abs (space.Space.distance x y) -. 1.
+    | Perturb factor -> space.Space.distance x y *. Float.abs factor
+    | Pass -> space.Space.distance x y
   in
   ({ Space.name = "faulty:" ^ space.Space.name; distance }, t)

@@ -43,9 +43,12 @@ type t
 val wrap : rng:Dbh_util.Rng.t -> ?config:config -> 'a Dbh_space.Space.t -> 'a Dbh_space.Space.t * t
 (** [wrap ~rng space] is the fault-injecting space plus its handle.
     Default config is {!quiet} — wrap early, enable faults when the test
-    wants them.  Fault draws consume exactly two RNG values per call
-    (plus one per perturbation), so the fault pattern is a pure function
-    of the seed and the call sequence. *)
+    wants them.  The fault assigned to a call is a pure function of a
+    seed drawn from [rng] at wrap time, the argument pair, and how many
+    times that pair has been evaluated — not of global call order — so
+    the fault pattern is reproducible even when the space is shared
+    across domains and evaluations interleave differently from run to
+    run. *)
 
 val config : t -> config
 val set_config : t -> config -> unit

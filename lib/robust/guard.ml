@@ -6,39 +6,45 @@ type anomaly = Nan | Pos_infinite | Neg_infinite | Negative | Exn
 
 exception Invalid_distance of string
 
+(* Counters are atomic so guarded spaces stay exact when distance calls
+   come from several domains at once (parallel build, batched queries);
+   the breaker's windowed deltas rely on these tallies never
+   undercounting. *)
 type t = {
   policy : policy;
   space_name : string;
-  mutable calls : int;
-  mutable nan : int;
-  mutable pos_inf : int;
-  mutable neg_inf : int;
-  mutable negative : int;
-  mutable exn : int;
+  calls_ : int Atomic.t;
+  nan_ : int Atomic.t;
+  pos_inf_ : int Atomic.t;
+  neg_inf_ : int Atomic.t;
+  negative_ : int Atomic.t;
+  exn_ : int Atomic.t;
 }
 
 let policy t = t.policy
-let calls t = t.calls
+let calls t = Atomic.get t.calls_
 
 let count t = function
-  | Nan -> t.nan
-  | Pos_infinite -> t.pos_inf
-  | Neg_infinite -> t.neg_inf
-  | Negative -> t.negative
-  | Exn -> t.exn
+  | Nan -> Atomic.get t.nan_
+  | Pos_infinite -> Atomic.get t.pos_inf_
+  | Neg_infinite -> Atomic.get t.neg_inf_
+  | Negative -> Atomic.get t.negative_
+  | Exn -> Atomic.get t.exn_
 
-let anomalies t = t.nan + t.pos_inf + t.neg_inf + t.negative + t.exn
+let anomalies t =
+  Atomic.get t.nan_ + Atomic.get t.pos_inf_ + Atomic.get t.neg_inf_
+  + Atomic.get t.negative_ + Atomic.get t.exn_
 
 let anomaly_rate t =
-  if t.calls = 0 then 0. else float_of_int (anomalies t) /. float_of_int t.calls
+  if calls t = 0 then 0. else float_of_int (anomalies t) /. float_of_int (calls t)
 
 let reset t =
-  t.calls <- 0;
-  t.nan <- 0;
-  t.pos_inf <- 0;
-  t.neg_inf <- 0;
-  t.negative <- 0;
-  t.exn <- 0
+  Atomic.set t.calls_ 0;
+  Atomic.set t.nan_ 0;
+  Atomic.set t.pos_inf_ 0;
+  Atomic.set t.neg_inf_ 0;
+  Atomic.set t.negative_ 0;
+  Atomic.set t.exn_ 0
 
 let anomaly_name = function
   | Nan -> "nan"
@@ -48,11 +54,11 @@ let anomaly_name = function
   | Exn -> "exn"
 
 let tally t = function
-  | Nan -> t.nan <- t.nan + 1
-  | Pos_infinite -> t.pos_inf <- t.pos_inf + 1
-  | Neg_infinite -> t.neg_inf <- t.neg_inf + 1
-  | Negative -> t.negative <- t.negative + 1
-  | Exn -> t.exn <- t.exn + 1
+  | Nan -> Atomic.incr t.nan_
+  | Pos_infinite -> Atomic.incr t.pos_inf_
+  | Neg_infinite -> Atomic.incr t.neg_inf_
+  | Negative -> Atomic.incr t.negative_
+  | Exn -> Atomic.incr t.exn_
 
 (* Value substituted for an anomalous distance, per policy.  Skip makes
    the pair maximally far apart; Clamp repairs sign errors but cannot
@@ -73,16 +79,16 @@ let wrap ?(policy = Skip) space =
     {
       policy;
       space_name = space.Space.name;
-      calls = 0;
-      nan = 0;
-      pos_inf = 0;
-      neg_inf = 0;
-      negative = 0;
-      exn = 0;
+      calls_ = Atomic.make 0;
+      nan_ = Atomic.make 0;
+      pos_inf_ = Atomic.make 0;
+      neg_inf_ = Atomic.make 0;
+      negative_ = Atomic.make 0;
+      exn_ = Atomic.make 0;
     }
   in
   let distance x y =
-    t.calls <- t.calls + 1;
+    Atomic.incr t.calls_;
     match space.Space.distance x y with
     | d when Float.is_nan d -> resolve t Nan "NaN"
     | d when d = infinity -> resolve t Pos_infinite "+infinity"
@@ -96,17 +102,17 @@ let wrap ?(policy = Skip) space =
   ({ Space.name = "guarded:" ^ space.Space.name; distance }, t)
 
 let pp ppf t =
-  Format.fprintf ppf "calls=%d anomalies=%d (%.1f%%)" t.calls (anomalies t)
+  Format.fprintf ppf "calls=%d anomalies=%d (%.1f%%)" (calls t) (anomalies t)
     (100. *. anomaly_rate t);
   let parts =
     List.filter
       (fun (_, n) -> n > 0)
       [
-        ("nan", t.nan);
-        ("+inf", t.pos_inf);
-        ("-inf", t.neg_inf);
-        ("negative", t.negative);
-        ("exn", t.exn);
+        ("nan", Atomic.get t.nan_);
+        ("+inf", Atomic.get t.pos_inf_);
+        ("-inf", Atomic.get t.neg_inf_);
+        ("negative", Atomic.get t.negative_);
+        ("exn", Atomic.get t.exn_);
       ]
   in
   if parts <> [] then begin

@@ -6,15 +6,18 @@ type 'a t = {
 let make ~name distance = { name; distance }
 let rename name t = { t with name }
 
-type counter = { mutable calls : int }
+(* Atomic so that parallel paths (Dbh_util.Pool fan-outs hashing and
+   candidate evaluation across domains) never undercount: the tally is
+   exact under concurrent use, not just under single-domain use. *)
+type counter = int Atomic.t
 
-let counter () = { calls = 0 }
-let count c = c.calls
-let reset c = c.calls <- 0
+let counter () = Atomic.make 0
+let count c = Atomic.get c
+let reset c = Atomic.set c 0
 
 let counted c t =
   let distance x y =
-    c.calls <- c.calls + 1;
+    Atomic.incr c;
     t.distance x y
   in
   { t with distance }

@@ -24,7 +24,9 @@ val rename : string -> 'a t -> 'a t
 (** {1 Distance counting} *)
 
 type counter
-(** Mutable tally of distance evaluations. *)
+(** Mutable tally of distance evaluations.  Atomic: counts stay exact
+    when the space is called from several domains at once (parallel
+    build, batched queries). *)
 
 val counter : unit -> counter
 val count : counter -> int

@@ -1,0 +1,184 @@
+(* Fixed-size domain pool.  See pool.mli for the design notes; the short
+   version: one caller submits one batch at a time, workers and the
+   caller pull task indices from a shared cursor under a mutex, and the
+   expensive part of every task runs with the lock released.  Chunk
+   boundaries depend only on the input size — never on the pool size or
+   on scheduling — so chunked reductions merge in a deterministic order
+   and parallel runs are reproducible. *)
+
+type batch = {
+  run : int -> unit;
+  n : int;
+  mutable next : int;  (* first index not yet taken; n after cancel *)
+  mutable live : int;  (* tasks taken but not yet finished *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a batch arrived, or the pool is shutting down *)
+  finished : Condition.t;  (* some task of the current batch completed *)
+  mutable batch : batch option;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let batch_done b = b.next >= b.n && b.live = 0
+
+(* Record the first failure and cancel the tasks not yet started.  Tasks
+   already running elsewhere finish normally; their effects are
+   discarded by the caller re-raising. *)
+let record_failure t b e bt =
+  Mutex.lock t.mutex;
+  if b.failure = None then b.failure <- Some (e, bt);
+  b.next <- b.n;
+  Mutex.unlock t.mutex
+
+(* Take and run tasks of [b] until none are left to start.  Called with
+   the mutex held; returns with the mutex held. *)
+let drain t b =
+  while b.next < b.n do
+    let i = b.next in
+    b.next <- i + 1;
+    b.live <- b.live + 1;
+    Mutex.unlock t.mutex;
+    (try b.run i
+     with e -> record_failure t b e (Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    b.live <- b.live - 1;
+    if batch_done b then Condition.broadcast t.finished
+  done
+
+let worker t () =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    match t.batch with
+    | Some b when b.next < b.n ->
+        drain t b;
+        loop ()
+    | _ ->
+        if t.closed then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.work t.mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      closed = false;
+      workers = [];
+    }
+  in
+  if domains > 1 then
+    t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let sequential = create ~domains:1
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_tasks t ~n f =
+  if n < 0 then invalid_arg "Pool: negative task count";
+  if n = 0 then ()
+  else if t.size = 1 || n = 1 then
+    (* Sequential fast path: no locking, exceptions propagate as is. *)
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let b = { run = f; n; next = 0; live = 0; failure = None } in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: nested or concurrent batch submission"
+    end;
+    t.batch <- Some b;
+    Condition.broadcast t.work;
+    drain t b;
+    while not (batch_done b) do
+      Condition.wait t.finished t.mutex
+    done;
+    t.batch <- None;
+    Mutex.unlock t.mutex;
+    match b.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* Chunk layout is a function of [n] alone (at most 64 chunks): the same
+   input always produces the same chunks, whatever the pool size, so
+   chunk-order merges never depend on scheduling. *)
+let chunks ?chunk n =
+  if n <= 0 then [||]
+  else begin
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool: chunk must be >= 1";
+          c
+      | None -> max 1 ((n + 63) / 64)
+    in
+    let count = (n + chunk - 1) / chunk in
+    Array.init count (fun ci ->
+        let lo = ci * chunk in
+        (lo, min n (lo + chunk)))
+  end
+
+let parallel_for ?chunk t n f =
+  let cs = chunks ?chunk n in
+  run_tasks t ~n:(Array.length cs) (fun ci ->
+      let lo, hi = cs.(ci) in
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_map_array ?chunk t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result with element 0 so no dummy value is needed; [f] is
+       applied exactly once per element either way. *)
+    let out = Array.make n (f arr.(0)) in
+    parallel_for ?chunk t (n - 1) (fun i -> out.(i + 1) <- f arr.(i + 1));
+    out
+  end
+
+let map_reduce_chunks ?chunk t ~n ~map ~fold ~init =
+  let cs = chunks ?chunk n in
+  let count = Array.length cs in
+  if count = 0 then init
+  else begin
+    let results = Array.make count None in
+    run_tasks t ~n:count (fun ci ->
+        let lo, hi = cs.(ci) in
+        results.(ci) <- Some (map ~lo ~hi));
+    (* Merge strictly in chunk order: bit-identical for any pool size. *)
+    Array.fold_left
+      (fun acc r -> match r with Some c -> fold acc c | None -> acc)
+      init results
+  end

@@ -1,0 +1,86 @@
+(** Fixed-size domain pool for data-parallel loops.
+
+    A dependency-free parallel execution substrate over OCaml 5 domains:
+    {!create} spawns [domains - 1] worker domains (the submitting domain
+    is the remaining worker), and the combinators fan indexed tasks out
+    to them.  Everything is opt-in — library code takes a [?pool]
+    argument and runs sequentially without one — so existing call sites
+    keep their exact semantics.
+
+    {b Determinism.}  Work is split into chunks whose boundaries depend
+    only on the input size, never on the pool size or on scheduling.
+    {!parallel_for} and {!parallel_map_array} only run pure-per-index
+    work, so their output is identical to the sequential loop;
+    {!map_reduce_chunks} merges chunk results strictly in chunk order,
+    so even non-commutative merges are bit-identical run to run and
+    pool size to pool size.  Components that need randomness inside
+    chunks should split one generator per chunk up front
+    ({!Rng.split_n} over [Array.length (chunks n)]) so parallel runs
+    stay reproducible from the seed.
+
+    {b Discipline.}  One batch at a time per pool: the combinators are
+    not reentrant (no nesting a parallel loop inside a task of the same
+    pool) and a pool must not be shared by two concurrently-submitting
+    owners.  Tasks must not touch the pool they run on.  These misuses
+    raise [Invalid_argument] where detectable.
+
+    {b Failures.}  If a task raises, tasks not yet started are
+    cancelled, already-running ones finish, and the first exception is
+    re-raised in the submitter with its backtrace.  The pool survives
+    and can run further batches. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] is a pool of [domains] domains total ([domains -
+    1] spawned workers plus the caller).  [domains >= 1]; [domains = 1]
+    spawns nothing and runs every combinator inline.  Pools hold OS
+    resources: call {!shutdown} (or use {!with_pool}) when done —
+    OCaml caps the number of live domains. *)
+
+val sequential : t
+(** A shared always-sequential pool ([size = 1], no worker domains, no
+    shutdown needed).  Handy as an explicit "no parallelism" argument. *)
+
+val size : t -> int
+(** Total domains, counting the caller.  At least 1. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent in effect; using the pool's
+    combinators afterwards raises [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n f] runs [f i] for every [i] in [[0, n)],
+    split into chunks across the pool's domains.  [f] must be safe to
+    run concurrently for distinct [i] (e.g. writing only cell [i] of a
+    result array).  [chunk] overrides the chunk length (default: at
+    most 64 chunks, a function of [n] only). *)
+
+val parallel_map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_array pool f arr] is [Array.map f arr] with the
+    applications spread over the pool.  [f] is applied exactly once per
+    element; output order is the input order. *)
+
+val map_reduce_chunks :
+  ?chunk:int ->
+  t ->
+  n:int ->
+  map:(lo:int -> hi:int -> 'c) ->
+  fold:('acc -> 'c -> 'acc) ->
+  init:'acc ->
+  'acc
+(** [map_reduce_chunks pool ~n ~map ~fold ~init] computes
+    [map ~lo ~hi] on each chunk of [[0, n)] in parallel, then folds the
+    chunk results {e in chunk order} sequentially.  Because chunking
+    ignores the pool size and the merge order is fixed, the result is
+    bit-identical regardless of scheduling. *)
+
+val chunks : ?chunk:int -> int -> (int * int) array
+(** The deterministic chunk decomposition [[(lo, hi); ...)] of [[0, n)]
+    used by the combinators above.  Exposed so callers can pre-split
+    per-chunk state — typically one {!Rng.t} per chunk via
+    {!Rng.split_n} — before going parallel. *)

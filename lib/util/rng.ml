@@ -42,6 +42,10 @@ let split t =
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 (* Non-negative 62-bit integer, avoiding the sign bit entirely. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

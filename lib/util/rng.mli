@@ -21,6 +21,11 @@ val split : t -> t
     the parent and child are independent for practical purposes; use it to
     hand sub-components their own generators. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] fresh generators {!split} off [t] in order —
+    one per parallel chunk, so that chunked computations consume
+    independent streams while staying reproducible from the seed. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -240,7 +240,7 @@ let test_multiprobe_improves_recall_vs_small_l () =
   let family = Hash_family.make ~rng ~space:l2 ~num_pivots:25 ~threshold_sample:200 db in
   let index = Index.build ~rng ~family ~db ~k:10 ~l:2 () in
   let queries = Array.init 100 (fun i -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(i * 5)) in
-  let truth = Dbh_eval.Ground_truth.compute ~space:l2 ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space:l2 ~db ~queries () in
   let accuracy f =
     Dbh_eval.Ground_truth.accuracy truth (Array.map (fun q -> (f q).Index.nn) queries)
   in
@@ -286,7 +286,7 @@ let test_budgeted_collision_ranking_beats_random () =
   let family = Hash_family.make ~rng ~space:l2 ~num_pivots:25 ~threshold_sample:200 db in
   let index = Index.build ~rng ~family ~db ~k:6 ~l:20 () in
   let queries = Array.init 80 (fun i -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.03 db.(i * 7)) in
-  let truth = Dbh_eval.Ground_truth.compute ~space:l2 ~db ~queries in
+  let truth = Dbh_eval.Ground_truth.compute ~space:l2 ~db ~queries () in
   let answers = Array.map (fun q -> (Index.query_budgeted index ~max_candidates:8 q).Index.nn) queries in
   let acc = Dbh_eval.Ground_truth.accuracy truth answers in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f with 8 candidates" acc) true (acc > 0.8)

@@ -16,7 +16,7 @@ let tiny_db = [| [| 0.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 5.; 5. |] |]
 
 let test_ground_truth_basic () =
   let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |] |] in
-  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries () in
   Alcotest.(check int) "q0 nn" 0 t.Ground_truth.nn_index.(0);
   Alcotest.(check int) "q1 nn" 3 t.Ground_truth.nn_index.(1);
   check_loose 1e-9 "q0 dist" 0.1 t.Ground_truth.nn_distance.(0);
@@ -31,7 +31,7 @@ let test_ground_truth_self () =
 
 let test_is_correct_ties () =
   let db = [| [| 0. |]; [| 2. |]; [| -2. |] |] in
-  let t = Ground_truth.compute ~space:l2 ~db ~queries:[| [| 1. |] |] in
+  let t = Ground_truth.compute ~space:l2 ~db ~queries:[| [| 1. |] |] () in
   (* Both index 0 and index 1 are at distance 1: ties count as correct. *)
   Alcotest.(check bool) "named nn" true (Ground_truth.is_correct t 0 (Some (t.Ground_truth.nn_index.(0), 1.)));
   let other = if t.Ground_truth.nn_index.(0) = 0 then 1 else 0 in
@@ -41,7 +41,7 @@ let test_is_correct_ties () =
 
 let test_accuracy () =
   let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |] |] in
-  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  let t = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries () in
   let answers = [| Some (0, 0.1); Some (1, 9.9) |] in
   check_loose 1e-9 "half right" 0.5 (Ground_truth.accuracy t answers)
 
@@ -112,7 +112,7 @@ let test_range_through_index () =
 
 let test_tradeoff_measure () =
   let queries = [| [| 0.1; 0. |]; [| 4.9; 5. |]; [| 0.; 0.9 |] |] in
-  let truth = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries in
+  let truth = Ground_truth.compute ~space:l2 ~db:tiny_db ~queries () in
   (* A fake method: answers brute force for even queries, nothing for odd,
      charging 7 distances each. *)
   let state = ref 0 in

@@ -42,7 +42,7 @@ let test_l2_calibration () =
   let all, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:15 ~dim:6 1700 in
   let db = Array.sub all 0 1500 in
   let queries = Array.sub all 1500 200 in
-  let truth = Ground_truth.compute ~space:Minkowski.l2_space ~db ~queries in
+  let truth = Ground_truth.compute ~space:Minkowski.l2_space ~db ~queries () in
   let prepared = Builder.prepare ~rng ~space:Minkowski.l2_space ~config:small_config db in
   List.iter
     (fun target ->
@@ -72,7 +72,7 @@ let test_hierarchical_cheaper_than_single () =
   let queries =
     Array.init 150 (fun i -> Dbh_datasets.Vectors.perturb ~rng ~sigma:0.08 db.(i * 9))
   in
-  let truth = Ground_truth.compute ~space:Minkowski.l2_space ~db ~queries in
+  let truth = Ground_truth.compute ~space:Minkowski.l2_space ~db ~queries () in
   let prepared = Builder.prepare ~rng ~space:Minkowski.l2_space ~config:small_config db in
   match Builder.single ~rng ~prepared ~db ~target_accuracy:0.9 ~config:small_config () with
   | None -> Alcotest.fail "0.9 should be feasible"
@@ -97,7 +97,7 @@ let test_dbh_on_non_metric_dtw () =
   let db = Dbh_datasets.Pen_digits.generate_set ~rng 400 in
   let queries = Dbh_datasets.Pen_digits.generate_set ~rng:(Rng.create 121) 60 in
   let space = Dbh_datasets.Pen_digits.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config = { small_config with num_pivots = 25; num_sample_queries = 80 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
@@ -117,7 +117,7 @@ let test_dbh_on_strings () =
   in
   let queries = Array.init 50 (fun i -> Dbh_datasets.Strings.mutate ~rng ~alphabet:"abcdefgh" ~edits:1 db.(i * 9)) in
   let space = Dbh_metrics.Edit_distance.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
@@ -133,7 +133,7 @@ let test_dbh_on_jaccard_documents () =
   let db = Dbh_datasets.Documents.generate_set ~rng ~num_topics:20 600 in
   let queries = Dbh_datasets.Documents.generate_set ~rng:(Rng.create 136) ~num_topics:20 60 in
   let space = Dbh_datasets.Documents.space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
@@ -157,7 +157,7 @@ let test_dbh_on_kl_histograms () =
         Dbh_metrics.Divergence.normalize noisy)
   in
   let space = Dbh_metrics.Divergence.symmetric_kl_space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
@@ -174,7 +174,7 @@ let test_dbh_on_dna_alignment () =
       { Dbh_datasets.Dna.label = db.(i * 9).Dbh_datasets.Dna.label;
         sequence = Dbh_datasets.Dna.mutate ~rng db.(i * 9).Dbh_datasets.Dna.sequence }) in
   let space = Dbh_datasets.Dna.global_space in
-  let truth = Ground_truth.compute ~space ~db ~queries in
+  let truth = Ground_truth.compute ~space ~db ~queries () in
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in

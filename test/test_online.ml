@@ -192,7 +192,7 @@ let test_calibration_points () =
   let db = Array.sub all 0 1000 in
   let queries = Array.sub all 1000 100 in
   let rng = Rng.create 32 in
-  let truth = Ground_truth.compute ~space:l2 ~db ~queries in
+  let truth = Ground_truth.compute ~space:l2 ~db ~queries () in
   let prepared = Builder.prepare ~rng ~space:l2 ~config:small_config db in
   let points =
     Dbh_eval.Calibration.single_level ~rng ~prepared ~db ~queries ~truth

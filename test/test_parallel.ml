@@ -1,0 +1,281 @@
+(* Tests for the domain pool and the parallel DBH paths: every parallel
+   entry point must be bit-identical to its sequential counterpart for
+   the same seed, batched budgets must never exceed the per-query cap,
+   and the pool itself must survive edge cases (width 1, empty input,
+   task failure).
+
+   DBH_TEST_DOMAINS picks the pool width (default 2, so the parallel
+   code paths are exercised even on default runs; CI also runs with 4). *)
+
+module Rng = Dbh_util.Rng
+module Pool = Dbh_util.Pool
+module Space = Dbh_space.Space
+module Minkowski = Dbh_metrics.Minkowski
+module Hash_family = Dbh.Hash_family
+module Collision = Dbh.Collision
+module Analysis = Dbh.Analysis
+module Index = Dbh.Index
+module Hierarchical = Dbh.Hierarchical
+module Builder = Dbh.Builder
+module Online = Dbh.Online
+module Ground_truth = Dbh_eval.Ground_truth
+
+let domains =
+  match Sys.getenv_opt "DBH_TEST_DOMAINS" with
+  | None -> 2
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> d
+      | _ -> invalid_arg "DBH_TEST_DOMAINS must be a positive integer")
+
+let l2 = Minkowski.l2_space
+
+let test_db seed n =
+  let rng = Rng.create seed in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:8 ~dim:6 n in
+  db
+
+let encode (v : float array) =
+  let buf = Buffer.create 32 in
+  Dbh_util.Binio.write_float_array buf v;
+  Buffer.contents buf
+
+let serialized index =
+  let buf = Buffer.create 4096 in
+  Index.write ~encode buf index;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------- pool core *)
+
+let test_pool_map_matches_sequential () =
+  Pool.with_pool ~domains (fun pool ->
+      let arr = Array.init 1000 (fun i -> i) in
+      let f i = (i * 37) mod 101 in
+      Alcotest.(check (array int))
+        "map identical" (Array.map f arr)
+        (Pool.parallel_map_array pool f arr))
+
+let test_pool_for_covers_every_index_once () =
+  Pool.with_pool ~domains (fun pool ->
+      let n = 777 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for pool n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i c ->
+          if Atomic.get c <> 1 then
+            Alcotest.failf "index %d ran %d times" i (Atomic.get c))
+        hits)
+
+let test_pool_reduce_is_chunk_ordered () =
+  Pool.with_pool ~domains (fun pool ->
+      let n = 500 in
+      (* String concatenation is non-commutative: only a chunk-ordered
+         merge reproduces the sequential fold. *)
+      let expected = String.concat "" (List.init n string_of_int) in
+      let got =
+        Pool.map_reduce_chunks pool ~n
+          ~map:(fun ~lo ~hi ->
+            String.concat "" (List.init (hi - lo) (fun i -> string_of_int (lo + i))))
+          ~fold:(fun acc s -> acc ^ s)
+          ~init:""
+      in
+      Alcotest.(check string) "ordered merge" expected got)
+
+let test_pool_size_one_and_empty () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Pool.size pool);
+      Alcotest.(check (array int))
+        "width-1 map" [| 2; 4; 6 |]
+        (Pool.parallel_map_array pool (fun x -> 2 * x) [| 1; 2; 3 |]));
+  Pool.with_pool ~domains (fun pool ->
+      Alcotest.(check (array int)) "empty map" [||]
+        (Pool.parallel_map_array pool (fun x -> 2 * x) [||]);
+      Pool.parallel_for pool 0 (fun _ -> Alcotest.fail "task ran on empty range"))
+
+exception Boom
+
+let test_pool_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~domains (fun pool ->
+      (try
+         Pool.parallel_for pool 100 (fun i -> if i = 43 then raise Boom);
+         Alcotest.fail "exception was swallowed"
+       with Boom -> ());
+      (* The same pool keeps working after a failed batch. *)
+      let sum = Atomic.make 0 in
+      Pool.parallel_for pool 100 (fun i -> ignore (Atomic.fetch_and_add sum i));
+      Alcotest.(check int) "pool usable after failure" 4950 (Atomic.get sum))
+
+let test_pool_rejects_bad_widths () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0))
+
+(* ------------------------------------------------- atomic space counters *)
+
+let test_counter_exact_under_parallelism () =
+  Pool.with_pool ~domains (fun pool ->
+      let counted, counter = Space.with_counter l2 in
+      let db = test_db 11 64 in
+      Pool.parallel_for pool 300 (fun i ->
+          ignore (counted.Space.distance db.(i mod 64) db.((i * 7) mod 64)));
+      Alcotest.(check int) "every call counted" 300 (Space.count counter))
+
+(* ------------------------------------------------ bit-identical pipeline *)
+
+let build_index ?pool seed =
+  let db = test_db 21 400 in
+  let rng = Rng.create seed in
+  let family =
+    Hash_family.make ?pool ~rng ~space:l2 ~num_pivots:30 ~threshold_sample:100 db
+  in
+  let pivot_table = Hash_family.pivot_table ?pool family db in
+  (db, family, Index.build ?pool ~rng ~family ~db ~pivot_table ~k:6 ~l:8 ())
+
+let test_parallel_build_bit_identical () =
+  let _, _, seq_index = build_index 31 in
+  Pool.with_pool ~domains (fun pool ->
+      let _, _, par_index = build_index ~pool 31 in
+      Alcotest.(check string)
+        "serialized indexes equal" (serialized seq_index) (serialized par_index))
+
+let test_parallel_prepare_bit_identical () =
+  let db = test_db 22 300 in
+  let config =
+    { Builder.default_config with num_pivots = 25; num_sample_queries = 40; db_sample = 80 }
+  in
+  let seq = Builder.prepare ~rng:(Rng.create 41) ~space:l2 ~config db in
+  Pool.with_pool ~domains (fun pool ->
+      let par = Builder.prepare ~pool ~rng:(Rng.create 41) ~space:l2 ~config db in
+      Alcotest.(check bool) "pivot tables equal" true (seq.Builder.pivot_table = par.Builder.pivot_table);
+      (* compare, not (=): the analysis carries nan self-match markers,
+         and (=) makes nan unequal to itself. *)
+      Alcotest.(check bool)
+        "analyses equal" true
+        (compare seq.Builder.analysis par.Builder.analysis = 0);
+      (* Same family ⇒ same serialized bytes. *)
+      let fam f =
+        let buf = Buffer.create 1024 in
+        Hash_family.write ~encode buf f;
+        Buffer.contents buf
+      in
+      Alcotest.(check string) "families equal" (fam seq.Builder.family) (fam par.Builder.family))
+
+let test_parallel_collision_matrix_bit_identical () =
+  let db = test_db 23 200 in
+  let family =
+    Hash_family.make ~rng:(Rng.create 51) ~space:l2 ~num_pivots:25 ~threshold_sample:80 db
+  in
+  let sample = Array.sub db 0 60 in
+  let seq = Collision.pairwise_matrix ~rng:(Rng.create 52) ~num_fns:150 family sample in
+  Pool.with_pool ~domains (fun pool ->
+      let par =
+        Collision.pairwise_matrix ~pool ~rng:(Rng.create 52) ~num_fns:150 family sample
+      in
+      Alcotest.(check bool) "matrices equal" true (seq = par))
+
+(* --------------------------------------------------------- batch queries *)
+
+let test_query_batch_matches_per_query () =
+  let db, _, index = build_index 31 in
+  let queries = Array.sub db 0 50 in
+  let per_query = Array.map (fun q -> Index.query index q) queries in
+  Alcotest.(check bool) "unbudgeted batch equal" true (Index.query_batch index queries = per_query);
+  Pool.with_pool ~domains (fun pool ->
+      Alcotest.(check bool)
+        "parallel batch equal" true
+        (Index.query_batch ~pool index queries = per_query);
+      let budgeted = Array.map (fun q -> Index.query ~budget:(Dbh.Budget.create 60) index q) queries in
+      Alcotest.(check bool)
+        "parallel budgeted batch equal" true
+        (Index.query_batch ~pool ~budget:60 index queries = budgeted))
+
+let test_query_batch_budget_never_exceeded () =
+  let db, _, index = build_index 31 in
+  let queries = Array.sub db 100 60 in
+  Pool.with_pool ~domains (fun pool ->
+      List.iter
+        (fun budget ->
+          let results = Index.query_batch ~pool ~budget index queries in
+          Array.iter
+            (fun (r : _ Index.result) ->
+              let spent = Index.total_cost r.Index.stats in
+              if spent > budget then
+                Alcotest.failf "query spent %d with budget %d" spent budget)
+            results)
+        [ 1; 10; 50; 200 ])
+
+let test_hierarchical_batch_matches_per_query () =
+  let db = test_db 24 300 in
+  let config =
+    { Builder.default_config with num_pivots = 25; num_sample_queries = 40; db_sample = 80; levels = 3 }
+  in
+  let h = Builder.auto ~rng:(Rng.create 61) ~space:l2 ~config ~target_accuracy:0.9 db in
+  let queries = Array.sub db 0 40 in
+  let per_query = Array.map (fun q -> Hierarchical.query h q) queries in
+  Pool.with_pool ~domains (fun pool ->
+      Alcotest.(check bool)
+        "hierarchical batch equal" true
+        (Hierarchical.query_batch ~pool h queries = per_query))
+
+let test_online_parallel_generation_matches () =
+  let db = test_db 25 250 in
+  let config =
+    { Builder.default_config with num_pivots = 20; num_sample_queries = 30; db_sample = 60; levels = 2 }
+  in
+  let queries = test_db 26 30 in
+  let seq = Online.create ~rng:(Rng.create 71) ~space:l2 ~config ~target_accuracy:0.9 db in
+  let seq_answers = Array.map (fun q -> (Online.query seq q).Online.nn) queries in
+  Pool.with_pool ~domains (fun pool ->
+      let par =
+        Online.create ~pool ~rng:(Rng.create 71) ~space:l2 ~config ~target_accuracy:0.9 db
+      in
+      (* The remembered pool drives query_batch; answers must match the
+         sequential per-query run. *)
+      let par_answers = Array.map (fun (r : _ Online.result) -> r.Online.nn) (Online.query_batch par queries) in
+      Alcotest.(check bool) "online answers equal" true (seq_answers = par_answers))
+
+let test_ground_truth_parallel_identical () =
+  let db = test_db 27 200 in
+  let queries = test_db 28 30 in
+  let seq = Ground_truth.compute ~space:l2 ~db ~queries () in
+  Pool.with_pool ~domains (fun pool ->
+      let par = Ground_truth.compute ~pool ~space:l2 ~db ~queries () in
+      Alcotest.(check bool) "ground truth equal" true (seq = par))
+
+let () =
+  Alcotest.run "dbh-parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_pool_map_matches_sequential;
+          Alcotest.test_case "for covers indices once" `Quick test_pool_for_covers_every_index_once;
+          Alcotest.test_case "reduce is chunk-ordered" `Quick test_pool_reduce_is_chunk_ordered;
+          Alcotest.test_case "size one and empty input" `Quick test_pool_size_one_and_empty;
+          Alcotest.test_case "exception propagates, pool survives" `Quick
+            test_pool_exception_propagates_and_pool_survives;
+          Alcotest.test_case "rejects bad widths" `Quick test_pool_rejects_bad_widths;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "atomic distance counter exact" `Quick
+            test_counter_exact_under_parallelism;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "index build" `Quick test_parallel_build_bit_identical;
+          Alcotest.test_case "builder prepare" `Quick test_parallel_prepare_bit_identical;
+          Alcotest.test_case "collision matrix" `Quick
+            test_parallel_collision_matrix_bit_identical;
+          Alcotest.test_case "ground truth" `Quick test_ground_truth_parallel_identical;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "index batch equals per-query" `Quick
+            test_query_batch_matches_per_query;
+          Alcotest.test_case "budget never exceeded" `Quick
+            test_query_batch_budget_never_exceeded;
+          Alcotest.test_case "hierarchical batch equals per-query" `Quick
+            test_hierarchical_batch_matches_per_query;
+          Alcotest.test_case "online parallel generation" `Quick
+            test_online_parallel_generation_matches;
+        ] );
+    ]

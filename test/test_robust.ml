@@ -129,9 +129,9 @@ let test_faulty_deterministic () =
   Alcotest.(check bool) "different seed differs" true (a <> c)
 
 let test_faulty_config_change_keeps_alignment () =
-  (* Without perturbation faults, every call consumes exactly two RNG
-     draws, so flipping the config mid-run leaves later faults identical
-     to a space that had the config from the start. *)
+  (* Fault draws depend only on (pair, occurrence), never on the live
+     configuration, so flipping the config mid-run leaves later faults
+     identical to a space that had the config from the start. *)
   let cfg = Faulty_space.faults ~nan:0.1 ~exn_:0.05 ~negative:0.05 () in
   let x = [| 0.; 0.; 0.; 0. |] and y = [| 1.; 0.; 0.; 0. |] in
   let always, _ = Faulty_space.wrap ~rng:(Rng.create 9) ~config:cfg l2 in
