@@ -17,6 +17,7 @@
      ablation/multiprobe  (A4)  multi-probe / budgeted query extensions
      robust/faults        (R1)  hardened pipeline under injected faults
      parallel             (P1)  domain-pool scaling, writes BENCH_parallel.json
+     persist              (D1)  snapshot/WAL durability cost, writes BENCH_persist.json
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
@@ -816,6 +817,167 @@ let parallel_scaling () =
   close_out oc;
   Printf.printf "  wrote BENCH_parallel.json\n"
 
+(* ------------------------------------------------- D1 persist durability *)
+
+(* What durability costs on the paper's UNIPEN workload: initial
+   snapshot write, per-insert WAL overhead (fsync on and off, against a
+   volatile twin fed the same stream), crash recovery by WAL replay, and
+   a clean checkpoint + load.  The reopened index must answer the bench
+   queries bit-identically to the instance that never restarted; numbers
+   land in BENCH_persist.json next to BENCH_parallel.json. *)
+
+let persist_section () =
+  Report.print_heading
+    "persist (D1): snapshot/WAL durability cost on the UNIPEN-style workload";
+  let module Binio = Dbh_util.Binio in
+  let module Durable = Dbh.Online.Durable in
+  let space = Dbh_datasets.Pen_digits.space in
+  let db = pen_set ~rng:(Rng.create 90) (sc 300) in
+  let ops = pen_set ~rng:(Rng.create 91) (sc 200) in
+  let queries = pen_set ~rng:(Rng.create 92) (sc 50) in
+  let encode (inst : Dbh_datasets.Pen_digits.instance) =
+    let buf = Buffer.create 128 in
+    Binio.write_int buf inst.label;
+    Binio.write_int buf (Array.length inst.points);
+    Array.iter
+      (fun (p : Dbh_metrics.Geom.point) ->
+        Binio.write_float buf p.x;
+        Binio.write_float buf p.y)
+      inst.points;
+    Buffer.contents buf
+  in
+  let decode s =
+    let r = Binio.reader s in
+    let label = Binio.read_int r in
+    let n = Binio.read_int r in
+    if n < 0 || n > 100_000 then raise (Binio.Corrupt "pen instance: bad point count");
+    let points =
+      Array.init n (fun _ ->
+          let x = Binio.read_float r in
+          let y = Binio.read_float r in
+          { Dbh_metrics.Geom.x; y })
+    in
+    if not (Binio.at_end r) then raise (Binio.Corrupt "pen instance: trailing bytes");
+    { Dbh_datasets.Pen_digits.label; points }
+  in
+  let config =
+    {
+      Dbh.Builder.default_config with
+      num_pivots = sc 40;
+      num_sample_queries = sc 80;
+      db_sample = sc 200;
+    }
+  in
+  let open_dir ?(fsync = true) ?data dir =
+    Durable.open_or_create ~fsync ~rng:(Rng.create 93) ~space ~config
+      ~rebuild_factor:2.0 ~target_accuracy:0.9 ~encode ~decode ~dir ?data ()
+  in
+  let base = Filename.temp_file "dbh_bench_persist" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let file_size path = (Unix.stat path).Unix.st_size in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf (Filename.concat base "durable");
+      rm_rf (Filename.concat base "nosync");
+      rm_rf base)
+    (fun () ->
+      let dir = Filename.concat base "durable" in
+      (* Fresh build + initial snapshot (generation 1). *)
+      let (t, _), build_s = seconds (fun () -> open_dir ~data:db dir) in
+      let snap1_bytes = file_size (Dbh_persist.Layout.snapshot_path ~dir 1) in
+      (* Durable inserts, fsync per op, vs a volatile twin on the same
+         stream — the gap is the price of the journal. *)
+      let (), insert_fsync_s =
+        seconds (fun () -> Array.iter (fun o -> ignore (Durable.insert t o)) ops)
+      in
+      let twin =
+        Dbh.Online.create ~rng:(Rng.create 93) ~space ~config ~rebuild_factor:2.0
+          ~target_accuracy:0.9 db
+      in
+      let (), insert_volatile_s =
+        seconds (fun () -> Array.iter (fun o -> ignore (Dbh.Online.insert twin o)) ops)
+      in
+      let nosync_dir = Filename.concat base "nosync" in
+      let (t_nosync, _), _ = seconds (fun () -> open_dir ~fsync:false ~data:db nosync_dir) in
+      let (), insert_nosync_s =
+        seconds (fun () ->
+            Array.iter (fun o -> ignore (Durable.insert t_nosync o)) ops)
+      in
+      Durable.close t_nosync;
+      let results_before = Durable.query_batch t queries in
+      (* Crash: close without checkpointing, every op lives only in the
+         WAL; reopening must replay all of them. *)
+      Durable.close t;
+      let (t, recovery), replay_s = seconds (fun () -> open_dir dir) in
+      if recovery.Durable.replayed_ops <> Array.length ops then
+        failwith "persist (D1): WAL replay lost operations";
+      let results_replayed = Durable.query_batch t queries in
+      if results_replayed <> results_before then
+        failwith "persist (D1): replayed index diverged from the live instance";
+      (* Clean shutdown path: checkpoint folds the WAL into snapshot 2,
+         after which reopening is a pure snapshot load. *)
+      let (), checkpoint_s = seconds (fun () -> Durable.checkpoint t) in
+      let snap2_bytes = file_size (Dbh_persist.Layout.snapshot_path ~dir 2) in
+      Durable.close t;
+      let (t, recovery2), load_s = seconds (fun () -> open_dir dir) in
+      if recovery2.Durable.replayed_ops <> 0 then
+        failwith "persist (D1): checkpoint left operations in the WAL";
+      let results_loaded = Durable.query_batch t queries in
+      if results_loaded <> results_before then
+        failwith "persist (D1): loaded snapshot diverged from the live instance";
+      Durable.close t;
+      let n_ops = float_of_int (Array.length ops) in
+      let ops_per_s dt = n_ops /. dt in
+      Printf.printf "  db %d, %d journaled inserts, %d queries (DTW space)\n"
+        (Array.length db) (Array.length ops) (Array.length queries);
+      Printf.printf "  %-34s %10.3f s  (%d bytes)\n" "build + initial snapshot" build_s
+        snap1_bytes;
+      Printf.printf "  %-34s %10.1f ops/s\n" "insert, volatile (no journal)"
+        (ops_per_s insert_volatile_s);
+      Printf.printf "  %-34s %10.1f ops/s\n" "insert, WAL without fsync"
+        (ops_per_s insert_nosync_s);
+      Printf.printf "  %-34s %10.1f ops/s\n" "insert, WAL with fsync"
+        (ops_per_s insert_fsync_s);
+      Printf.printf "  %-34s %10.3f s  (%.1f ops/s)\n" "crash recovery (replay WAL)"
+        replay_s (ops_per_s replay_s);
+      Printf.printf "  %-34s %10.3f s  (%d bytes)\n" "checkpoint" checkpoint_s
+        snap2_bytes;
+      Printf.printf "  %-34s %10.3f s\n" "reopen after checkpoint" load_s;
+      Printf.printf "  reopened instances match the live one bit-for-bit: true\n";
+      let oc = open_out "BENCH_persist.json" in
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+      Printf.fprintf oc
+        "  \"dataset\": { \"db_size\": %d, \"journaled_ops\": %d, \"queries\": %d, \
+         \"space\": \"dtw-pen\" },\n"
+        (Array.length db) (Array.length ops) (Array.length queries);
+      Printf.fprintf oc
+        "  \"snapshot_bytes\": { \"generation_1\": %d, \"generation_2\": %d },\n"
+        snap1_bytes snap2_bytes;
+      Printf.fprintf oc "  \"build_and_snapshot_s\": %.6f,\n" build_s;
+      Printf.fprintf oc
+        "  \"insert_ops_per_s\": { \"volatile\": %.1f, \"wal_nosync\": %.1f, \
+         \"wal_fsync\": %.1f },\n"
+        (ops_per_s insert_volatile_s) (ops_per_s insert_nosync_s)
+        (ops_per_s insert_fsync_s);
+      Printf.fprintf oc
+        "  \"recovery\": { \"replayed_ops\": %d, \"replay_s\": %.6f, \
+         \"replay_ops_per_s\": %.1f },\n"
+        (Array.length ops) replay_s (ops_per_s replay_s);
+      Printf.fprintf oc "  \"checkpoint_s\": %.6f,\n" checkpoint_s;
+      Printf.fprintf oc "  \"load_after_checkpoint_s\": %.6f,\n" load_s;
+      Printf.fprintf oc "  \"reopen_matches_live\": true\n";
+      Printf.fprintf oc "}\n";
+      close_out oc;
+      Printf.printf "  wrote BENCH_persist.json\n")
+
 (* ------------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -908,6 +1070,7 @@ let sections =
     ("multiprobe", ablation_multiprobe);
     ("faults", robust_faults);
     ("parallel", parallel_scaling);
+    ("persist", persist_section);
     ("micro", micro_benchmarks);
   ]
 

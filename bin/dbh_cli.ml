@@ -6,11 +6,19 @@
      tune        print the (k,l) parameter landscape for a dataset
      health      report family balance, index structure, model calibration
      render      print ASCII renderings of the synthetic digit images
-     stress      query through guard + circuit breaker while injecting faults *)
+     stress      query through guard + circuit breaker while injecting faults
+     persist     run a durable index in a directory: journaled updates + crash-safe close
+     checkpoint  snapshot a durable index directory and truncate its log
+     verify      check snapshot/log files for corruption without opening an index *)
 
 module Rng = Dbh_util.Rng
+module Binio = Dbh_util.Binio
 module Space = Dbh_space.Space
 module Ground_truth = Dbh_eval.Ground_truth
+module Durable = Dbh.Online.Durable
+module Envelope = Dbh_persist.Envelope
+module Wal = Dbh_persist.Wal
+module Layout = Dbh_persist.Layout
 
 (* A dataset bundle erases the element type so the CLI can treat all
    workloads uniformly. *)
@@ -286,6 +294,180 @@ let run_render seed =
   done;
   0
 
+(* ----------------------------------------------------------- durability *)
+
+(* The durable subcommands fix the workload to float vectors under L2 so
+   the object codec is known; a directory written by [persist] can be
+   checkpointed and verified by the other two. *)
+
+let encode_vec (v : float array) =
+  let buf = Buffer.create 64 in
+  Binio.write_float_array buf v;
+  Buffer.contents buf
+
+let decode_vec s =
+  let r = Binio.reader s in
+  let v = Binio.read_float_array r in
+  if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes in vector");
+  v
+
+let describe_recovery (r : Durable.recovery) =
+  (match r.Durable.source with
+  | `Fresh -> Printf.printf "state    : fresh build\n"
+  | `Snapshot g -> Printf.printf "state    : recovered from snapshot generation %d\n" g
+  | `Rebuilt -> Printf.printf "state    : all snapshots corrupt — rebuilt from raw data\n");
+  Printf.printf "generation: %d   replayed ops: %d%s\n" r.Durable.generation
+    r.Durable.replayed_ops
+    (if r.Durable.torn_tail then "   (torn log tail truncated)" else "");
+  List.iter
+    (fun (g, why) -> Printf.printf "skipped  : snapshot generation %d: %s\n" g why)
+    r.Durable.skipped
+
+let open_durable ?pool ?data ~seed dir =
+  Durable.open_or_create ?pool ~rng:(Rng.create seed) ~space:Dbh_metrics.Minkowski.l2_space
+    ~config:(builder_config ~pivots:50 ~sample_queries:100)
+    ~target_accuracy:0.9 ~encode:encode_vec ~decode:decode_vec ~dir ?data ()
+
+let run_persist dir seed db_size num_ops num_queries domains =
+  with_domains domains (fun pool ->
+      let rng = Rng.create (seed + 1) in
+      let data, _ =
+        Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim:16 db_size
+      in
+      let t, recovery = open_durable ?pool ~data ~seed dir in
+      describe_recovery recovery;
+      Printf.printf "size     : %d alive objects\n%!" (Durable.size t);
+      (* Journal a burst of updates: inserts with an occasional delete. *)
+      let extra, _ =
+        Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim:16 num_ops
+      in
+      Array.iteri
+        (fun i v ->
+          let h = Durable.insert t v in
+          if i mod 5 = 4 then Durable.delete t (h - 1))
+        extra;
+      Printf.printf "journaled: %d ops (generation %d)\n" (Durable.wal_ops t)
+        (Durable.generation t);
+      let qrng = Rng.create (seed + 2) in
+      let queries, _ =
+        Dbh_datasets.Vectors.gaussian_mixture ~rng:qrng ~num_clusters:25 ~dim:16 num_queries
+      in
+      let results = Durable.query_batch t queries in
+      let cost =
+        Dbh_util.Stats.mean
+          (Array.map
+             (fun (r : _ Dbh.Online.result) ->
+               float_of_int (Dbh.Index.total_cost r.Dbh.Online.stats))
+             results)
+      in
+      Printf.printf "queries  : %d, %.1f distances each\n" num_queries cost;
+      (* Close without checkpointing: the journal keeps the updates, and
+         `dbh-cli checkpoint` (or the next open) replays them. *)
+      let pending = Durable.wal_ops t in
+      Durable.close t;
+      Printf.printf "closed without checkpoint — %d ops await replay; run `dbh-cli \
+                     checkpoint %s` to fold them into a snapshot\n"
+        pending dir;
+      0)
+
+let run_checkpoint dir seed =
+  match open_durable ~seed dir with
+  | t, recovery ->
+      describe_recovery recovery;
+      Durable.checkpoint t;
+      Printf.printf "checkpointed to generation %d (%d alive objects)\n"
+        (Durable.generation t) (Durable.size t);
+      Durable.close t;
+      0
+  | exception Binio.Corrupt msg ->
+      Printf.eprintf "dbh-cli: corrupt state in %s: %s\n" dir msg;
+      1
+  | exception Invalid_argument msg ->
+      Printf.eprintf "dbh-cli: %s\n" msg;
+      1
+
+let verify_file path =
+  let read_all () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match read_all () with
+  | exception Sys_error msg ->
+      Printf.printf "%-40s UNREADABLE  %s\n" path msg;
+      false
+  | data when Envelope.looks_like_envelope data -> (
+      let structural (header : Envelope.header) payload =
+        (* Decode the full structure with an identity codec and a space
+           that must never be called: catches corruption past the
+           checksums (impossible ids, broken invariants) without
+           touching user code. *)
+        let space = Space.make ~name:"verify" (fun (_ : string) _ -> 0.) in
+        match header.Envelope.kind with
+        | "index" ->
+            let r = Binio.reader payload in
+            ignore (Dbh.Index.read ~decode:Fun.id ~space r);
+            if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes")
+        | "hierarchical" ->
+            let r = Binio.reader payload in
+            ignore (Dbh.Hierarchical.read ~decode:Fun.id ~space r);
+            if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes")
+        | "online" -> ignore (Durable.verify_snapshot ~path)
+        | other -> Printf.printf "%-40s note: unknown kind %S, checksums only\n" path other
+      in
+      match Envelope.decode data with
+      | header, payload -> (
+          match structural header payload with
+          | () ->
+              Printf.printf "%-40s OK  %s snapshot v%d, %d payload bytes\n" path
+                header.Envelope.kind header.Envelope.version header.Envelope.payload_length;
+              true
+          | exception Binio.Corrupt msg ->
+              Printf.printf "%-40s CORRUPT  %s\n" path msg;
+              false)
+      | exception Binio.Corrupt msg ->
+          Printf.printf "%-40s CORRUPT  %s\n" path msg;
+          false)
+  | _ -> (
+      let scan = Wal.scan ~path in
+      if scan.Wal.torn then begin
+        Printf.printf "%-40s TORN  %d valid records (%d bytes), then: %s\n" path
+          (Array.length scan.Wal.records)
+          scan.Wal.valid_bytes
+          (Option.value ~default:"?" scan.Wal.torn_reason);
+        false
+      end
+      else begin
+        Printf.printf "%-40s OK  write-ahead log, %d records\n" path
+          (Array.length scan.Wal.records);
+        true
+      end)
+
+let run_verify path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "dbh-cli: no such file or directory: %s\n" path;
+    1
+  end
+  else if Sys.is_directory path then begin
+    let files =
+      List.map (Layout.snapshot_path ~dir:path) (Layout.snapshot_generations ~dir:path)
+      @ List.map (Layout.wal_path ~dir:path) (Layout.wal_generations ~dir:path)
+    in
+    if files = [] then begin
+      Printf.eprintf "dbh-cli: %s holds no snapshot or log files\n" path;
+      1
+    end
+    else begin
+      let ok = List.fold_left (fun acc f -> verify_file f && acc) true files in
+      Printf.printf "%d file(s) checked: %s\n" (List.length files)
+        (if ok then "all clean" else "CORRUPTION FOUND");
+      if ok then 0 else 1
+    end
+  end
+  else if verify_file path then 0
+  else 1
+
 (* ------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -393,9 +575,43 @@ let health_cmd =
       const run_health $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 150
       $ target_arg)
 
+let dir_pos_arg =
+  let doc = "Durable index directory (snapshots + write-ahead logs)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let path_pos_arg =
+  let doc = "Snapshot file, log file, or a durable index directory." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc)
+
+let ops_arg =
+  let doc = "Number of updates to journal through the write-ahead log." in
+  Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc)
+
+let persist_cmd =
+  let doc = "run a durable index in a directory: journaled updates, crash-safe close" in
+  Cmd.v
+    (Cmd.info "persist" ~doc)
+    Term.(
+      const run_persist $ dir_pos_arg $ seed_arg $ db_size_arg 1000 $ ops_arg
+      $ queries_arg 100 $ domains_arg)
+
+let checkpoint_cmd =
+  let doc = "fold a durable index's journal into a fresh snapshot generation" in
+  Cmd.v (Cmd.info "checkpoint" ~doc) Term.(const run_checkpoint $ dir_pos_arg $ seed_arg)
+
+let verify_cmd =
+  let doc =
+    "verify snapshot and log files (checksums + structure) without opening an index; \
+     exits non-zero on any corruption"
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run_verify $ path_pos_arg)
+
 let main_cmd =
   let doc = "distance-based hashing for nearest neighbor retrieval (ICDE 2008)" in
   Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
-    [ demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd ]
+    [
+      demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; persist_cmd;
+      checkpoint_cmd; verify_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

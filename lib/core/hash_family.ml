@@ -285,7 +285,9 @@ let read ~decode ~space r =
   let num_pivots = Binio.read_int r in
   if num_pivots < 0 || num_pivots > Binio.remaining r then
     raise (Binio.Corrupt "implausible pivot count");
-  let pivots = Array.init num_pivots (fun _ -> decode (Binio.read_string r)) in
+  let pivots =
+    Array.init num_pivots (fun _ -> Binio.guard_decode decode (Binio.read_string r))
+  in
   let num_fns = Binio.read_int r in
   if num_fns < 0 || num_fns > Binio.remaining r then
     raise (Binio.Corrupt "implausible function count");

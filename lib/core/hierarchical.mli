@@ -98,4 +98,8 @@ val read :
   'a t
 
 val save : encode:('a -> string) -> path:string -> 'a t -> unit
+(** Atomic, checksummed save — same guarantees as {!Index.save}. *)
+
 val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string -> 'a t
+(** Envelope-verified load — raises [Dbh_util.Binio.Corrupt] on any
+    corruption, like {!Index.load}. *)

@@ -492,7 +492,7 @@ let read_store ~decode r =
   (* Each stored object costs at least a length prefix; bound n before
      allocating so corrupt inputs cannot trigger huge allocations. *)
   if n < 0 || n > Binio.remaining r then raise (Binio.Corrupt "implausible store size");
-  let objects = Array.init n (fun _ -> decode (Binio.read_string r)) in
+  let objects = Array.init n (fun _ -> Binio.guard_decode decode (Binio.read_string r)) in
   let store = Store.of_array objects in
   let dead = Binio.read_int_array r in
   Array.iter (fun id -> Store.delete store id) dead;
@@ -514,16 +514,21 @@ let read ~decode ~space r =
   let store = read_store ~decode r in
   read_body ~family ~store r
 
+let snapshot_kind = "index"
+let snapshot_version = 1
+
 let save ~encode ~path t =
   let buf = Buffer.create 4096 in
   write ~encode buf t;
-  let oc = open_out_bin path in
-  (try Buffer.output_buffer oc buf with e -> close_out_noerr oc; raise e);
-  close_out oc
+  Dbh_persist.Envelope.save ~path ~kind:snapshot_kind ~version:snapshot_version
+    (Buffer.contents buf)
 
 let load ~decode ~space ~path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let data = really_input_string ic len in
-  close_in ic;
-  read ~decode ~space (Binio.reader data)
+  let payload =
+    Dbh_persist.Envelope.read_expect ~kind:snapshot_kind ~version:snapshot_version ~path
+  in
+  let r = Binio.reader payload in
+  let t = read ~decode ~space r in
+  if not (Binio.at_end r) then
+    raise (Binio.Corrupt "trailing bytes after index payload");
+  t

@@ -173,7 +173,16 @@ val read :
 (** Raises [Dbh_util.Binio.Corrupt] on malformed input. *)
 
 val save : encode:('a -> string) -> path:string -> 'a t -> unit
+(** Write the index atomically: the serialized form is wrapped in a
+    checksummed envelope ({!Dbh_persist.Envelope}) and reaches [path]
+    via temp-file + fsync + rename, so a crash mid-save leaves any
+    previous file at [path] intact. *)
+
 val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string -> 'a t
+(** Verify the envelope checksums and decode.  Raises
+    [Dbh_util.Binio.Corrupt] on any corruption — flipped bytes,
+    truncation, trailing garbage, or a [decode] failure — and never
+    returns a partially-read index. *)
 
 (**/**)
 

@@ -148,3 +148,368 @@ let query_batch ?pool ?budget t qs =
       in
       { nn; stats = r.Index.stats; truncated = r.Index.truncated })
     results
+
+(* ------------------------------------------------------------ durability *)
+
+type 'a online = 'a t
+
+module Durable = struct
+  module Binio = Dbh_util.Binio
+  module Envelope = Dbh_persist.Envelope
+  module Wal = Dbh_persist.Wal
+  module Layout = Dbh_persist.Layout
+
+  let snapshot_kind = "online"
+  let snapshot_version = 1
+
+  let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
+
+  (* ------------------------------------------------- snapshot payload *)
+
+  (* rng state | registry length | dead handles | external_of_internal |
+     built_size | rebuild_count | hierarchical index.  The rng state is
+     part of the snapshot so that rebuilds triggered during WAL replay
+     consume exactly the random draws of the original run — restart
+     equivalence is bit-for-bit, not approximate. *)
+
+  let write_payload ~encode (o : 'a online) =
+    let buf = Buffer.create 4096 in
+    Array.iter (Binio.write_int64 buf) (Rng.state o.rng);
+    Binio.write_int buf (Vec.length o.registry);
+    let dead = List.sort compare (Hashtbl.fold (fun h () acc -> h :: acc) o.dead []) in
+    Binio.write_int_array buf (Array.of_list dead);
+    Binio.write_int_array buf (Vec.to_array o.external_of_internal);
+    Binio.write_int buf o.built_size;
+    Binio.write_int buf o.rebuild_count;
+    Hierarchical.write ~encode buf o.index;
+    Buffer.contents buf
+
+  (* Structural decode shared by recovery and [verify_snapshot]: every
+     invariant the live structure maintains is re-checked here, so a
+     snapshot that passes cannot put the index into a state the normal
+     API could not have produced. *)
+  let read_payload ~decode ~space payload =
+    let r = Binio.reader payload in
+    let rng_words = Array.init 4 (fun _ -> Binio.read_int64 r) in
+    let rng =
+      try Rng.of_state rng_words
+      with Invalid_argument _ -> corrupt "invalid rng state in snapshot"
+    in
+    let registry_len = Binio.read_int r in
+    if registry_len < 1 then corrupt "implausible registry length %d" registry_len;
+    let dead_handles = Binio.read_int_array r in
+    Array.iteri
+      (fun i h ->
+        if h < 0 || h >= registry_len then corrupt "dead handle %d out of range" h;
+        if i > 0 && dead_handles.(i - 1) >= h then corrupt "dead handles not strictly ascending")
+      dead_handles;
+    if Array.length dead_handles >= registry_len then corrupt "no alive objects in snapshot";
+    let eoi = Binio.read_int_array r in
+    let built_size = Binio.read_int r in
+    if built_size < 1 then corrupt "implausible built size %d" built_size;
+    let rebuild_count = Binio.read_int r in
+    if rebuild_count < 0 then corrupt "negative rebuild count";
+    let index = Hierarchical.read ~decode ~space r in
+    if not (Binio.at_end r) then corrupt "trailing bytes after online payload";
+    let store = Hierarchical.store index in
+    if Array.length eoi <> Store.length store then
+      corrupt "handle map covers %d ids but store has %d" (Array.length eoi)
+        (Store.length store);
+    let dead = Hashtbl.create 16 in
+    Array.iter (fun h -> Hashtbl.replace dead h ()) dead_handles;
+    let internal_of_external = Hashtbl.create (Array.length eoi) in
+    Array.iteri
+      (fun internal h ->
+        if h < 0 || h >= registry_len then corrupt "mapped handle %d out of range" h;
+        if Hashtbl.mem internal_of_external h then corrupt "handle %d mapped twice" h;
+        Hashtbl.replace internal_of_external h internal;
+        if Hashtbl.mem dead h = Store.is_alive store internal then
+          corrupt "liveness of handle %d disagrees between registry and store" h)
+      eoi;
+    for h = 0 to registry_len - 1 do
+      if not (Hashtbl.mem internal_of_external h) && not (Hashtbl.mem dead h) then
+        corrupt "alive handle %d missing from the index" h
+    done;
+    (rng, registry_len, dead, eoi, internal_of_external, built_size, rebuild_count, index)
+
+  let verify_snapshot ~path =
+    let payload = Envelope.read_expect ~kind:snapshot_kind ~version:snapshot_version ~path in
+    let space = Dbh_space.Space.make ~name:"verify" (fun (_ : string) _ -> 0.) in
+    let _, registry_len, dead, _, _, _, _, _ = read_payload ~decode:Fun.id ~space payload in
+    (registry_len, registry_len - Hashtbl.length dead)
+
+  let online_of_payload ?pool ~space ~config ~rebuild_factor ~target_accuracy ~decode payload =
+    let rng, registry_len, dead, eoi, internal_of_external, built_size, rebuild_count, index =
+      read_payload ~decode ~space payload
+    in
+    let store = Hierarchical.store index in
+    (* The registry is not stored twice: rebuild it from the index's
+       object store through the handle map.  Handles that died before
+       the last rebuild have no internal id; their slots get a filler
+       that [get] can never reach (the dead-handle check fires first). *)
+    let registry = Vec.create () in
+    let filler = Store.get store 0 in
+    for _ = 1 to registry_len do
+      ignore (Vec.push registry filler)
+    done;
+    Array.iteri (fun internal h -> Vec.set registry h (Store.get store internal)) eoi;
+    let external_of_internal = Vec.create () in
+    Array.iter (fun h -> ignore (Vec.push external_of_internal h)) eoi;
+    {
+      rng;
+      space;
+      pool;
+      config;
+      rebuild_factor;
+      target_accuracy;
+      registry;
+      dead;
+      index;
+      external_of_internal;
+      internal_of_external;
+      built_size;
+      rebuild_count;
+    }
+
+  (* ------------------------------------------------- WAL op encoding *)
+
+  let encode_insert encoded_obj =
+    let buf = Buffer.create (String.length encoded_obj + 16) in
+    Buffer.add_char buf 'I';
+    Binio.write_string buf encoded_obj;
+    Buffer.contents buf
+
+  let encode_delete handle =
+    let buf = Buffer.create 16 in
+    Buffer.add_char buf 'D';
+    Binio.write_int buf handle;
+    Buffer.contents buf
+
+  let apply_op ~decode online payload =
+    if String.length payload < 1 then corrupt "empty wal record";
+    let r = Binio.reader (String.sub payload 1 (String.length payload - 1)) in
+    (match payload.[0] with
+    | 'I' ->
+        let obj = Binio.guard_decode decode (Binio.read_string r) in
+        if not (Binio.at_end r) then corrupt "trailing bytes in wal insert";
+        ignore (insert online obj)
+    | 'D' ->
+        let h = Binio.read_int r in
+        if not (Binio.at_end r) then corrupt "trailing bytes in wal delete";
+        if h < 0 || h >= Vec.length online.registry then
+          corrupt "wal deletes unknown handle %d" h;
+        delete online h
+    | c -> corrupt "unknown wal op %C" c)
+
+  (* ------------------------------------------------------- the handle *)
+
+  type nonrec 'a t = {
+    online : 'a online;
+    dir : string;
+    encode : 'a -> string;
+    decode : string -> 'a;
+    fsync : bool;
+    mutable generation : int;
+    mutable wal : Wal.t;
+    mutable wal_ops : int;
+    mutable closed : bool;
+  }
+
+  type kill_point = After_snapshot | After_wal_switch
+
+  exception Killed of kill_point
+
+  type recovery = {
+    source : [ `Fresh | `Snapshot of int | `Rebuilt ];
+    generation : int;
+    replayed_ops : int;
+    torn_tail : bool;
+    skipped : (int * string) list;
+  }
+
+  let online (t : 'a t) = t.online
+  let generation (t : 'a t) = t.generation
+  let wal_ops (t : 'a t) = t.wal_ops
+  let dir (t : 'a t) = t.dir
+
+  let ensure_open t = if t.closed then invalid_arg "Online.Durable: handle is closed"
+
+  let save_snapshot_raw ~dir ~encode o gen =
+    Envelope.save
+      ~path:(Layout.snapshot_path ~dir gen)
+      ~kind:snapshot_kind ~version:snapshot_version
+      (write_payload ~encode o)
+
+  let save_snapshot t gen = save_snapshot_raw ~dir:t.dir ~encode:t.encode t.online gen
+
+  let cleanup_before t gen =
+    (* Keep the current and previous generation of both files: the
+       previous snapshot plus its complete WAL are the fallback when the
+       current snapshot is lost or corrupted. *)
+    List.iter
+      (fun g -> if g < gen - 1 then Layout.remove_if_exists (Layout.snapshot_path ~dir:t.dir g))
+      (Layout.snapshot_generations ~dir:t.dir);
+    List.iter
+      (fun g -> if g < gen - 1 then Layout.remove_if_exists (Layout.wal_path ~dir:t.dir g))
+      (Layout.wal_generations ~dir:t.dir)
+
+  let checkpoint ?kill t =
+    ensure_open t;
+    let gen = t.generation + 1 in
+    save_snapshot t gen;
+    (match kill with Some After_snapshot -> raise (Killed After_snapshot) | _ -> ());
+    Wal.close t.wal;
+    t.wal <- Wal.create ~fsync:t.fsync ~path:(Layout.wal_path ~dir:t.dir gen) ();
+    t.generation <- gen;
+    t.wal_ops <- 0;
+    (match kill with Some After_wal_switch -> raise (Killed After_wal_switch) | _ -> ());
+    cleanup_before t gen
+
+  let insert t obj =
+    ensure_open t;
+    (* WAL first: once [append] returns the op is durable, and replay
+       re-applies it deterministically if we crash before (or during)
+       the in-memory update. *)
+    ignore (Wal.append t.wal (encode_insert (t.encode obj)));
+    t.wal_ops <- t.wal_ops + 1;
+    insert t.online obj
+
+  let delete t handle =
+    ensure_open t;
+    if handle < 0 || handle >= Vec.length t.online.registry then
+      invalid_arg "Online.Durable.delete: unknown handle";
+    ignore (Wal.append t.wal (encode_delete handle));
+    t.wal_ops <- t.wal_ops + 1;
+    delete t.online handle
+
+  let query ?budget t q = query ?budget t.online q
+  let query_batch ?pool ?budget t qs = query_batch ?pool ?budget t.online qs
+  let get t handle = get t.online handle
+  let size t = size t.online
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      Wal.close t.wal
+    end
+
+  (* --------------------------------------------------------- recovery *)
+
+  let open_or_create ?pool ?(fsync = true) ~rng ~space ?(config = Builder.default_config)
+      ?(rebuild_factor = 2.0) ~target_accuracy ~encode ~decode ~dir ?data () =
+    Layout.ensure_dir dir;
+    let snapshot_gens = Layout.snapshot_generations ~dir in
+    let wal_gens = Layout.wal_generations ~dir in
+    let max_gen = List.fold_left max 0 (snapshot_gens @ wal_gens) in
+    (* Newest snapshot that verifies wins; corrupt ones are recorded and
+       skipped — degrade to an older generation rather than fail. *)
+    let rec try_load skipped = function
+      | [] -> (None, List.rev skipped)
+      | g :: rest -> (
+          let path = Layout.snapshot_path ~dir g in
+          match
+            let payload =
+              Envelope.read_expect ~kind:snapshot_kind ~version:snapshot_version ~path
+            in
+            online_of_payload ?pool ~space ~config ~rebuild_factor ~target_accuracy ~decode
+              payload
+          with
+          | o -> (Some (g, o), List.rev skipped)
+          | exception Binio.Corrupt msg -> try_load ((g, msg) :: skipped) rest
+          | exception Sys_error msg -> try_load ((g, msg) :: skipped) rest)
+    in
+    let loaded, skipped = try_load [] (List.rev snapshot_gens) in
+    match loaded with
+    | Some (g, o) ->
+        (* Replay the WAL chain from the loaded generation forward: wal g
+           journals the ops after snapshot g, and ends exactly at the
+           state snapshot g+1 captured — so when snapshot g+1 was the
+           corrupt one, its wal still carries us to the present. *)
+        let replayed = ref 0 in
+        let rec replay g =
+          let path = Layout.wal_path ~dir g in
+          if not (Sys.file_exists path) then (g, false)
+          else begin
+            let scan = Wal.scan ~path in
+            Array.iter
+              (fun op ->
+                (try apply_op ~decode o op with
+                | Binio.Corrupt _ as e -> raise e
+                | exn -> corrupt "wal replay failed: %s" (Printexc.to_string exn));
+                incr replayed)
+              scan.Wal.records;
+            if scan.Wal.torn then (g, true)
+            else if g < max_gen && Sys.file_exists (Layout.wal_path ~dir (g + 1)) then
+              replay (g + 1)
+            else (g, false)
+          end
+        in
+        let last_gen, torn = replay g in
+        let gen, wal, wal_ops =
+          if last_gen = max_gen && not torn then begin
+            (* Everything on disk is accounted for: keep appending to
+               the current generation's log. *)
+            let wal, scan = Wal.open_append ~fsync ~path:(Layout.wal_path ~dir last_gen) () in
+            (last_gen, wal, Array.length scan.Wal.records)
+          end
+          else begin
+            (* The chain broke (torn log, or generations above the one
+               that loaded): logs past the break are unreachable junk —
+               drop them and checkpoint to a fresh generation so the
+               on-disk state is verified end-to-end before accepting new
+               writes. *)
+            for g' = last_gen + 1 to max_gen do
+              Layout.remove_if_exists (Layout.wal_path ~dir g')
+            done;
+            let gen = max_gen + 1 in
+            save_snapshot_raw ~dir ~encode o gen;
+            (gen, Wal.create ~fsync ~path:(Layout.wal_path ~dir gen) (), 0)
+          end
+        in
+        let t =
+          { online = o; dir; encode; decode; fsync; generation = gen; wal; wal_ops;
+            closed = false }
+        in
+        if gen > last_gen then cleanup_before t gen;
+        ( t,
+          {
+            source = `Snapshot g;
+            generation = t.generation;
+            replayed_ops = !replayed;
+            torn_tail = torn;
+            skipped;
+          } )
+    | None -> (
+        match data with
+        | Some db when Array.length db > 0 ->
+            let o = create ?pool ~rng ~space ~config ~rebuild_factor ~target_accuracy db in
+            let gen = max_gen + 1 in
+            save_snapshot_raw ~dir ~encode o gen;
+            let t =
+              {
+                online = o;
+                dir;
+                encode;
+                decode;
+                fsync;
+                generation = gen;
+                wal = Wal.create ~fsync ~path:(Layout.wal_path ~dir gen) ();
+                wal_ops = 0;
+                closed = false;
+              }
+            in
+            cleanup_before t gen;
+            let source = if skipped = [] then `Fresh else `Rebuilt in
+            ( t,
+              { source; generation = gen; replayed_ops = 0; torn_tail = false; skipped } )
+        | _ ->
+            if skipped = [] then
+              invalid_arg
+                (Printf.sprintf
+                   "Online.Durable.open_or_create: %s holds no snapshot and no ~data was given"
+                   dir)
+            else
+              corrupt "no loadable snapshot in %s: %s" dir
+                (String.concat "; "
+                   (List.map (fun (g, m) -> Printf.sprintf "gen %d: %s" g m) skipped)))
+end

@@ -89,3 +89,116 @@ val rebuild_now : 'a t -> unit
     Handles remain stable.  Used by degradation wrappers to refresh an
     index whose structure went bad (e.g. after a spell of anomalous
     distances polluted its tables). *)
+
+type 'a online = 'a t
+
+(** {1 Crash-safe durability}
+
+    A durable index lives in a directory of numbered generations: each
+    checkpoint writes a checksummed snapshot atomically and starts a
+    fresh write-ahead log; every {!Durable.insert}/{!Durable.delete} is
+    journaled (and fsynced) before it touches memory.  Reopening after a
+    crash loads the newest snapshot that verifies — falling back to the
+    previous generation when the newest is corrupt — and replays the log
+    chain, truncating a torn tail.  The snapshot carries the generator
+    state, so a reopened index answers queries {e bit-for-bit}
+    identically to one that never restarted, including any rebuilds the
+    replay triggers.
+
+    The object codec must round-trip: [decode (encode x)] must behave
+    exactly like [x] under the space's distance (and re-encode to the
+    same bytes for the equivalence guarantee to be exact).  The same
+    [config], [rebuild_factor] and [target_accuracy] must be passed on
+    every open — they are intentionally not stored, so deployments can
+    retune them, at the cost of exact replay equivalence when they
+    change. *)
+
+module Durable : sig
+  type 'a t
+  (** A durable handle: an {!type:online} index plus its directory, log
+      and generation bookkeeping. *)
+
+  type kill_point = After_snapshot | After_wal_switch
+
+  exception Killed of kill_point
+  (** Raised by {!checkpoint} at the requested {!kill_point} — a crash
+      injected between the checkpoint's steps, for recovery tests. *)
+
+  type recovery = {
+    source : [ `Fresh | `Snapshot of int | `Rebuilt ];
+        (** Where the state came from: a brand-new index over [~data], a
+            verified snapshot generation, or a rebuild from [~data]
+            after every snapshot failed verification. *)
+    generation : int;  (** Active generation after recovery. *)
+    replayed_ops : int;  (** WAL records re-applied. *)
+    torn_tail : bool;  (** A log ended mid-record and was truncated. *)
+    skipped : (int * string) list;
+        (** Snapshot generations that failed verification, with why. *)
+  }
+
+  val open_or_create :
+    ?pool:Dbh_util.Pool.t ->
+    ?fsync:bool ->
+    rng:Dbh_util.Rng.t ->
+    space:'a Dbh_space.Space.t ->
+    ?config:Builder.config ->
+    ?rebuild_factor:float ->
+    target_accuracy:float ->
+    encode:('a -> string) ->
+    decode:(string -> 'a) ->
+    dir:string ->
+    ?data:'a array ->
+    unit ->
+    'a t * recovery
+  (** Open the index stored in [dir], creating [dir] if needed.  With no
+      loadable snapshot, builds a fresh index from [~data] (raising
+      [Invalid_argument] when [dir] is empty and no data is given, and
+      [Dbh_util.Binio.Corrupt] when snapshots exist but all fail
+      verification and no data is given — degraded recovery never
+      silently serves wrong answers).  [rng] seeds a fresh build only;
+      a loaded snapshot restores its own generator state.  [fsync]
+      (default [true]) controls per-operation log durability. *)
+
+  val insert : 'a t -> 'a -> int
+  (** Journal the insert to the WAL (durably, when [fsync]) and then
+      apply it.  Same contract as {!val:insert} otherwise. *)
+
+  val delete : 'a t -> int -> unit
+  (** Journal and apply a delete; idempotent like {!val:delete}. *)
+
+  val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+  val query_batch :
+    ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
+
+  val get : 'a t -> int -> 'a
+  val size : 'a t -> int
+
+  val checkpoint : ?kill:kill_point -> 'a t -> unit
+  (** Write a new snapshot generation atomically, switch to a fresh WAL,
+      and prune generations older than the previous one.  A crash at any
+      point (exercised via [?kill]) leaves the directory recoverable to
+      exactly the pre- or post-checkpoint state. *)
+
+  val close : 'a t -> unit
+  (** Flush and close the WAL.  Deliberately does {e not} checkpoint, so
+      reopening exercises replay; call {!checkpoint} first to make
+      reopening cheap.  Idempotent; other operations raise after. *)
+
+  val online : 'a t -> 'a online
+  (** The live in-memory index — read-only access; mutate only through
+      this module or the journal will miss operations. *)
+
+  val generation : 'a t -> int
+  val wal_ops : 'a t -> int
+  (** Operations sitting in the current WAL since the last checkpoint —
+      the replay debt a reopen would pay. *)
+
+  val dir : 'a t -> string
+
+  val verify_snapshot : path:string -> int * int
+  (** Structurally verify a snapshot file without opening the index or
+      computing any distance: envelope checksums, then every internal
+      invariant (handle maps, liveness agreement, level structure).
+      Returns [(total_handles, alive)].  Raises [Dbh_util.Binio.Corrupt]
+      on any failure. *)
+end

@@ -1,0 +1,109 @@
+module Binio = Dbh_util.Binio
+module Crc32 = Dbh_util.Crc32
+
+let magic = "DBHSNAP1"
+
+type header = {
+  kind : string;
+  version : int;
+  payload_length : int;
+  payload_crc : int;
+}
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
+
+let wrap ~kind ~version payload =
+  if String.length kind = 0 || String.length kind > 64 then
+    invalid_arg "Envelope.wrap: kind must be 1-64 bytes";
+  if version < 1 then invalid_arg "Envelope.wrap: version must be >= 1";
+  let head = Buffer.create 64 in
+  Binio.write_string head magic;
+  Binio.write_string head kind;
+  Binio.write_int head version;
+  Binio.write_int head (String.length payload);
+  Binio.write_int head (Crc32.string payload);
+  (* Header checksum over everything written so far, so that a flipped
+     bit in any header field — not just the payload — is caught as a
+     checksum mismatch rather than decoded as nonsense. *)
+  Binio.write_int head (Crc32.string (Buffer.contents head));
+  Buffer.contents head ^ payload
+
+let decode data =
+  let r = Binio.reader data in
+  let m = try Binio.read_string r with Binio.Corrupt _ -> corrupt "not a DBH snapshot (no magic)" in
+  if m <> magic then corrupt "not a DBH snapshot (bad magic)";
+  let kind = Binio.read_string r in
+  let version = Binio.read_int r in
+  let payload_length = Binio.read_int r in
+  let payload_crc = Binio.read_int r in
+  let expected = Crc32.sub data ~pos:0 ~len:(Binio.pos r) in
+  let header_crc = Binio.read_int r in
+  if header_crc <> expected then corrupt "envelope header checksum mismatch";
+  if version < 1 then corrupt "invalid envelope version %d" version;
+  if payload_length < 0 then corrupt "negative payload length";
+  let off = Binio.pos r in
+  let actual_length = String.length data - off in
+  if actual_length <> payload_length then
+    corrupt "payload length mismatch: header says %d bytes, file has %d" payload_length
+      actual_length;
+  if Crc32.sub data ~pos:off ~len:payload_length <> payload_crc then
+    corrupt "payload checksum mismatch";
+  ({ kind; version; payload_length; payload_crc }, String.sub data off payload_length)
+
+let looks_like_envelope data =
+  (* Length-prefixed magic: 8-byte little-endian length 8, then the tag. *)
+  let prefix = "\008\000\000\000\000\000\000\000" ^ magic in
+  String.length data >= String.length prefix && String.sub data 0 (String.length prefix) = prefix
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read ~path = decode (read_file path)
+
+let read_expect ~kind ~version ~path =
+  let header, payload = read ~path in
+  if header.kind <> kind then
+    corrupt "snapshot kind mismatch: expected %S, found %S" kind header.kind;
+  if header.version <> version then
+    corrupt "unsupported %s snapshot version %d (this build reads version %d)" kind
+      header.version version;
+  payload
+
+(* ------------------------------------------------------- atomic writes *)
+
+let fsync_dir dir =
+  (* Persist the rename itself.  Some filesystems refuse fsync on a
+     directory fd; that weakens the guarantee but is not an error we can
+     act on. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write_atomic ~path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     (try
+        output_string oc data;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc);
+        close_out oc
+      with e ->
+        close_out_noerr oc;
+        raise e)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  fsync_dir dir
+
+let save ~path ~kind ~version payload = write_atomic ~path (wrap ~kind ~version payload)

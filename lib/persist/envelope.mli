@@ -1,0 +1,50 @@
+(** Checksummed snapshot envelope and atomic file writes.
+
+    Every on-disk snapshot is wrapped in a small header — magic tag,
+    kind, format version, payload length, payload CRC-32, and a CRC-32
+    over the header itself — so that corruption anywhere in the file is
+    reported as {!Dbh_util.Binio.Corrupt} with a reason, never decoded
+    into a wrong index.  Files reach disk through {!write_atomic}:
+    a temp file in the same directory, fsync, rename, directory fsync —
+    a crash at any point leaves either the old file or the new one,
+    never a torn mix. *)
+
+type header = {
+  kind : string;  (** What the payload is, e.g. ["index"] or ["online"]. *)
+  version : int;  (** Payload format version, starting at 1. *)
+  payload_length : int;
+  payload_crc : int;
+}
+
+val wrap : kind:string -> version:int -> string -> string
+(** [wrap ~kind ~version payload] is the full file image: header followed
+    by payload.  Raises [Invalid_argument] on an empty/oversized kind or
+    a version below 1. *)
+
+val decode : string -> header * string
+(** Parse and verify a file image produced by {!wrap}.  Raises
+    {!Dbh_util.Binio.Corrupt} when the magic, header checksum, length or
+    payload checksum does not hold — including truncation and trailing
+    garbage, since the payload length must match the file exactly. *)
+
+val looks_like_envelope : string -> bool
+(** Whether the bytes start with the snapshot magic — used to tell
+    snapshots from write-ahead logs when sniffing an arbitrary file. *)
+
+val read : path:string -> header * string
+(** Read a file and {!decode} it.  Raises [Sys_error] on I/O failure in
+    addition to [Corrupt] on verification failure. *)
+
+val read_expect : kind:string -> version:int -> path:string -> string
+(** Like {!read} but also checks kind and version, raising [Corrupt] on
+    mismatch (a version we do not read is indistinguishable from
+    corruption as far as the caller's decoder is concerned). *)
+
+val write_atomic : path:string -> string -> unit
+(** [write_atomic ~path data] atomically replaces [path] with [data]:
+    the bytes are written and fsynced to a temporary file in the same
+    directory, renamed over [path], and the directory entry is fsynced.
+    On failure the temporary file is removed and [path] is untouched. *)
+
+val save : path:string -> kind:string -> version:int -> string -> unit
+(** [save ~path ~kind ~version payload] = [write_atomic ~path (wrap ...)]. *)

@@ -1,0 +1,34 @@
+let snapshot_path ~dir gen = Filename.concat dir (Printf.sprintf "snapshot-%06d.dbh" gen)
+let wal_path ~dir gen = Filename.concat dir (Printf.sprintf "wal-%06d.log" gen)
+
+let parse ~prefix ~suffix name =
+  let plen = String.length prefix and slen = String.length suffix in
+  let n = String.length name in
+  if n <= plen + slen
+     || String.sub name 0 plen <> prefix
+     || String.sub name (n - slen) slen <> suffix
+  then None
+  else
+    let digits = String.sub name plen (n - plen - slen) in
+    match int_of_string_opt digits with
+    | Some g when g > 0 && String.for_all (fun c -> c >= '0' && c <= '9') digits -> Some g
+    | _ -> None
+
+let generations ~prefix ~suffix dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (parse ~prefix ~suffix)
+    |> List.sort_uniq compare
+
+let snapshot_generations ~dir = generations ~prefix:"snapshot-" ~suffix:".dbh" dir
+let wal_generations ~dir = generations ~prefix:"wal-" ~suffix:".log" dir
+
+let ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg (Printf.sprintf "Layout.ensure_dir: %s exists and is not a directory" dir)
+  end
+  else Unix.mkdir dir 0o755
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,24 @@
+(** On-disk layout of a durable index directory.
+
+    A directory holds numbered snapshot generations and their
+    write-ahead logs: [snapshot-000007.dbh] is the state after
+    checkpoint 7, and [wal-000007.log] journals every operation applied
+    since.  Recovery loads the newest snapshot that verifies and
+    replays the WAL chain from its generation forward. *)
+
+val snapshot_path : dir:string -> int -> string
+val wal_path : dir:string -> int -> string
+
+val snapshot_generations : dir:string -> int list
+(** Generation numbers of snapshot files present, sorted ascending.
+    A missing directory yields []. *)
+
+val wal_generations : dir:string -> int list
+(** Generation numbers of WAL files present, sorted ascending. *)
+
+val ensure_dir : string -> unit
+(** Create the directory if missing.  Raises [Invalid_argument] when the
+    path exists but is not a directory. *)
+
+val remove_if_exists : string -> unit
+(** Delete a file, ignoring a missing one. *)

@@ -1,0 +1,50 @@
+(** Append-only write-ahead log with per-record checksums.
+
+    Each record carries a sequence number, its length and a CRC-32 over
+    sequence plus payload.  Scanning stops at the first record that
+    fails any check — a torn tail from a crash mid-append loses at most
+    the record being written, and {!open_append} truncates it away so
+    the log returns to a valid prefix.  A log that ends exactly at a
+    record boundary scans as not torn. *)
+
+type t
+
+type scan_result = {
+  records : string array;  (** Payloads of all valid records, in order. *)
+  valid_bytes : int;  (** Length of the valid prefix of the file. *)
+  torn : bool;  (** Whether bytes after the valid prefix were discarded. *)
+  torn_reason : string option;  (** Why scanning stopped, when [torn]. *)
+}
+
+val scan : path:string -> scan_result
+(** Read and validate a log.  A missing file scans as empty and intact;
+    garbage never raises — it only marks the log torn at that point. *)
+
+val scan_string : string -> scan_result
+(** {!scan} over in-memory bytes (for tests and verification tools). *)
+
+val create : ?fsync:bool -> path:string -> unit -> t
+(** Create or truncate a log for appending.  [fsync] (default [true])
+    makes every {!append} durable before returning; turn it off only
+    for benchmarks. *)
+
+val open_append : ?fsync:bool -> path:string -> unit -> t * scan_result
+(** Open an existing log (creating it if missing) for appending,
+    truncating any torn tail first.  Returns the scan of the valid
+    prefix so the caller can replay it. *)
+
+val append : t -> string -> int
+(** Append one record and (when [fsync]) force it to disk.  Returns the
+    record's sequence number, starting at 1. *)
+
+val sync : t -> unit
+(** Flush (and fsync when enabled) without appending. *)
+
+val record_count : t -> int
+(** Records written through this handle plus valid records found on
+    open. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush, sync and close.  Idempotent. *)

@@ -1,18 +1,13 @@
 exception Corrupt of string
 
-let write_int buf v =
-  let v = Int64.of_int v in
+let write_int64 buf v =
   for i = 0 to 7 do
     Buffer.add_char buf
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
   done
 
-let write_float buf f =
-  let v = Int64.bits_of_float f in
-  for i = 0 to 7 do
-    Buffer.add_char buf
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
-  done
+let write_int buf v = write_int64 buf (Int64.of_int v)
+let write_float buf f = write_int64 buf (Int64.bits_of_float f)
 
 let write_string buf s =
   write_int buf (String.length s);
@@ -49,6 +44,7 @@ let read_raw64 r =
   r.offset <- r.offset + 8;
   !v
 
+let read_int64 r = read_raw64 r
 let read_int r = Int64.to_int (read_raw64 r)
 let read_float r = Int64.float_of_bits (read_raw64 r)
 
@@ -69,3 +65,11 @@ let read_array read_elem r =
 
 let read_int_array r = read_array read_int r
 let read_float_array r = read_array read_float r
+
+(* User-supplied codecs can raise anything on malformed payloads; from
+   the persistence layer's point of view that is just another corruption
+   mode, so it must surface as [Corrupt] rather than escape arbitrarily. *)
+let guard_decode decode s =
+  try decode s with
+  | Corrupt _ as e -> raise e
+  | exn -> raise (Corrupt (Printf.sprintf "object decode failed: %s" (Printexc.to_string exn)))

@@ -7,6 +7,11 @@
 val write_int : Buffer.t -> int -> unit
 (** 8 bytes, little endian, two's complement. *)
 
+val write_int64 : Buffer.t -> int64 -> unit
+(** Full 64-bit word, little endian — for values (rng states, checksums)
+    where the top bit matters and {!write_int}'s 63-bit round trip would
+    not be exact. *)
+
 val write_float : Buffer.t -> float -> unit
 (** IEEE-754 double bits, 8 bytes little endian. *)
 
@@ -29,6 +34,7 @@ val remaining : reader -> int
     allocating. *)
 
 val read_int : reader -> int
+val read_int64 : reader -> int64
 val read_float : reader -> float
 val read_string : reader -> string
 val read_int_array : reader -> int array
@@ -36,3 +42,8 @@ val read_float_array : reader -> float array
 
 exception Corrupt of string
 (** Raised on truncated input or impossible lengths. *)
+
+val guard_decode : (string -> 'a) -> string -> 'a
+(** Apply a user-supplied codec, converting any exception it raises into
+    {!Corrupt}: a malformed object payload is a corruption mode of the
+    containing snapshot, not a programming error of the caller. *)

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+   used by zlib/gzip/png.  Plain table-driven implementation over OCaml
+   ints — all intermediate values fit in 32 bits, well inside the native
+   int range on 64-bit platforms. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub ?(crc = 0) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then invalid_arg "Crc32.sub";
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string ?crc s = sub ?crc s ~pos:0 ~len:(String.length s)

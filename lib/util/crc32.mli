@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE), pure OCaml.
+
+    The checksum behind the persistence layer's corruption detection:
+    every snapshot envelope and every write-ahead-log record carries the
+    CRC-32 of its payload, verified before anything is decoded.  CRC-32
+    detects all single-bit and single-byte errors and all bursts up to
+    32 bits, which covers the torn-write and bit-rot cases the chaos
+    tests exercise.
+
+    Values are non-negative and fit in 32 bits. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the CRC-32 of [s].  [crc] continues a running checksum:
+    [string ~crc:(string a) b = string (a ^ b)]. *)
+
+val sub : ?crc:int -> string -> pos:int -> len:int -> int
+(** Checksum of a substring, without copying it out.  Raises
+    [Invalid_argument] when the range is out of bounds. *)

@@ -16,6 +16,17 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator starting at [t]'s current state. *)
 
+val state : t -> int64 array
+(** The four xoshiro256** state words, for persistence: a generator
+    restored with {!of_state} continues the exact stream.  Used by the
+    durability layer so that index maintenance replayed from a write-ahead
+    log consumes the same random draws as the original run. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state} output.  Raises [Invalid_argument]
+    unless given exactly four words with at least one non-zero (the
+    all-zero state is a fixed point of xoshiro). *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t].  Streams of
     the parent and child are independent for practical purposes; use it to
