@@ -18,6 +18,7 @@
      robust/faults        (R1)  hardened pipeline under injected faults
      parallel             (P1)  domain-pool scaling, writes BENCH_parallel.json
      persist              (D1)  snapshot/WAL durability cost, writes BENCH_persist.json
+     obs                  (O1)  instrumentation overhead, writes BENCH_obs.json
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
@@ -383,7 +384,7 @@ let ablation_xsmall () =
       let h =
         Dbh.Hierarchical.build ~rng ~family ~db ~analysis ~target_accuracy:0.9 ~pivot_table ()
       in
-      let results = Array.map (fun q -> Dbh.Hierarchical.query h q) queries in
+      let results = Array.map (fun q -> Dbh.Hierarchical.search h q) queries in
       let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results) in
       let hash_cost =
         Stats.mean
@@ -414,7 +415,7 @@ let ablation_levels () =
           ~analysis:prepared.Dbh.Builder.analysis ~target_accuracy:0.9
           ~pivot_table:prepared.Dbh.Builder.pivot_table ~levels:s ()
       in
-      let results = Array.map (fun q -> Dbh.Hierarchical.query h q) queries in
+      let results = Array.map (fun q -> Dbh.Hierarchical.search h q) queries in
       let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results) in
       Printf.printf "  %6d %12.3f %12.1f\n" s acc (mean_index_cost results))
     [ 1; 3; 5; 8 ]
@@ -446,7 +447,7 @@ let ablation_vs_lsh () =
                 setting = Printf.sprintf "target=%.2f" target;
                 run =
                   (fun q ->
-                    let r = Dbh.Index.query index q in
+                    let r = Dbh.Index.search index q in
                     (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
               })
       [ 0.9; 0.95; 0.99 ]
@@ -506,7 +507,7 @@ let ablation_baselines () =
           setting = Printf.sprintf "target=%.2f" target;
           run =
             (fun q ->
-              let r = Dbh.Hierarchical.query h q in
+              let r = Dbh.Hierarchical.search h q in
               (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
         })
       [ 0.9; 0.99 ]
@@ -598,7 +599,7 @@ let ablation_multiprobe () =
   let small = index_of 10 3 in
   let as_method label setting run = { Tradeoff.label; setting; run } in
   let run_index index q =
-    let r = Dbh.Index.query index q in
+    let r = Dbh.Index.search index q in
     (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats)
   in
   let methods =
@@ -650,7 +651,7 @@ let robust_faults () =
       let nns =
         Array.map
           (fun q ->
-            let out = Dbh_robust.Breaker.query breaker q in
+            let out = Dbh_robust.Breaker.search breaker q in
             cost := !cost + Dbh.Index.total_cost out.Dbh_robust.Breaker.result.Dbh.Online.stats;
             out.Dbh_robust.Breaker.result.Dbh.Online.nn)
           queries
@@ -682,7 +683,7 @@ let robust_faults () =
         Array.map
           (fun q ->
             let b = Dbh.Budget.create budget in
-            let r = Dbh.Online.query ~budget:b online q in
+            let r = Dbh.Online.query_with ~budget:b online q in
             cost := !cost + Dbh.Budget.spent b;
             if r.Dbh.Online.truncated then incr truncated;
             r.Dbh.Online.nn)
@@ -743,7 +744,7 @@ let parallel_scaling () =
             (Dbh.Index.family index) collision_sample)
     in
     let results, query_s =
-      seconds (fun () -> Dbh.Index.query_batch ?pool ~budget:400 index queries)
+      seconds (fun () -> Dbh.Index.search_batch ~opts:(Dbh.Query_opts.make ?pool ~budget:400 ()) index queries)
     in
     (index, matrix, results, build_s, collision_s, query_s)
   in
@@ -773,7 +774,7 @@ let parallel_scaling () =
       (List.tl rows)
   in
   let per_query =
-    Array.map (fun q -> Dbh.Index.query ~budget:(Dbh.Budget.create 400) base_index q) queries
+    Array.map (fun q -> Dbh.Index.query_with ~budget:(Dbh.Budget.create 400) base_index q) queries
   in
   let batch_matches = base_results = per_query in
   Printf.printf "  hardware cores: %d\n" cores;
@@ -911,14 +912,14 @@ let persist_section () =
             Array.iter (fun o -> ignore (Durable.insert t_nosync o)) ops)
       in
       Durable.close t_nosync;
-      let results_before = Durable.query_batch t queries in
+      let results_before = Durable.search_batch t queries in
       (* Crash: close without checkpointing, every op lives only in the
          WAL; reopening must replay all of them. *)
       Durable.close t;
       let (t, recovery), replay_s = seconds (fun () -> open_dir dir) in
       if recovery.Durable.replayed_ops <> Array.length ops then
         failwith "persist (D1): WAL replay lost operations";
-      let results_replayed = Durable.query_batch t queries in
+      let results_replayed = Durable.search_batch t queries in
       if results_replayed <> results_before then
         failwith "persist (D1): replayed index diverged from the live instance";
       (* Clean shutdown path: checkpoint folds the WAL into snapshot 2,
@@ -929,7 +930,7 @@ let persist_section () =
       let (t, recovery2), load_s = seconds (fun () -> open_dir dir) in
       if recovery2.Durable.replayed_ops <> 0 then
         failwith "persist (D1): checkpoint left operations in the WAL";
-      let results_loaded = Durable.query_batch t queries in
+      let results_loaded = Durable.search_batch t queries in
       if results_loaded <> results_before then
         failwith "persist (D1): loaded snapshot diverged from the live instance";
       Durable.close t;
@@ -977,6 +978,110 @@ let persist_section () =
       Printf.fprintf oc "}\n";
       close_out oc;
       Printf.printf "  wrote BENCH_persist.json\n")
+
+(* ------------------------------------------------- O1 observability cost *)
+
+(* What the metrics registry costs on the serving path.  The same UNIPEN
+   query sweep runs with no registry installed, with an ambient registry,
+   and (informationally) with a per-query trace recorder; each mode keeps
+   its best-of-rounds wall time so scheduler noise cannot manufacture
+   overhead.  The section fails if the installed-registry sweep is more
+   than 5% slower than the bare one, or if the counters disagree with the
+   per-query stats they summarize.  Numbers land in BENCH_obs.json. *)
+
+let obs_section () =
+  Report.print_heading "obs (O1): instrumentation overhead, metrics on vs off";
+  let rng = Rng.create 90 in
+  let db = pen_set ~rng (sc 1600) in
+  let queries = pen_set ~rng:(Rng.create 91) (sc 200) in
+  let space = Dbh_datasets.Pen_digits.space in
+  let config =
+    { Dbh.Builder.default_config with num_sample_queries = sc 200; db_sample = sc 500 }
+  in
+  let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+  let h =
+    Dbh.Hierarchical.build ~rng ~family:prepared.Dbh.Builder.family ~db
+      ~analysis:prepared.Dbh.Builder.analysis ~target_accuracy:0.9
+      ~pivot_table:prepared.Dbh.Builder.pivot_table ()
+  in
+  let sweep () = Array.map (fun q -> Dbh.Hierarchical.search h q) queries in
+  (* Warm-up: fault in every code path and let the allocator settle. *)
+  ignore (sweep ());
+  let rounds = if quick then 3 else 5 in
+  let best f =
+    let baseline = ref infinity and results = ref [||] in
+    for _ = 1 to rounds do
+      let r, dt = seconds f in
+      if dt < !baseline then baseline := dt;
+      results := r
+    done;
+    (!results, !baseline)
+  in
+  let off_results, off_s = best sweep in
+  let m = Dbh_obs.Metrics.create () in
+  let on_results, on_s = best (fun () -> Dbh_obs.Metrics.with_installed m sweep) in
+  let trace_results, trace_s =
+    best (fun () ->
+        Array.map
+          (fun q ->
+            let trace = Dbh_obs.Trace.create () in
+            Dbh.Hierarchical.search ~opts:(Dbh.Query_opts.make ~trace ()) h q)
+          queries)
+  in
+  (* The instrumented sweeps must answer exactly like the bare one. *)
+  let identical = off_results = on_results && off_results = trace_results in
+  (* Counters are recorded once per completed query from its stats, so the
+     registry total must equal the sum of per-query costs across all
+     [rounds] installed sweeps. *)
+  let reported_cost =
+    rounds
+    * Array.fold_left
+        (fun acc r -> acc + Dbh.Index.total_cost r.Dbh.Index.stats)
+        0 on_results
+  in
+  let counted_cost =
+    Dbh_obs.Registry.counter_value m.Dbh_obs.Metrics.distance_computations_total
+  in
+  let overhead = (on_s -. off_s) /. off_s in
+  let trace_overhead = (trace_s -. off_s) /. off_s in
+  let qps s = float_of_int (Array.length queries) /. s in
+  Printf.printf "  %10s %12s %12s %12s\n" "mode" "sweep(s)" "queries/s" "overhead";
+  Printf.printf "  %10s %12.4f %12.1f %12s\n" "off" off_s (qps off_s) "-";
+  Printf.printf "  %10s %12.4f %12.1f %11.2f%%\n" "metrics" on_s (qps on_s)
+    (100. *. overhead);
+  Printf.printf "  %10s %12.4f %12.1f %11.2f%%\n" "trace" trace_s (qps trace_s)
+    (100. *. trace_overhead);
+  Printf.printf "  results identical across modes: %b\n" identical;
+  Printf.printf "  counter vs reported cost: %d vs %d\n" counted_cost reported_cost;
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+  Printf.fprintf oc
+    "  \"dataset\": { \"db_size\": %d, \"queries\": %d, \"space\": \"unipen-dtw\" },\n"
+    (Array.length db) (Array.length queries);
+  Printf.fprintf oc "  \"rounds\": %d,\n" rounds;
+  Printf.fprintf oc "  \"off_s\": %.6f,\n" off_s;
+  Printf.fprintf oc "  \"metrics_s\": %.6f,\n" on_s;
+  Printf.fprintf oc "  \"trace_s\": %.6f,\n" trace_s;
+  Printf.fprintf oc "  \"metrics_overhead\": %.4f,\n" overhead;
+  Printf.fprintf oc "  \"trace_overhead\": %.4f,\n" trace_overhead;
+  Printf.fprintf oc "  \"results_identical\": %b,\n" identical;
+  Printf.fprintf oc "  \"counter_total\": %d,\n" counted_cost;
+  Printf.fprintf oc "  \"reported_total\": %d,\n" reported_cost;
+  Printf.fprintf oc "  \"overhead_budget\": 0.05\n";
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_obs.json\n";
+  if not identical then
+    failwith "obs (O1): instrumented sweeps returned different answers";
+  if counted_cost <> reported_cost then
+    failwith
+      (Printf.sprintf "obs (O1): counter %d <> reported per-query cost %d" counted_cost
+         reported_cost);
+  if overhead > 0.05 then
+    failwith
+      (Printf.sprintf "obs (O1): metrics overhead %.2f%% exceeds the 5%% budget"
+         (100. *. overhead))
 
 (* ------------------------------------------------- Bechamel micro-benches *)
 
@@ -1032,7 +1137,7 @@ let micro_benchmarks () =
                ignore (Dbh.Hash_family.eval family c i)
              done));
       Test.make ~name:"index-query"
-        (Staged.stage (fun () -> Dbh.Index.query index (pick vecs)));
+        (Staged.stage (fun () -> Dbh.Index.search index (pick vecs)));
     ]
   in
   let grouped = Test.make_grouped ~name:"dbh" ~fmt:"%s/%s" tests in
@@ -1071,6 +1176,7 @@ let sections =
     ("faults", robust_faults);
     ("parallel", parallel_scaling);
     ("persist", persist_section);
+    ("obs", obs_section);
     ("micro", micro_benchmarks);
   ]
 

@@ -7,9 +7,16 @@
      health      report family balance, index structure, model calibration
      render      print ASCII renderings of the synthetic digit images
      stress      query through guard + circuit breaker while injecting faults
+     trace       print one query's full event timeline (pivots, probes, candidates)
      persist     run a durable index in a directory: journaled updates + crash-safe close
      checkpoint  snapshot a durable index directory and truncate its log
-     verify      check snapshot/log files for corruption without opening an index *)
+     verify      check snapshot/log files for corruption without opening an index
+
+   `experiment --metrics` and `stress --metrics` install a Dbh_obs metric
+   set for the run and print its Prometheus exposition afterwards;
+   `experiment --metrics` additionally reconciles the
+   dbh_distance_computations_total counter against the per-query costs
+   the run itself reported and fails on any mismatch. *)
 
 module Rng = Dbh_util.Rng
 module Binio = Dbh_util.Binio
@@ -105,7 +112,7 @@ let run_demo dataset seed db_size num_queries target pivots =
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
   let truth = Ground_truth.compute ~space ~db ~queries () in
-  let results = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let results = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
   let acc =
     Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
   in
@@ -126,12 +133,21 @@ let run_demo dataset seed db_size num_queries target pivots =
 
 (* ------------------------------------------------------------ experiment *)
 
-let run_experiment dataset seed db_size num_queries csv_path domains =
+let sum_reported_cost (s : Dbh_eval.Tradeoff.series) =
+  Array.fold_left
+    (fun acc (p : Dbh_eval.Tradeoff.point) -> acc + p.Dbh_eval.Tradeoff.total_cost)
+    0 s.Dbh_eval.Tradeoff.points
+
+let run_experiment dataset seed db_size num_queries csv_path domains metrics =
   with_domains domains @@ fun pool ->
   let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
   let rng = Rng.create (seed + 2) in
+  let mset = if metrics then Some (Dbh_obs.Metrics.create ()) else None in
+  let run () = Dbh_eval.Figure5.run ?pool ~rng ~dataset ~space ~db ~queries () in
   let result =
-    Dbh_eval.Figure5.run ?pool ~rng ~dataset ~space ~db ~queries ()
+    match mset with
+    | None -> run ()
+    | Some m -> Dbh_obs.Metrics.with_installed m run
   in
   Dbh_eval.Report.print_figure5 result;
   (match csv_path with
@@ -149,7 +165,36 @@ let run_experiment dataset seed db_size num_queries csv_path domains =
       output_string oc csv;
       close_out oc;
       Printf.printf "\nwrote %s\n" path);
-  0
+  match mset with
+  | None -> 0
+  | Some m ->
+      print_newline ();
+      print_string (Dbh_obs.Registry.exposition m.Dbh_obs.Metrics.registry);
+      (* Reconcile the counter with the run's own per-query cost report.
+         Only the DBH methods query through the instrumented entry
+         points — the VP-tree baseline and ground truth never touch
+         them — so the two integers must match exactly, at any domain
+         count. *)
+      let reported =
+        sum_reported_cost result.Dbh_eval.Figure5.single
+        + sum_reported_cost result.Dbh_eval.Figure5.hierarchical
+      in
+      let counted =
+        Dbh_obs.Registry.counter_value m.Dbh_obs.Metrics.distance_computations_total
+      in
+      if counted = reported then begin
+        Printf.printf "\nmetrics check: dbh_distance_computations_total = %d = sum of \
+                       reported per-query costs\n"
+          counted;
+        0
+      end
+      else begin
+        Printf.eprintf
+          "dbh-cli: metrics mismatch: dbh_distance_computations_total = %d but the run \
+           reported %d distance computations\n"
+          counted reported;
+        1
+      end
 
 (* ------------------------------------------------------------------ tune *)
 
@@ -224,8 +269,11 @@ module Breaker = Dbh_robust.Breaker
    breaker should serve phase 1 from the index, trip to the linear-scan
    fallback during phase 2, and recover during phase 3. *)
 let run_stress dataset seed db_size num_queries target nan exn_p negative perturb policy
-    budget domains =
+    budget domains metrics =
   with_domains domains @@ fun pool ->
+  let mset = if metrics then Some (Dbh_obs.Metrics.create ()) else None in
+  let with_mset f = match mset with None -> f () | Some m -> Dbh_obs.Metrics.with_installed m f in
+  with_mset @@ fun () ->
   try
   let (Bundle { space = base; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
   (* Validate the fault mix before spending time building the index. *)
@@ -247,10 +295,12 @@ let run_stress dataset seed db_size num_queries target nan exn_p negative pertur
   let run_phase label =
     let nns = Array.make (Array.length queries) None in
     let linear = ref 0 and truncated = ref 0 and cost = ref 0 in
+    let opts =
+      if budget > 0 then Dbh.Query_opts.budgeted budget else Dbh.Query_opts.default
+    in
     Array.iteri
       (fun i q ->
-        let b = if budget > 0 then Some (Dbh.Budget.create budget) else None in
-        let out = Breaker.query ?budget:b breaker q in
+        let out = Breaker.search ~opts breaker q in
         nns.(i) <- out.Breaker.result.Dbh.Online.nn;
         (match out.Breaker.served_by with `Linear_scan -> incr linear | `Index -> ());
         if out.Breaker.result.Dbh.Online.truncated then incr truncated;
@@ -279,10 +329,58 @@ let run_stress dataset seed db_size num_queries target nan exn_p negative pertur
     (Faulty_space.perturbed faults);
   Printf.printf "index : rebuilds=%d  fallback queries total=%d\n" (Dbh.Online.rebuilds online)
     (Breaker.fallback_queries breaker);
+  (match mset with
+  | None -> ()
+  | Some m ->
+      print_newline ();
+      print_string (Dbh_obs.Registry.exposition m.Dbh_obs.Metrics.registry));
   0
   with Invalid_argument msg ->
     Printf.eprintf "dbh-cli: %s\n" msg;
     1
+
+(* ----------------------------------------------------------------- trace *)
+
+(* Build a hierarchical index, run one query with a trace recorder
+   attached, and print the full event timeline: pivot-distance cache
+   activity, per-table bucket probes, candidate comparisons, level
+   transitions and the end-of-query cost summary. *)
+let run_trace dataset seed db_size target pivots query_index budget =
+  let (Bundle { space; db; queries }) =
+    make_bundle dataset ~seed ~db_size ~num_queries:(max 1 (query_index + 1))
+  in
+  if query_index < 0 || query_index >= Array.length queries then begin
+    Printf.eprintf "dbh-cli: --query must be in [0, %d)\n" (Array.length queries);
+    1
+  end
+  else begin
+    let rng = Rng.create (seed + 2) in
+    let config = builder_config ~pivots ~sample_queries:(min 200 (Array.length db / 2)) in
+    let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
+    let index =
+      Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config ()
+    in
+    let trace = Dbh_obs.Trace.create () in
+    let opts =
+      Dbh.Query_opts.make ?budget:(if budget > 0 then Some budget else None) ~trace ()
+    in
+    let q = queries.(query_index) in
+    let r = Dbh.Hierarchical.search ~opts index q in
+    Printf.printf "dataset=%s  db=%d  space=%s  target=%.2f  query #%d\n" dataset
+      (Array.length db) space.Space.name target query_index;
+    (match r.Dbh.Index.nn with
+    | Some (id, d) -> Printf.printf "answer : id=%d distance=%g\n" id d
+    | None -> print_endline "answer : none (all probed buckets empty)");
+    Printf.printf
+      "cost   : %d distances (%d hash + %d lookup), %d bucket probes, %d/%d levels%s\n\n"
+      (Dbh.Index.total_cost r.Dbh.Index.stats)
+      r.Dbh.Index.stats.Dbh.Index.hash_cost r.Dbh.Index.stats.Dbh.Index.lookup_cost
+      r.Dbh.Index.stats.Dbh.Index.probes r.Dbh.Index.levels_probed
+      (Array.length (Dbh.Hierarchical.levels index))
+      (if r.Dbh.Index.truncated then "  [budget exhausted]" else "");
+    print_string (Format.asprintf "%a" Dbh_obs.Trace.pp trace);
+    0
+  end
 
 (* ---------------------------------------------------------------- render *)
 
@@ -352,7 +450,7 @@ let run_persist dir seed db_size num_ops num_queries domains =
       let queries, _ =
         Dbh_datasets.Vectors.gaussian_mixture ~rng:qrng ~num_clusters:25 ~dim:16 num_queries
       in
-      let results = Durable.query_batch t queries in
+      let results = Durable.search_batch t queries in
       let cost =
         Dbh_util.Stats.mean
           (Array.map
@@ -515,13 +613,20 @@ let demo_cmd =
       const run_demo $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
       $ target_arg $ pivots_arg)
 
+let metrics_arg =
+  let doc =
+    "Install an observability metric set for the run and print its Prometheus text \
+     exposition afterwards."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let experiment_cmd =
   let doc = "run a full accuracy-vs-cost comparison (paper Figure 5 panel)" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
       const run_experiment $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
-      $ csv_arg $ domains_arg)
+      $ csv_arg $ domains_arg $ metrics_arg)
 
 let tune_cmd =
   let doc = "print the offline (k,l) parameter landscape" in
@@ -565,7 +670,19 @@ let stress_cmd =
     Term.(
       const run_stress $ dataset_arg $ seed_arg $ db_size_arg 1000 $ queries_arg 200
       $ target_arg $ nan_arg $ exn_arg $ negative_arg $ perturb_arg $ policy_arg
-      $ budget_arg $ domains_arg)
+      $ budget_arg $ domains_arg $ metrics_arg)
+
+let query_index_arg =
+  let doc = "Index of the (generated) query to trace." in
+  Arg.(value & opt int 0 & info [ "query" ] ~docv:"I" ~doc)
+
+let trace_cmd =
+  let doc = "print one query's full event timeline through a hierarchical index" in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run_trace $ dataset_arg $ seed_arg $ db_size_arg 2000 $ target_arg
+      $ pivots_arg $ query_index_arg $ budget_arg)
 
 let health_cmd =
   let doc = "report hash-family balance, index structure and model calibration" in
@@ -610,8 +727,8 @@ let main_cmd =
   let doc = "distance-based hashing for nearest neighbor retrieval (ICDE 2008)" in
   Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
     [
-      demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; persist_cmd;
-      checkpoint_cmd; verify_cmd;
+      demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; trace_cmd;
+      persist_cmd; checkpoint_cmd; verify_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -79,7 +79,7 @@ let () =
   let prepared = Dbh.Builder.prepare ~rng ~space ~config db in
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.95 ~config () in
   let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
-  let results = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let results = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
   let acc =
     Dbh_eval.Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
   in
@@ -93,7 +93,7 @@ let () =
   (* --- 4. Online updates --------------------------------------------- *)
   let novel = random_program rng 20 in
   let id = Dbh.Hierarchical.insert index novel in
-  (match (Dbh.Hierarchical.query index novel).Dbh.Index.nn with
+  (match (Dbh.Hierarchical.search index novel).Dbh.Index.nn with
   | Some (found, d) when found = id && d = 0. -> print_endline "online insert: retrievable"
   | _ -> print_endline "online insert: NOT retrievable (unexpected)");
   Dbh.Hierarchical.delete index id;
@@ -135,8 +135,8 @@ let () =
   let agree =
     Array.for_all
       (fun q ->
-        (Dbh.Hierarchical.query reloaded q).Dbh.Index.nn
-        = (Dbh.Hierarchical.query index q).Dbh.Index.nn)
+        (Dbh.Hierarchical.search reloaded q).Dbh.Index.nn
+        = (Dbh.Hierarchical.search index q).Dbh.Index.nn)
       (Array.sub queries 0 20)
   in
   Printf.printf "persisted %d bytes; reloaded index agrees on 20 queries: %b\n"

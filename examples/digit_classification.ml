@@ -40,7 +40,7 @@ let () =
 
   (* DBH-accelerated 1-NN classification. *)
   let t0 = Unix.gettimeofday () in
-  let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let answers = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
   let dbh_time = Unix.gettimeofday () -. t0 in
   let dbh_err =
     Dbh_eval.Classification.error_rate ~db_labels ~query_labels

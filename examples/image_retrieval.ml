@@ -25,7 +25,7 @@ let () =
   let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
 
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let answers = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
   let accuracy =
     Dbh_eval.Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) answers)
   in

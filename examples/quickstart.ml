@@ -33,7 +33,7 @@ let () =
   (* 3. Query.  Each result carries the retrieved neighbor and the number
      of distance computations spent (the paper's cost measure). *)
   let truth = Dbh_eval.Ground_truth.compute ~space ~db ~queries () in
-  let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+  let answers = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
   let accuracy =
     Dbh_eval.Ground_truth.accuracy truth
       (Array.map (fun r -> r.Dbh.Index.nn) answers)
@@ -53,7 +53,7 @@ let () =
   (* 4. Indexes are dynamic and persistent. *)
   let new_point = Array.make 16 3.5 in
   let id = Dbh.Hierarchical.insert index new_point in
-  (match (Dbh.Hierarchical.query index new_point).Dbh.Index.nn with
+  (match (Dbh.Hierarchical.search index new_point).Dbh.Index.nn with
   | Some (found, _) when found = id -> Printf.printf "\ninserted object %d is retrievable\n" id
   | _ -> print_endline "\nunexpected: inserted object not found");
   Dbh.Hierarchical.delete index id;
@@ -68,8 +68,8 @@ let () =
   let reloaded = Dbh.Hierarchical.load ~decode ~space ~path in
   Sys.remove path;
   let same =
-    (Dbh.Hierarchical.query reloaded queries.(0)).Dbh.Index.nn
-    = (Dbh.Hierarchical.query index queries.(0)).Dbh.Index.nn
+    (Dbh.Hierarchical.search reloaded queries.(0)).Dbh.Index.nn
+    = (Dbh.Hierarchical.search index queries.(0)).Dbh.Index.nn
   in
   Printf.printf "index saved and reloaded; answers identical: %b\n" same;
 

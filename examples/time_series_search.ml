@@ -33,7 +33,7 @@ let () =
   List.iter
     (fun target ->
       let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:target ~config () in
-      let answers = Array.map (fun q -> Dbh.Hierarchical.query index q) queries in
+      let answers = Array.map (fun q -> Dbh.Hierarchical.search index q) queries in
       let accuracy =
         Dbh_eval.Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) answers)
       in
@@ -49,7 +49,7 @@ let () =
 
   (* Retrieval quality in application terms: 1-NN digit classification. *)
   let index = Dbh.Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.95 ~config () in
-  let answers = Array.map (fun q -> (Dbh.Hierarchical.query index q).Dbh.Index.nn) queries in
+  let answers = Array.map (fun q -> (Dbh.Hierarchical.search index q).Dbh.Index.nn) queries in
   let db_labels = Array.map (fun i -> i.Pen.label) db in
   let query_labels = Array.map (fun q -> q.Pen.label) queries in
   let dbh_err = Dbh_eval.Classification.error_rate ~db_labels ~query_labels answers in

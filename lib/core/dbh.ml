@@ -8,10 +8,14 @@
       let rng = Dbh_util.Rng.create 42 in
       let space = Dbh_space.Space.make ~name:"dtw" my_distance in
       let index = Dbh.Builder.auto ~rng ~space ~target_accuracy:0.95 db in
-      match (Dbh.Hierarchical.query index q).Dbh.Index.nn with
+      match (Dbh.Hierarchical.search index q).Dbh.Index.nn with
       | Some (id, distance) -> ...
       | None -> ...
     ]}
+
+    Queries take their cross-cutting options — distance budget, domain
+    pool, metrics, trace — through one {!Query_opts.t} record passed to
+    the [search]/[search_batch] entry points.
 
     Module map (paper reference in parentheses):
 
@@ -24,6 +28,8 @@
     - {!Params}: optimal (k, l) search (Sec. IV-D)
     - {!Store}: dynamic object store shared between indexes
     - {!Budget}: per-query distance-computation budgets
+    - {!Query_opts}: the one-record query options (budget, pool,
+      metrics, trace)
     - {!Index}: single-level index — build, NN / k-NN / range /
       multi-probe / budgeted queries, insert/delete, save/load
     - {!Hierarchical}: the s-level cascade (Sec. V-A)
@@ -39,6 +45,7 @@ module Analysis = Analysis
 module Params = Params
 module Store = Store
 module Budget = Budget
+module Query_opts = Query_opts
 module Index = Index
 module Hierarchical = Hierarchical
 module Builder = Builder

@@ -183,19 +183,21 @@ type 'a cache = {
   obj : 'a;
   dists : float array;  (* nan = not yet computed *)
   mutable misses : int;
+  mutable hits : int;
   budget : Budget.t option;  (* charged before each uncached distance *)
+  trace : Dbh_obs.Trace.t option;
 }
 
-let cache t obj = { obj; dists = Array.make (num_pivots t) nan; misses = 0; budget = None }
+let cache ?budget ?trace t obj =
+  { obj; dists = Array.make (num_pivots t) nan; misses = 0; hits = 0; budget; trace }
 
-let cache_budgeted t ~budget obj =
-  { obj; dists = Array.make (num_pivots t) nan; misses = 0; budget = Some budget }
+let cache_budgeted t ~budget obj = cache ~budget t obj
 
 let cache_with_distances t obj dists =
   if Array.length dists <> num_pivots t then
     invalid_arg "Hash_family.cache_with_distances: wrong number of distances";
   (* The row is only read (no nan entries), so sharing it is safe. *)
-  { obj; dists; misses = 0; budget = None }
+  { obj; dists; misses = 0; hits = 0; budget = None; trace = None }
 
 let pivot_table ?pool t objs =
   let row obj = Array.map (fun p -> t.space.Space.distance obj p) t.pivots in
@@ -204,6 +206,7 @@ let pivot_table ?pool t objs =
   | Some pool -> Dbh_util.Pool.parallel_map_array pool row objs
 
 let cache_cost c = c.misses
+let cache_hits c = c.hits
 
 let pivot_distance t c i =
   let d = c.dists.(i) in
@@ -212,9 +215,18 @@ let pivot_distance t c i =
     let d = t.space.Space.distance c.obj t.pivots.(i) in
     c.dists.(i) <- d;
     c.misses <- c.misses + 1;
+    (match c.trace with
+    | Some tr -> Dbh_obs.Trace.record tr (Dbh_obs.Trace.Pivot_miss { pivot = i })
+    | None -> ());
     d
   end
-  else d
+  else begin
+    c.hits <- c.hits + 1;
+    (match c.trace with
+    | Some tr -> Dbh_obs.Trace.record tr (Dbh_obs.Trace.Pivot_hit { pivot = i })
+    | None -> ());
+    d
+  end
 
 let project t c i =
   let f = t.fns.(i) in

@@ -89,14 +89,20 @@ type 'a cache
 (** Per-object memo of distances to pivots.  The number of distances
     actually computed is the realized hashing cost for that object. *)
 
-val cache : 'a t -> 'a -> 'a cache
+val cache : ?budget:Budget.t -> ?trace:Dbh_obs.Trace.t -> 'a t -> 'a -> 'a cache
+(** [budget] makes [Budget.charge budget] run before every uncached
+    pivot distance, so hashing stops (with [Budget.Exhausted]) the
+    moment the budget runs out — partial hashing never overshoots.
+    [trace] records a [Pivot_miss]/[Pivot_hit] event per lookup. *)
+
 val cache_cost : 'a cache -> int
 (** Distinct pivot distances computed through this cache so far. *)
 
+val cache_hits : 'a cache -> int
+(** Pivot-distance lookups served from the cache (no distance paid). *)
+
 val cache_budgeted : 'a t -> budget:Budget.t -> 'a -> 'a cache
-(** Like {!cache}, but [Budget.charge budget] is called before every
-    uncached pivot distance, so hashing stops (with [Budget.Exhausted])
-    the moment the budget runs out — partial hashing never overshoots. *)
+(** [cache_budgeted t ~budget obj] is [cache ~budget t obj]. *)
 
 val pivot_distance : 'a t -> 'a cache -> int -> float
 (** Distance from the cached object to pivot [i], memoized. *)

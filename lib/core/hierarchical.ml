@@ -90,44 +90,72 @@ let build ?pool ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(level
   in
   { store; family; levels = level_array }
 
-let query_verbose ?budget t q =
+(* The cascade query core.  The budget is charged before every distance
+   evaluation — pivot distances through the shared cache and candidate
+   comparisons here — so exhaustion mid-cascade stops cleanly with the
+   best answer the paid-for computations found.  Trace events and the
+   end-of-query metrics recording follow the same conventions as
+   [Index.query_with]; this entry point records the query (not the
+   per-level indexes), so cascaded queries count once. *)
+let query_with ?budget ?metrics ?trace t q =
+  let metrics = Dbh_obs.Metrics.resolve metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
+  (match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr
+        (Dbh_obs.Trace.Query_start
+           { kind = Printf.sprintf "hierarchical(%d levels)" (Array.length t.levels) })
+  | None -> ());
   let space = Hash_family.space t.family in
-  let cache =
-    match budget with
-    | None -> Hash_family.cache t.family q
-    | Some b -> Hash_family.cache_budgeted t.family ~budget:b q
-  in
+  let cache = Hash_family.cache ?budget ?trace t.family q in
   let seen = Bytes.make (Store.length t.store) '\000' in
   let best = ref None in
   let lookup = ref 0 in
   let probes = ref 0 in
   let levels_probed = ref 0 in
-  (* The budget is charged before every distance evaluation — pivot
-     distances through the shared cache and candidate comparisons here —
-     so exhaustion mid-cascade stops cleanly with the best answer the
-     paid-for computations found. *)
   (try
-     Array.iter
-       (fun lev ->
+     Array.iteri
+       (fun li lev ->
          incr levels_probed;
+         (match trace with
+         | Some tr ->
+             Dbh_obs.Trace.record tr
+               (Dbh_obs.Trace.Level_enter { level = li; threshold = lev.info.d_threshold })
+         | None -> ());
          probes := !probes + Index.l lev.index;
-         let fresh = Index.candidates_into lev.index cache ~seen in
+         let fresh = Index.candidates_into ?trace ~level:li lev.index cache ~seen in
          List.iter
            (fun id ->
              (match budget with Some b -> Budget.charge b | None -> ());
              incr lookup;
              let d = space.Space.distance q (Store.get t.store id) in
-             match !best with
-             | Some (_, bd) when bd <= d -> ()
-             | _ -> best := Some (id, d))
+             let improved = match !best with Some (_, bd) -> d < bd | None -> true in
+             (match trace with
+             | Some tr ->
+                 Dbh_obs.Trace.record tr
+                   (Dbh_obs.Trace.Candidate { id; distance = d; improved })
+             | None -> ());
+             if improved then best := Some (id, d))
            fresh;
          match !best with
-         | Some (_, bd) when bd <= lev.info.d_threshold -> raise Exit
+         | Some (_, bd) when bd <= lev.info.d_threshold ->
+             (match trace with
+             | Some tr ->
+                 Dbh_obs.Trace.record tr
+                   (Dbh_obs.Trace.Level_settled { level = li; best = bd })
+             | None -> ());
+             raise Exit
          | _ -> ())
        t.levels
    with
   | Exit -> ()
-  | Budget.Exhausted -> ());
+  | Budget.Exhausted ->
+      (match trace with
+      | Some tr ->
+          Dbh_obs.Trace.record tr
+            (Dbh_obs.Trace.Budget_exhausted
+               { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
+      | None -> ()));
   let stats =
     {
       Index.hash_cost = Hash_family.cache_cost cache;
@@ -136,18 +164,47 @@ let query_verbose ?budget t q =
     }
   in
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
-  ({ Index.nn = !best; stats; truncated }, !levels_probed)
-
-let query ?budget t q = fst (query_verbose ?budget t q)
-
-let query_batch ?pool ?budget t qs =
-  let run q =
-    let budget = Option.map Budget.create budget in
-    query ?budget t q
+  (match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr
+        (Dbh_obs.Trace.Query_done
+           {
+             hash_cost = stats.Index.hash_cost;
+             lookup_cost = stats.Index.lookup_cost;
+             probes = stats.Index.probes;
+             levels_probed = !levels_probed;
+             truncated;
+           })
+  | None -> ());
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  match pool with
+  Index.observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
+    ~truncated ~levels_probed:!levels_probed ();
+  { Index.nn = !best; stats; truncated; levels_probed = !levels_probed }
+
+let search ?(opts = Query_opts.default) t q =
+  let budget = Option.map Budget.create opts.Query_opts.budget in
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+
+let search_batch ?(opts = Query_opts.default) t qs =
+  let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let run q =
+    let budget = Option.map Budget.create opts.Query_opts.budget in
+    query_with ?budget ?metrics t q
+  in
+  match opts.Query_opts.pool with
   | None -> Array.map run qs
   | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
+
+let query ?budget t q = query_with ?budget t q
+
+let query_batch ?pool ?budget t qs =
+  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
+
+let query_verbose ?budget t q =
+  let r = query_with ?budget t q in
+  (r, r.Index.levels_probed)
 
 let insert t obj =
   let id = Store.add t.store obj in

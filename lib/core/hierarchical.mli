@@ -55,24 +55,40 @@ val indexes : 'a t -> 'a Index.t array
 (** The per-level single-level indexes, in cascade order (shared with the
     cascade — do not mutate through both views concurrently). *)
 
-val query : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result
+val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a Index.result
 (** Cascaded retrieval.  Stats aggregate across probed levels: hash cost
     counts distinct pivots overall (the family cache is shared), lookup
     cost counts distinct candidates overall (candidates reappearing in
-    later levels are not recharged).
+    later levels are not recharged).  The result's
+    [Index.levels_probed] reports how deep the cascade went.
 
-    [budget] caps total distance computations across the whole cascade
-    (charged before each evaluation, so never exceeded); on exhaustion
-    the result is best-so-far with [truncated = true]. *)
+    [opts.budget] caps total distance computations across the whole
+    cascade (charged before each evaluation, so never exceeded); on
+    exhaustion the result is best-so-far with [truncated = true].
+    [opts.metrics]/[opts.trace] instrument the query — the cascade
+    records once (per query, not per level); [opts.pool] is ignored. *)
+
+val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a Index.result array
+(** One cascaded {!search} per element, in input order, each under its
+    own fresh budget of [opts.budget] distance computations — semantics
+    identical to the per-query calls.  [opts.pool] fans the queries
+    across domains; [opts.trace] is ignored (traces are single-domain
+    by design). *)
+
+val query : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result
+  [@@ocaml.deprecated "use Hierarchical.search (with Query_opts) instead"]
+(** @deprecated Use {!search}. *)
 
 val query_batch :
   ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a Index.result array
-(** One cascaded {!query} per element, in input order, each under its own
-    fresh budget of [budget] distance computations — semantics identical
-    to the per-query calls.  [pool] fans the queries across domains. *)
+  [@@ocaml.deprecated "use Hierarchical.search_batch (with Query_opts) instead"]
+(** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
 
 val query_verbose : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result * int
-(** Like {!query}, also returning how many levels were probed. *)
+  [@@ocaml.deprecated
+    "use Hierarchical.search; the result's levels_probed field carries the level count"]
+(** @deprecated The level count now lives in [Index.result.levels_probed];
+    this returns [(r, r.levels_probed)]. *)
 
 (** {1 Dynamic updates} *)
 
@@ -103,3 +119,16 @@ val save : encode:('a -> string) -> path:string -> 'a t -> unit
 val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string -> 'a t
 (** Envelope-verified load — raises [Dbh_util.Binio.Corrupt] on any
     corruption, like {!Index.load}. *)
+
+(**/**)
+
+(* Cascade query core taking a caller-managed Budget.t plus explicit
+   observability hooks — what the deprecated wrappers, Online and the
+   robust layer build on without touching the deprecated surface. *)
+val query_with :
+  ?budget:Budget.t ->
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  'a t ->
+  'a ->
+  'a Index.result

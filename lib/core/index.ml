@@ -21,7 +21,32 @@ type 'a result = {
   nn : (int * float) option;
   stats : stats;
   truncated : bool;
+  levels_probed : int;
 }
+
+(* One metrics recording per completed query, from the query's own
+   stats — never from raw distance calls — so the counters are logical:
+   dbh_distance_computations_total is exactly the sum of per-query
+   total_cost, whatever the domain count, and build/baseline distances
+   never leak in.  Shared by every serving entry point (single-level,
+   cascade, breaker fallback). *)
+let observe_query ?metrics ?seconds ?(cache_hits = 0) ~(stats : stats) ~truncated
+    ~levels_probed () =
+  match Dbh_obs.Metrics.resolve metrics with
+  | None -> ()
+  | Some m ->
+      let module R = Dbh_obs.Registry in
+      R.inc m.Dbh_obs.Metrics.queries_total;
+      if truncated then R.inc m.Dbh_obs.Metrics.queries_truncated_total;
+      R.add m.Dbh_obs.Metrics.distance_computations_total (total_cost stats);
+      R.add m.Dbh_obs.Metrics.hash_distance_computations_total stats.hash_cost;
+      R.add m.Dbh_obs.Metrics.lookup_distance_computations_total stats.lookup_cost;
+      R.add m.Dbh_obs.Metrics.bucket_probes_total stats.probes;
+      R.add m.Dbh_obs.Metrics.levels_probed_total levels_probed;
+      R.add m.Dbh_obs.Metrics.pivot_cache_misses_total stats.hash_cost;
+      R.add m.Dbh_obs.Metrics.pivot_cache_hits_total cache_hits;
+      R.observe m.Dbh_obs.Metrics.query_cost (float_of_int (total_cost stats));
+      (match seconds with Some s -> R.observe m.Dbh_obs.Metrics.query_seconds s | None -> ())
 
 type 'a t = {
   family : 'a Hash_family.t;
@@ -149,7 +174,7 @@ let collect_bucket t ~seen bucket fresh =
       end)
     bucket
 
-let candidates_into t cache ~seen =
+let candidates_into ?trace ?(level = 0) t cache ~seen =
   if Bytes.length seen <> Store.length t.store then
     invalid_arg "Index.candidates_into: seen mask has wrong length";
   let bit_of = bits_of_cache t cache in
@@ -157,17 +182,36 @@ let candidates_into t cache ~seen =
   for row = 0 to t.l - 1 do
     let key = key_of_row t.fn_ids bit_of row in
     match Hashtbl.find_opt t.tables.(row) key with
-    | None -> ()
-    | Some bucket -> collect_bucket t ~seen bucket fresh
+    | None ->
+        (match trace with
+        | Some tr ->
+            Dbh_obs.Trace.record tr
+              (Dbh_obs.Trace.Bucket_probe { level; table = row; key; found = 0 })
+        | None -> ())
+    | Some bucket ->
+        (match trace with
+        | Some tr ->
+            Dbh_obs.Trace.record tr
+              (Dbh_obs.Trace.Bucket_probe
+                 { level; table = row; key; found = List.length bucket })
+        | None -> ());
+        collect_bucket t ~seen bucket fresh
   done;
   !fresh
 
-let with_candidates t q f =
-  let cache = Hash_family.cache t.family q in
+let with_candidates ?metrics ?trace t q f =
+  let metrics = Dbh_obs.Metrics.resolve metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
+  let cache = Hash_family.cache ?trace t.family q in
   let seen = Bytes.make (Store.length t.store) '\000' in
   let candidates = candidates_into t cache ~seen in
   let value, lookup_cost = f candidates in
   let stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost; probes = t.l } in
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
+  in
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
+    ~truncated:false ~levels_probed:1 ();
   (value, stats)
 
 let best_of_candidates t q candidates =
@@ -192,12 +236,18 @@ let best_of_candidates t q candidates =
    is charged before every distance evaluation — both pivot distances
    inside the hash cache and candidate comparisons here — so the spend
    never exceeds the limit. *)
-let query ?budget t q =
-  let cache =
-    match budget with
-    | None -> Hash_family.cache t.family q
-    | Some b -> Hash_family.cache_budgeted t.family ~budget:b q
-  in
+(* The single-level query core.  Trace events are recorded only behind a
+   [match] on the trace option, so the untraced path allocates nothing
+   for them; metrics are recorded once at the end from the final stats. *)
+let query_with ?budget ?metrics ?trace t q =
+  let metrics = Dbh_obs.Metrics.resolve metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
+  (match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr
+        (Dbh_obs.Trace.Query_start { kind = Printf.sprintf "index(k=%d,l=%d)" t.k t.l })
+  | None -> ());
+  let cache = Hash_family.cache ?budget ?trace t.family q in
   let space = Hash_family.space t.family in
   let seen = Bytes.make (Store.length t.store) '\000' in
   let best = ref None in
@@ -209,8 +259,19 @@ let query ?budget t q =
        incr probes;
        let key = key_of_row t.fn_ids bit_of row in
        match Hashtbl.find_opt t.tables.(row) key with
-       | None -> ()
+       | None ->
+           (match trace with
+           | Some tr ->
+               Dbh_obs.Trace.record tr
+                 (Dbh_obs.Trace.Bucket_probe { level = 0; table = row; key; found = 0 })
+           | None -> ())
        | Some bucket ->
+           (match trace with
+           | Some tr ->
+               Dbh_obs.Trace.record tr
+                 (Dbh_obs.Trace.Bucket_probe
+                    { level = 0; table = row; key; found = List.length bucket })
+           | None -> ());
            List.iter
              (fun id ->
                if Store.is_alive t.store id && Bytes.get seen id = '\000' then begin
@@ -218,37 +279,77 @@ let query ?budget t q =
                  (match budget with Some b -> Budget.charge b | None -> ());
                  incr lookup;
                  let d = space.Space.distance q (Store.get t.store id) in
-                 match !best with
-                 | Some (_, bd) when bd <= d -> ()
-                 | _ -> best := Some (id, d)
+                 let improved =
+                   match !best with Some (_, bd) -> d < bd | None -> true
+                 in
+                 (match trace with
+                 | Some tr ->
+                     Dbh_obs.Trace.record tr
+                       (Dbh_obs.Trace.Candidate { id; distance = d; improved })
+                 | None -> ());
+                 if improved then best := Some (id, d)
                end)
              bucket
      done
-   with Budget.Exhausted -> ());
+   with Budget.Exhausted ->
+     (match trace with
+     | Some tr ->
+         Dbh_obs.Trace.record tr
+           (Dbh_obs.Trace.Budget_exhausted
+              { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
+     | None -> ()));
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
-  {
-    nn = !best;
-    stats =
-      { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes };
-    truncated;
-  }
+  let stats =
+    { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes }
+  in
+  (match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr
+        (Dbh_obs.Trace.Query_done
+           {
+             hash_cost = stats.hash_cost;
+             lookup_cost = stats.lookup_cost;
+             probes = stats.probes;
+             levels_probed = 1;
+             truncated;
+           })
+  | None -> ());
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
+  in
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
+    ~truncated ~levels_probed:1 ();
+  { nn = !best; stats; truncated; levels_probed = 1 }
+
+let search ?(opts = Query_opts.default) t q =
+  let budget = Option.map Budget.create opts.Query_opts.budget in
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
 
 (* Queries only read the index (tables, store, family) and every query
    allocates its own cache, seen mask and budget, so a batch fans out
-   with no shared mutable state beyond the atomic distance counters. *)
-let query_batch ?pool ?budget t qs =
+   with no shared mutable state beyond the atomic counters.  The metric
+   set is resolved once up front and shared — its counters are atomic —
+   while opts.trace is ignored: traces are single-domain by design. *)
+let search_batch ?(opts = Query_opts.default) t qs =
+  let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
   let run q =
-    let budget = Option.map Budget.create budget in
-    query ?budget t q
+    let budget = Option.map Budget.create opts.Query_opts.budget in
+    query_with ?budget ?metrics t q
   in
-  match pool with
+  match opts.Query_opts.pool with
   | None -> Array.map run qs
   | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
 
-let query_knn t m q =
+let query ?budget t q = query_with ?budget t q
+
+let query_batch ?pool ?budget t qs =
+  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
+
+let query_knn ?(opts = Query_opts.default) t m q =
   if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";
   let space = Hash_family.space t.family in
-  with_candidates t q (fun candidates ->
+  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+    (fun candidates ->
       let heap = Dbh_util.Bounded_heap.create m in
       let count = ref 0 in
       List.iter
@@ -262,10 +363,11 @@ let query_knn t m q =
       in
       (Array.of_list sorted, !count))
 
-let query_range t radius q =
+let query_range ?(opts = Query_opts.default) t radius q =
   if radius < 0. then invalid_arg "Index.query_range: negative radius";
   let space = Hash_family.space t.family in
-  with_candidates t q (fun candidates ->
+  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+    (fun candidates ->
       let hits = ref [] in
       let count = ref 0 in
       List.iter
@@ -298,9 +400,11 @@ let probe_masks t cache row probes =
   let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !flips in
   List.filteri (fun i _ -> i < probes) sorted |> List.map snd
 
-let query_multiprobe t ~probes q =
+let query_multiprobe ?(opts = Query_opts.default) t ~probes q =
   if probes < 0 then invalid_arg "Index.query_multiprobe: negative probes";
-  let cache = Hash_family.cache t.family q in
+  let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
+  let cache = Hash_family.cache ?trace:opts.Query_opts.trace t.family q in
   let seen = Bytes.make (Store.length t.store) '\000' in
   let bit_of = bits_of_cache t cache in
   let fresh = ref [] in
@@ -317,15 +421,21 @@ let query_multiprobe t ~probes q =
       keys
   done;
   let nn, lookup = best_of_candidates t q !fresh in
-  {
-    nn;
-    stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = !probe_count };
-    truncated = false;
-  }
+  let stats =
+    { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = !probe_count }
+  in
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
+  in
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
+    ~truncated:false ~levels_probed:1 ();
+  { nn; stats; truncated = false; levels_probed = 1 }
 
-let query_budgeted t ~max_candidates q =
+let query_budgeted ?(opts = Query_opts.default) t ~max_candidates q =
   if max_candidates < 1 then invalid_arg "Index.query_budgeted: budget must be >= 1";
-  let cache = Hash_family.cache t.family q in
+  let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
+  let cache = Hash_family.cache ?trace:opts.Query_opts.trace t.family q in
   let bit_of = bits_of_cache t cache in
   (* Count, per candidate, the number of tables it collides in. *)
   let counts = Hashtbl.create 64 in
@@ -348,11 +458,15 @@ let query_budgeted t ~max_candidates q =
   in
   let chosen = List.filteri (fun i _ -> i < max_candidates) ranked |> List.map snd in
   let nn, lookup = best_of_candidates t q chosen in
-  {
-    nn;
-    stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = t.l };
-    truncated = false;
-  }
+  let stats =
+    { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = t.l }
+  in
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
+  in
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
+    ~truncated:false ~levels_probed:1 ();
+  { nn; stats; truncated = false; levels_probed = 1 }
 
 (* -------------------------------------------------------------- updates *)
 

@@ -34,6 +34,10 @@ type 'a result = {
       (** [true] exactly when a distance budget ran out before the query
           completed — [nn] is then the best answer the paid-for
           computations could certify.  Always [false] without a budget. *)
+  levels_probed : int;
+      (** Cascade levels this query went through: always [1] for a
+          single-level index; the hierarchical index reports how deep
+          the cascade actually probed. *)
 }
 
 type 'a t
@@ -87,50 +91,76 @@ val bucket_count : 'a t -> int
 val largest_bucket : 'a t -> int
 (** Size of the fullest bucket (diagnostic for balance). *)
 
-(** {1 Queries} *)
+(** {1 Queries}
 
-val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+    The canonical entry points are {!search} and {!search_batch},
+    driven by one {!Query_opts.t} record (budget, pool, metrics,
+    trace).  The pre-[Query_opts] spellings remain as thin deprecated
+    wrappers.
+
+    When a metric set is reachable (explicit [opts.metrics] or an
+    installed ambient set), every completed query records its logical
+    cost — see {!Dbh_obs.Metrics}; with [opts.trace] the query also
+    records its full event timeline. *)
+
+val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
 (** Approximate nearest neighbor of a query object.
 
-    [budget] caps the total distance computations (hashing + candidate
-    comparisons) this query may spend.  The budget is charged before
-    every evaluation, so the cap is never exceeded; when it runs out the
-    result carries the best candidate found so far and
-    [truncated = true].  Budgets are single-use per query in the common
-    case, but sharing one across several queries gives a query-batch
-    pool. *)
+    [opts.budget] caps the total distance computations (hashing +
+    candidate comparisons) this query may spend.  The budget is charged
+    before every evaluation, so the cap is never exceeded; when it runs
+    out the result carries the best candidate found so far and
+    [truncated = true].  [opts.pool] is ignored (single query). *)
+
+val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
+(** One {!search} per element, in input order.  [opts.budget] caps the
+    distance computations of {e each} query separately (a fresh budget
+    per query), so batched results — answers, stats, truncation flags —
+    are exactly what the same per-query calls would return.
+    [opts.pool] fans the queries across domains; queries only read the
+    index, so the batch is safe and the results identical to the
+    sequential run.  [opts.trace] is ignored: traces are single-domain
+    by design. *)
+
+val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+  [@@ocaml.deprecated "use Index.search (with Query_opts) instead"]
+(** @deprecated Use {!search}; [query ~budget t q] is
+    [search ~opts:(Query_opts.make ...)] with a caller-managed
+    [Budget.t] (sharing one budget across queries gives a query-batch
+    pool — with {!search} each query draws a fresh budget). *)
 
 val query_batch :
   ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
-(** One {!query} per element, in input order.  [budget] caps the distance
-    computations of {e each} query separately (a fresh [Budget.t] per
-    query), so batched results — answers, stats, truncation flags — are
-    exactly what the same per-query calls would return.  [pool] fans the
-    queries across domains; queries only read the index, so the batch is
-    safe and the results identical to the sequential run. *)
+  [@@ocaml.deprecated "use Index.search_batch (with Query_opts) instead"]
+(** @deprecated Use {!search_batch} with
+    [Query_opts.make ?pool ?budget ()]. *)
 
-val query_knn : 'a t -> int -> 'a -> (int * float) array * stats
+val query_knn : ?opts:Query_opts.t -> 'a t -> int -> 'a -> (int * float) array * stats
 (** [query_knn t m q]: the [m] best candidates (sorted by distance) from
-    the colliding buckets; may return fewer when buckets are sparse. *)
+    the colliding buckets; may return fewer when buckets are sparse.
+    Only [opts.metrics]/[opts.trace] apply (this path has no budget or
+    batch machinery). *)
 
-val query_range : 'a t -> float -> 'a -> (int * float) list * stats
+val query_range : ?opts:Query_opts.t -> 'a t -> float -> 'a -> (int * float) list * stats
 (** Candidates within the given distance of the query (the near-neighbor
-    flavour of Section III), sorted by distance. *)
+    flavour of Section III), sorted by distance.  Options as in
+    {!query_knn}. *)
 
-val query_multiprobe : 'a t -> probes:int -> 'a -> 'a result
+val query_multiprobe : ?opts:Query_opts.t -> 'a t -> probes:int -> 'a -> 'a result
 (** Multi-probe retrieval (in the spirit of Lv et al., cited as [11] in
     the paper): besides the query's own bucket, each table also probes
     the [probes] buckets obtained by flipping the lowest-margin bits —
     the binary functions whose projection value falls closest to a
     threshold.  Recovers recall comparable to a larger [l] without
-    building more tables; hashing cost is unchanged. *)
+    building more tables; hashing cost is unchanged.  Options as in
+    {!query_knn}. *)
 
-val query_budgeted : 'a t -> max_candidates:int -> 'a -> 'a result
-(** Like {!query}, but evaluates exact distances for at most
+val query_budgeted : ?opts:Query_opts.t -> 'a t -> max_candidates:int -> 'a -> 'a result
+(** Like {!search}, but evaluates exact distances for at most
     [max_candidates] candidates, preferring those that collide in the
     most tables (higher empirical collision rate ⇒ higher model
     probability of being the nearest neighbor).  Caps the lookup cost at
-    a known constant per query. *)
+    a known constant per query.  Options as in {!query_knn}. *)
 
 (** {1 Dynamic updates} *)
 
@@ -150,11 +180,18 @@ val delete : 'a t -> int -> unit
 
 (** {1 Plumbing shared with the hierarchical index} *)
 
-val candidates_into : 'a t -> 'a Hash_family.cache -> seen:Bytes.t -> int list
+val candidates_into :
+  ?trace:Dbh_obs.Trace.t ->
+  ?level:int ->
+  'a t ->
+  'a Hash_family.cache ->
+  seen:Bytes.t ->
+  int list
 (** Fresh alive candidate ids from this index's buckets: ids whose [seen]
     byte is unset; each is marked as seen.  [seen] must have the store
     length.  Exposed so multi-index schemes can share the candidate dedup
-    across indexes. *)
+    across indexes.  [trace] records one [Bucket_probe] per table,
+    tagged with [level] (default 0). *)
 
 (** {1 Persistence}
 
@@ -185,6 +222,29 @@ val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string ->
     returns a partially-read index. *)
 
 (**/**)
+
+(* Query plumbing shared with Hierarchical, Online and the robust layer:
+   the core query taking a caller-managed Budget.t plus explicit
+   observability hooks (what the deprecated wrappers and the layered
+   search functions are built from), and the one-stop metrics recording
+   for a completed query. *)
+val query_with :
+  ?budget:Budget.t ->
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  'a t ->
+  'a ->
+  'a result
+
+val observe_query :
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?seconds:float ->
+  ?cache_hits:int ->
+  stats:stats ->
+  truncated:bool ->
+  levels_probed:int ->
+  unit ->
+  unit
 
 (* Plumbing for composite indexes' persistence (used by Hierarchical):
    table structure without the family and store. *)

@@ -5,6 +5,7 @@ type 'a result = {
   nn : (int * float) option;
   stats : Index.stats;
   truncated : bool;
+  levels_probed : int;
 }
 
 type 'a t = {
@@ -93,9 +94,15 @@ let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor
     rebuild_count = 0;
   }
 
+let record_counter pick =
+  match Dbh_obs.Metrics.get () with
+  | None -> ()
+  | Some m -> Dbh_obs.Registry.inc (pick m)
+
 let rebuild_now t =
   rebuild t;
-  t.rebuild_count <- t.rebuild_count + 1
+  t.rebuild_count <- t.rebuild_count + 1;
+  record_counter (fun m -> m.Dbh_obs.Metrics.online_rebuilds_total)
 
 let maybe_rebuild t =
   let alive = size t in
@@ -103,7 +110,8 @@ let maybe_rebuild t =
   let lo = float_of_int t.built_size /. t.rebuild_factor in
   if float_of_int alive >= hi || float_of_int alive <= lo then begin
     rebuild t;
-    t.rebuild_count <- t.rebuild_count + 1
+    t.rebuild_count <- t.rebuild_count + 1;
+    record_counter (fun m -> m.Dbh_obs.Metrics.online_rebuilds_total)
   end
 
 let insert t obj =
@@ -111,6 +119,7 @@ let insert t obj =
   let internal = Hierarchical.insert t.index obj in
   ignore (Vec.push t.external_of_internal handle);
   Hashtbl.replace t.internal_of_external handle internal;
+  record_counter (fun m -> m.Dbh_obs.Metrics.online_inserts_total);
   maybe_rebuild t;
   handle
 
@@ -122,32 +131,50 @@ let delete t handle =
     (match Hashtbl.find_opt t.internal_of_external handle with
     | Some internal -> Hierarchical.delete t.index internal
     | None -> ());
+    record_counter (fun m -> m.Dbh_obs.Metrics.online_deletes_total);
     maybe_rebuild t
   end
 
-let query ?budget t q =
-  let r = Hierarchical.query ?budget t.index q in
+let translate t (r : 'a Index.result) =
   let nn =
     Option.map
       (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
       r.Index.nn
   in
-  { nn; stats = r.Index.stats; truncated = r.Index.truncated }
+  {
+    nn;
+    stats = r.Index.stats;
+    truncated = r.Index.truncated;
+    levels_probed = r.Index.levels_probed;
+  }
 
-let query_batch ?pool ?budget t qs =
-  let pool = match pool with Some _ -> pool | None -> t.pool in
+let query_with ?budget ?metrics ?trace t q =
+  translate t (Hierarchical.query_with ?budget ?metrics ?trace t.index q)
+
+let search ?(opts = Query_opts.default) t q =
+  let budget = Option.map Budget.create opts.Query_opts.budget in
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+
+let search_batch ?(opts = Query_opts.default) t qs =
+  let pool = match opts.Query_opts.pool with Some _ as p -> p | None -> t.pool in
+  let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let run q =
+    let budget = Option.map Budget.create opts.Query_opts.budget in
+    Hierarchical.query_with ?budget ?metrics t.index q
+  in
   (* Handle translation reads generation state that only updates mutate,
      so a pure query batch is safe to fan out. *)
-  let results = Hierarchical.query_batch ?pool ?budget t.index qs in
-  Array.map
-    (fun (r : 'a Index.result) ->
-      let nn =
-        Option.map
-          (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
-          r.Index.nn
-      in
-      { nn; stats = r.Index.stats; truncated = r.Index.truncated })
-    results
+  let results =
+    match pool with
+    | None -> Array.map run qs
+    | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
+  in
+  Array.map (translate t) results
+
+let query ?budget t q = query_with ?budget t q
+
+let query_batch ?pool ?budget t qs =
+  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
 
 (* ------------------------------------------------------------ durability *)
 
@@ -353,8 +380,27 @@ module Durable = struct
       (fun g -> if g < gen - 1 then Layout.remove_if_exists (Layout.wal_path ~dir:t.dir g))
       (Layout.wal_generations ~dir:t.dir)
 
-  let checkpoint ?kill t =
+  let file_size path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> in_channel_length ic)
+
+  let observe_checkpoint ?trace ~gen ~seconds t =
+    (match Dbh_obs.Metrics.get () with
+    | None -> ()
+    | Some m ->
+        Dbh_obs.Registry.inc m.Dbh_obs.Metrics.checkpoints_total;
+        Dbh_obs.Registry.observe m.Dbh_obs.Metrics.checkpoint_seconds seconds;
+        (match file_size (Layout.snapshot_path ~dir:t.dir gen) with
+        | bytes -> Dbh_obs.Registry.set m.Dbh_obs.Metrics.snapshot_bytes bytes
+        | exception Sys_error _ -> ()));
+    match trace with
+    | Some tr ->
+        Dbh_obs.Trace.record tr (Dbh_obs.Trace.Checkpoint { generation = gen; seconds })
+    | None -> ()
+
+  let checkpoint ?kill ?trace t =
     ensure_open t;
+    let t0 = Dbh_obs.Metrics.now () in
     let gen = t.generation + 1 in
     save_snapshot t gen;
     (match kill with Some After_snapshot -> raise (Killed After_snapshot) | _ -> ());
@@ -362,28 +408,44 @@ module Durable = struct
     t.wal <- Wal.create ~fsync:t.fsync ~path:(Layout.wal_path ~dir:t.dir gen) ();
     t.generation <- gen;
     t.wal_ops <- 0;
+    observe_checkpoint ?trace ~gen ~seconds:(Dbh_obs.Metrics.now () -. t0) t;
     (match kill with Some After_wal_switch -> raise (Killed After_wal_switch) | _ -> ());
     cleanup_before t gen
 
-  let insert t obj =
+  let record_wal_append ?trace record =
+    match trace with
+    | Some tr ->
+        Dbh_obs.Trace.record tr
+          (Dbh_obs.Trace.Wal_append { bytes = String.length record })
+    | None -> ()
+
+  let insert ?trace t obj =
     ensure_open t;
     (* WAL first: once [append] returns the op is durable, and replay
        re-applies it deterministically if we crash before (or during)
        the in-memory update. *)
-    ignore (Wal.append t.wal (encode_insert (t.encode obj)));
+    let record = encode_insert (t.encode obj) in
+    ignore (Wal.append t.wal record);
+    record_wal_append ?trace record;
     t.wal_ops <- t.wal_ops + 1;
     insert t.online obj
 
-  let delete t handle =
+  let delete ?trace t handle =
     ensure_open t;
     if handle < 0 || handle >= Vec.length t.online.registry then
       invalid_arg "Online.Durable.delete: unknown handle";
-    ignore (Wal.append t.wal (encode_delete handle));
+    let record = encode_delete handle in
+    ignore (Wal.append t.wal record);
+    record_wal_append ?trace record;
     t.wal_ops <- t.wal_ops + 1;
     delete t.online handle
 
-  let query ?budget t q = query ?budget t.online q
-  let query_batch ?pool ?budget t qs = query_batch ?pool ?budget t.online qs
+  let search ?opts t q = search ?opts t.online q
+  let search_batch ?opts t qs = search_batch ?opts t.online qs
+  let query ?budget t q = query_with ?budget t.online q
+
+  let query_batch ?pool ?budget t qs =
+    search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
   let get t handle = get t.online handle
   let size t = size t.online
 
@@ -445,6 +507,10 @@ module Durable = struct
           end
         in
         let last_gen, torn = replay g in
+        (match Dbh_obs.Metrics.get () with
+        | Some m when !replayed > 0 ->
+            Dbh_obs.Registry.add m.Dbh_obs.Metrics.wal_records_replayed_total !replayed
+        | _ -> ());
         let gen, wal, wal_ops =
           if last_gen = max_gen && not torn then begin
             (* Everything on disk is accounted for: keep appending to

@@ -18,6 +18,9 @@ type 'a result = {
       (** stable handle and exact distance of the best neighbor *)
   stats : Index.stats;
   truncated : bool;  (** a distance budget ran out mid-query *)
+  levels_probed : int;
+      (** cascade levels probed (0 when a degraded path bypassed the
+          index entirely, e.g. a circuit breaker's linear scan) *)
 }
 
 val create :
@@ -57,15 +60,26 @@ val insert : 'a t -> 'a -> int
 val delete : 'a t -> int -> unit
 (** Remove by stable handle (idempotent).  May trigger a rebuild. *)
 
+val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
+(** Approximate nearest neighbor among alive objects.  [opts.budget]
+    bounds the distance computations spent, as in {!Index.search};
+    [opts.metrics]/[opts.trace] instrument the query.  [opts.pool] is
+    ignored (single query). *)
+
+val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
+(** One {!search} per element, in input order, each under its own fresh
+    budget of [opts.budget] distance computations.  Fans out over
+    [opts.pool] when given, else over the pool remembered at {!create},
+    else runs sequentially.  [opts.trace] is ignored.  Do not
+    interleave with {!insert}/{!delete}. *)
+
 val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
-(** Approximate nearest neighbor among alive objects.  [budget] bounds
-    the distance computations spent, as in {!Index.query}. *)
+  [@@ocaml.deprecated "use Online.search (with Query_opts) instead"]
+(** @deprecated Use {!search}. *)
 
 val query_batch : ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
-(** One {!query} per element, in input order, each under its own fresh
-    budget of [budget] distance computations.  Fans out over [pool] when
-    given, else over the pool remembered at {!create}, else runs
-    sequentially.  Do not interleave with {!insert}/{!delete}. *)
+  [@@ocaml.deprecated "use Online.search_batch (with Query_opts) instead"]
+(** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
 
 (** {1 Introspection and control}
 
@@ -159,25 +173,36 @@ module Durable : sig
       a loaded snapshot restores its own generator state.  [fsync]
       (default [true]) controls per-operation log durability. *)
 
-  val insert : 'a t -> 'a -> int
+  val insert : ?trace:Dbh_obs.Trace.t -> 'a t -> 'a -> int
   (** Journal the insert to the WAL (durably, when [fsync]) and then
-      apply it.  Same contract as {!val:insert} otherwise. *)
+      apply it.  Same contract as {!val:insert} otherwise.  [trace]
+      records a [Wal_append] event with the journaled record size. *)
 
-  val delete : 'a t -> int -> unit
+  val delete : ?trace:Dbh_obs.Trace.t -> 'a t -> int -> unit
   (** Journal and apply a delete; idempotent like {!val:delete}. *)
 
+  val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
+  val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
+
   val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
+    [@@ocaml.deprecated "use Durable.search (with Query_opts) instead"]
+  (** @deprecated Use {!search}. *)
+
   val query_batch :
     ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
+    [@@ocaml.deprecated "use Durable.search_batch (with Query_opts) instead"]
+  (** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
 
   val get : 'a t -> int -> 'a
   val size : 'a t -> int
 
-  val checkpoint : ?kill:kill_point -> 'a t -> unit
+  val checkpoint : ?kill:kill_point -> ?trace:Dbh_obs.Trace.t -> 'a t -> unit
   (** Write a new snapshot generation atomically, switch to a fresh WAL,
       and prune generations older than the previous one.  A crash at any
       point (exercised via [?kill]) leaves the directory recoverable to
-      exactly the pre- or post-checkpoint state. *)
+      exactly the pre- or post-checkpoint state.  When a metric set is
+      installed, records checkpoint count, duration and snapshot size;
+      [trace] adds a [Checkpoint] event. *)
 
   val close : 'a t -> unit
   (** Flush and close the WAL.  Deliberately does {e not} checkpoint, so
@@ -202,3 +227,17 @@ module Durable : sig
       Returns [(total_handles, alive)].  Raises [Dbh_util.Binio.Corrupt]
       on any failure. *)
 end
+
+(**/**)
+
+(* Query core taking a caller-managed Budget.t plus explicit
+   observability hooks — what the deprecated wrappers and the robust
+   layer (circuit breaker) build on without touching the deprecated
+   surface. *)
+val query_with :
+  ?budget:Budget.t ->
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  'a t ->
+  'a ->
+  'a result

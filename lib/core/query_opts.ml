@@ -1,0 +1,12 @@
+type t = {
+  budget : int option;
+  pool : Dbh_util.Pool.t option;
+  metrics : Dbh_obs.Metrics.t option;
+  trace : Dbh_obs.Trace.t option;
+}
+
+let default = { budget = None; pool = None; metrics = None; trace = None }
+
+let make ?budget ?pool ?metrics ?trace () = { budget; pool; metrics; trace }
+
+let budgeted n = { default with budget = Some n }

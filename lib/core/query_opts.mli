@@ -1,0 +1,42 @@
+(** Options shared by every query entry point.
+
+    One record carries everything a query may be threaded with — a
+    per-query distance budget, a domain pool for batches, and the
+    observability hooks — instead of each entry point growing its own
+    spelling of the same optional arguments.  [Index.search],
+    [Hierarchical.search], [Online.search] (and their [_batch]
+    variants, plus [Dbh_robust.Breaker.search]) all take [?opts].
+
+    Fields an entry point cannot use are ignored: single-query [search]
+    ignores [pool]; batch entry points ignore [trace] (a trace is
+    single-domain by design — attach it to one query at a time). *)
+
+type t = {
+  budget : int option;
+      (** Cap on distance computations {e per query} — each query gets a
+          fresh [Budget.t] of this many computations, in batches too.
+          Results whose budget ran out carry [truncated = true]. *)
+  pool : Dbh_util.Pool.t option;
+      (** Fan a [_batch] call's queries across these domains.  Answers
+          and logical stats are identical to the sequential run. *)
+  metrics : Dbh_obs.Metrics.t option;
+      (** Record into this metric set instead of the ambient installed
+          one ({!Dbh_obs.Metrics.install}). *)
+  trace : Dbh_obs.Trace.t option;
+      (** Record this query's event timeline.  Single-query entry points
+          only. *)
+}
+
+val default : t
+(** All fields [None] — plain, unobserved, unbounded queries. *)
+
+val make :
+  ?budget:int ->
+  ?pool:Dbh_util.Pool.t ->
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  unit ->
+  t
+
+val budgeted : int -> t
+(** [budgeted n] is [make ~budget:n ()] — the most common non-default. *)

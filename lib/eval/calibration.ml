@@ -14,7 +14,7 @@ let single_level ~rng ~prepared ~db ~queries ~truth ~targets ?config () =
          match Dbh.Builder.single ~rng ~prepared ~db ~target_accuracy:target ?config () with
          | None -> None
          | Some (index, choice) ->
-             let results = Array.map (fun q -> Dbh.Index.query index q) queries in
+             let results = Array.map (fun q -> Dbh.Index.search index q) queries in
              let measured_accuracy =
                Ground_truth.accuracy truth (Array.map (fun r -> r.Dbh.Index.nn) results)
              in

@@ -28,7 +28,7 @@ let run ?pool ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
   (* Offline: family + statistical model, from the database only. *)
   let prepared = Dbh.Builder.prepare ?pool ~rng ~space ~config:config.builder db in
   let dbh_run index q =
-    let r = Dbh.Index.query index q in
+    let r = Dbh.Index.search index q in
     (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats)
   in
   let single_methods =
@@ -59,7 +59,7 @@ let run ?pool ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
              setting = Printf.sprintf "target=%.3f" target;
              run =
                (fun q ->
-                 let r = Dbh.Hierarchical.query h q in
+                 let r = Dbh.Hierarchical.search h q in
                  (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
            })
   in

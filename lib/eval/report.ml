@@ -96,14 +96,15 @@ let print_figure5 (r : Figure5.result) =
 
 let csv_of_series series_list =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "method,setting,accuracy,mean_cost,cost_ci95\n";
+  Buffer.add_string buf "method,setting,accuracy,mean_cost,cost_ci95,total_cost\n";
   List.iter
     (fun (s : Tradeoff.series) ->
       Array.iter
         (fun (p : Tradeoff.point) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%s,%.6f,%.3f,%.3f\n" p.Tradeoff.method_label p.Tradeoff.setting
-               p.Tradeoff.accuracy p.Tradeoff.mean_cost p.Tradeoff.cost_ci95))
+            (Printf.sprintf "%s,%s,%.6f,%.3f,%.3f,%d\n" p.Tradeoff.method_label
+               p.Tradeoff.setting p.Tradeoff.accuracy p.Tradeoff.mean_cost
+               p.Tradeoff.cost_ci95 p.Tradeoff.total_cost))
         s.Tradeoff.points)
     series_list;
   Buffer.contents buf

@@ -10,6 +10,7 @@ type point = {
   accuracy : float;
   mean_cost : float;
   cost_ci95 : float;
+  total_cost : int;
 }
 
 let measure ~queries ~truth m =
@@ -17,11 +18,13 @@ let measure ~queries ~truth m =
   if n = 0 then invalid_arg "Tradeoff.measure: no queries";
   let answers = Array.make n None in
   let costs = Array.make n 0. in
+  let total = ref 0 in
   Array.iteri
     (fun i q ->
       let answer, cost = m.run q in
       answers.(i) <- answer;
-      costs.(i) <- float_of_int cost)
+      costs.(i) <- float_of_int cost;
+      total := !total + cost)
     queries;
   let mean_cost, cost_ci95 = Dbh_util.Stats.mean_ci95 costs in
   {
@@ -30,6 +33,7 @@ let measure ~queries ~truth m =
     accuracy = Ground_truth.accuracy truth answers;
     mean_cost;
     cost_ci95;
+    total_cost = !total;
   }
 
 type series = {

@@ -18,6 +18,9 @@ type point = {
   accuracy : float;  (** fraction of queries retrieving the true NN *)
   mean_cost : float;  (** mean distance computations per query *)
   cost_ci95 : float;  (** 95% confidence half-width of the mean cost *)
+  total_cost : int;
+      (** exact sum of the per-query distance computations — the integer
+          that observability counters can be reconciled against *)
 }
 
 val measure : queries:'q array -> truth:Ground_truth.t -> 'q method_at -> point

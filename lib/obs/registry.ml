@@ -1,0 +1,265 @@
+(* See registry.mli.  Counters and gauges are one Atomic each; a
+   histogram is one Atomic per bucket (non-cumulative internally,
+   cumulated at exposition time) plus a CAS-looped float sum, so
+   recording never takes a lock.  The registry lock only guards
+   registration and snapshot iteration. *)
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;
+  c_value : int Atomic.t;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_labels : (string * string) list;
+  g_value : int Atomic.t;
+}
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  uppers : float array;  (* strictly increasing upper bounds; +inf implicit *)
+  buckets : int Atomic.t array;  (* length = Array.length uppers + 1 *)
+  h_sum : float Atomic.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  mutex : Mutex.t;
+  mutable metrics : metric list;  (* newest first *)
+  names : (string, unit) Hashtbl.t;  (* rendered name incl. labels *)
+}
+
+let create () = { mutex = Mutex.create (); metrics = []; names = Hashtbl.create 64 }
+
+let valid_name n =
+  String.length n > 0
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       n
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v)) labels)
+      ^ "}"
+
+let rendered_name name labels = name ^ render_labels labels
+
+let register t ~name ~labels metric =
+  if not (valid_name name) then invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_name k) then invalid_arg (Printf.sprintf "Registry: bad label name %S" k))
+    labels;
+  let key = rendered_name name labels in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if Hashtbl.mem t.names key then
+        invalid_arg (Printf.sprintf "Registry: duplicate metric %s" key);
+      Hashtbl.replace t.names key ();
+      t.metrics <- metric :: t.metrics)
+
+let counter t ?(help = "") ?(labels = []) name =
+  let c = { c_name = name; c_help = help; c_labels = labels; c_value = Atomic.make 0 } in
+  register t ~name ~labels (Counter c);
+  c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  let g = { g_name = name; g_help = help; g_labels = labels; g_value = Atomic.make 0 } in
+  register t ~name ~labels (Gauge g);
+  g
+
+let default_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Registry.histogram: empty bucket list";
+  Array.iteri
+    (fun i b ->
+      if Float.is_nan b || (i > 0 && b <= buckets.(i - 1)) then
+        invalid_arg "Registry.histogram: buckets must be strictly increasing")
+    buckets;
+  let h =
+    {
+      h_name = name;
+      h_help = help;
+      uppers = Array.copy buckets;
+      buckets = Array.init (n + 1) (fun _ -> Atomic.make 0);
+      h_sum = Atomic.make 0.;
+    }
+  in
+  register t ~name ~labels:[] (Histogram h);
+  h
+
+let inc c = Atomic.incr c.c_value
+
+let add c n =
+  if n < 0 then invalid_arg "Registry.add: counters are monotone";
+  if n > 0 then ignore (Atomic.fetch_and_add c.c_value n)
+
+let set g v = Atomic.set g.g_value v
+
+(* compare_and_set on a float Atomic compares the boxes physically; the
+   box we pass is the one we just read, so a failed CAS means another
+   domain won the race and we retry on the fresh value. *)
+let rec atomic_add_float a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then atomic_add_float a x
+
+let observe h v =
+  let n = Array.length h.uppers in
+  let i = ref 0 in
+  while !i < n && not (v <= h.uppers.(!i)) do incr i done;
+  (* NaN falls through every bound into the +inf bucket. *)
+  Atomic.incr h.buckets.(!i);
+  atomic_add_float h.h_sum v
+
+let counter_value c = Atomic.get c.c_value
+let gauge_value g = Atomic.get g.g_value
+
+let histogram_count h = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
+let histogram_sum h = Atomic.get h.h_sum
+
+let metrics_in_order t =
+  Mutex.lock t.mutex;
+  let ms = t.metrics in
+  Mutex.unlock t.mutex;
+  List.rev ms
+
+(* %.17g-style shortest float that round-trips; ints print without a
+   fractional part so counters read naturally. *)
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let le_repr v = if v = infinity then "+Inf" else float_repr v
+
+let exposition t =
+  let buf = Buffer.create 4096 in
+  let headed = Hashtbl.create 32 in
+  let head name help kind =
+    if not (Hashtbl.mem headed name) then begin
+      Hashtbl.replace headed name ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (function
+      | Counter c ->
+          head c.c_name c.c_help "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (rendered_name c.c_name c.c_labels) (counter_value c))
+      | Gauge g ->
+          head g.g_name g.g_help "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (rendered_name g.g_name g.g_labels) (gauge_value g))
+      | Histogram h ->
+          head h.h_name h.h_help "histogram";
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cumulative := !cumulative + Atomic.get b;
+              let le = if i < Array.length h.uppers then h.uppers.(i) else infinity in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name (le_repr le) !cumulative))
+            h.buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" h.h_name (float_repr (histogram_sum h)));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name !cumulative))
+    (metrics_in_order t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
+  ^ "}"
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "\"+Inf\""
+  else if v = neg_infinity then "\"-Inf\""
+  else float_repr v
+
+let to_json t =
+  let entries =
+    List.map
+      (function
+        | Counter c ->
+            Printf.sprintf "{\"name\":\"%s\",\"type\":\"counter\",\"labels\":%s,\"value\":%d}"
+              (json_escape c.c_name) (json_labels c.c_labels) (counter_value c)
+        | Gauge g ->
+            Printf.sprintf "{\"name\":\"%s\",\"type\":\"gauge\",\"labels\":%s,\"value\":%d}"
+              (json_escape g.g_name) (json_labels g.g_labels) (gauge_value g)
+        | Histogram h ->
+            let cumulative = ref 0 in
+            let buckets =
+              Array.mapi
+                (fun i b ->
+                  cumulative := !cumulative + Atomic.get b;
+                  let le = if i < Array.length h.uppers then h.uppers.(i) else infinity in
+                  Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float le) !cumulative)
+                h.buckets
+            in
+            Printf.sprintf
+              "{\"name\":\"%s\",\"type\":\"histogram\",\"buckets\":[%s],\"sum\":%s,\"count\":%d}"
+              (json_escape h.h_name)
+              (String.concat "," (Array.to_list buckets))
+              (json_float (histogram_sum h)) !cumulative)
+      (metrics_in_order t)
+  in
+  "{\"metrics\":[" ^ String.concat "," entries ^ "]}"
+
+let parse_exposition text =
+  let samples = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then begin
+           match String.rindex_opt line ' ' with
+           | None -> invalid_arg (Printf.sprintf "parse_exposition: malformed line %S" line)
+           | Some i -> (
+               let name = String.trim (String.sub line 0 i) in
+               let value = String.sub line (i + 1) (String.length line - i - 1) in
+               match float_of_string_opt (if value = "+Inf" then "infinity" else value) with
+               | Some v -> samples := (name, v) :: !samples
+               | None ->
+                   invalid_arg (Printf.sprintf "parse_exposition: bad value %S in %S" value line))
+         end);
+  List.rev !samples
+
+let find_sample t name = List.assoc_opt name (parse_exposition (exposition t))

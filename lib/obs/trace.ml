@@ -1,0 +1,141 @@
+type event =
+  | Query_start of { kind : string }
+  | Pivot_hit of { pivot : int }
+  | Pivot_miss of { pivot : int }
+  | Bucket_probe of { level : int; table : int; key : int; found : int }
+  | Candidate of { id : int; distance : float; improved : bool }
+  | Level_enter of { level : int; threshold : float }
+  | Level_settled of { level : int; best : float }
+  | Budget_exhausted of { spent : int }
+  | Breaker_state of { state : string }
+  | Linear_fallback of { scanned : int }
+  | Wal_append of { bytes : int }
+  | Wal_fsync of { seconds : float }
+  | Checkpoint of { generation : int; seconds : float }
+  | Replay of { records : int }
+  | Query_done of {
+      hash_cost : int;
+      lookup_cost : int;
+      probes : int;
+      levels_probed : int;
+      truncated : bool;
+    }
+
+type t = {
+  clock : unit -> float;
+  capacity : int;
+  mutable events : (float * event) list;  (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(capacity = 100_000) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { clock; capacity; events = []; count = 0; dropped = 0 }
+
+let record t ev =
+  if t.count >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- (t.clock (), ev) :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = Array.of_list (List.rev t.events)
+let length t = t.count
+let dropped t = t.dropped
+
+let clear t =
+  t.events <- [];
+  t.count <- 0;
+  t.dropped <- 0
+
+let pp_event ppf = function
+  | Query_start { kind } -> Format.fprintf ppf "query-start %s" kind
+  | Pivot_hit { pivot } -> Format.fprintf ppf "pivot-hit #%d" pivot
+  | Pivot_miss { pivot } -> Format.fprintf ppf "pivot-distance #%d" pivot
+  | Bucket_probe { level; table; key; found } ->
+      Format.fprintf ppf "bucket-probe level=%d table=%d key=%#x found=%d" level table key found
+  | Candidate { id; distance; improved } ->
+      Format.fprintf ppf "candidate id=%d d=%.6g%s" id distance
+        (if improved then " (new best)" else "")
+  | Level_enter { level; threshold } ->
+      Format.fprintf ppf "level-enter %d (threshold %.6g)" level threshold
+  | Level_settled { level; best } ->
+      Format.fprintf ppf "level-settled %d (best %.6g within threshold)" level best
+  | Budget_exhausted { spent } -> Format.fprintf ppf "budget-exhausted after %d distances" spent
+  | Breaker_state { state } -> Format.fprintf ppf "breaker %s" state
+  | Linear_fallback { scanned } -> Format.fprintf ppf "linear-fallback scanned=%d" scanned
+  | Wal_append { bytes } -> Format.fprintf ppf "wal-append %d bytes" bytes
+  | Wal_fsync { seconds } -> Format.fprintf ppf "wal-fsync %.3gms" (seconds *. 1e3)
+  | Checkpoint { generation; seconds } ->
+      Format.fprintf ppf "checkpoint gen=%d (%.3gms)" generation (seconds *. 1e3)
+  | Replay { records } -> Format.fprintf ppf "replay %d records" records
+  | Query_done { hash_cost; lookup_cost; probes; levels_probed; truncated } ->
+      Format.fprintf ppf
+        "query-done hash_cost=%d lookup_cost=%d probes=%d levels_probed=%d%s" hash_cost
+        lookup_cost probes levels_probed
+        (if truncated then " (truncated)" else "")
+
+let pp ppf t =
+  let evs = events t in
+  let t0 = if Array.length evs = 0 then 0. else fst evs.(0) in
+  Array.iter
+    (fun (ts, ev) -> Format.fprintf ppf "@[<h>%+9.3fms  %a@]@." ((ts -. t0) *. 1e3) pp_event ev)
+    evs;
+  if t.dropped > 0 then Format.fprintf ppf "... %d events dropped (capacity %d)@." t.dropped t.capacity
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_nan v then "null"
+  else if v = infinity then "\"+Inf\""
+  else if v = neg_infinity then "\"-Inf\""
+  else Printf.sprintf "%.17g" v
+
+let event_json = function
+  | Query_start { kind } -> Printf.sprintf "{\"ev\":\"query_start\",\"kind\":\"%s\"}" (json_escape kind)
+  | Pivot_hit { pivot } -> Printf.sprintf "{\"ev\":\"pivot_hit\",\"pivot\":%d}" pivot
+  | Pivot_miss { pivot } -> Printf.sprintf "{\"ev\":\"pivot_miss\",\"pivot\":%d}" pivot
+  | Bucket_probe { level; table; key; found } ->
+      Printf.sprintf "{\"ev\":\"bucket_probe\",\"level\":%d,\"table\":%d,\"key\":%d,\"found\":%d}"
+        level table key found
+  | Candidate { id; distance; improved } ->
+      Printf.sprintf "{\"ev\":\"candidate\",\"id\":%d,\"distance\":%s,\"improved\":%b}" id
+        (json_float distance) improved
+  | Level_enter { level; threshold } ->
+      Printf.sprintf "{\"ev\":\"level_enter\",\"level\":%d,\"threshold\":%s}" level
+        (json_float threshold)
+  | Level_settled { level; best } ->
+      Printf.sprintf "{\"ev\":\"level_settled\",\"level\":%d,\"best\":%s}" level (json_float best)
+  | Budget_exhausted { spent } -> Printf.sprintf "{\"ev\":\"budget_exhausted\",\"spent\":%d}" spent
+  | Breaker_state { state } ->
+      Printf.sprintf "{\"ev\":\"breaker_state\",\"state\":\"%s\"}" (json_escape state)
+  | Linear_fallback { scanned } ->
+      Printf.sprintf "{\"ev\":\"linear_fallback\",\"scanned\":%d}" scanned
+  | Wal_append { bytes } -> Printf.sprintf "{\"ev\":\"wal_append\",\"bytes\":%d}" bytes
+  | Wal_fsync { seconds } -> Printf.sprintf "{\"ev\":\"wal_fsync\",\"seconds\":%s}" (json_float seconds)
+  | Checkpoint { generation; seconds } ->
+      Printf.sprintf "{\"ev\":\"checkpoint\",\"generation\":%d,\"seconds\":%s}" generation
+        (json_float seconds)
+  | Replay { records } -> Printf.sprintf "{\"ev\":\"replay\",\"records\":%d}" records
+  | Query_done { hash_cost; lookup_cost; probes; levels_probed; truncated } ->
+      Printf.sprintf
+        "{\"ev\":\"query_done\",\"hash_cost\":%d,\"lookup_cost\":%d,\"probes\":%d,\"levels_probed\":%d,\"truncated\":%b}"
+        hash_cost lookup_cost probes levels_probed truncated
+
+let to_json t =
+  let entries =
+    events t |> Array.to_list
+    |> List.map (fun (ts, ev) -> Printf.sprintf "{\"t\":%s,\"event\":%s}" (json_float ts) (event_json ev))
+  in
+  Printf.sprintf "{\"dropped\":%d,\"events\":[%s]}" t.dropped (String.concat "," entries)

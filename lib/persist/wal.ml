@@ -84,7 +84,15 @@ type t = {
 
 let sync t =
   flush t.oc;
-  if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc)
+  if t.fsync then begin
+    match Dbh_obs.Metrics.get () with
+    | None -> Unix.fsync (Unix.descr_of_out_channel t.oc)
+    | Some m ->
+        let t0 = Dbh_obs.Metrics.now () in
+        Unix.fsync (Unix.descr_of_out_channel t.oc);
+        Dbh_obs.Registry.observe m.Dbh_obs.Metrics.fsync_seconds
+          (Dbh_obs.Metrics.now () -. t0)
+  end
 
 let create ?(fsync = true) ~path () =
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
@@ -107,6 +115,9 @@ let append t payload =
   output_string t.oc (encode_record ~seq payload);
   t.next_seq <- seq + 1;
   sync t;
+  (match Dbh_obs.Metrics.get () with
+  | None -> ()
+  | Some m -> Dbh_obs.Registry.inc m.Dbh_obs.Metrics.wal_appends_total);
   seq
 
 let record_count t = t.next_seq - 1

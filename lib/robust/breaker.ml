@@ -80,10 +80,28 @@ let begin_window t =
   t.window_calls0 <- calls;
   t.window_anoms0 <- anoms
 
-let trip t =
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let record_state ?trace t =
+  match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr (Dbh_obs.Trace.Breaker_state { state = state_name t.state })
+  | None -> ()
+
+let record_counter pick =
+  match Dbh_obs.Metrics.get () with
+  | None -> ()
+  | Some m -> Dbh_obs.Registry.inc (pick m)
+
+let trip ?trace t =
   t.state <- Open;
   t.trips <- t.trips + 1;
-  t.cooldown_left <- t.config.open_cooldown
+  t.cooldown_left <- t.config.open_cooldown;
+  record_counter (fun m -> m.Dbh_obs.Metrics.breaker_trips_total);
+  record_state ?trace t
 
 let create ?(config = default_config) ?guard online =
   if config.window < 1 then invalid_arg "Breaker.create: window must be >= 1";
@@ -117,9 +135,14 @@ let create ?(config = default_config) ?guard online =
 
 (* Exact scan over the alive objects, through the (guarded) space: slow
    but structurally immune — bucket pollution cannot touch it, and under
-   a Skip guard anomalous pairs simply rank last. *)
-let serve_linear ?budget t q =
+   a Skip guard anomalous pairs simply rank last.  The scan still counts
+   as a served query in the metrics (levels_probed 0 marks that the
+   index was bypassed), so cost accounting covers degraded traffic. *)
+let serve_linear ?budget ?metrics ?trace t q =
   t.fallbacks <- t.fallbacks + 1;
+  record_counter (fun m -> m.Dbh_obs.Metrics.breaker_fallback_queries_total);
+  let metrics = Dbh_obs.Metrics.resolve metrics in
+  let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   let space = Online.space t.online in
   let best = ref None in
   let scanned = ref 0 in
@@ -135,54 +158,68 @@ let serve_linear ?budget t q =
        (Online.alive_handles t.online)
    with e when Budget.is_exhausted_exn e -> ());
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
+  (match trace with
+  | Some tr ->
+      Dbh_obs.Trace.record tr (Dbh_obs.Trace.Linear_fallback { scanned = !scanned })
+  | None -> ());
+  let stats = { Dbh.Index.hash_cost = 0; lookup_cost = !scanned; probes = 0 } in
+  let seconds =
+    match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
+  in
+  Dbh.Index.observe_query ?metrics ?seconds ~stats ~truncated ~levels_probed:0 ();
   {
-    result =
-      {
-        Online.nn = !best;
-        stats = { Dbh.Index.hash_cost = 0; lookup_cost = !scanned; probes = 0 };
-        truncated;
-      };
+    result = { Online.nn = !best; stats; truncated; levels_probed = 0 };
     served_by = `Linear_scan;
     state_after = t.state;
   }
 
 let breached t snapshot = rate_since t snapshot > t.config.anomaly_threshold
 
-let rec query ?budget t q =
+let rec query_with ?budget ?metrics ?trace t q =
   match t.state with
   | Closed ->
-      let result = Online.query ?budget t.online q in
+      let result = Online.query_with ?budget ?metrics ?trace t.online q in
       t.window_queries <- t.window_queries + 1;
       if t.window_queries >= t.config.window then
         if breached t (t.window_calls0, t.window_anoms0) || structurally_unhealthy t then
-          trip t
+          trip ?trace t
         else begin_window t;
       { result; served_by = `Index; state_after = t.state }
   | Open ->
       if t.cooldown_left > 0 then begin
         t.cooldown_left <- t.cooldown_left - 1;
-        serve_linear ?budget t q
+        serve_linear ?budget ?metrics ?trace t q
       end
       else begin
         (* Cooldown over: refresh the index (its tables may be polluted
            by the anomalies that tripped us) and probe it. *)
         Online.rebuild_now t.online;
         t.state <- Half_open;
+        record_state ?trace t;
         t.probes_left <- t.config.half_open_probes;
         let calls, anoms = guard_snapshot t in
         t.probe_calls0 <- calls;
         t.probe_anoms0 <- anoms;
-        query ?budget t q
+        query_with ?budget ?metrics ?trace t q
       end
   | Half_open ->
-      let result = Online.query ?budget t.online q in
+      let result = Online.query_with ?budget ?metrics ?trace t.online q in
       t.probes_left <- t.probes_left - 1;
       if t.probes_left <= 0 then
         if breached t (t.probe_calls0, t.probe_anoms0) || structurally_unhealthy t then
-          trip t
+          trip ?trace t
         else begin
           t.state <- Closed;
           t.recoveries <- t.recoveries + 1;
+          record_counter (fun m -> m.Dbh_obs.Metrics.breaker_recoveries_total);
+          record_state ?trace t;
           begin_window t
         end;
       { result; served_by = `Index; state_after = t.state }
+
+let search ?(opts = Dbh.Query_opts.default) t q =
+  let budget = Option.map Budget.create opts.Dbh.Query_opts.budget in
+  query_with ?budget ?metrics:opts.Dbh.Query_opts.metrics ?trace:opts.Dbh.Query_opts.trace
+    t q
+
+let query ?budget t q = query_with ?budget t q

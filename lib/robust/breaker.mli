@@ -59,10 +59,17 @@ val create : ?config:config -> ?guard:Guard.t -> 'a Dbh.Online.t -> 'a t
     can trip the breaker.  Raises [Invalid_argument] on non-positive
     window/cooldown/probe counts or thresholds outside ([0,1]). *)
 
+val search : ?opts:Dbh.Query_opts.t -> 'a t -> 'a -> 'a outcome
+(** Serve one query according to the current state (see above).
+    [opts.budget] applies to whichever path serves the query, including
+    the linear-scan fallback; [opts.metrics]/[opts.trace] instrument
+    both paths (fallback queries report [levels_probed = 0] and record
+    a [Linear_fallback] trace event; state transitions record
+    [Breaker_state]).  [opts.pool] is ignored. *)
+
 val query : ?budget:Dbh.Budget.t -> 'a t -> 'a -> 'a outcome
-(** Serve one query according to the current state (see above).  The
-    budget applies to whichever path serves the query, including the
-    linear-scan fallback. *)
+  [@@ocaml.deprecated "use Breaker.search (with Query_opts) instead"]
+(** @deprecated Use {!search}. *)
 
 val state : 'a t -> state
 val trips : 'a t -> int

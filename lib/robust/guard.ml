@@ -53,12 +53,23 @@ let anomaly_name = function
   | Negative -> "negative"
   | Exn -> "exn"
 
-let tally t = function
+let tally t kind =
+  (match kind with
   | Nan -> Atomic.incr t.nan_
   | Pos_infinite -> Atomic.incr t.pos_inf_
   | Neg_infinite -> Atomic.incr t.neg_inf_
   | Negative -> Atomic.incr t.negative_
-  | Exn -> Atomic.incr t.exn_
+  | Exn -> Atomic.incr t.exn_);
+  match Dbh_obs.Metrics.get () with
+  | None -> ()
+  | Some m ->
+      Dbh_obs.Registry.inc
+        (match kind with
+        | Nan -> m.Dbh_obs.Metrics.guard_anomalies_nan_total
+        | Pos_infinite -> m.Dbh_obs.Metrics.guard_anomalies_pos_inf_total
+        | Neg_infinite -> m.Dbh_obs.Metrics.guard_anomalies_neg_inf_total
+        | Negative -> m.Dbh_obs.Metrics.guard_anomalies_negative_total
+        | Exn -> m.Dbh_obs.Metrics.guard_anomalies_exn_total)
 
 (* Value substituted for an anomalous distance, per policy.  Skip makes
    the pair maximally far apart; Clamp repairs sign errors but cannot
@@ -89,6 +100,9 @@ let wrap ?(policy = Skip) space =
   in
   let distance x y =
     Atomic.incr t.calls_;
+    (match Dbh_obs.Metrics.get () with
+    | None -> ()
+    | Some m -> Dbh_obs.Registry.inc m.Dbh_obs.Metrics.guard_calls_total);
     match space.Space.distance x y with
     | d when Float.is_nan d -> resolve t Nan "NaN"
     | d when d = infinity -> resolve t Pos_infinite "+infinity"

@@ -26,6 +26,17 @@ let with_counter t =
   let c = counter () in
   (counted c t, c)
 
+(* The ambient-metrics lookup is one Atomic.get per call; with nothing
+   installed the only cost over the raw space is that load. *)
+let observed t =
+  let distance x y =
+    (match Dbh_obs.Metrics.get () with
+    | None -> ()
+    | Some m -> Dbh_obs.Registry.inc m.Dbh_obs.Metrics.space_distance_calls_total);
+    t.distance x y
+  in
+  { t with distance }
+
 let of_matrix ?(name = "matrix") m =
   let n = Array.length m in
   Array.iter

@@ -40,6 +40,14 @@ val counted : counter -> 'a t -> 'a t
 (** Like {!with_counter} but instrumenting with an existing counter, so
     several spaces can share one tally. *)
 
+val observed : 'a t -> 'a t
+(** A space that additionally bumps the ambient
+    [dbh_space_distance_calls_total] metric ({!Dbh_obs.Metrics}) on
+    every call — the raw call tally, wider than the per-query cost
+    counters (it also sees build-time and baseline distances).  When no
+    metric set is installed the wrapper costs one atomic load per
+    call. *)
+
 (** {1 Derived and ad-hoc spaces} *)
 
 val of_matrix : ?name:string -> float array array -> int t

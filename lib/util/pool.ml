@@ -98,14 +98,42 @@ let with_pool ~domains f =
   let t = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+(* Per-task timing wrapper, applied only when a metric set is installed:
+   the uninstrumented path runs the raw task function unchanged. *)
+let timed_task m f i =
+  let t0 = Dbh_obs.Metrics.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      Dbh_obs.Registry.observe m.Dbh_obs.Metrics.pool_task_seconds
+        (Dbh_obs.Metrics.now () -. t0))
+    (fun () -> f i)
+
 let run_tasks t ~n f =
   if n < 0 then invalid_arg "Pool: negative task count";
   if n = 0 then ()
-  else if t.size = 1 || n = 1 then
+  else begin
+  let metrics = Dbh_obs.Metrics.get () in
+  let f =
+    match metrics with
+    | None -> f
+    | Some m ->
+        Dbh_obs.Registry.inc m.Dbh_obs.Metrics.pool_batches_total;
+        Dbh_obs.Registry.add m.Dbh_obs.Metrics.pool_tasks_total n;
+        Dbh_obs.Registry.set m.Dbh_obs.Metrics.pool_queue_depth n;
+        timed_task m f
+  in
+  let drained () =
+    match metrics with
+    | None -> ()
+    | Some m -> Dbh_obs.Registry.set m.Dbh_obs.Metrics.pool_queue_depth 0
+  in
+  if t.size = 1 || n = 1 then begin
     (* Sequential fast path: no locking, exceptions propagate as is. *)
     for i = 0 to n - 1 do
       f i
-    done
+    done;
+    drained ()
+  end
   else begin
     let b = { run = f; n; next = 0; live = 0; failure = None } in
     Mutex.lock t.mutex;
@@ -125,9 +153,11 @@ let run_tasks t ~n f =
     done;
     t.batch <- None;
     Mutex.unlock t.mutex;
+    drained ();
     match b.failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()
+  end
   end
 
 (* Chunk layout is a function of [n] alone (at most 64 chunks): the same

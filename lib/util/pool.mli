@@ -27,7 +27,12 @@
     {b Failures.}  If a task raises, tasks not yet started are
     cancelled, already-running ones finish, and the first exception is
     re-raised in the submitter with its backtrace.  The pool survives
-    and can run further batches. *)
+    and can run further batches.
+
+    {b Observability.}  When a {!Dbh_obs.Metrics} set is installed,
+    every batch records its size, queue depth and per-task busy time
+    ([dbh_pool_*]).  With nothing installed the combinators run the raw
+    task function — no timing, no allocation. *)
 
 type t
 

@@ -199,7 +199,7 @@ let test_family_median_split_strategy () =
   let index = Index.build ~rng ~family ~db ~k:5 ~l:8 () in
   let hits = ref 0 in
   for i = 0 to 30 do
-    match (Index.query index db.(i * 7)).Index.nn with
+    match (Index.search index db.(i * 7)).Index.nn with
     | Some (_, d) when d = 0. -> incr hits
     | _ -> ()
   done;
@@ -498,7 +498,7 @@ let test_index_build_and_query () =
   Alcotest.(check int) "k" 6 (Index.k index);
   Alcotest.(check int) "l" 8 (Index.l index);
   let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.02 db.(17) in
-  let r = Index.query index q in
+  let r = Index.search index q in
   (match r.Index.nn with
   | None -> Alcotest.fail "expected a neighbor"
   | Some (idx, d) ->
@@ -520,7 +520,7 @@ let test_index_query_is_min_of_candidates () =
     let cache = Hash_family.cache family q in
     let seen = Bytes.make 300 '\000' in
     let cands = Index.candidates_into index cache ~seen in
-    let r = Index.query index q in
+    let r = Index.search index q in
     match (r.Index.nn, cands) with
     | None, [] -> ()
     | None, _ :: _ -> Alcotest.fail "candidates but no answer"
@@ -542,7 +542,7 @@ let test_index_self_query_finds_self () =
   let family = Hash_family.make ~rng ~space:l2 ~num_pivots:15 ~threshold_sample:100 db in
   let index = Index.build ~rng ~family ~db ~k:5 ~l:4 () in
   for i = 0 to 30 do
-    let r = Index.query index db.(i) in
+    let r = Index.search index db.(i) in
     match r.Index.nn with
     | Some (_, d) -> check_loose 1e-9 "zero distance" 0. d
     | None -> Alcotest.fail "self must collide"
@@ -575,7 +575,7 @@ let test_index_knn () =
     Alcotest.(check bool) "sorted" true (snd knn.(i) <= snd knn.(i + 1))
   done;
   (* First k-NN element agrees with plain query. *)
-  let r = Index.query index q in
+  let r = Index.search index q in
   (match (r.Index.nn, Array.length knn) with
   | Some (_, d), n when n > 0 -> check_loose 1e-9 "same best" d (snd knn.(0))
   | None, 0 -> ()
@@ -603,7 +603,7 @@ let test_index_empty_buckets_consistent () =
   let none_seen = ref 0 in
   for i = 0 to 30 do
     let q = Array.make 4 (100. +. float_of_int i) in
-    let r = Index.query index q in
+    let r = Index.search index q in
     match r.Index.nn with
     | None ->
         incr none_seen;
@@ -618,7 +618,7 @@ let test_index_single_object_db () =
   let rng = Rng.create 58 in
   let family = Hash_family.make ~rng ~space:l2 ~num_pivots:2 ~threshold_sample:2 db in
   let index = Index.build ~rng ~family ~db ~k:1 ~l:2 () in
-  match (Index.query index db.(0)).Index.nn with
+  match (Index.search index db.(0)).Index.nn with
   | Some (_, d) -> check_loose 1e-12 "self" 0. d
   | None -> Alcotest.fail "tiny db must still self-collide"
 
@@ -676,7 +676,8 @@ let test_hier_query_valid () =
   for t = 0 to 30 do
     ignore t;
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(Rng.int rng 500) in
-    let r, levels_probed = Hierarchical.query_verbose h q in
+    let r = Hierarchical.search h q in
+    let levels_probed = r.Index.levels_probed in
     Alcotest.(check bool) "probed >= 1" true (levels_probed >= 1 && levels_probed <= 4);
     match r.Index.nn with
     | None -> Alcotest.fail "expected neighbor"
@@ -687,7 +688,8 @@ let test_hier_early_exit_close_queries () =
   (* Queries identical to database objects hit distance 0 <= D_1 and must
      stop at the first level. *)
   let h, db, _ = make_hier () in
-  let r, levels_probed = Hierarchical.query_verbose h db.(3) in
+  let r = Hierarchical.search h db.(3) in
+  let levels_probed = r.Index.levels_probed in
   (match r.Index.nn with
   | Some (_, d) -> check_loose 1e-9 "found itself" 0. d
   | None -> Alcotest.fail "self must collide");
@@ -715,7 +717,7 @@ let test_builder_auto () =
   in
   let h = Builder.auto ~rng ~space:l2 ~config ~target_accuracy:0.85 db in
   let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(0) in
-  match (Hierarchical.query h q).Index.nn with
+  match (Hierarchical.search h q).Index.nn with
   | Some _ -> ()
   | None -> Alcotest.fail "auto index answers queries"
 
@@ -731,10 +733,10 @@ let test_builder_prepared_reuse () =
   | Some (index, choice) ->
       Alcotest.(check bool) "accuracy >= target" true
         (choice.Params.predicted_accuracy >= 0.8);
-      ignore (Index.query index db.(0))
+      ignore (Index.search index db.(0))
   | None -> Alcotest.fail "0.8 should be reachable");
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  ignore (Hierarchical.query h db.(1))
+  ignore (Hierarchical.search h db.(1))
 
 let () =
   Alcotest.run "dbh_core"

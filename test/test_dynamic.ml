@@ -73,7 +73,7 @@ let test_online_delete_idempotent_under_rebuild () =
       ignore (Dbh.Online.get t 10));
   Dbh.Online.rebuild_now t;
   Alcotest.(check int) "rebuilds counted" 2 (Dbh.Online.rebuilds t);
-  (match (Dbh.Online.query t db.(10)).Dbh.Online.nn with
+  (match (Dbh.Online.search t db.(10)).Dbh.Online.nn with
   | Some (found, _) -> Alcotest.(check bool) "dead handle never returned" true (found <> 10)
   | None -> ());
   (* Other handles still resolve to their original objects. *)
@@ -102,7 +102,7 @@ let test_store_delete_then_query_never_resurrects () =
       in
       List.iter
         (fun q ->
-          match (Index.query index q).Index.nn with
+          match (Index.search index q).Index.nn with
           | Some (found, _) ->
               Alcotest.(check bool) "alive answer only" true (not (List.mem found dead))
           | None -> ())
@@ -116,7 +116,7 @@ let test_insert_found_afterwards () =
     (fun obj ->
       let id = Index.insert index obj in
       (* The object always collides with itself. *)
-      match (Index.query index obj).Index.nn with
+      match (Index.search index obj).Index.nn with
       | Some (found, d) ->
           Alcotest.(check int) "finds inserted object" id found;
           check_loose 1e-9 "zero distance" 0. d
@@ -128,19 +128,19 @@ let test_delete_hides_object () =
   let index, db, _ = make_index () in
   (* Delete the object and verify a self-query no longer returns it. *)
   Index.delete index 7;
-  (match (Index.query index db.(7)).Index.nn with
+  (match (Index.search index db.(7)).Index.nn with
   | Some (found, _) -> Alcotest.(check bool) "not the deleted id" true (found <> 7)
   | None -> ());
   Alcotest.(check int) "size shrank" 299 (Index.size index)
 
 let test_deleted_not_counted_in_cost () =
   let index, db, _ = make_index () in
-  let before = (Index.query index db.(3)).Index.stats.Index.lookup_cost in
+  let before = (Index.search index db.(3)).Index.stats.Index.lookup_cost in
   (* Deleting candidates reduces (or keeps equal) the lookup cost. *)
   for i = 0 to 99 do
     Index.delete index (i * 2)
   done;
-  let after = (Index.query index db.(3)).Index.stats.Index.lookup_cost in
+  let after = (Index.search index db.(3)).Index.stats.Index.lookup_cost in
   Alcotest.(check bool) "cost shrinks with deletions" true (after <= before)
 
 let test_shared_store_hierarchical_updates () =
@@ -153,13 +153,13 @@ let test_shared_store_hierarchical_updates () =
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
   let obj = Array.init 4 (fun _ -> 10.) (* far away, unique *) in
   let id = Hierarchical.insert h obj in
-  (match (Hierarchical.query h obj).Dbh.Index.nn with
+  (match (Hierarchical.search h obj).Dbh.Index.nn with
   | Some (found, d) ->
       Alcotest.(check int) "found in cascade" id found;
       check_loose 1e-9 "zero" 0. d
   | None -> Alcotest.fail "inserted object must be retrievable");
   Hierarchical.delete h id;
-  (match (Hierarchical.query h obj).Dbh.Index.nn with
+  (match (Hierarchical.search h obj).Dbh.Index.nn with
   | Some (found, _) -> Alcotest.(check bool) "gone after delete" true (found <> id)
   | None -> ())
 
@@ -180,7 +180,7 @@ let test_incremental_equals_batch () =
   let qrng = Rng.create 74 in
   for _ = 1 to 30 do
     let q = Dbh_datasets.Vectors.perturb ~rng:qrng ~sigma:0.1 db.(Rng.int qrng 200) in
-    let a = Index.query batch q and b = Index.query incremental q in
+    let a = Index.search batch q and b = Index.search incremental q in
     Alcotest.(check bool) "same answer" true (a.Index.nn = b.Index.nn);
     Alcotest.(check int) "same lookup cost" a.Index.stats.Index.lookup_cost
       b.Index.stats.Index.lookup_cost
@@ -210,7 +210,7 @@ let test_multiprobe_zero_equals_query () =
   let index, db, rng = make_index ~l:6 () in
   for _ = 1 to 20 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.1 db.(Rng.int rng 300) in
-    let base = Index.query index q in
+    let base = Index.search index q in
     let mp = Index.query_multiprobe index ~probes:0 q in
     Alcotest.(check bool) "same answer" true (base.Index.nn = mp.Index.nn);
     Alcotest.(check int) "same lookup" base.Index.stats.Index.lookup_cost
@@ -221,7 +221,7 @@ let test_multiprobe_superset_candidates () =
   let index, db, rng = make_index ~l:4 () in
   for _ = 1 to 20 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.15 db.(Rng.int rng 300) in
-    let base = Index.query index q in
+    let base = Index.search index q in
     let mp = Index.query_multiprobe index ~probes:4 q in
     (* More probes can only add candidates, so the answer can't worsen. *)
     Alcotest.(check bool) "lookup grows" true
@@ -244,7 +244,7 @@ let test_multiprobe_improves_recall_vs_small_l () =
   let accuracy f =
     Dbh_eval.Ground_truth.accuracy truth (Array.map (fun q -> (f q).Index.nn) queries)
   in
-  let base = accuracy (fun q -> Index.query index q) in
+  let base = accuracy (fun q -> Index.search index q) in
   let probed = accuracy (fun q -> Index.query_multiprobe index ~probes:8 q) in
   Alcotest.(check bool)
     (Printf.sprintf "probed %.3f > base %.3f" probed base)
@@ -270,7 +270,7 @@ let test_budgeted_equals_query_with_big_budget () =
   let index, db, rng = make_index ~l:6 () in
   for _ = 1 to 20 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.1 db.(Rng.int rng 300) in
-    let base = Index.query index q in
+    let base = Index.search index q in
     let b = Index.query_budgeted index ~max_candidates:10_000 q in
     match (base.Index.nn, b.Index.nn) with
     | Some (_, d0), Some (_, d1) -> check_loose 1e-12 "same distance" d0 d1
@@ -324,7 +324,7 @@ let test_index_roundtrip () =
   Alcotest.(check int) "size" (Index.size index) (Index.size index');
   for _ = 1 to 30 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.1 db.(Rng.int rng 250) in
-    let a = Index.query index q and b = Index.query index' q in
+    let a = Index.search index q and b = Index.search index' q in
     Alcotest.(check bool) "same answer" true (a.Index.nn = b.Index.nn);
     Alcotest.(check int) "same lookup cost" a.Index.stats.Index.lookup_cost
       b.Index.stats.Index.lookup_cost
@@ -338,7 +338,7 @@ let test_index_save_load_file () =
     (fun () ->
       Index.save ~encode ~path index;
       let index' = Index.load ~decode ~space:l2 ~path in
-      let a = Index.query index db.(5) and b = Index.query index' db.(5) in
+      let a = Index.search index db.(5) and b = Index.search index' db.(5) in
       Alcotest.(check bool) "same" true (a.Index.nn = b.Index.nn))
 
 let test_index_read_rejects_garbage () =
@@ -394,7 +394,7 @@ let test_hierarchical_roundtrip () =
     levels;
   for i = 0 to 30 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.08 db.(i * 11) in
-    let a = Hierarchical.query h q and b = Hierarchical.query h' q in
+    let a = Hierarchical.search h q and b = Hierarchical.search h' q in
     Alcotest.(check bool) "same answer" true (a.Dbh.Index.nn = b.Dbh.Index.nn)
   done
 

@@ -146,8 +146,8 @@ let test_tradeoff_sort () =
       Tradeoff.series_label = "x";
       points =
         [|
-          { Tradeoff.method_label = "m"; setting = "a"; accuracy = 0.9; mean_cost = 1.; cost_ci95 = 0. };
-          { Tradeoff.method_label = "m"; setting = "b"; accuracy = 0.5; mean_cost = 2.; cost_ci95 = 0. };
+          { Tradeoff.method_label = "m"; setting = "a"; accuracy = 0.9; mean_cost = 1.; cost_ci95 = 0.; total_cost = 1 };
+          { Tradeoff.method_label = "m"; setting = "b"; accuracy = 0.5; mean_cost = 2.; cost_ci95 = 0.; total_cost = 2 };
         |];
     }
   in
@@ -202,6 +202,7 @@ let test_csv_format () =
             setting = "t=0.9";
             accuracy = 0.925;
             mean_cost = 120.5;
+            total_cost = 241;
             cost_ci95 = 3.25;
           };
         |];
@@ -210,9 +211,9 @@ let test_csv_format () =
   let csv = Report.csv_of_series [ s ] in
   let lines = String.split_on_char '\n' (String.trim csv) in
   Alcotest.(check int) "header + row" 2 (List.length lines);
-  Alcotest.(check string) "header" "method,setting,accuracy,mean_cost,cost_ci95"
+  Alcotest.(check string) "header" "method,setting,accuracy,mean_cost,cost_ci95,total_cost"
     (List.nth lines 0);
-  Alcotest.(check string) "row" "m,t=0.9,0.925000,120.500,3.250" (List.nth lines 1)
+  Alcotest.(check string) "row" "m,t=0.9,0.925000,120.500,3.250,241" (List.nth lines 1)
 
 let test_ascii_plot_smoke () =
   (* Pure smoke: the plot must render any series without raising,
@@ -230,6 +231,7 @@ let test_ascii_plot_smoke () =
                  accuracy = a;
                  mean_cost = c;
                  cost_ci95 = 0.;
+                 total_cost = 0;
                })
              pts);
     }

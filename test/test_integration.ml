@@ -25,7 +25,7 @@ let small_config =
   }
 
 let run_queries_single index queries =
-  Array.map (fun q -> Index.query index q) queries
+  Array.map (fun q -> Index.search index q) queries
 
 let mean_cost results =
   Dbh_util.Stats.mean
@@ -79,7 +79,7 @@ let test_hierarchical_cheaper_than_single () =
   | Some (index, _) ->
       let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config:small_config () in
       let single_results = run_queries_single index queries in
-      let hier_results = Array.map (fun q -> Hierarchical.query h q) queries in
+      let hier_results = Array.map (fun q -> Hierarchical.search h q) queries in
       let single_acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) single_results) in
       let hier_acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) hier_results) in
       let single_cost = mean_cost single_results in
@@ -101,7 +101,7 @@ let test_dbh_on_non_metric_dtw () =
   let config = { small_config with num_pivots = 25; num_sample_queries = 80 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let results = Array.map (fun q -> Hierarchical.query h q) queries in
+  let results = Array.map (fun q -> Hierarchical.search h q) queries in
   let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) results) in
   let cost = mean_cost results in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f > 0.6" acc) true (acc > 0.6);
@@ -121,7 +121,7 @@ let test_dbh_on_strings () =
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let results = Array.map (fun q -> Hierarchical.query h q) queries in
+  let results = Array.map (fun q -> Hierarchical.search h q) queries in
   let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) results) in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.7)
 
@@ -137,7 +137,7 @@ let test_dbh_on_jaccard_documents () =
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let results = Array.map (fun q -> Hierarchical.query h q) queries in
+  let results = Array.map (fun q -> Hierarchical.search h q) queries in
   let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) results) in
   let cost = mean_cost results in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.6);
@@ -161,7 +161,7 @@ let test_dbh_on_kl_histograms () =
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let results = Array.map (fun q -> Hierarchical.query h q) queries in
+  let results = Array.map (fun q -> Hierarchical.search h q) queries in
   let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) results) in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.7)
 
@@ -178,7 +178,7 @@ let test_dbh_on_dna_alignment () =
   let config = { small_config with num_pivots = 25 } in
   let prepared = Builder.prepare ~rng ~space ~config db in
   let h = Builder.hierarchical ~rng ~prepared ~db ~target_accuracy:0.9 ~config () in
-  let results = Array.map (fun q -> Hierarchical.query h q) queries in
+  let results = Array.map (fun q -> Hierarchical.search h q) queries in
   let acc = Ground_truth.accuracy truth (Array.map (fun r -> r.Index.nn) results) in
   let cost = mean_cost results in
   Alcotest.(check bool) (Printf.sprintf "accuracy %.3f" acc) true (acc > 0.6);
@@ -228,7 +228,7 @@ let test_counted_space_agrees_with_stats () =
   for i = 0 to 20 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(i * 11) in
     Space.reset counter;
-    let r = Index.query index q in
+    let r = Index.search index q in
     Alcotest.(check int) "stats = real distance calls" (Space.count counter)
       (Index.total_cost r.Index.stats)
   done

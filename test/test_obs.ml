@@ -1,0 +1,398 @@
+(* Tests for the observability layer (lib/obs) and its wiring through
+   the query pipeline:
+
+   - the registry primitives (counters, gauges, histograms) and the
+     Prometheus text exposition round-trip,
+   - reconciliation: the ambient metric set must agree exactly with the
+     per-query stats it summarizes AND with a counted space's raw
+     distance-call delta on the serving path,
+   - trace event ordering for a cascaded query,
+   - logical counters identical between a sequential run and a 4-domain
+     pool run of the same workload,
+   - Query_opts carrying budgets/metrics/traces, and the deprecated
+     pre-Query_opts wrappers staying source-compatible. *)
+
+module Rng = Dbh_util.Rng
+module Pool = Dbh_util.Pool
+module Space = Dbh_space.Space
+module Minkowski = Dbh_metrics.Minkowski
+module Hash_family = Dbh.Hash_family
+module Analysis = Dbh.Analysis
+module Index = Dbh.Index
+module Hierarchical = Dbh.Hierarchical
+module Query_opts = Dbh.Query_opts
+module Registry = Dbh_obs.Registry
+module Metrics = Dbh_obs.Metrics
+module Trace = Dbh_obs.Trace
+
+let l2 = Minkowski.l2_space
+
+let test_db seed n =
+  let rng = Rng.create seed in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:8 ~dim:6 n in
+  db
+
+(* A single-level index over a counted space, so raw distance calls can
+   be reconciled against the metric counters. *)
+let make_index ?(seed = 70) () =
+  let db = test_db seed 400 in
+  let rng = Rng.create (seed + 1) in
+  let counted, counter = Space.with_counter l2 in
+  let family =
+    Hash_family.make ~rng ~space:counted ~num_pivots:20 ~threshold_sample:150 db
+  in
+  let index = Index.build ~rng ~family ~db ~k:6 ~l:8 () in
+  (index, db, counter)
+
+let make_hier ?(seed = 80) () =
+  let db = test_db seed 500 in
+  let rng = Rng.create (seed + 1) in
+  let family = Hash_family.make ~rng ~space:l2 ~num_pivots:25 ~threshold_sample:200 db in
+  let query_indices = Rng.sample_indices rng 80 500 in
+  let analysis =
+    Analysis.build ~rng ~family ~db ~query_indices ~num_fns:200 ~db_sample:200 ()
+  in
+  let h =
+    Hierarchical.build ~rng ~family ~db ~analysis ~target_accuracy:0.9 ~levels:4
+      ~k_max:15 ~l_max:200 ()
+  in
+  (h, db, rng)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let queries_for db rng n =
+  Array.init n (fun _ ->
+      Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(Rng.int rng (Array.length db)))
+
+(* ------------------------------------------------------------- registry *)
+
+let test_registry_counter_gauge () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"a counter" "t_total" in
+  let g = Registry.gauge reg "t_depth" in
+  Registry.inc c;
+  Registry.add c 4;
+  Registry.set g 7;
+  Registry.set g 3;
+  Alcotest.(check int) "counter" 5 (Registry.counter_value c);
+  Alcotest.(check int) "gauge keeps last" 3 (Registry.gauge_value g);
+  Alcotest.check_raises "counters are monotone"
+    (Invalid_argument "Registry.add: counters are monotone") (fun () ->
+      Registry.add c (-1))
+
+let test_registry_duplicate_rejected () =
+  let reg = Registry.create () in
+  let _ = Registry.counter reg "dup_total" in
+  (try
+     let _ = Registry.counter reg "dup_total" in
+     Alcotest.fail "duplicate registration must raise"
+   with Invalid_argument _ -> ());
+  (* Same name with a different label set is a distinct sample. *)
+  let _ = Registry.counter reg ~labels:[ ("kind", "a") ] "lab_total" in
+  let _ = Registry.counter reg ~labels:[ ("kind", "b") ] "lab_total" in
+  ()
+
+let test_registry_histogram_invariants () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~buckets:[| 1.; 5.; 25. |] "t_cost" in
+  List.iter (Registry.observe h) [ 0.5; 0.5; 3.; 30.; 4.; 25. ];
+  Alcotest.(check int) "count" 6 (Registry.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 63. (Registry.histogram_sum h);
+  let samples = Registry.parse_exposition (Registry.exposition reg) in
+  let sample name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "missing sample %s" name)
+  in
+  (* Cumulative buckets are monotone and the +Inf bucket equals count. *)
+  let b1 = sample "t_cost_bucket{le=\"1\"}" in
+  let b5 = sample "t_cost_bucket{le=\"5\"}" in
+  let b25 = sample "t_cost_bucket{le=\"25\"}" in
+  let binf = sample "t_cost_bucket{le=\"+Inf\"}" in
+  Alcotest.(check (float 0.)) "le 1" 2. b1;
+  Alcotest.(check (float 0.)) "le 5" 4. b5;
+  Alcotest.(check (float 0.)) "le 25 includes boundary" 5. b25;
+  Alcotest.(check (float 0.)) "+Inf = count" 6. binf;
+  Alcotest.(check bool) "monotone" true (b1 <= b5 && b5 <= b25 && b25 <= binf);
+  Alcotest.(check (float 0.)) "count sample" 6. (sample "t_cost_count");
+  Alcotest.(check (float 1e-9)) "sum sample" 63. (sample "t_cost_sum")
+
+let test_exposition_round_trip () =
+  let m = Metrics.create () in
+  Registry.add m.Metrics.distance_computations_total 123;
+  Registry.inc m.Metrics.queries_total;
+  Registry.set m.Metrics.snapshot_bytes 4096;
+  Registry.observe m.Metrics.query_seconds 0.002;
+  let samples = Registry.parse_exposition (Registry.exposition m.Metrics.registry) in
+  let get name = List.assoc_opt name samples in
+  Alcotest.(check (option (float 0.))) "counter" (Some 123.)
+    (get "dbh_distance_computations_total");
+  Alcotest.(check (option (float 0.))) "queries" (Some 1.) (get "dbh_queries_total");
+  Alcotest.(check (option (float 0.))) "gauge" (Some 4096.) (get "dbh_snapshot_bytes");
+  Alcotest.(check (option (float 0.))) "histogram count" (Some 1.)
+    (get "dbh_query_seconds_count");
+  (* find_sample is the same lookup. *)
+  Alcotest.(check (option (float 0.))) "find_sample" (Some 123.)
+    (Registry.find_sample m.Metrics.registry "dbh_distance_computations_total");
+  (* JSON export mentions every family name. *)
+  let json = Registry.to_json m.Metrics.registry in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in json") true (contains ~affix:name json))
+    [ "dbh_queries_total"; "dbh_query_cost"; "dbh_snapshot_bytes" ]
+
+(* ------------------------------------------------------- reconciliation *)
+
+let test_counters_match_space_delta () =
+  let index, db, counter = make_index () in
+  let rng = Rng.create 71 in
+  let queries = queries_for db rng 40 in
+  Space.reset counter;
+  let m = Metrics.create () in
+  let opts = Query_opts.make ~metrics:m () in
+  let results = Array.map (Index.search ~opts index) queries in
+  let delta = Space.count counter in
+  let reported =
+    Array.fold_left (fun acc r -> acc + Index.total_cost r.Index.stats) 0 results
+  in
+  let counted = Registry.counter_value m.Metrics.distance_computations_total in
+  Alcotest.(check int) "counter = per-query stats" reported counted;
+  Alcotest.(check int) "counter = raw space delta" delta counted;
+  Alcotest.(check int) "queries_total" (Array.length queries)
+    (Registry.counter_value m.Metrics.queries_total);
+  Alcotest.(check int) "hash + lookup = total"
+    counted
+    (Registry.counter_value m.Metrics.hash_distance_computations_total
+    + Registry.counter_value m.Metrics.lookup_distance_computations_total);
+  (* The per-query cost histogram summarizes the same numbers. *)
+  Alcotest.(check int) "histogram count = queries" (Array.length queries)
+    (Registry.histogram_count m.Metrics.query_cost);
+  Alcotest.(check (float 1e-9)) "histogram sum = total cost" (float_of_int counted)
+    (Registry.histogram_sum m.Metrics.query_cost)
+
+let test_ambient_install_and_explicit_override () =
+  let index, db, _ = make_index ~seed:72 () in
+  let q = db.(0) in
+  let ambient = Metrics.create () in
+  let explicit = Metrics.create () in
+  Metrics.with_installed ambient (fun () ->
+      ignore (Index.search index q);
+      ignore (Index.search ~opts:(Query_opts.make ~metrics:explicit ()) index q));
+  Alcotest.(check int) "ambient saw only the bare query" 1
+    (Registry.counter_value ambient.Metrics.queries_total);
+  Alcotest.(check int) "explicit wins over ambient" 1
+    (Registry.counter_value explicit.Metrics.queries_total);
+  (* Outside with_installed nothing is recorded. *)
+  ignore (Index.search index q);
+  Alcotest.(check int) "uninstalled records nothing" 1
+    (Registry.counter_value ambient.Metrics.queries_total)
+
+let test_budget_via_opts () =
+  let index, db, _ = make_index ~seed:73 () in
+  let rng = Rng.create 74 in
+  let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.05 db.(7) in
+  let m = Metrics.create () in
+  let tight = Index.search ~opts:(Query_opts.make ~budget:5 ~metrics:m ()) index q in
+  Alcotest.(check bool) "tight budget truncates" true tight.Index.truncated;
+  Alcotest.(check int) "truncation counted" 1
+    (Registry.counter_value m.Metrics.queries_truncated_total);
+  (* Query_opts.budgeted behaves exactly like the low-level budget. *)
+  let direct = Index.query_with ~budget:(Dbh.Budget.create 5) index q in
+  Alcotest.(check bool) "same nn" true (tight.Index.nn = direct.Index.nn);
+  Alcotest.(check bool) "same stats" true (tight.Index.stats = direct.Index.stats);
+  let loose = Index.search ~opts:(Query_opts.budgeted 100_000) index q in
+  Alcotest.(check bool) "loose budget completes" false loose.Index.truncated
+
+(* ------------------------------------------------------------- tracing *)
+
+let test_trace_cascade_ordering () =
+  let h, db, rng = make_hier () in
+  let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.2 db.(11) in
+  let trace = Trace.create () in
+  let r = Hierarchical.search ~opts:(Query_opts.make ~trace ()) h q in
+  let events = Array.map snd (Trace.events trace) in
+  let times = Array.map fst (Trace.events trace) in
+  Alcotest.(check bool) "non-empty" true (Array.length events > 2);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped trace);
+  (* Timestamps never go backwards. *)
+  Array.iteri
+    (fun i t -> if i > 0 then Alcotest.(check bool) "time monotone" true (t >= times.(i - 1)))
+    times;
+  (match events.(0) with
+  | Trace.Query_start { kind } ->
+      Alcotest.(check bool) "kind names the cascade" true
+        (contains ~affix:"hierarchical" kind)
+  | _ -> Alcotest.fail "first event must be Query_start");
+  (match events.(Array.length events - 1) with
+  | Trace.Query_done { hash_cost; lookup_cost; levels_probed; truncated; _ } ->
+      Alcotest.(check int) "done hash_cost" r.Index.stats.Index.hash_cost hash_cost;
+      Alcotest.(check int) "done lookup_cost" r.Index.stats.Index.lookup_cost lookup_cost;
+      Alcotest.(check int) "done levels" r.Index.levels_probed levels_probed;
+      Alcotest.(check bool) "done truncated" r.Index.truncated truncated
+  | _ -> Alcotest.fail "last event must be Query_done");
+  (* Cascade structure: levels are entered in order starting at 0, every
+     probe/candidate happens inside some level, and the number of levels
+     entered is what the result reports. *)
+  let current_level = ref (-1) in
+  let entered = ref 0 in
+  Array.iter
+    (fun ev ->
+      match ev with
+      | Trace.Level_enter { level; _ } ->
+          Alcotest.(check int) "levels in order" (!current_level + 1) level;
+          current_level := level;
+          incr entered
+      | Trace.Bucket_probe { level; _ } ->
+          Alcotest.(check int) "probe inside current level" !current_level level
+      | Trace.Candidate _ | Trace.Pivot_hit _ | Trace.Pivot_miss _ ->
+          Alcotest.(check bool) "work only inside a level" true (!current_level >= 0)
+      | Trace.Level_settled { level; _ } ->
+          Alcotest.(check int) "settled at current level" !current_level level
+      | _ -> ())
+    events;
+  Alcotest.(check int) "levels entered = levels_probed" r.Index.levels_probed !entered;
+  (* Candidate [improved] flags replay the best-so-far chain. *)
+  let best = ref infinity in
+  Array.iter
+    (function
+      | Trace.Candidate { distance; improved; _ } ->
+          Alcotest.(check bool) "improved flag consistent" (distance < !best) improved;
+          if improved then best := distance
+      | _ -> ())
+    events;
+  (match r.Index.nn with
+  | Some (_, d) -> Alcotest.(check (float 1e-9)) "final best = result" d !best
+  | None -> Alcotest.fail "expected a neighbor");
+  (* The timeline pretty-printer and JSON export stay total. *)
+  let rendered = Format.asprintf "%a" Trace.pp trace in
+  Alcotest.(check bool) "pp renders all lines" true
+    (List.length (String.split_on_char '\n' (String.trim rendered))
+    >= Array.length events);
+  Alcotest.(check bool) "json non-empty" true (String.length (Trace.to_json trace) > 2)
+
+let test_trace_capacity_bounded () =
+  let trace = Trace.create ~clock:(fun () -> 0.) ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record trace (Trace.Pivot_miss { pivot = i })
+  done;
+  Alcotest.(check int) "capped" 4 (Trace.length trace);
+  Alcotest.(check int) "dropped the rest" 6 (Trace.dropped trace);
+  Trace.clear trace;
+  Alcotest.(check int) "clear empties" 0 (Trace.length trace);
+  Alcotest.(check int) "clear resets dropped" 0 (Trace.dropped trace)
+
+(* ------------------------------------------------------- multicore runs *)
+
+let test_parallel_logical_counters_identical () =
+  let h, db, rng = make_hier ~seed:81 () in
+  let queries = queries_for db rng 60 in
+  (* Installed (not explicit) metrics, so the pool's own physical
+     instrumentation lands in the same set as the query counters. *)
+  let run pool =
+    let m = Metrics.create () in
+    let results =
+      Metrics.with_installed m (fun () ->
+          Hierarchical.search_batch ~opts:(Query_opts.make ?pool ()) h queries)
+    in
+    (m, results)
+  in
+  let m_seq, r_seq = run None in
+  let m_par, r_par = Pool.with_pool ~domains:4 (fun pool -> run (Some pool)) in
+  Alcotest.(check bool) "answers bit-identical" true (r_seq = r_par);
+  (* Every logical counter agrees; pool_* gauges/counters are physical
+     and deliberately excluded. *)
+  List.iter
+    (fun (name, pick) ->
+      Alcotest.(check int) name
+        (Registry.counter_value (pick m_seq))
+        (Registry.counter_value (pick m_par)))
+    [
+      ("queries_total", fun m -> m.Metrics.queries_total);
+      ("queries_truncated_total", fun m -> m.Metrics.queries_truncated_total);
+      ("distance_computations_total", fun m -> m.Metrics.distance_computations_total);
+      ("hash_distance_computations_total", fun m -> m.Metrics.hash_distance_computations_total);
+      ("lookup_distance_computations_total", fun m -> m.Metrics.lookup_distance_computations_total);
+      ("bucket_probes_total", fun m -> m.Metrics.bucket_probes_total);
+      ("levels_probed_total", fun m -> m.Metrics.levels_probed_total);
+      ("pivot_cache_hits_total", fun m -> m.Metrics.pivot_cache_hits_total);
+      ("pivot_cache_misses_total", fun m -> m.Metrics.pivot_cache_misses_total);
+    ];
+  Alcotest.(check int) "cost histogram count identical"
+    (Registry.histogram_count m_seq.Metrics.query_cost)
+    (Registry.histogram_count m_par.Metrics.query_cost);
+  Alcotest.(check (float 1e-9)) "cost histogram sum identical"
+    (Registry.histogram_sum m_seq.Metrics.query_cost)
+    (Registry.histogram_sum m_par.Metrics.query_cost);
+  (* The pool run did record physical pool activity. *)
+  Alcotest.(check bool) "pool tasks recorded" true
+    (Registry.counter_value m_par.Metrics.pool_tasks_total > 0);
+  Alcotest.(check int) "sequential run used no pool" 0
+    (Registry.counter_value m_seq.Metrics.pool_tasks_total)
+
+(* --------------------------------------------- deprecated wrapper compat *)
+
+(* The pre-Query_opts entry points must keep compiling (with the
+   deprecation silenced) and must behave exactly like their Query_opts
+   replacements. *)
+let test_deprecated_wrappers_compatible () =
+  let module Compat = struct
+    [@@@alert "-deprecated"]
+    [@@@warning "-3"]
+
+    let run () =
+      let index, db, _ = make_index ~seed:75 () in
+      let q = db.(42) in
+      let old_r = Index.query index q in
+      let new_r = Index.search index q in
+      Alcotest.(check bool) "Index.query = Index.search" true (old_r = new_r);
+      let old_b = Index.query ~budget:(Dbh.Budget.create 9) index q in
+      let new_b = Index.search ~opts:(Query_opts.budgeted 9) index q in
+      Alcotest.(check bool) "budgeted agree" true (old_b = new_b);
+      let qs = Array.sub db 0 10 in
+      Alcotest.(check bool) "batch agree" true
+        (Index.query_batch index qs = Index.search_batch index qs);
+      let h, hdb, _ = make_hier ~seed:82 () in
+      let hq = hdb.(3) in
+      let r, levels = Hierarchical.query_verbose h hq in
+      let s = Hierarchical.search h hq in
+      Alcotest.(check bool) "query_verbose result" true (r = s);
+      Alcotest.(check int) "query_verbose levels" s.Index.levels_probed levels
+  end in
+  Compat.run ()
+
+let () =
+  Alcotest.run "dbh_obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_registry_counter_gauge;
+          Alcotest.test_case "duplicate names rejected" `Quick test_registry_duplicate_rejected;
+          Alcotest.test_case "histogram invariants" `Quick test_registry_histogram_invariants;
+          Alcotest.test_case "exposition round-trip" `Quick test_exposition_round_trip;
+        ] );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "counters = space delta = stats" `Quick
+            test_counters_match_space_delta;
+          Alcotest.test_case "ambient install + override" `Quick
+            test_ambient_install_and_explicit_override;
+          Alcotest.test_case "budget via opts" `Quick test_budget_via_opts;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "cascade event ordering" `Quick test_trace_cascade_ordering;
+          Alcotest.test_case "capacity bounded" `Quick test_trace_capacity_bounded;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "4-domain logical counters identical" `Quick
+            test_parallel_logical_counters_identical;
+        ] );
+      ( "compat",
+        [
+          Alcotest.test_case "deprecated wrappers" `Quick test_deprecated_wrappers_compatible;
+        ] );
+    ]

@@ -26,7 +26,7 @@ let test_online_basic_query () =
   let t = Online.create ~rng ~space:l2 ~config:small_config ~target_accuracy:0.9 db in
   Alcotest.(check int) "size" 300 (Online.size t);
   Alcotest.(check int) "no rebuilds yet" 0 (Online.rebuilds t);
-  match (Online.query t db.(5)).Online.nn with
+  match (Online.search t db.(5)).Online.nn with
   | Some (h, d) ->
       Alcotest.(check (float 1e-9)) "self found" 0. d;
       Alcotest.(check int) "handle is db position" 5 h
@@ -40,7 +40,7 @@ let test_online_insert_and_handles () =
   let h = Online.insert t obj in
   Alcotest.(check int) "next handle" 200 h;
   Alcotest.(check (array (float 0.))) "get returns object" obj (Online.get t h);
-  (match (Online.query t obj).Online.nn with
+  (match (Online.search t obj).Online.nn with
   | Some (found, d) ->
       Alcotest.(check int) "found by handle" h found;
       Alcotest.(check (float 1e-9)) "zero" 0. d
@@ -48,7 +48,7 @@ let test_online_insert_and_handles () =
   Online.delete t h;
   Alcotest.check_raises "dead handle" (Invalid_argument "Online.get: dead or unknown handle")
     (fun () -> ignore (Online.get t h));
-  match (Online.query t obj).Online.nn with
+  match (Online.search t obj).Online.nn with
   | Some (found, _) -> Alcotest.(check bool) "not the deleted handle" true (found <> h)
   | None -> ()
 
@@ -73,7 +73,7 @@ let test_online_rebuild_preserves_handles () =
     !handles;
   (* And queries return post-rebuild handles consistently. *)
   let h, v = List.nth !handles 13 in
-  match (Online.query t v).Online.nn with
+  match (Online.search t v).Online.nn with
   | Some (found, d) ->
       Alcotest.(check (float 1e-9)) "zero distance" 0. d;
       (* Ties possible if another object coincides — distance check above
@@ -123,7 +123,7 @@ let test_online_accuracy_after_churn () =
     let best_d =
       List.fold_left (fun acc (_, x) -> Float.min acc (Minkowski.l2 q x)) infinity alive
     in
-    match (Online.query t q).Online.nn with
+    match (Online.search t q).Online.nn with
     | Some (_, d) when d <= best_d +. 1e-9 -> incr ok
     | Some _ | None -> ()
   done;

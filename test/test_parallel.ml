@@ -177,16 +177,16 @@ let test_parallel_collision_matrix_bit_identical () =
 let test_query_batch_matches_per_query () =
   let db, _, index = build_index 31 in
   let queries = Array.sub db 0 50 in
-  let per_query = Array.map (fun q -> Index.query index q) queries in
-  Alcotest.(check bool) "unbudgeted batch equal" true (Index.query_batch index queries = per_query);
+  let per_query = Array.map (fun q -> Index.search index q) queries in
+  Alcotest.(check bool) "unbudgeted batch equal" true (Index.search_batch index queries = per_query);
   Pool.with_pool ~domains (fun pool ->
       Alcotest.(check bool)
         "parallel batch equal" true
-        (Index.query_batch ~pool index queries = per_query);
-      let budgeted = Array.map (fun q -> Index.query ~budget:(Dbh.Budget.create 60) index q) queries in
+        (Index.search_batch ~opts:(Dbh.Query_opts.make ~pool ()) index queries = per_query);
+      let budgeted = Array.map (fun q -> Index.query_with ~budget:(Dbh.Budget.create 60) index q) queries in
       Alcotest.(check bool)
         "parallel budgeted batch equal" true
-        (Index.query_batch ~pool ~budget:60 index queries = budgeted))
+        (Index.search_batch ~opts:(Dbh.Query_opts.make ~pool ~budget:60 ()) index queries = budgeted))
 
 let test_query_batch_budget_never_exceeded () =
   let db, _, index = build_index 31 in
@@ -194,7 +194,7 @@ let test_query_batch_budget_never_exceeded () =
   Pool.with_pool ~domains (fun pool ->
       List.iter
         (fun budget ->
-          let results = Index.query_batch ~pool ~budget index queries in
+          let results = Index.search_batch ~opts:(Dbh.Query_opts.make ~pool ~budget ()) index queries in
           Array.iter
             (fun (r : _ Index.result) ->
               let spent = Index.total_cost r.Index.stats in
@@ -210,11 +210,11 @@ let test_hierarchical_batch_matches_per_query () =
   in
   let h = Builder.auto ~rng:(Rng.create 61) ~space:l2 ~config ~target_accuracy:0.9 db in
   let queries = Array.sub db 0 40 in
-  let per_query = Array.map (fun q -> Hierarchical.query h q) queries in
+  let per_query = Array.map (fun q -> Hierarchical.search h q) queries in
   Pool.with_pool ~domains (fun pool ->
       Alcotest.(check bool)
         "hierarchical batch equal" true
-        (Hierarchical.query_batch ~pool h queries = per_query))
+        (Hierarchical.search_batch ~opts:(Dbh.Query_opts.make ~pool ()) h queries = per_query))
 
 let test_online_parallel_generation_matches () =
   let db = test_db 25 250 in
@@ -223,14 +223,14 @@ let test_online_parallel_generation_matches () =
   in
   let queries = test_db 26 30 in
   let seq = Online.create ~rng:(Rng.create 71) ~space:l2 ~config ~target_accuracy:0.9 db in
-  let seq_answers = Array.map (fun q -> (Online.query seq q).Online.nn) queries in
+  let seq_answers = Array.map (fun q -> (Online.search seq q).Online.nn) queries in
   Pool.with_pool ~domains (fun pool ->
       let par =
         Online.create ~pool ~rng:(Rng.create 71) ~space:l2 ~config ~target_accuracy:0.9 db
       in
       (* The remembered pool drives query_batch; answers must match the
          sequential per-query run. *)
-      let par_answers = Array.map (fun (r : _ Online.result) -> r.Online.nn) (Online.query_batch par queries) in
+      let par_answers = Array.map (fun (r : _ Online.result) -> r.Online.nn) (Online.search_batch par queries) in
       Alcotest.(check bool) "online answers equal" true (seq_answers = par_answers))
 
 let test_ground_truth_parallel_identical () =

@@ -258,7 +258,7 @@ let test_index_save_load_round_trip () =
   let queries = test_db 99 20 in
   Array.iter
     (fun q ->
-      let a = Index.query index q and b = Index.query loaded q in
+      let a = Index.search index q and b = Index.search loaded q in
       if a <> b then Alcotest.fail "loaded index answers differently")
     queries;
   ignore db
@@ -300,7 +300,7 @@ let test_hierarchical_save_load_round_trip () =
   let queries = test_db 98 20 in
   Array.iter
     (fun q ->
-      let a = Hierarchical.query h q and b = Hierarchical.query loaded q in
+      let a = Hierarchical.search h q and b = Hierarchical.search loaded q in
       if a <> b then Alcotest.fail "loaded hierarchical answers differently")
     queries
 
@@ -373,7 +373,7 @@ let check_equiv msg twin dur =
     (Online.rebuilds (Durable.online dur));
   Array.iteri
     (fun i q ->
-      let a = Online.query twin q and b = Durable.query dur q in
+      let a = Online.search twin q and b = Durable.search dur q in
       if a <> b then Alcotest.failf "%s: query %d differs after restart" msg i)
     queries
 
@@ -566,10 +566,10 @@ let test_durable_parallel_pool_equivalent () =
          twin: parallel rebuilds are bit-identical by construction, and
          recovery must preserve that. *)
       check_equiv "pooled restart vs sequential twin" twin d2;
-      let batch = Durable.query_batch d2 queries in
+      let batch = Durable.search_batch d2 queries in
       Array.iteri
         (fun i (r : _ Online.result) ->
-          if r <> Online.query twin queries.(i) then
+          if r <> Online.search twin queries.(i) then
             Alcotest.failf "pooled batch query %d differs" i)
         batch;
       Durable.close d2)

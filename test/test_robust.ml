@@ -211,7 +211,7 @@ let test_index_query_budget () =
     let limit = 1 + Rng.int qrng 40 in
     let b = Budget.create limit in
     Space.reset counter;
-    let r = Dbh.Index.query ~budget:b index q in
+    let r = Dbh.Index.query_with ~budget:b index q in
     Alcotest.(check bool)
       (Printf.sprintf "spend %d within limit %d" (Space.count counter) limit)
       true
@@ -221,7 +221,7 @@ let test_index_query_budget () =
     Alcotest.(check bool) "truncated iff a charge was refused" (Budget.exhausted b)
       r.Dbh.Index.truncated;
     if not r.Dbh.Index.truncated then begin
-      let full = Dbh.Index.query index q in
+      let full = Dbh.Index.search index q in
       Alcotest.(check bool) "untruncated answer equals unbudgeted" true
         (full.Dbh.Index.nn = r.Dbh.Index.nn)
     end
@@ -239,11 +239,11 @@ let test_hierarchical_query_budget () =
     let limit = 1 + Rng.int qrng 60 in
     let b = Budget.create limit in
     Space.reset counter;
-    let r = Dbh.Hierarchical.query ~budget:b h q in
+    let r = Dbh.Hierarchical.query_with ~budget:b h q in
     Alcotest.(check bool) "spend within limit" true (Space.count counter <= limit);
     Alcotest.(check bool) "truncated iff refused" (Budget.exhausted b) r.Dbh.Index.truncated;
     if not r.Dbh.Index.truncated then begin
-      let full = Dbh.Hierarchical.query h q in
+      let full = Dbh.Hierarchical.search h q in
       Alcotest.(check bool) "untruncated = unbudgeted" true (full.Dbh.Index.nn = r.Dbh.Index.nn)
     end
   done
@@ -260,13 +260,13 @@ let test_online_query_budget () =
     let q = Dbh_datasets.Vectors.perturb ~rng:qrng ~sigma:0.1 db.(Rng.int qrng 300) in
     let b = Budget.create 5 in
     Space.reset counter;
-    let r = Online.query ~budget:b t q in
+    let r = Online.query_with ~budget:b t q in
     Alcotest.(check bool) "spend within tight limit" true (Space.count counter <= 5);
     if r.Online.truncated then incr tight_truncated;
     let big = Budget.create 1_000_000 in
-    let r' = Online.query ~budget:big t q in
+    let r' = Online.query_with ~budget:big t q in
     Alcotest.(check bool) "huge budget never truncates" false r'.Online.truncated;
-    let full = Online.query t q in
+    let full = Online.search t q in
     Alcotest.(check bool) "huge budget = unbudgeted" true (full.Online.nn = r'.Online.nn)
   done;
   Alcotest.(check bool) "tight budget truncates sometimes" true (!tight_truncated > 0)
@@ -307,7 +307,7 @@ let test_breaker_trip_and_recover () =
   let next_query () = Dbh_datasets.Vectors.perturb ~rng:qrng ~sigma:0.1 db.(Rng.int qrng 300) in
   (* Healthy phase: everything through the index, breaker stays closed. *)
   for _ = 1 to 20 do
-    let out = Breaker.query breaker (next_query ()) in
+    let out = Breaker.search breaker (next_query ()) in
     Alcotest.(check bool) "healthy served by index" true (out.Breaker.served_by = `Index)
   done;
   Alcotest.(check int) "no trips while healthy" 0 (Breaker.trips breaker);
@@ -316,7 +316,7 @@ let test_breaker_trip_and_recover () =
   Faulty_space.set_config faults (Faulty_space.faults ~nan:0.05 ~exn_:0.01 ());
   let linear = ref 0 and answered = ref 0 in
   for _ = 1 to 200 do
-    let out = Breaker.query breaker (next_query ()) in
+    let out = Breaker.search breaker (next_query ()) in
     (match out.Breaker.served_by with `Linear_scan -> incr linear | `Index -> ());
     if out.Breaker.result.Online.nn <> None then incr answered
   done;
@@ -334,7 +334,7 @@ let test_breaker_trip_and_recover () =
   let recovered = ref false and steps = ref 0 in
   while (not !recovered) && !steps < 200 do
     incr steps;
-    ignore (Breaker.query breaker (next_query ()));
+    ignore (Breaker.search breaker (next_query ()));
     if Breaker.state breaker = Breaker.Closed then recovered := true
   done;
   Alcotest.(check bool) "recovered to closed" true !recovered;
@@ -346,7 +346,7 @@ let test_breaker_trip_and_recover () =
       (Online.get online h)
   done;
   (* And post-recovery retrieval is exact again. *)
-  match (Breaker.query breaker db.(7)).Breaker.result.Online.nn with
+  match (Breaker.search breaker db.(7)).Breaker.result.Online.nn with
   | Some (h, d) ->
       Alcotest.(check int) "self query finds itself" 7 h;
       Alcotest.(check (float 1e-9)) "zero distance" 0. d
@@ -369,20 +369,19 @@ let test_breaker_fallback_budget_and_exactness () =
   let steps = ref 0 in
   while Breaker.state breaker <> Breaker.Open && !steps < 50 do
     incr steps;
-    ignore (Breaker.query breaker (next_query ()))
+    ignore (Breaker.search breaker (next_query ()))
   done;
   Alcotest.(check bool) "breaker open" true (Breaker.state breaker = Breaker.Open);
   Faulty_space.disable faults;
   (* The fallback honors per-query budgets. *)
-  let b = Budget.create 7 in
-  let out = Breaker.query ~budget:b breaker (next_query ()) in
+  let out = Breaker.search ~opts:(Dbh.Query_opts.make ~budget:7 ()) breaker (next_query ()) in
   Alcotest.(check bool) "served by fallback" true (out.Breaker.served_by = `Linear_scan);
   Alcotest.(check bool) "truncated" true out.Breaker.result.Online.truncated;
   Alcotest.(check bool) "within budget" true
     (out.Breaker.result.Online.stats.Dbh.Index.lookup_cost <= 7);
   (* And, unbudgeted, it is exact: same nearest distance as brute force. *)
   let probe = next_query () in
-  let out = Breaker.query breaker probe in
+  let out = Breaker.search breaker probe in
   (match out.Breaker.served_by with
   | `Linear_scan -> ()
   | `Index -> Alcotest.fail "expected fallback while open");
