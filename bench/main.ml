@@ -19,6 +19,7 @@
      parallel             (P1)  domain-pool scaling, writes BENCH_parallel.json
      persist              (D1)  snapshot/WAL durability cost, writes BENCH_persist.json
      obs                  (O1)  instrumentation overhead, writes BENCH_obs.json
+     storage              (S1)  packed CSR vs list buckets, writes BENCH_storage.json
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
@@ -1083,6 +1084,238 @@ let obs_section () =
       (Printf.sprintf "obs (O1): metrics overhead %.2f%% exceeds the 5%% budget"
          (100. *. overhead))
 
+(* ------------------------------------------------------------ S1 storage *)
+
+(* The compact storage engine (packed int keys, frozen CSR tables,
+   reusable query scratch) against a faithful reimplementation of the
+   pre-refactor layout: per-table [Hashtbl] buckets holding cons lists,
+   a fresh [Bytes] seen mask and a candidate list allocated per query.
+   Both engines are driven by the same hash family and the same function
+   choices (the reference replays the index's rng draws), so every
+   answer must match bit-for-bit — checked here for the sequential sweep
+   and a 4-domain batched sweep.  What may differ, and is the point:
+   resident bytes per object, allocation words per query, and wall
+   time.  The section fails if the packed engine allocates more than
+   half of what the list engine does per query, or is slower.  Numbers
+   land in BENCH_storage.json. *)
+
+let storage_section () =
+  Report.print_heading
+    "storage (S1): packed CSR + scratch vs list buckets, resident/alloc/latency";
+  let module Pool = Dbh_util.Pool in
+  let rng = Rng.create 95 in
+  let db_pen = pen_set ~rng (sc 1600) in
+  let q_pen = pen_set ~rng:(Rng.create 96) (sc 300) in
+  let n = Array.length db_pen and m = Array.length q_pen in
+  (* Genuine UNIPEN/DTW distances, but memoized behind int handles: the
+     warm-up sweeps populate the memo, then it freezes, so the measured
+     sweeps pay array/hashtable lookups instead of DTW matrices and the
+     alloc/latency numbers isolate the storage machinery rather than the
+     distance function (which is identical in both engines anyway). *)
+  let obj i = if i < n then db_pen.(i) else q_pen.(i - n) in
+  let memo : (int, float) Hashtbl.t = Hashtbl.create (1 lsl 16) in
+  let frozen = ref false in
+  let space =
+    Space.make ~name:"unipen-dtw-memo" (fun a b ->
+        let key = (a * (n + m)) + b in
+        (* find, not find_opt: a [Some] cell per distance call would add
+           identical noise to both engines and compress the alloc ratio. *)
+        try Hashtbl.find memo key
+        with Not_found ->
+          let d = Dbh_datasets.Pen_digits.space.Space.distance (obj a) (obj b) in
+          if not !frozen then Hashtbl.add memo key d;
+          d)
+  in
+  let db = Array.init n (fun i -> i) in
+  let queries = Array.init m (fun i -> n + i) in
+  let k = 10 and l = 8 in
+  let family =
+    Dbh.Hash_family.make ~rng:(Rng.create 97) ~space ~num_pivots:(sc 60)
+      ~threshold_sample:(sc 300) db
+  in
+  let index = Dbh.Index.build ~rng:(Rng.create 98) ~family ~db ~k ~l () in
+  (* Reference engine.  [Index.build] draws exactly [l] function-index
+     samples from its rng before anything else, so replaying those draws
+     from the same seed reproduces its tables' function choices. *)
+  let fn_ids =
+    let rng = Rng.create 98 in
+    Array.init l (fun _ -> Dbh.Hash_family.sample_fn_indices ~rng family k)
+  in
+  let key_of cache row =
+    Array.fold_left
+      (fun key fn_id -> (key lsl 1) lor (if Dbh.Hash_family.eval family cache fn_id then 1 else 0))
+      0 fn_ids.(row)
+  in
+  let distinct_fns =
+    Array.to_list fn_ids |> List.concat_map Array.to_list |> List.sort_uniq compare
+    |> Array.of_list
+  in
+  let ref_tables : (int, int list) Hashtbl.t array =
+    Array.init l (fun _ -> Hashtbl.create (Array.length db))
+  in
+  Array.iteri
+    (fun id obj ->
+      let cache = Dbh.Hash_family.cache family obj in
+      Array.iteri
+        (fun row _ ->
+          let key = key_of cache row in
+          let b = try Hashtbl.find ref_tables.(row) key with Not_found -> [] in
+          Hashtbl.replace ref_tables.(row) key (id :: b))
+        fn_ids)
+    db;
+  (* The pre-refactor single-level query, allocation profile included: a
+     fresh pivot cache, a fresh memo Hashtbl of the distinct functions'
+     bits, a fresh per-query Bytes seen mask, boxed best tracking;
+     buckets probed in discovery order, improving on strict [<]. *)
+  let ref_query q =
+    let cache = Dbh.Hash_family.cache family q in
+    let bits = Hashtbl.create (Array.length distinct_fns) in
+    Array.iter
+      (fun fn_id -> Hashtbl.replace bits fn_id (Dbh.Hash_family.eval family cache fn_id))
+      distinct_fns;
+    let key_of row =
+      Array.fold_left
+        (fun key fn_id -> (key lsl 1) lor (if Hashtbl.find bits fn_id then 1 else 0))
+        0 fn_ids.(row)
+    in
+    let seen = Bytes.make (Array.length db) '\000' in
+    let best = ref None in
+    let lookup = ref 0 in
+    for row = 0 to l - 1 do
+      let bucket = try Hashtbl.find ref_tables.(row) (key_of row) with Not_found -> [] in
+      List.iter
+        (fun id ->
+          if Bytes.get seen id = '\000' then begin
+            Bytes.set seen id '\001';
+            incr lookup;
+            let d = space.Space.distance q db.(id) in
+            match !best with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> best := Some (id, d)
+          end)
+        bucket
+    done;
+    (!best, !lookup)
+  in
+  let packed_opts scratch = Dbh.Query_opts.make ~scratch () in
+  let sweep_packed scratch () =
+    Array.map (fun q -> Dbh.Index.search ~opts:(packed_opts scratch) index q) queries
+  in
+  let sweep_ref () = Array.map ref_query queries in
+  (* Bit-identity, sequential: same neighbor, same distance, same number
+     of exact comparisons.  These first sweeps also warm the distance
+     memo; freeze it afterwards so the pooled sweep never mutates it. *)
+  let scratch = Dbh.Scratch.create () in
+  let packed_results = sweep_packed scratch () in
+  let ref_results = sweep_ref () in
+  frozen := true;
+  let identical_seq =
+    Array.for_all2
+      (fun (r : _ Dbh.Index.result) (nn, lookup) ->
+        r.Dbh.Index.nn = nn && r.Dbh.Index.stats.Dbh.Index.lookup_cost = lookup)
+      packed_results ref_results
+  in
+  (* Bit-identity, 4 domains: the pooled batch must reproduce the
+     sequential packed results exactly. *)
+  let pooled_results =
+    Pool.with_pool ~domains:4 (fun pool ->
+        Dbh.Index.search_batch ~opts:(Dbh.Query_opts.make ~pool ()) index queries)
+  in
+  let identical_pool = pooled_results = packed_results in
+  (* Allocation per query, after warm-up (the sweeps above). *)
+  let alloc_words f =
+    let before = Gc.allocated_bytes () in
+    ignore (Sys.opaque_identity (f ()));
+    let after = Gc.allocated_bytes () in
+    (after -. before) /. float_of_int (Array.length queries) /. 8.
+  in
+  let packed_alloc = alloc_words (sweep_packed scratch) in
+  let ref_alloc = alloc_words sweep_ref in
+  (* Wall time: best of rounds for throughput, plus a per-query latency
+     distribution for the packed engine. *)
+  let rounds = if quick then 3 else 5 in
+  let best f =
+    let b = ref infinity in
+    for _ = 1 to rounds do
+      let _, dt = seconds f in
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let packed_s = best (sweep_packed scratch) in
+  let ref_s = best sweep_ref in
+  let latencies =
+    Array.map
+      (fun q ->
+        let _, dt = seconds (fun () -> Dbh.Index.search ~opts:(packed_opts scratch) index q) in
+        dt *. 1e6)
+      queries
+  in
+  Array.sort compare latencies;
+  let pct p = latencies.(min (Array.length latencies - 1)
+                            (int_of_float (p *. float_of_int (Array.length latencies)))) in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  (* Resident table footprint: maintained estimate for the CSR engine,
+     exact reachable words for the reference Hashtbl-of-lists. *)
+  let word = Sys.word_size / 8 in
+  let n = Array.length db in
+  let packed_bytes = Dbh.Index.approx_table_words index * word in
+  let ref_bytes = Obj.reachable_words (Obj.repr ref_tables) * word in
+  let speedup = ref_s /. packed_s in
+  let alloc_ratio = ref_alloc /. Float.max 1. packed_alloc in
+  Printf.printf "  %8s %14s %14s %14s %12s\n" "layout" "bytes/object" "alloc w/query"
+    "sweep(s)" "queries/s";
+  Printf.printf "  %8s %14.1f %14.1f %14.4f %12.1f\n" "list"
+    (float_of_int ref_bytes /. float_of_int n)
+    ref_alloc ref_s
+    (float_of_int (Array.length queries) /. ref_s);
+  Printf.printf "  %8s %14.1f %14.1f %14.4f %12.1f\n" "packed"
+    (float_of_int packed_bytes /. float_of_int n)
+    packed_alloc packed_s
+    (float_of_int (Array.length queries) /. packed_s);
+  Printf.printf "  packed p50/p99 latency: %.1f / %.1f us\n" p50 p99;
+  Printf.printf "  speedup over list layout: %.2fx, alloc reduction: %.1fx\n" speedup
+    alloc_ratio;
+  Printf.printf "  bit-identical: sequential %b, 4-domain batch %b\n" identical_seq
+    identical_pool;
+  let oc = open_out "BENCH_storage.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+  Printf.fprintf oc
+    "  \"dataset\": { \"db_size\": %d, \"queries\": %d, \"space\": \"unipen-dtw-memoized\" },\n"
+    n (Array.length queries);
+  Printf.fprintf oc "  \"index\": { \"k\": %d, \"l\": %d, \"pivots\": %d },\n" k l
+    (Dbh.Hash_family.num_pivots family);
+  Printf.fprintf oc "  \"rounds\": %d,\n" rounds;
+  Printf.fprintf oc "  \"list_bytes_per_object\": %.1f,\n"
+    (float_of_int ref_bytes /. float_of_int n);
+  Printf.fprintf oc "  \"packed_bytes_per_object\": %.1f,\n"
+    (float_of_int packed_bytes /. float_of_int n);
+  Printf.fprintf oc "  \"list_alloc_words_per_query\": %.1f,\n" ref_alloc;
+  Printf.fprintf oc "  \"packed_alloc_words_per_query\": %.1f,\n" packed_alloc;
+  Printf.fprintf oc "  \"alloc_reduction\": %.2f,\n" alloc_ratio;
+  Printf.fprintf oc "  \"list_sweep_s\": %.6f,\n" ref_s;
+  Printf.fprintf oc "  \"packed_sweep_s\": %.6f,\n" packed_s;
+  Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"packed_p50_us\": %.1f,\n" p50;
+  Printf.fprintf oc "  \"packed_p99_us\": %.1f,\n" p99;
+  Printf.fprintf oc "  \"bit_identical_sequential\": %b,\n" identical_seq;
+  Printf.fprintf oc "  \"bit_identical_4domain\": %b\n" identical_pool;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_storage.json\n";
+  if not identical_seq then
+    failwith "storage (S1): packed engine diverged from the list-layout reference";
+  if not identical_pool then
+    failwith "storage (S1): 4-domain batch diverged from the sequential sweep";
+  if alloc_ratio < 2. then
+    failwith
+      (Printf.sprintf "storage (S1): alloc reduction %.2fx below the 2x gate" alloc_ratio);
+  if speedup <= 1.0 then
+    failwith
+      (Printf.sprintf "storage (S1): packed engine slower than list layout (%.2fx)"
+         speedup)
+
 (* ------------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -1177,6 +1410,7 @@ let sections =
     ("parallel", parallel_scaling);
     ("persist", persist_section);
     ("obs", obs_section);
+    ("storage", storage_section);
     ("micro", micro_benchmarks);
   ]
 

@@ -11,6 +11,7 @@
      persist     run a durable index in a directory: journaled updates + crash-safe close
      checkpoint  snapshot a durable index directory and truncate its log
      verify      check snapshot/log files for corruption without opening an index
+     index-stats print storage-layout statistics of a snapshot (buckets, deltas, bytes)
 
    `experiment --metrics` and `stress --metrics` install a Dbh_obs metric
    set for the run and print its Prometheus exposition afterwards;
@@ -566,6 +567,125 @@ let run_verify path =
   else if verify_file path then 0
   else 1
 
+(* --------------------------------------------------------- index-stats *)
+
+module Diagnostics = Dbh.Diagnostics
+
+(* Bucket-size histogram, compacted: small sizes verbatim, the tail as
+   its extremes, so a million-bucket directory still prints in a few
+   lines. *)
+let print_histogram hist =
+  let total_buckets = Array.fold_left (fun acc (_, c) -> acc + c) 0 hist in
+  let total_entries = Array.fold_left (fun acc (s, c) -> acc + (s * c)) 0 hist in
+  Printf.printf "  bucket histogram (%d buckets, %d entries):\n" total_buckets
+    total_entries;
+  let shown = min 8 (Array.length hist) in
+  Array.iteri
+    (fun i (size, count) ->
+      if i < shown then Printf.printf "    size %6d  x %d\n" size count)
+    hist;
+  if Array.length hist > shown then begin
+    let largest, _ = hist.(Array.length hist - 1) in
+    Printf.printf "    ... %d more distinct sizes, largest bucket %d\n"
+      (Array.length hist - shown) largest
+  end
+
+let print_level_stats label index =
+  let s = Diagnostics.index_stats index in
+  Printf.printf "%s\n" label;
+  Format.printf "  %a@." Diagnostics.pp_table_stats s;
+  Printf.printf "  delta entries: %d, directory fill: %.4f%%, approx tables: %d KiB\n"
+    s.Diagnostics.delta_entries
+    (100. *. s.Diagnostics.directory_fill)
+    (s.Diagnostics.approx_table_bytes / 1024);
+  print_histogram (Diagnostics.bucket_histogram index)
+
+let stats_of_cascade h =
+  let indexes = Dbh.Hierarchical.indexes h in
+  let levels = Dbh.Hierarchical.levels h in
+  Array.iteri
+    (fun i index ->
+      let info = levels.(i) in
+      print_level_stats
+        (Printf.sprintf "level %d (k=%d, l=%d, D=%g):" i info.Dbh.Hierarchical.k
+           info.Dbh.Hierarchical.l info.Dbh.Hierarchical.d_threshold)
+        index)
+    indexes
+
+let stats_file path =
+  let read_all () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let data = read_all () in
+  if not (Envelope.looks_like_envelope data) then begin
+    Printf.eprintf "dbh-cli: %s is not a snapshot file (index-stats reads snapshots, \
+                    not write-ahead logs)\n" path;
+    1
+  end
+  else begin
+    let header, payload = Envelope.decode data in
+    Printf.printf "%s: %s snapshot v%d, %d payload bytes\n" path header.Envelope.kind
+      header.Envelope.version header.Envelope.payload_length;
+    (* Structural decode with an identity codec and a space whose
+       distance must never run: statistics need the table layout, not
+       the user's objects. *)
+    let space = Space.make ~name:"index-stats" (fun (_ : string) _ -> 0.) in
+    match header.Envelope.kind with
+    | "index" ->
+        let index = Dbh.Index.read ~decode:Fun.id ~space (Binio.reader payload) in
+        print_level_stats "single-level index:" index;
+        0
+    | "hierarchical" ->
+        let h = Dbh.Hierarchical.read ~decode:Fun.id ~space (Binio.reader payload) in
+        stats_of_cascade h;
+        0
+    | "online" ->
+        let info = Durable.inspect_snapshot ~path in
+        Printf.printf
+          "online index: format v%d, %d handles issued, %d alive, %d tombstones\n"
+          info.Durable.format_version info.Durable.registry_len
+          (info.Durable.registry_len - info.Durable.dead_handles)
+          info.Durable.dead_handles;
+        stats_of_cascade info.Durable.cascade;
+        0
+    | other ->
+        Printf.eprintf "dbh-cli: unknown snapshot kind %S\n" other;
+        1
+  end
+
+let run_index_stats path =
+  match
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "dbh-cli: no such file or directory: %s\n" path;
+      1
+    end
+    else if Sys.is_directory path then begin
+      match Layout.snapshot_generations ~dir:path with
+      | [] ->
+          Printf.eprintf "dbh-cli: %s holds no snapshot files\n" path;
+          1
+      | gens ->
+          let newest = List.fold_left max (List.hd gens) gens in
+          let wal_debt =
+            List.length (List.filter (fun g -> g >= newest) (Layout.wal_generations ~dir:path))
+          in
+          Printf.printf "directory %s: newest snapshot generation %d, %d live log(s)\n"
+            path newest wal_debt;
+          stats_file (Layout.snapshot_path ~dir:path newest)
+    end
+    else stats_file path
+  with
+  | code -> code
+  | exception Binio.Corrupt msg ->
+      Printf.eprintf "dbh-cli: corrupt snapshot: %s\n" msg;
+      1
+  | exception Sys_error msg ->
+      Printf.eprintf "dbh-cli: %s\n" msg;
+      1
+
 (* ------------------------------------------------------------- cmdliner *)
 
 open Cmdliner
@@ -723,12 +843,19 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc) Term.(const run_verify $ path_pos_arg)
 
+let index_stats_cmd =
+  let doc =
+    "print storage-layout statistics of a snapshot file or durable directory: bucket \
+     histogram, directory fill, delta and tombstone counts, approximate table bytes"
+  in
+  Cmd.v (Cmd.info "index-stats" ~doc) Term.(const run_index_stats $ path_pos_arg)
+
 let main_cmd =
   let doc = "distance-based hashing for nearest neighbor retrieval (ICDE 2008)" in
   Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
     [
       demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; trace_cmd;
-      persist_cmd; checkpoint_cmd; verify_cmd;
+      persist_cmd; checkpoint_cmd; verify_cmd; index_stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

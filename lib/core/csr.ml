@@ -1,0 +1,238 @@
+(* One hash table frozen into CSR (compressed sparse row) form, plus a
+   small mutable delta for post-freeze inserts.
+
+   The frozen part is three flat int arrays: a sorted key directory,
+   offsets into the id array (offsets.(i) .. offsets.(i+1) is the
+   bucket of keys.(i)), and the concatenated bucket ids.  Lookup is a
+   binary search — no hashing, no boxing, no cons cells, and the whole
+   structure is three contiguous allocations however many buckets
+   exist.
+
+   Inserts after the freeze go to [delta], newest first, exactly like
+   the old cons-onto-bucket tables.  A bucket's query-iteration order is
+   delta first (newest first), then the frozen segment in frozen order —
+   for tables frozen from cons-built buckets that is precisely the old
+   all-list iteration order, which the bit-identity tests rely on.
+   [compact] folds the delta into a fresh frozen base and drops dead
+   ids. *)
+
+type t = {
+  mutable keys : int array;  (* sorted ascending, distinct *)
+  mutable offsets : int array;  (* |keys| + 1, offsets.(0) = 0 *)
+  mutable ids : int array;  (* concatenated bucket segments *)
+  delta : (int, int list) Hashtbl.t;  (* key -> ids, newest first *)
+  mutable delta_size : int;  (* total ids across delta buckets *)
+  mutable extra_keys : int;  (* delta keys absent from the directory *)
+  mutable largest : int;  (* max combined bucket size (incl. dead) *)
+}
+
+(* Index of [key] in the directory, or -1. *)
+let find_key t key =
+  let lo = ref 0 and hi = ref (Array.length t.keys - 1) and found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k = Array.unsafe_get t.keys mid in
+    if k = key then found := mid else if k < key then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let base_segment t key =
+  match find_key t key with
+  | -1 -> (0, 0)
+  | i -> (t.offsets.(i), t.offsets.(i + 1))
+
+let freeze tbl =
+  let keys = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+  Array.sort Int.compare keys;
+  let nk = Array.length keys in
+  let offsets = Array.make (nk + 1) 0 in
+  let largest = ref 0 in
+  for i = 0 to nk - 1 do
+    let len = List.length (Hashtbl.find tbl keys.(i)) in
+    if len > !largest then largest := len;
+    offsets.(i + 1) <- offsets.(i) + len
+  done;
+  let ids = Array.make offsets.(nk) 0 in
+  for i = 0 to nk - 1 do
+    (* Frozen segment keeps the bucket's list order (newest first). *)
+    let pos = ref offsets.(i) in
+    List.iter
+      (fun id ->
+        ids.(!pos) <- id;
+        incr pos)
+      (Hashtbl.find tbl keys.(i))
+  done;
+  {
+    keys;
+    offsets;
+    ids;
+    delta = Hashtbl.create 16;
+    delta_size = 0;
+    extra_keys = 0;
+    largest = !largest;
+  }
+
+let empty () = freeze (Hashtbl.create 1)
+
+let add t key id =
+  let old = try Hashtbl.find t.delta key with Not_found -> [] in
+  Hashtbl.replace t.delta key (id :: old);
+  t.delta_size <- t.delta_size + 1;
+  let lo, hi = base_segment t key in
+  let combined = hi - lo + 1 + List.length old in
+  if old = [] && hi = lo then t.extra_keys <- t.extra_keys + 1;
+  if combined > t.largest then t.largest <- combined
+
+(* Combined bucket iteration: delta (newest first), then frozen. *)
+let iter_bucket t key f =
+  if t.delta_size > 0 then
+    List.iter f (try Hashtbl.find t.delta key with Not_found -> []);
+  let lo, hi = base_segment t key in
+  for i = lo to hi - 1 do
+    f (Array.unsafe_get t.ids i)
+  done
+
+let bucket_size t key =
+  let lo, hi = base_segment t key in
+  let d =
+    if t.delta_size = 0 then 0
+    else List.length (try Hashtbl.find t.delta key with Not_found -> [])
+  in
+  hi - lo + d
+
+let bucket_count t = Array.length t.keys + t.extra_keys
+let largest_bucket t = t.largest
+let entry_count t = Array.length t.ids + t.delta_size
+let delta_size t = t.delta_size
+
+(* Every combined bucket in ascending key order (allocates the lists;
+   cold paths only: persistence, diagnostics, rebuilds). *)
+let iter_buckets t f =
+  let extra =
+    Hashtbl.fold (fun key _ acc -> if find_key t key = -1 then key :: acc else acc) t.delta []
+    |> List.sort Int.compare
+  in
+  let bucket_of key =
+    let d = try Hashtbl.find t.delta key with Not_found -> [] in
+    let lo, hi = base_segment t key in
+    let base = ref [] in
+    for i = hi - 1 downto lo do
+      base := t.ids.(i) :: !base
+    done;
+    d @ !base
+  in
+  (* Merge the sorted directory with the sorted extra delta keys. *)
+  let rec go i extra =
+    match extra with
+    | e :: rest when i >= Array.length t.keys || e < t.keys.(i) ->
+        f e (bucket_of e);
+        go i rest
+    | _ ->
+        if i < Array.length t.keys then begin
+          f t.keys.(i) (bucket_of t.keys.(i));
+          go (i + 1) extra
+        end
+  in
+  go 0 extra
+
+(* The live frozen view: delta folded in, dead ids dropped, empty
+   buckets removed.  Bucket-internal order is the combined iteration
+   order, so compaction never changes what a query sees (dead ids were
+   already skipped before any cost was charged). *)
+let live_view ~is_alive t =
+  let rev_buckets = ref [] and nk = ref 0 and total = ref 0 in
+  iter_buckets t (fun key bucket ->
+      let live = List.filter is_alive bucket in
+      if live <> [] then begin
+        rev_buckets := (key, live) :: !rev_buckets;
+        incr nk;
+        total := !total + List.length live
+      end);
+  let keys = Array.make !nk 0 in
+  let offsets = Array.make (!nk + 1) 0 in
+  let ids = Array.make !total 0 in
+  List.iteri
+    (fun i (key, seg) ->
+      keys.(i) <- key;
+      let pos = ref offsets.(i) in
+      List.iter
+        (fun id ->
+          ids.(!pos) <- id;
+          incr pos)
+        seg;
+      offsets.(i + 1) <- !pos)
+    (List.rev !rev_buckets);
+  (keys, offsets, ids)
+
+let compact ~is_alive t =
+  let keys, offsets, ids = live_view ~is_alive t in
+  t.keys <- keys;
+  t.offsets <- offsets;
+  t.ids <- ids;
+  Hashtbl.reset t.delta;
+  t.delta_size <- 0;
+  t.extra_keys <- 0;
+  let largest = ref 0 in
+  for i = 0 to Array.length keys - 1 do
+    let len = offsets.(i + 1) - offsets.(i) in
+    if len > !largest then largest := len
+  done;
+  t.largest <- !largest
+
+(* Rough resident size in words: the three arrays plus ~4 words per
+   delta entry (cons cell + amortised hashtable slot). *)
+let approx_words t =
+  Array.length t.keys + Array.length t.offsets + Array.length t.ids + 9
+  + (4 * t.delta_size)
+
+(* ------------------------------------------------------------- binary io *)
+
+module Binio = Dbh_util.Binio
+
+let write buf ~is_alive t =
+  let keys, offsets, ids = live_view ~is_alive t in
+  Binio.write_int_array buf keys;
+  Binio.write_int_array buf offsets;
+  Binio.write_int_array buf ids
+
+(* [validate_key] checks directory entries (packed-key range); [max_id]
+   bounds bucket ids; [seen] (caller-provided, store-length, reset here)
+   catches duplicate ids within one table. *)
+let read r ~validate_key ~max_id ~seen =
+  let keys = Binio.read_int_array r in
+  let offsets = Binio.read_int_array r in
+  let ids = Binio.read_int_array r in
+  let nk = Array.length keys in
+  if Array.length offsets <> nk + 1 then raise (Binio.Corrupt "csr: offsets/keys mismatch");
+  if nk > 0 && offsets.(0) <> 0 then raise (Binio.Corrupt "csr: offsets must start at 0");
+  if (nk = 0) <> (Array.length ids = 0) then
+    raise (Binio.Corrupt "csr: ids without keys");
+  for i = 0 to nk - 1 do
+    validate_key keys.(i);
+    if i > 0 && keys.(i) <= keys.(i - 1) then
+      raise (Binio.Corrupt "csr: key directory not strictly sorted");
+    if offsets.(i + 1) <= offsets.(i) then raise (Binio.Corrupt "csr: empty or negative segment")
+  done;
+  if nk > 0 && offsets.(nk) <> Array.length ids then
+    raise (Binio.Corrupt "csr: offsets do not cover ids");
+  Bytes.fill seen 0 (Bytes.length seen) '\000';
+  let largest = ref 0 in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= max_id then raise (Binio.Corrupt "csr: object id out of range");
+      if Bytes.get seen id <> '\000' then raise (Binio.Corrupt "csr: duplicate id in table");
+      Bytes.set seen id '\001')
+    ids;
+  for i = 0 to nk - 1 do
+    let len = offsets.(i + 1) - offsets.(i) in
+    if len > !largest then largest := len
+  done;
+  {
+    keys;
+    offsets;
+    ids;
+    delta = Hashtbl.create 16;
+    delta_size = 0;
+    extra_keys = 0;
+    largest = !largest;
+  }

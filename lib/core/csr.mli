@@ -1,0 +1,72 @@
+(** A hash table frozen into CSR form + a mutable insert delta.
+
+    The frozen base is three flat int arrays — sorted key directory,
+    bucket offsets, concatenated bucket ids — giving cache-friendly
+    binary-search lookup with zero per-bucket boxing.  Post-freeze
+    inserts accumulate in a small delta hashtable; {!compact} folds them
+    (and drops dead ids) back into a fresh base.
+
+    A bucket iterates delta first (newest first), then the frozen
+    segment in frozen order.  Tables frozen from cons-built bucket lists
+    therefore iterate in exactly the historical list order — the
+    bit-identity guarantee the query layer depends on. *)
+
+type t
+
+val freeze : (int, int list) Hashtbl.t -> t
+(** Freeze build-time buckets.  Each list is laid out in list order. *)
+
+val empty : unit -> t
+
+val add : t -> int -> int -> unit
+(** [add t key id] prepends [id] to [key]'s delta bucket. *)
+
+val iter_bucket : t -> int -> (int -> unit) -> unit
+(** Iterate one combined bucket in query order (delta newest-first, then
+    frozen segment).  No-op for an absent key. *)
+
+val bucket_size : t -> int -> int
+(** Combined entries under a key, dead included (trace/diagnostics). *)
+
+val bucket_count : t -> int
+(** Non-empty combined buckets — O(1). *)
+
+val largest_bucket : t -> int
+(** Max combined bucket size ever reached since the last freeze or
+    {!compact} (dead entries included, like the list tables before) —
+    O(1). *)
+
+val entry_count : t -> int
+(** Total entries, frozen + delta, dead included. *)
+
+val delta_size : t -> int
+(** Entries sitting in the delta — the compaction-pressure signal. *)
+
+val iter_buckets : t -> (int -> int list -> unit) -> unit
+(** Every combined bucket in ascending key order; each bucket
+    materialised as a list in query order.  Allocates — cold paths only
+    (persistence, diagnostics, rebuild). *)
+
+val compact : is_alive:(int -> bool) -> t -> unit
+(** Fold the delta into a fresh frozen base, dropping ids for which
+    [is_alive] is false and then-empty buckets.  Bucket-internal order
+    is preserved, so queries see identical candidates before and after
+    (dead ids were skipped, and never charged, either way). *)
+
+val approx_words : t -> int
+(** Rough resident heap words (arrays + delta estimate). *)
+
+val write : Buffer.t -> is_alive:(int -> bool) -> t -> unit
+(** Serialize the live view (delta folded, dead dropped). *)
+
+val read :
+  Dbh_util.Binio.reader ->
+  validate_key:(int -> unit) ->
+  max_id:int ->
+  seen:Bytes.t ->
+  t
+(** Read and validate one frozen table: directory strictly sorted and
+    every key accepted by [validate_key]; offsets monotone and covering;
+    ids in [0, max_id) with no duplicate inside the table ([seen] is a
+    caller-provided store-length workspace, reset here).  Raises
+    [Dbh_util.Binio.Corrupt] on any violation. *)

@@ -27,9 +27,12 @@
     - {!Analysis}: sample-based accuracy and cost estimation (Eq. 11–14)
     - {!Params}: optimal (k, l) search (Sec. IV-D)
     - {!Store}: dynamic object store shared between indexes
+    - {!Key}: packed k-bit bucket keys (one tagged int each)
+    - {!Csr}: frozen CSR hash tables with a mutable insert delta
+    - {!Scratch}: reusable per-query workspace (zero-alloc hot path)
     - {!Budget}: per-query distance-computation budgets
     - {!Query_opts}: the one-record query options (budget, pool,
-      metrics, trace)
+      metrics, trace, scratch)
     - {!Index}: single-level index — build, NN / k-NN / range /
       multi-probe / budgeted queries, insert/delete, save/load
     - {!Hierarchical}: the s-level cascade (Sec. V-A)
@@ -44,6 +47,9 @@ module Collision = Collision
 module Analysis = Analysis
 module Params = Params
 module Store = Store
+module Key = Key
+module Csr = Csr
+module Scratch = Scratch
 module Budget = Budget
 module Query_opts = Query_opts
 module Index = Index

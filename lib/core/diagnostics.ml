@@ -6,6 +6,9 @@ type table_stats = {
   largest_bucket : int;
   mean_bucket : float;
   largest_bucket_fraction : float;
+  delta_entries : int;
+  directory_fill : float;
+  approx_table_bytes : int;
 }
 
 let index_stats index =
@@ -13,9 +16,15 @@ let index_stats index =
   let buckets = Index.bucket_count index in
   let largest = Index.largest_bucket index in
   let l = Index.l index in
+  let k = Index.k index in
+  (* Mean fraction of each table's 2^k key space that holds a bucket.
+     Computed in floats: 2^k overflows no further than the exponent. *)
+  let directory_fill =
+    float_of_int buckets /. (float_of_int l *. (2. ** float_of_int k))
+  in
   {
     tables = l;
-    bits_per_key = Index.k index;
+    bits_per_key = k;
     indexed_objects = objects;
     non_empty_buckets = buckets;
     largest_bucket = largest;
@@ -23,7 +32,20 @@ let index_stats index =
       (if buckets = 0 then 0. else float_of_int (objects * l) /. float_of_int buckets);
     largest_bucket_fraction =
       (if objects = 0 then 0. else float_of_int largest /. float_of_int objects);
+    delta_entries = Index.delta_size index;
+    directory_fill;
+    approx_table_bytes = Index.approx_table_words index * (Sys.word_size / 8);
   }
+
+(* Bucket-size histogram across every table of an index: sorted
+   [(size, how_many_buckets)], dead entries included. *)
+let bucket_histogram index =
+  let counts = Hashtbl.create 64 in
+  Index.iter_buckets index (fun _table _key bucket ->
+      let size = List.length bucket in
+      Hashtbl.replace counts size (1 + Option.value ~default:0 (Hashtbl.find_opt counts size)));
+  let hist = Hashtbl.fold (fun size n acc -> (size, n) :: acc) counts [] in
+  Array.of_list (List.sort compare hist)
 
 let pp_table_stats ppf s =
   Format.fprintf ppf
@@ -49,3 +71,15 @@ let family_balance_profile ~rng ?(num_fns = 200) family sample =
 let healthy ?(max_bucket_fraction = 0.5) s =
   s.indexed_objects = 0
   || (s.non_empty_buckets > 1 && s.largest_bucket_fraction <= max_bucket_fraction)
+
+type online_stats = {
+  live : int;
+  tombstones : int;
+  delta_size : int;
+}
+
+let online_stats o =
+  { live = Online.size o; tombstones = Online.tombstones o; delta_size = Online.delta_size o }
+
+let pp_online_stats ppf s =
+  Format.fprintf ppf "live=%d tombstones=%d delta=%d" s.live s.tombstones s.delta_size

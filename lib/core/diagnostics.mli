@@ -15,10 +15,23 @@ type table_stats = {
   mean_bucket : float;  (** mean occupancy of non-empty buckets *)
   largest_bucket_fraction : float;
       (** largest bucket / objects — near 1.0 means hashing collapsed *)
+  delta_entries : int;
+      (** entries inserted since the last freeze/compaction, still in
+          the tables' mutable deltas *)
+  directory_fill : float;
+      (** non-empty buckets / (l · 2^k) — how much of the key space the
+          directories actually use *)
+  approx_table_bytes : int;
+      (** rough resident bytes of the CSR tables (excludes objects,
+          family, pivots) *)
 }
 
 val index_stats : 'a Index.t -> table_stats
 val pp_table_stats : Format.formatter -> table_stats -> unit
+
+val bucket_histogram : 'a Index.t -> (int * int) array
+(** Sorted [(bucket_size, bucket_count)] pairs aggregated across every
+    table (dead entries included, like {!table_stats}). *)
 
 val hierarchical_stats : 'a Hierarchical.t -> (Hierarchical.level_info * table_stats) array
 (** Per-level structural stats of a cascade. *)
@@ -36,3 +49,14 @@ val family_balance_profile :
 val healthy : ?max_bucket_fraction:float -> table_stats -> bool
 (** Quick verdict: some bucket spread exists and no bucket holds more
     than [max_bucket_fraction] (default 0.5) of the objects. *)
+
+type online_stats = {
+  live : int;  (** alive objects *)
+  tombstones : int;  (** deleted handles awaiting compaction/rebuild *)
+  delta_size : int;  (** table entries awaiting compaction *)
+}
+(** Live-vs-tombstone occupancy of an {!Online} index — the compaction
+    pressure an operator watches. *)
+
+val online_stats : 'a Online.t -> online_stats
+val pp_online_stats : Format.formatter -> online_stats -> unit

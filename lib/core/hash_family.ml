@@ -193,6 +193,16 @@ let cache ?budget ?trace t obj =
 
 let cache_budgeted t ~budget obj = cache ~budget t obj
 
+(* Like [cache], but over a caller-owned workspace row (e.g. a query
+   scratch) so repeated queries allocate no distance array.  The row may
+   be longer than the pivot count; it is re-initialised here, so a dirty
+   row from a previous query is fine. *)
+let cache_in ?budget ?trace t ~dists obj =
+  if Array.length dists < num_pivots t then
+    invalid_arg "Hash_family.cache_in: workspace shorter than pivot count";
+  Array.fill dists 0 (Array.length dists) nan;
+  { obj; dists; misses = 0; hits = 0; budget; trace }
+
 let cache_with_distances t obj dists =
   if Array.length dists <> num_pivots t then
     invalid_arg "Hash_family.cache_with_distances: wrong number of distances";

@@ -95,6 +95,18 @@ val cache : ?budget:Budget.t -> ?trace:Dbh_obs.Trace.t -> 'a t -> 'a -> 'a cache
     moment the budget runs out — partial hashing never overshoots.
     [trace] records a [Pivot_miss]/[Pivot_hit] event per lookup. *)
 
+val cache_in :
+  ?budget:Budget.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  'a t ->
+  dists:float array ->
+  'a ->
+  'a cache
+(** Like {!cache} over a caller-owned workspace row of at least
+    {!num_pivots} floats (re-initialised here), so repeated queries can
+    recycle one allocation.  The row is borrowed until the cache is
+    dropped.  Raises [Invalid_argument] when the row is too short. *)
+
 val cache_cost : 'a cache -> int
 (** Distinct pivot distances computed through this cache so far. *)
 

@@ -97,7 +97,7 @@ let build ?pool ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(level
    end-of-query metrics recording follow the same conventions as
    [Index.query_with]; this entry point records the query (not the
    per-level indexes), so cascaded queries count once. *)
-let query_with ?budget ?metrics ?trace t q =
+let query_with ?budget ?metrics ?trace ?scratch t q =
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   (match trace with
@@ -107,55 +107,70 @@ let query_with ?budget ?metrics ?trace t q =
            { kind = Printf.sprintf "hierarchical(%d levels)" (Array.length t.levels) })
   | None -> ());
   let space = Hash_family.space t.family in
-  let cache = Hash_family.cache ?budget ?trace t.family q in
-  let seen = Bytes.make (Store.length t.store) '\000' in
-  let best = ref None in
+  let scratch = match scratch with Some s -> s | None -> Scratch.create () in
+  Scratch.ensure scratch (Store.length t.store);
+  let cache =
+    Hash_family.cache_in ?budget ?trace t.family
+      ~dists:(Scratch.pivot_dists scratch (Hash_family.num_pivots t.family))
+      q
+  in
+  let best_id = ref (-1) in
+  let best_d = ref infinity in
   let lookup = ref 0 in
   let probes = ref 0 in
   let levels_probed = ref 0 in
-  (try
-     Array.iteri
-       (fun li lev ->
-         incr levels_probed;
-         (match trace with
-         | Some tr ->
-             Dbh_obs.Trace.record tr
-               (Dbh_obs.Trace.Level_enter { level = li; threshold = lev.info.d_threshold })
-         | None -> ());
-         probes := !probes + Index.l lev.index;
-         let fresh = Index.candidates_into ?trace ~level:li lev.index cache ~seen in
-         List.iter
-           (fun id ->
-             (match budget with Some b -> Budget.charge b | None -> ());
-             incr lookup;
-             let d = space.Space.distance q (Store.get t.store id) in
-             let improved = match !best with Some (_, bd) -> d < bd | None -> true in
-             (match trace with
-             | Some tr ->
-                 Dbh_obs.Trace.record tr
-                   (Dbh_obs.Trace.Candidate { id; distance = d; improved })
-             | None -> ());
-             if improved then best := Some (id, d))
-           fresh;
-         match !best with
-         | Some (_, bd) when bd <= lev.info.d_threshold ->
-             (match trace with
-             | Some tr ->
-                 Dbh_obs.Trace.record tr
-                   (Dbh_obs.Trace.Level_settled { level = li; best = bd })
-             | None -> ());
-             raise Exit
-         | _ -> ())
-       t.levels
-   with
-  | Exit -> ()
-  | Budget.Exhausted ->
-      (match trace with
-      | Some tr ->
-          Dbh_obs.Trace.record tr
-            (Dbh_obs.Trace.Budget_exhausted
-               { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
-      | None -> ()));
+  Fun.protect
+    ~finally:(fun () -> Scratch.reset scratch)
+    (fun () ->
+      try
+        Array.iteri
+          (fun li lev ->
+            incr levels_probed;
+            (match trace with
+            | Some tr ->
+                Dbh_obs.Trace.record tr
+                  (Dbh_obs.Trace.Level_enter { level = li; threshold = lev.info.d_threshold })
+            | None -> ());
+            probes := !probes + Index.l lev.index;
+            (* The scratch dedups across levels: only this level's fresh
+               marks (from [start]) are ranked here, newest first — the
+               order the consed per-level lists were visited in. *)
+            let start = Scratch.count scratch in
+            Index.candidates_into ?trace ~level:li lev.index cache ~scratch;
+            for i = Scratch.count scratch - 1 downto start do
+              let id = Scratch.get scratch i in
+              (match budget with Some b -> Budget.charge b | None -> ());
+              incr lookup;
+              let d = space.Space.distance q (Store.get t.store id) in
+              let improved = d < !best_d in
+              (match trace with
+              | Some tr ->
+                  Dbh_obs.Trace.record tr
+                    (Dbh_obs.Trace.Candidate { id; distance = d; improved })
+              | None -> ());
+              if improved then begin
+                best_id := id;
+                best_d := d
+              end
+            done;
+            if !best_id >= 0 && !best_d <= lev.info.d_threshold then begin
+              (match trace with
+              | Some tr ->
+                  Dbh_obs.Trace.record tr
+                    (Dbh_obs.Trace.Level_settled { level = li; best = !best_d })
+              | None -> ());
+              raise Exit
+            end)
+          t.levels
+      with
+      | Exit -> ()
+      | Budget.Exhausted ->
+          (match trace with
+          | Some tr ->
+              Dbh_obs.Trace.record tr
+                (Dbh_obs.Trace.Budget_exhausted
+                   { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
+          | None -> ()));
   let stats =
     {
       Index.hash_cost = Hash_family.cache_cost cache;
@@ -181,21 +196,36 @@ let query_with ?budget ?metrics ?trace t q =
   in
   Index.observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
     ~truncated ~levels_probed:!levels_probed ();
-  { Index.nn = !best; stats; truncated; levels_probed = !levels_probed }
+  {
+    Index.nn = (if !best_id < 0 then None else Some (!best_id, !best_d));
+    stats;
+    truncated;
+    levels_probed = !levels_probed;
+  }
 
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch t q
 
 let search_batch ?(opts = Query_opts.default) t qs =
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
-  let run q =
-    let budget = Option.map Budget.create opts.Query_opts.budget in
-    query_with ?budget ?metrics t q
-  in
   match opts.Query_opts.pool with
-  | None -> Array.map run qs
-  | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
+  | None ->
+      let scratch =
+        match opts.Query_opts.scratch with Some s -> s | None -> Scratch.create ()
+      in
+      Array.map
+        (fun q ->
+          let budget = Option.map Budget.create opts.Query_opts.budget in
+          query_with ?budget ?metrics ~scratch t q)
+        qs
+  | Some pool ->
+      Dbh_util.Pool.parallel_map_array pool
+        (fun q ->
+          let budget = Option.map Budget.create opts.Query_opts.budget in
+          query_with ?budget ?metrics t q)
+        qs
 
 let query ?budget t q = query_with ?budget t q
 
@@ -213,12 +243,16 @@ let insert t obj =
 
 let delete t id = Store.delete t.store id
 
+let compact t = Array.iter (fun lev -> Index.compact lev.index) t.levels
+let delta_size t = Array.fold_left (fun acc lev -> acc + Index.delta_size lev.index) 0 t.levels
+
 (* ----------------------------------------------------------- persistence *)
 
 let format_tag = "DBH-hierarchical-v1"
+let format_tag_packed = "DBH-hierarchical-v2"
 
-let write ~encode buf t =
-  Binio.write_string buf format_tag;
+let write_with ~tag ~write_body ~encode buf t =
+  Binio.write_string buf tag;
   Hash_family.write ~encode buf t.family;
   Index.write_store ~encode buf t.store;
   Binio.write_int buf (Array.length t.levels);
@@ -227,13 +261,15 @@ let write ~encode buf t =
       Binio.write_float buf lev.info.d_threshold;
       Binio.write_float buf lev.info.predicted_accuracy;
       Binio.write_float buf lev.info.predicted_cost;
-      Index.write_body buf lev.index)
+      write_body buf lev.index)
     t.levels
 
-let read ~decode ~space r =
-  let tag = Binio.read_string r in
-  if tag <> format_tag then
-    raise (Binio.Corrupt (Printf.sprintf "expected %s, found %S" format_tag tag));
+let write ~encode buf t = write_with ~tag:format_tag ~write_body:Index.write_body ~encode buf t
+
+let write_packed ~encode buf t =
+  write_with ~tag:format_tag_packed ~write_body:Index.write_body_packed ~encode buf t
+
+let read_with ~read_body ~decode ~space r =
   let family = Hash_family.read ~decode ~space r in
   let store = Index.read_store ~decode r in
   let num_levels = Binio.read_int r in
@@ -243,7 +279,7 @@ let read ~decode ~space r =
         let d_threshold = Binio.read_float r in
         let predicted_accuracy = Binio.read_float r in
         let predicted_cost = Binio.read_float r in
-        let index = Index.read_body ~family ~store r in
+        let index = read_body ~family ~store r in
         {
           info =
             {
@@ -257,6 +293,24 @@ let read ~decode ~space r =
         })
   in
   { store; family; levels }
+
+let read ~decode ~space r =
+  let tag = Binio.read_string r in
+  if tag <> format_tag then
+    raise (Binio.Corrupt (Printf.sprintf "expected %s, found %S" format_tag tag));
+  read_with ~read_body:Index.read_body ~decode ~space r
+
+(* Accept either body format by tag — the durable layer reads v1 and v2
+   snapshots through this single entry point. *)
+let read_any ~decode ~space r =
+  let tag = Binio.read_string r in
+  if tag = format_tag then read_with ~read_body:Index.read_body ~decode ~space r
+  else if tag = format_tag_packed then
+    read_with ~read_body:Index.read_body_packed ~decode ~space r
+  else
+    raise
+      (Binio.Corrupt
+         (Printf.sprintf "expected %s or %s, found %S" format_tag format_tag_packed tag))
 
 let snapshot_kind = "hierarchical"
 let snapshot_version = 1

@@ -99,6 +99,15 @@ val insert : 'a t -> 'a -> int
 val delete : 'a t -> int -> unit
 (** Tombstone an id; it disappears from every level at once. *)
 
+val compact : 'a t -> unit
+(** Fold every level's insert delta into its frozen base and drop
+    tombstoned ids from the tables ({!Index.compact} per level).
+    Queries see identical candidates before and after. *)
+
+val delta_size : 'a t -> int
+(** Entries sitting in the levels' insert deltas — the compaction
+    pressure across the cascade. *)
+
 (** {1 Persistence}
 
     Same conventions as {!Index.write}: one family and one store are
@@ -107,11 +116,25 @@ val delete : 'a t -> int -> unit
 
 val write : encode:('a -> string) -> Buffer.t -> 'a t -> unit
 
+val write_packed : encode:('a -> string) -> Buffer.t -> 'a t -> unit
+(** The v2 body: each level's live CSR arrays verbatim (delta folded,
+    tombstones dropped) instead of the v1 bit-packed key blocks.  Loads
+    without any re-bucketing.  Used by version-2 [Online.Durable]
+    snapshots. *)
+
 val read :
   decode:(string -> 'a) ->
   space:'a Dbh_space.Space.t ->
   Dbh_util.Binio.reader ->
   'a t
+
+val read_any :
+  decode:(string -> 'a) ->
+  space:'a Dbh_space.Space.t ->
+  Dbh_util.Binio.reader ->
+  'a t
+(** Accept a v1 or a v2 body by its format tag — the migration read
+    path for durable snapshots. *)
 
 val save : encode:('a -> string) -> path:string -> 'a t -> unit
 (** Atomic, checksummed save — same guarantees as {!Index.save}. *)
@@ -129,6 +152,7 @@ val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
+  ?scratch:Scratch.t ->
   'a t ->
   'a ->
   'a Index.result

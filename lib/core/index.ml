@@ -55,7 +55,8 @@ type 'a t = {
   l : int;
   fn_ids : int array array;  (* l rows of k function indices *)
   distinct_fns : int array;  (* deduplicated function indices *)
-  tables : (int, int list) Hashtbl.t array;
+  fn_slots : int array array;  (* fn_ids mapped to positions in distinct_fns *)
+  tables : Csr.t array;  (* frozen CSR base + insert delta, one per row *)
 }
 
 let k t = t.k
@@ -64,12 +65,12 @@ let store t = t.store
 let family t = t.family
 let size t = Store.alive_count t.store
 
-(* Pack the k bits of table [row] into an int key, evaluating each distinct
+(* Pack the k bits of table [row] into a key, evaluating each distinct
    function at most once via [bit_of]. *)
-let key_of_row fn_ids bit_of row =
+let key_of_row fn_ids bit_of row : Key.t =
   Array.fold_left
-    (fun key fn_id -> (key lsl 1) lor (if bit_of fn_id then 1 else 0))
-    0 fn_ids.(row)
+    (fun key fn_id -> Key.push_bit key (bit_of fn_id))
+    Key.zero fn_ids.(row)
 
 let distinct_of fn_ids =
   let seen = Hashtbl.create 64 in
@@ -84,27 +85,56 @@ let bits_of_cache t cache =
     t.distinct_fns;
   fun fn_id -> Hashtbl.find bits fn_id
 
+let slots_of fn_ids distinct_fns =
+  let slot = Hashtbl.create (Array.length distinct_fns) in
+  Array.iteri (fun i fn_id -> Hashtbl.replace slot fn_id i) distinct_fns;
+  Array.map (Array.map (Hashtbl.find slot)) fn_ids
+
+(* The allocation-free counterpart of [bits_of_cache] for the query hot
+   path: evaluate every distinct function once — same order, so cache
+   misses and hash_cost are identical — into a scratch-owned byte row
+   indexed by slot. *)
+let eval_bits t cache bits =
+  Array.iteri
+    (fun i fn_id ->
+      Bytes.unsafe_set bits i
+        (if Hash_family.eval t.family cache fn_id then '\001' else '\000'))
+    t.distinct_fns
+
+let key_of_slots t bits row : Key.t =
+  let slots = t.fn_slots.(row) in
+  let key = ref Key.zero in
+  for j = 0 to Array.length slots - 1 do
+    key := Key.push_bit !key (Bytes.unsafe_get bits (Array.unsafe_get slots j) <> '\000')
+  done;
+  !key
+
 let insert_id t cache id =
   let bit_of = bits_of_cache t cache in
   for row = 0 to t.l - 1 do
     let key = key_of_row t.fn_ids bit_of row in
-    let bucket = try Hashtbl.find t.tables.(row) key with Not_found -> [] in
-    Hashtbl.replace t.tables.(row) key (id :: bucket)
+    Csr.add t.tables.(row) (key :> int) id
   done
 
 (* All l bucket keys of one object, through a private distance cache —
    pure given the store and pivot table, so it can run on any domain. *)
-let keys_of_id t pivot_table id =
+let keys_of_id ~family ~store ~fn_ids ~distinct_fns pivot_table id =
   let cache =
     match pivot_table with
-    | Some table -> Hash_family.cache_with_distances t.family (Store.get t.store id) table.(id)
-    | None -> Hash_family.cache t.family (Store.get t.store id)
+    | Some table -> Hash_family.cache_with_distances family (Store.get store id) table.(id)
+    | None -> Hash_family.cache family (Store.get store id)
   in
-  let bit_of = bits_of_cache t cache in
-  Array.init t.l (key_of_row t.fn_ids bit_of)
+  let bits = Hashtbl.create (Array.length distinct_fns) in
+  Array.iter
+    (fun fn_id -> Hashtbl.replace bits fn_id (Hash_family.eval family cache fn_id))
+    distinct_fns;
+  let bit_of fn_id = Hashtbl.find bits fn_id in
+  Array.init (Array.length fn_ids) (key_of_row fn_ids bit_of)
 
 let build_on ?pool ~rng ~family ~store ?pivot_table ~k ~l () =
-  if k < 1 || k > 62 then invalid_arg "Index.build: k must be in [1, 62]";
+  (try Key.check_width k
+   with Invalid_argument _ ->
+     invalid_arg (Printf.sprintf "Index.build: k must be in [1, %d]" Key.max_bits));
   if l < 1 then invalid_arg "Index.build: l must be >= 1";
   if Store.length store = 0 then invalid_arg "Index.build: empty database";
   (match pivot_table with
@@ -112,100 +142,114 @@ let build_on ?pool ~rng ~family ~store ?pivot_table ~k ~l () =
       invalid_arg "Index.build: pivot_table length mismatch"
   | _ -> ());
   let fn_ids = Array.init l (fun _ -> Hash_family.sample_fn_indices ~rng family k) in
-  let t =
-    {
-      family;
-      store;
-      k;
-      l;
-      fn_ids;
-      distinct_fns = distinct_of fn_ids;
-      tables = Array.init l (fun _ -> Hashtbl.create (Store.length store));
-    }
+  let distinct_fns = distinct_of fn_ids in
+  let n = Store.length store in
+  (* Build cons-list buckets first (ascending id order, so each list ends
+     up newest-first exactly as the incremental tables always were), then
+     freeze every row into CSR form. *)
+  let buckets = Array.init l (fun _ -> Hashtbl.create n) in
+  let push row key id =
+    let bucket = try Hashtbl.find buckets.(row) key with Not_found -> [] in
+    Hashtbl.replace buckets.(row) key (id :: bucket)
   in
+  let keys_of = keys_of_id ~family ~store ~fn_ids ~distinct_fns pivot_table in
   (match pool with
   | None ->
-      for id = 0 to Store.length store - 1 do
-        if Store.is_alive store id then begin
-          let cache =
-            match pivot_table with
-            | Some table ->
-                Hash_family.cache_with_distances family (Store.get store id) table.(id)
-            | None -> Hash_family.cache family (Store.get store id)
-          in
-          insert_id t cache id
-        end
+      for id = 0 to n - 1 do
+        if Store.is_alive store id then
+          Array.iteri (fun row (key : Key.t) -> push row (key :> int) id) (keys_of id)
       done
   | Some pool ->
       (* Hashing dominates the build cost and is pure per object, so it
          fans out; insertion then replays sequentially in ascending id
          order, reproducing the sequential bucket lists exactly. *)
-      let n = Store.length store in
       let keys = Array.make n [||] in
       Dbh_util.Pool.parallel_for pool n (fun id ->
-          if Store.is_alive store id then keys.(id) <- keys_of_id t pivot_table id);
+          if Store.is_alive store id then keys.(id) <- keys_of id);
       for id = 0 to n - 1 do
-        Array.iteri
-          (fun row key ->
-            let bucket = try Hashtbl.find t.tables.(row) key with Not_found -> [] in
-            Hashtbl.replace t.tables.(row) key (id :: bucket))
-          keys.(id)
+        Array.iteri (fun row (key : Key.t) -> push row (key :> int) id) keys.(id)
       done);
-  t
+  {
+    family;
+    store;
+    k;
+    l;
+    fn_ids;
+    distinct_fns;
+    fn_slots = slots_of fn_ids distinct_fns;
+    tables = Array.map Csr.freeze buckets;
+  }
 
 let build ?pool ~rng ~family ~db ?pivot_table ~k ~l () =
   build_on ?pool ~rng ~family ~store:(Store.of_array db) ?pivot_table ~k ~l ()
 
-let bucket_count t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.tables
+(* O(1): maintained by the CSR tables (dead entries included, exactly as
+   the list buckets counted before). *)
+let bucket_count t = Array.fold_left (fun acc tbl -> acc + Csr.bucket_count tbl) 0 t.tables
 
 let largest_bucket t =
-  Array.fold_left
-    (fun acc tbl -> Hashtbl.fold (fun _ bucket acc -> max acc (List.length bucket)) tbl acc)
-    0 t.tables
+  Array.fold_left (fun acc tbl -> max acc (Csr.largest_bucket tbl)) 0 t.tables
+
+let delta_size t = Array.fold_left (fun acc tbl -> acc + Csr.delta_size tbl) 0 t.tables
+let approx_table_words t =
+  Array.fold_left (fun acc tbl -> acc + Csr.approx_words tbl) 0 t.tables
+
+let compact t =
+  let is_alive = Store.is_alive t.store in
+  Array.iter (fun tbl -> Csr.compact ~is_alive tbl) t.tables
+
+let iter_buckets t f =
+  Array.iteri (fun row tbl -> Csr.iter_buckets tbl (fun key ids -> f row key ids)) t.tables
 
 (* --------------------------------------------------------------- queries *)
 
-let collect_bucket t ~seen bucket fresh =
-  List.iter
-    (fun id ->
-      if Store.is_alive t.store id && Bytes.get seen id = '\000' then begin
-        Bytes.set seen id '\001';
-        fresh := id :: !fresh
-      end)
-    bucket
+(* Queries own their scratch for the duration of the call: taken from
+   opts when provided (so steady-state queries allocate no seen mask, no
+   candidate cells, no pivot row), private otherwise; always reset on
+   the way out — including exceptional exits — so a shared scratch is
+   clean for the next query. *)
+let scratch_of = function Some s -> s | None -> Scratch.create ()
 
-let candidates_into ?trace ?(level = 0) t cache ~seen =
-  if Bytes.length seen <> Store.length t.store then
-    invalid_arg "Index.candidates_into: seen mask has wrong length";
-  let bit_of = bits_of_cache t cache in
-  let fresh = ref [] in
+let cache_for ?budget ?trace t scratch q =
+  Hash_family.cache_in ?budget ?trace t.family
+    ~dists:(Scratch.pivot_dists scratch (Hash_family.num_pivots t.family))
+    q
+
+let candidates_into ?trace ?(level = 0) t cache ~scratch =
+  if Scratch.capacity scratch < Store.length t.store then
+    invalid_arg "Index.candidates_into: scratch smaller than the store";
+  let bits = Scratch.bit_row scratch (Array.length t.distinct_fns) in
+  eval_bits t cache bits;
+  let visit id = if Store.is_alive t.store id then ignore (Scratch.mark scratch id) in
   for row = 0 to t.l - 1 do
-    let key = key_of_row t.fn_ids bit_of row in
-    match Hashtbl.find_opt t.tables.(row) key with
-    | None ->
-        (match trace with
-        | Some tr ->
-            Dbh_obs.Trace.record tr
-              (Dbh_obs.Trace.Bucket_probe { level; table = row; key; found = 0 })
-        | None -> ())
-    | Some bucket ->
-        (match trace with
-        | Some tr ->
-            Dbh_obs.Trace.record tr
-              (Dbh_obs.Trace.Bucket_probe
-                 { level; table = row; key; found = List.length bucket })
-        | None -> ());
-        collect_bucket t ~seen bucket fresh
-  done;
-  !fresh
+    let key = key_of_slots t bits row in
+    (match trace with
+    | Some tr ->
+        Dbh_obs.Trace.record tr
+          (Dbh_obs.Trace.Bucket_probe
+             {
+               level;
+               table = row;
+               key = (key :> int);
+               found = Csr.bucket_size t.tables.(row) (key :> int);
+             })
+    | None -> ());
+    Csr.iter_bucket t.tables.(row) (key :> int) visit
+  done
 
-let with_candidates ?metrics ?trace t q f =
+let with_candidates ?metrics ?trace ?scratch t q f =
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
-  let cache = Hash_family.cache ?trace t.family q in
-  let seen = Bytes.make (Store.length t.store) '\000' in
-  let candidates = candidates_into t cache ~seen in
-  let value, lookup_cost = f candidates in
+  let scratch = scratch_of scratch in
+  Scratch.ensure scratch (Store.length t.store);
+  let cache = cache_for ?trace t scratch q in
+  let value, lookup_cost =
+    Fun.protect
+      ~finally:(fun () -> Scratch.reset scratch)
+      (fun () ->
+        candidates_into t cache ~scratch;
+        f scratch)
+  in
   let stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost; probes = t.l } in
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
@@ -239,7 +283,7 @@ let best_of_candidates t q candidates =
 (* The single-level query core.  Trace events are recorded only behind a
    [match] on the trace option, so the untraced path allocates nothing
    for them; metrics are recorded once at the end from the final stats. *)
-let query_with ?budget ?metrics ?trace t q =
+let query_with ?budget ?metrics ?trace ?scratch t q =
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   (match trace with
@@ -247,57 +291,64 @@ let query_with ?budget ?metrics ?trace t q =
       Dbh_obs.Trace.record tr
         (Dbh_obs.Trace.Query_start { kind = Printf.sprintf "index(k=%d,l=%d)" t.k t.l })
   | None -> ());
-  let cache = Hash_family.cache ?budget ?trace t.family q in
+  let scratch = scratch_of scratch in
+  Scratch.ensure scratch (Store.length t.store);
+  let cache = cache_for ?budget ?trace t scratch q in
   let space = Hash_family.space t.family in
-  let seen = Bytes.make (Store.length t.store) '\000' in
-  let best = ref None in
+  (* Unboxed best tracking: ids and float refs are flat, so improving
+     the best allocates nothing until the final [Some]. *)
+  let best_id = ref (-1) in
+  let best_d = ref infinity in
   let lookup = ref 0 in
   let probes = ref 0 in
-  (try
-     let bit_of = bits_of_cache t cache in
-     for row = 0 to t.l - 1 do
-       incr probes;
-       let key = key_of_row t.fn_ids bit_of row in
-       match Hashtbl.find_opt t.tables.(row) key with
-       | None ->
-           (match trace with
-           | Some tr ->
-               Dbh_obs.Trace.record tr
-                 (Dbh_obs.Trace.Bucket_probe { level = 0; table = row; key; found = 0 })
-           | None -> ())
-       | Some bucket ->
-           (match trace with
-           | Some tr ->
-               Dbh_obs.Trace.record tr
-                 (Dbh_obs.Trace.Bucket_probe
-                    { level = 0; table = row; key; found = List.length bucket })
-           | None -> ());
-           List.iter
-             (fun id ->
-               if Store.is_alive t.store id && Bytes.get seen id = '\000' then begin
-                 Bytes.set seen id '\001';
-                 (match budget with Some b -> Budget.charge b | None -> ());
-                 incr lookup;
-                 let d = space.Space.distance q (Store.get t.store id) in
-                 let improved =
-                   match !best with Some (_, bd) -> d < bd | None -> true
-                 in
-                 (match trace with
-                 | Some tr ->
-                     Dbh_obs.Trace.record tr
-                       (Dbh_obs.Trace.Candidate { id; distance = d; improved })
-                 | None -> ());
-                 if improved then best := Some (id, d)
-               end)
-             bucket
-     done
-   with Budget.Exhausted ->
-     (match trace with
-     | Some tr ->
-         Dbh_obs.Trace.record tr
-           (Dbh_obs.Trace.Budget_exhausted
-              { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
-     | None -> ()));
+  Fun.protect
+    ~finally:(fun () -> Scratch.reset scratch)
+    (fun () ->
+      try
+        let bits = Scratch.bit_row scratch (Array.length t.distinct_fns) in
+        eval_bits t cache bits;
+        (* One visitor closure for the whole query: allocating it inside
+           the row loop would cost a closure per probe. *)
+        let visit id =
+          if Store.is_alive t.store id && Scratch.mark scratch id then begin
+            (match budget with Some b -> Budget.charge b | None -> ());
+            incr lookup;
+            let d = space.Space.distance q (Store.get t.store id) in
+            let improved = d < !best_d in
+            (match trace with
+            | Some tr ->
+                Dbh_obs.Trace.record tr
+                  (Dbh_obs.Trace.Candidate { id; distance = d; improved })
+            | None -> ());
+            if improved then begin
+              best_id := id;
+              best_d := d
+            end
+          end
+        in
+        for row = 0 to t.l - 1 do
+          incr probes;
+          let key = key_of_slots t bits row in
+          (match trace with
+          | Some tr ->
+              Dbh_obs.Trace.record tr
+                (Dbh_obs.Trace.Bucket_probe
+                   {
+                     level = 0;
+                     table = row;
+                     key = (key :> int);
+                     found = Csr.bucket_size t.tables.(row) (key :> int);
+                   })
+          | None -> ());
+          Csr.iter_bucket t.tables.(row) (key :> int) visit
+        done
+      with Budget.Exhausted -> (
+        match trace with
+        | Some tr ->
+            Dbh_obs.Trace.record tr
+              (Dbh_obs.Trace.Budget_exhausted
+                 { spent = (match budget with Some b -> Budget.spent b | None -> 0) })
+        | None -> ()));
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
   let stats =
     { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes }
@@ -319,45 +370,63 @@ let query_with ?budget ?metrics ?trace t q =
   in
   observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
     ~truncated ~levels_probed:1 ();
-  { nn = !best; stats; truncated; levels_probed = 1 }
+  {
+    nn = (if !best_id < 0 then None else Some (!best_id, !best_d));
+    stats;
+    truncated;
+    levels_probed = 1;
+  }
 
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch t q
 
-(* Queries only read the index (tables, store, family) and every query
-   allocates its own cache, seen mask and budget, so a batch fans out
-   with no shared mutable state beyond the atomic counters.  The metric
-   set is resolved once up front and shared — its counters are atomic —
-   while opts.trace is ignored: traces are single-domain by design. *)
+(* Queries only read the index (tables, store, family), so a batch fans
+   out with no shared mutable state beyond the atomic counters.  The
+   metric set is resolved once up front and shared — its counters are
+   atomic — while opts.trace is ignored: traces are single-domain by
+   design.  Sequentially one scratch (the caller's, else a private one)
+   serves the whole batch; under a pool each query allocates its own
+   (a scratch is single-domain state). *)
 let search_batch ?(opts = Query_opts.default) t qs =
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
-  let run q =
-    let budget = Option.map Budget.create opts.Query_opts.budget in
-    query_with ?budget ?metrics t q
-  in
   match opts.Query_opts.pool with
-  | None -> Array.map run qs
-  | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
+  | None ->
+      let scratch = scratch_of opts.Query_opts.scratch in
+      Array.map
+        (fun q ->
+          let budget = Option.map Budget.create opts.Query_opts.budget in
+          query_with ?budget ?metrics ~scratch t q)
+        qs
+  | Some pool ->
+      Dbh_util.Pool.parallel_map_array pool
+        (fun q ->
+          let budget = Option.map Budget.create opts.Query_opts.budget in
+          query_with ?budget ?metrics t q)
+        qs
 
 let query ?budget t q = query_with ?budget t q
 
 let query_batch ?pool ?budget t qs =
   search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
 
+(* Candidate consumers iterate the scratch newest-mark-first: that is the
+   order the old code visited its consed candidate lists in, and
+   tie-breaking (equal distances) depends on it. *)
 let query_knn ?(opts = Query_opts.default) t m q =
   if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";
   let space = Hash_family.space t.family in
-  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
-    (fun candidates ->
+  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch t q (fun scratch ->
       let heap = Dbh_util.Bounded_heap.create m in
       let count = ref 0 in
-      List.iter
-        (fun id ->
-          incr count;
-          let d = space.Space.distance q (Store.get t.store id) in
-          ignore (Dbh_util.Bounded_heap.push heap d id))
-        candidates;
+      for i = Scratch.count scratch - 1 downto 0 do
+        let id = Scratch.get scratch i in
+        incr count;
+        let d = space.Space.distance q (Store.get t.store id) in
+        ignore (Dbh_util.Bounded_heap.push heap d id)
+      done;
       let sorted =
         Dbh_util.Bounded_heap.to_sorted_list heap |> List.map (fun (d, i) -> (i, d))
       in
@@ -366,16 +435,16 @@ let query_knn ?(opts = Query_opts.default) t m q =
 let query_range ?(opts = Query_opts.default) t radius q =
   if radius < 0. then invalid_arg "Index.query_range: negative radius";
   let space = Hash_family.space t.family in
-  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
-    (fun candidates ->
+  with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch t q (fun scratch ->
       let hits = ref [] in
       let count = ref 0 in
-      List.iter
-        (fun id ->
-          incr count;
-          let d = space.Space.distance q (Store.get t.store id) in
-          if d <= radius then hits := (id, d) :: !hits)
-        candidates;
+      for i = Scratch.count scratch - 1 downto 0 do
+        let id = Scratch.get scratch i in
+        incr count;
+        let d = space.Space.distance q (Store.get t.store id) in
+        if d <= radius then hits := (id, d) :: !hits
+      done;
       (List.sort (fun (_, a) (_, b) -> compare a b) !hits, !count))
 
 (* Multi-probe: per table, after the base bucket, probe the buckets whose
@@ -404,23 +473,43 @@ let query_multiprobe ?(opts = Query_opts.default) t ~probes q =
   if probes < 0 then invalid_arg "Index.query_multiprobe: negative probes";
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
-  let cache = Hash_family.cache ?trace:opts.Query_opts.trace t.family q in
-  let seen = Bytes.make (Store.length t.store) '\000' in
-  let bit_of = bits_of_cache t cache in
-  let fresh = ref [] in
+  let scratch = scratch_of opts.Query_opts.scratch in
+  Scratch.ensure scratch (Store.length t.store);
+  let cache = cache_for ?trace:opts.Query_opts.trace t scratch q in
   let probe_count = ref 0 in
-  for row = 0 to t.l - 1 do
-    let base_key = key_of_row t.fn_ids bit_of row in
-    let keys = base_key :: List.map (fun mask -> base_key lxor mask) (probe_masks t cache row probes) in
-    List.iter
-      (fun key ->
-        incr probe_count;
-        match Hashtbl.find_opt t.tables.(row) key with
-        | None -> ()
-        | Some bucket -> collect_bucket t ~seen bucket fresh)
-      keys
-  done;
-  let nn, lookup = best_of_candidates t q !fresh in
+  let nn, lookup =
+    Fun.protect
+      ~finally:(fun () -> Scratch.reset scratch)
+      (fun () ->
+        let bit_of = bits_of_cache t cache in
+        for row = 0 to t.l - 1 do
+          let base_key = key_of_row t.fn_ids bit_of row in
+          let keys =
+            (base_key :> int)
+            :: List.map
+                 (fun mask -> (base_key :> int) lxor mask)
+                 (probe_masks t cache row probes)
+          in
+          List.iter
+            (fun key ->
+              incr probe_count;
+              Csr.iter_bucket t.tables.(row) key (fun id ->
+                  if Store.is_alive t.store id then ignore (Scratch.mark scratch id)))
+            keys
+        done;
+        let space = Hash_family.space t.family in
+        let best = ref None in
+        let count = ref 0 in
+        for i = Scratch.count scratch - 1 downto 0 do
+          let id = Scratch.get scratch i in
+          incr count;
+          let d = space.Space.distance q (Store.get t.store id) in
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | _ -> best := Some (id, d)
+        done;
+        (!best, !count))
+  in
   let stats =
     { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = !probe_count }
   in
@@ -435,28 +524,30 @@ let query_budgeted ?(opts = Query_opts.default) t ~max_candidates q =
   if max_candidates < 1 then invalid_arg "Index.query_budgeted: budget must be >= 1";
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
-  let cache = Hash_family.cache ?trace:opts.Query_opts.trace t.family q in
-  let bit_of = bits_of_cache t cache in
-  (* Count, per candidate, the number of tables it collides in. *)
-  let counts = Hashtbl.create 64 in
-  for row = 0 to t.l - 1 do
-    let key = key_of_row t.fn_ids bit_of row in
-    match Hashtbl.find_opt t.tables.(row) key with
-    | None -> ()
-    | Some bucket ->
-        List.iter
-          (fun id ->
-            if Store.is_alive t.store id then
-              Hashtbl.replace counts id
-                (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
-          bucket
-  done;
-  let ranked =
-    Hashtbl.fold (fun id c acc -> (c, id) :: acc) counts []
-    |> List.sort (fun (c1, id1) (c2, id2) ->
-           if c1 <> c2 then compare c2 c1 else compare id1 id2)
+  let scratch = scratch_of opts.Query_opts.scratch in
+  Scratch.ensure scratch (Store.length t.store);
+  let cache = cache_for ?trace:opts.Query_opts.trace t scratch q in
+  let chosen =
+    Fun.protect
+      ~finally:(fun () -> Scratch.reset scratch)
+      (fun () ->
+        let bit_of = bits_of_cache t cache in
+        (* Count, per candidate, the number of tables it collides in. *)
+        let counts = Hashtbl.create 64 in
+        for row = 0 to t.l - 1 do
+          let key = key_of_row t.fn_ids bit_of row in
+          Csr.iter_bucket t.tables.(row) (key :> int) (fun id ->
+              if Store.is_alive t.store id then
+                Hashtbl.replace counts id
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+        done;
+        let ranked =
+          Hashtbl.fold (fun id c acc -> (c, id) :: acc) counts []
+          |> List.sort (fun (c1, id1) (c2, id2) ->
+                 if c1 <> c2 then compare c2 c1 else compare id1 id2)
+        in
+        List.filteri (fun i _ -> i < max_candidates) ranked |> List.map snd)
   in
-  let chosen = List.filteri (fun i _ -> i < max_candidates) ranked |> List.map snd in
   let nn, lookup = best_of_candidates t q chosen in
   let stats =
     { hash_cost = Hash_family.cache_cost cache; lookup_cost = lookup; probes = t.l }
@@ -484,11 +575,13 @@ let delete t id = Store.delete t.store id
 
 (* ----------------------------------------------------------- persistence *)
 
-(* Tables are stored as bit-packed keys — k bits per indexed object per
+(* v1 bodies store bit-packed keys — k bits per indexed object per
    table — rather than bucket lists: for realistic (k, l) this is an
    order of magnitude smaller than naive int encoding, and buckets
    rebuild exactly from the keys.  Objects that are dead at save time are
-   dropped (compaction); their ids stay reserved. *)
+   dropped (compaction); their ids stay reserved.  The v2 body (used by
+   the packed Online.Durable snapshots) instead dumps the live CSR
+   arrays directly, which loads without any re-bucketing. *)
 
 let pack_keys buf ~k keys =
   let n = Array.length keys in
@@ -527,17 +620,18 @@ let unpack_keys r ~k =
    appears in every table, so membership of the first table suffices. *)
 let present_ids t =
   let members = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun key bucket ->
-      List.iter (fun id -> if Store.is_alive t.store id then Hashtbl.replace members id key) bucket)
-    t.tables.(0);
+  Csr.iter_buckets t.tables.(0) (fun key bucket ->
+      List.iter
+        (fun id -> if Store.is_alive t.store id then Hashtbl.replace members id key)
+        bucket);
   let ids = Array.of_seq (Hashtbl.to_seq_keys members) in
   Array.sort compare ids;
   ids
 
 let keys_of_table table ids =
   let key_of = Hashtbl.create (Array.length ids) in
-  Hashtbl.iter (fun key bucket -> List.iter (fun id -> Hashtbl.replace key_of id key) bucket) table;
+  Csr.iter_buckets table (fun key bucket ->
+      List.iter (fun id -> Hashtbl.replace key_of id key) bucket);
   Array.map
     (fun id ->
       match Hashtbl.find_opt key_of id with
@@ -545,19 +639,15 @@ let keys_of_table table ids =
       | None -> raise (Invalid_argument "Index.write: object missing from a table"))
     ids
 
-let write_body buf t =
+let write_fn_ids buf t =
   Binio.write_int buf t.k;
   Binio.write_int buf t.l;
-  Array.iter (fun row -> Binio.write_int_array buf row) t.fn_ids;
-  let ids = present_ids t in
-  Binio.write_int_array buf ids;
-  Array.iter (fun table -> pack_keys buf ~k:t.k (keys_of_table table ids)) t.tables
+  Array.iter (fun row -> Binio.write_int_array buf row) t.fn_ids
 
-let read_body ~family ~store r =
-  let n = Store.length store in
+let read_fn_ids ~family r =
   let k = Binio.read_int r in
   let l = Binio.read_int r in
-  if k < 1 || k > 62 || l < 1 || l > Binio.remaining r then
+  if k < 1 || k > Key.max_bits || l < 1 || l > Binio.remaining r then
     raise (Binio.Corrupt "invalid k or l");
   let fn_ids =
     Array.init l (fun _ ->
@@ -570,6 +660,17 @@ let read_body ~family ~store r =
           row;
         row)
   in
+  (k, l, fn_ids)
+
+let write_body buf t =
+  write_fn_ids buf t;
+  let ids = present_ids t in
+  Binio.write_int_array buf ids;
+  Array.iter (fun table -> pack_keys buf ~k:t.k (keys_of_table table ids)) t.tables
+
+let read_body ~family ~store r =
+  let n = Store.length store in
+  let k, l, fn_ids = read_fn_ids ~family r in
   let ids = Binio.read_int_array r in
   Array.iter
     (fun id -> if id < 0 || id >= n then raise (Binio.Corrupt "object id out of range"))
@@ -586,9 +687,31 @@ let read_body ~family ~store r =
             let bucket = try Hashtbl.find table key with Not_found -> [] in
             Hashtbl.replace table key (id :: bucket))
           ids;
-        table)
+        Csr.freeze table)
   in
-  { family; store; k; l; fn_ids; distinct_fns = distinct_of fn_ids; tables }
+  let distinct_fns = distinct_of fn_ids in
+  { family; store; k; l; fn_ids; distinct_fns; fn_slots = slots_of fn_ids distinct_fns; tables }
+
+(* v2 body: the live CSR arrays verbatim.  Loading re-validates every
+   structural invariant (sorted directory, in-range packed keys, offsets
+   covering the ids, no duplicate id per table) so a corrupt or
+   hand-edited snapshot cannot materialise a broken index. *)
+let write_body_packed buf t =
+  write_fn_ids buf t;
+  let is_alive = Store.is_alive t.store in
+  Array.iter (fun table -> Csr.write buf ~is_alive table) t.tables
+
+let read_body_packed ~family ~store r =
+  let n = Store.length store in
+  let k, l, fn_ids = read_fn_ids ~family r in
+  let seen = Bytes.create n in
+  let validate_key key =
+    try ignore (Key.of_int ~width:k key)
+    with Invalid_argument _ -> raise (Binio.Corrupt "packed key out of range")
+  in
+  let tables = Array.init l (fun _ -> Csr.read r ~validate_key ~max_id:n ~seen) in
+  let distinct_fns = distinct_of fn_ids in
+  { family; store; k; l; fn_ids; distinct_fns; fn_slots = slots_of fn_ids distinct_fns; tables }
 
 let write_store ~encode buf store =
   Binio.write_int buf (Store.length store);

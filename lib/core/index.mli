@@ -86,10 +86,33 @@ val size : 'a t -> int
 (** Number of alive indexed objects. *)
 
 val bucket_count : 'a t -> int
-(** Total number of non-empty buckets across tables (diagnostic). *)
+(** Total number of non-empty buckets across tables (diagnostic).
+    O(1): maintained by the CSR tables.  Counts dead (tombstoned)
+    entries until {!compact}, as the list tables always did. *)
 
 val largest_bucket : 'a t -> int
-(** Size of the fullest bucket (diagnostic for balance). *)
+(** Size of the fullest bucket (diagnostic for balance) — O(1), dead
+    entries included until {!compact}. *)
+
+val delta_size : 'a t -> int
+(** Entries inserted since the last freeze/{!compact}, still sitting in
+    the tables' mutable deltas — the compaction-pressure signal. *)
+
+val approx_table_words : 'a t -> int
+(** Rough resident heap words of the tables (directory + offsets + ids
+    + delta estimate); excludes store, family and pivots. *)
+
+val compact : 'a t -> unit
+(** Fold every table's insert delta into its frozen CSR base and drop
+    tombstoned ids.  Queries see identical candidates before and after
+    (dead ids were skipped, and never charged, either way); only the
+    diagnostics change — deltas empty, dead entries no longer counted. *)
+
+val iter_buckets : 'a t -> (int -> int -> int list -> unit) -> unit
+(** [iter_buckets t f] calls [f table key bucket] for every non-empty
+    bucket, tables in order, keys ascending, each bucket in query
+    iteration order (dead ids included).  Allocates the lists — cold
+    paths only (diagnostics, migration, reference implementations). *)
 
 (** {1 Queries}
 
@@ -185,13 +208,16 @@ val candidates_into :
   ?level:int ->
   'a t ->
   'a Hash_family.cache ->
-  seen:Bytes.t ->
-  int list
-(** Fresh alive candidate ids from this index's buckets: ids whose [seen]
-    byte is unset; each is marked as seen.  [seen] must have the store
-    length.  Exposed so multi-index schemes can share the candidate dedup
-    across indexes.  [trace] records one [Bucket_probe] per table,
-    tagged with [level] (default 0). *)
+  scratch:Scratch.t ->
+  unit
+(** Mark this index's fresh alive candidates into [scratch]: ids not yet
+    marked are marked (in bucket-iteration order) and readable from the
+    scratch's candidate buffer; already-marked ids are skipped.  The
+    scratch capacity must cover the store ([Scratch.ensure]).  Exposed so
+    multi-index schemes can share the candidate dedup across indexes —
+    record [Scratch.count] before the call to delimit the fresh range.
+    [trace] records one [Bucket_probe] per table, tagged with [level]
+    (default 0). *)
 
 (** {1 Persistence}
 
@@ -232,6 +258,7 @@ val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
+  ?scratch:Scratch.t ->
   'a t ->
   'a ->
   'a result
@@ -247,9 +274,14 @@ val observe_query :
   unit
 
 (* Plumbing for composite indexes' persistence (used by Hierarchical):
-   table structure without the family and store. *)
+   table structure without the family and store.  The v1 body packs keys
+   at k bits per object and re-buckets on load; the packed (v2) body
+   dumps the live CSR arrays and loads without re-bucketing. *)
 val write_body : Buffer.t -> 'a t -> unit
 val read_body :
+  family:'a Hash_family.t -> store:'a Store.t -> Dbh_util.Binio.reader -> 'a t
+val write_body_packed : Buffer.t -> 'a t -> unit
+val read_body_packed :
   family:'a Hash_family.t -> store:'a Store.t -> Dbh_util.Binio.reader -> 'a t
 val write_store : encode:('a -> string) -> Buffer.t -> 'a Store.t -> unit
 val read_store : decode:(string -> 'a) -> Dbh_util.Binio.reader -> 'a Store.t

@@ -1,0 +1,31 @@
+type t = int
+
+let max_bits = 62
+
+let check_width k =
+  if k < 1 || k > max_bits then
+    invalid_arg (Printf.sprintf "Key: width must be in [1, %d], got %d" max_bits k)
+
+let zero = 0
+let push_bit key b = (key lsl 1) lor (if b then 1 else 0)
+
+let of_bits bits =
+  let k = Array.length bits in
+  check_width k;
+  Array.fold_left push_bit zero bits
+
+let to_bits ~width key =
+  check_width width;
+  if key < 0 || (width < max_bits && key lsr width <> 0) then
+    invalid_arg "Key.to_bits: key does not fit in width";
+  Array.init width (fun j -> (key lsr (width - 1 - j)) land 1 = 1)
+
+let to_int key = key
+let of_int ~width key =
+  check_width width;
+  if key < 0 || (width < max_bits && key lsr width <> 0) then
+    invalid_arg "Key.of_int: key does not fit in width";
+  key
+
+let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal

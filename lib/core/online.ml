@@ -27,6 +27,9 @@ type 'a t = {
 }
 
 let size t = Vec.length t.registry - Hashtbl.length t.dead
+let tombstones t = Hashtbl.length t.dead
+let delta_size t = Hierarchical.delta_size t.index
+let compact t = Hierarchical.compact t.index
 let rebuilds t = t.rebuild_count
 let space t = t.space
 let index t = t.index
@@ -148,26 +151,36 @@ let translate t (r : 'a Index.result) =
     levels_probed = r.Index.levels_probed;
   }
 
-let query_with ?budget ?metrics ?trace t q =
-  translate t (Hierarchical.query_with ?budget ?metrics ?trace t.index q)
+let query_with ?budget ?metrics ?trace ?scratch t q =
+  translate t (Hierarchical.query_with ?budget ?metrics ?trace ?scratch t.index q)
 
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace t q
+  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch t q
 
 let search_batch ?(opts = Query_opts.default) t qs =
   let pool = match opts.Query_opts.pool with Some _ as p -> p | None -> t.pool in
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
-  let run q =
-    let budget = Option.map Budget.create opts.Query_opts.budget in
-    Hierarchical.query_with ?budget ?metrics t.index q
-  in
   (* Handle translation reads generation state that only updates mutate,
      so a pure query batch is safe to fan out. *)
   let results =
     match pool with
-    | None -> Array.map run qs
-    | Some pool -> Dbh_util.Pool.parallel_map_array pool run qs
+    | None ->
+        let scratch =
+          match opts.Query_opts.scratch with Some s -> s | None -> Scratch.create ()
+        in
+        Array.map
+          (fun q ->
+            let budget = Option.map Budget.create opts.Query_opts.budget in
+            Hierarchical.query_with ?budget ?metrics ~scratch t.index q)
+          qs
+    | Some pool ->
+        Dbh_util.Pool.parallel_map_array pool
+          (fun q ->
+            let budget = Option.map Budget.create opts.Query_opts.budget in
+            Hierarchical.query_with ?budget ?metrics t.index q)
+          qs
   in
   Array.map (translate t) results
 
@@ -187,7 +200,26 @@ module Durable = struct
   module Layout = Dbh_persist.Layout
 
   let snapshot_kind = "online"
-  let snapshot_version = 1
+
+  (* Version 2 snapshots embed the packed (CSR) hierarchical body; v1
+     snapshots (bit-packed key blocks) are still read, so a pre-packed
+     directory opens cleanly and its first checkpoint migrates it. *)
+  let snapshot_version = 2
+  let readable_versions = [ 1; 2 ]
+
+  let read_expect_any ~path =
+    let header, payload = Envelope.read ~path in
+    if header.Envelope.kind <> snapshot_kind then
+      raise
+        (Dbh_util.Binio.Corrupt
+           (Printf.sprintf "expected a %S envelope, found %S" snapshot_kind
+              header.Envelope.kind));
+    if not (List.mem header.Envelope.version readable_versions) then
+      raise
+        (Dbh_util.Binio.Corrupt
+           (Printf.sprintf "unreadable %S version %d" snapshot_kind
+              header.Envelope.version));
+    (header.Envelope.version, payload)
 
   let corrupt fmt = Printf.ksprintf (fun s -> raise (Binio.Corrupt s)) fmt
 
@@ -208,7 +240,7 @@ module Durable = struct
     Binio.write_int_array buf (Vec.to_array o.external_of_internal);
     Binio.write_int buf o.built_size;
     Binio.write_int buf o.rebuild_count;
-    Hierarchical.write ~encode buf o.index;
+    Hierarchical.write_packed ~encode buf o.index;
     Buffer.contents buf
 
   (* Structural decode shared by recovery and [verify_snapshot]: every
@@ -236,7 +268,7 @@ module Durable = struct
     if built_size < 1 then corrupt "implausible built size %d" built_size;
     let rebuild_count = Binio.read_int r in
     if rebuild_count < 0 then corrupt "negative rebuild count";
-    let index = Hierarchical.read ~decode ~space r in
+    let index = Hierarchical.read_any ~decode ~space r in
     if not (Binio.at_end r) then corrupt "trailing bytes after online payload";
     let store = Hierarchical.store index in
     if Array.length eoi <> Store.length store then
@@ -260,10 +292,34 @@ module Durable = struct
     (rng, registry_len, dead, eoi, internal_of_external, built_size, rebuild_count, index)
 
   let verify_snapshot ~path =
-    let payload = Envelope.read_expect ~kind:snapshot_kind ~version:snapshot_version ~path in
+    let _version, payload = read_expect_any ~path in
     let space = Dbh_space.Space.make ~name:"verify" (fun (_ : string) _ -> 0.) in
     let _, registry_len, dead, _, _, _, _, _ = read_payload ~decode:Fun.id ~space payload in
     (registry_len, registry_len - Hashtbl.length dead)
+
+  (* Structural open for diagnostics (dbh-cli index-stats): the payload
+     decoded with an identity codec and a distance that must never run.
+     Returns the snapshot's format version, registry occupancy and the
+     decoded cascade for table statistics. *)
+  type snapshot_info = {
+    format_version : int;
+    registry_len : int;
+    dead_handles : int;
+    cascade : string Hierarchical.t;
+  }
+
+  let inspect_snapshot ~path =
+    let version, payload = read_expect_any ~path in
+    let space = Dbh_space.Space.make ~name:"inspect" (fun (_ : string) _ -> 0.) in
+    let _, registry_len, dead, _, _, _, _, index =
+      read_payload ~decode:Fun.id ~space payload
+    in
+    {
+      format_version = version;
+      registry_len;
+      dead_handles = Hashtbl.length dead;
+      cascade = index;
+    }
 
   let online_of_payload ?pool ~space ~config ~rebuild_factor ~target_accuracy ~decode payload =
     let rng, registry_len, dead, eoi, internal_of_external, built_size, rebuild_count, index =
@@ -401,6 +457,11 @@ module Durable = struct
   let checkpoint ?kill ?trace t =
     ensure_open t;
     let t0 = Dbh_obs.Metrics.now () in
+    (* Fold the tables' insert deltas and drop tombstones before writing:
+       the snapshot then IS the compact frozen layout, and the in-memory
+       index sheds its delta at the same time.  Query-visible behavior is
+       unchanged. *)
+    compact t.online;
     let gen = t.generation + 1 in
     save_snapshot t gen;
     (match kill with Some After_snapshot -> raise (Killed After_snapshot) | _ -> ());
@@ -470,9 +531,7 @@ module Durable = struct
       | g :: rest -> (
           let path = Layout.snapshot_path ~dir g in
           match
-            let payload =
-              Envelope.read_expect ~kind:snapshot_kind ~version:snapshot_version ~path
-            in
+            let _version, payload = read_expect_any ~path in
             online_of_payload ?pool ~space ~config ~rebuild_factor ~target_accuracy ~decode
               payload
           with

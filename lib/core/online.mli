@@ -44,6 +44,21 @@ val create :
 val size : 'a t -> int
 (** Alive objects. *)
 
+val tombstones : 'a t -> int
+(** Handles deleted since the last rebuild but still occupying registry
+    slots (and, until {!compact}, table entries) — the space a rebuild
+    or compaction would reclaim. *)
+
+val delta_size : 'a t -> int
+(** Table entries inserted since the last rebuild/compaction, still in
+    the levels' mutable deltas ({!Hierarchical.delta_size}). *)
+
+val compact : 'a t -> unit
+(** Fold the insert deltas into the frozen table bases and drop
+    tombstoned entries, without a rebuild (hash functions and handles
+    are untouched; query answers are identical).  [Durable.checkpoint]
+    runs this automatically before writing a snapshot. *)
+
 val rebuilds : 'a t -> int
 (** How many times the offline pipeline has re-run (0 right after
     {!create}). *)
@@ -224,8 +239,27 @@ module Durable : sig
   (** Structurally verify a snapshot file without opening the index or
       computing any distance: envelope checksums, then every internal
       invariant (handle maps, liveness agreement, level structure).
+      Accepts both snapshot formats — version 1 (bit-packed key blocks)
+      and version 2 (packed CSR arrays); new snapshots are written as
+      version 2, so opening a v1 directory and checkpointing migrates it.
       Returns [(total_handles, alive)].  Raises [Dbh_util.Binio.Corrupt]
       on any failure. *)
+
+  type snapshot_info = {
+    format_version : int;  (** 1 (legacy key blocks) or 2 (packed CSR) *)
+    registry_len : int;  (** total handles ever issued *)
+    dead_handles : int;  (** tombstoned handles at snapshot time *)
+    cascade : string Hierarchical.t;
+        (** the snapshot's cascade, structurally decoded with an identity
+            codec and a space whose distance must never be called — for
+            table statistics only, never for queries *)
+  }
+
+  val inspect_snapshot : path:string -> snapshot_info
+  (** Decode a snapshot for offline diagnostics ([dbh-cli index-stats])
+      without the real codec or space.  Same validation as
+      {!verify_snapshot}.  Raises [Dbh_util.Binio.Corrupt] on any
+      corruption. *)
 end
 
 (**/**)
@@ -238,6 +272,7 @@ val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
+  ?scratch:Scratch.t ->
   'a t ->
   'a ->
   'a result

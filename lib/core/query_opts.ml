@@ -3,10 +3,12 @@ type t = {
   pool : Dbh_util.Pool.t option;
   metrics : Dbh_obs.Metrics.t option;
   trace : Dbh_obs.Trace.t option;
+  scratch : Scratch.t option;
 }
 
-let default = { budget = None; pool = None; metrics = None; trace = None }
+let default = { budget = None; pool = None; metrics = None; trace = None; scratch = None }
 
-let make ?budget ?pool ?metrics ?trace () = { budget; pool; metrics; trace }
+let make ?budget ?pool ?metrics ?trace ?scratch () =
+  { budget; pool; metrics; trace; scratch }
 
 let budgeted n = { default with budget = Some n }

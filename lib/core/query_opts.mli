@@ -1,11 +1,12 @@
 (** Options shared by every query entry point.
 
     One record carries everything a query may be threaded with — a
-    per-query distance budget, a domain pool for batches, and the
-    observability hooks — instead of each entry point growing its own
-    spelling of the same optional arguments.  [Index.search],
-    [Hierarchical.search], [Online.search] (and their [_batch]
-    variants, plus [Dbh_robust.Breaker.search]) all take [?opts].
+    per-query distance budget, a domain pool for batches, the
+    observability hooks and a reusable scratch — instead of each entry
+    point growing its own spelling of the same optional arguments.
+    [Index.search], [Hierarchical.search], [Online.search] (and their
+    [_batch] variants, plus [Dbh_robust.Breaker.search]) all take
+    [?opts].
 
     Fields an entry point cannot use are ignored: single-query [search]
     ignores [pool]; batch entry points ignore [trace] (a trace is
@@ -25,6 +26,13 @@ type t = {
   trace : Dbh_obs.Trace.t option;
       (** Record this query's event timeline.  Single-query entry points
           only. *)
+  scratch : Scratch.t option;
+      (** Reuse this workspace (seen mask, candidate buffer, pivot row)
+          across queries instead of allocating per query.  Purely an
+          allocation optimisation — answers and stats are identical.
+          Single-domain: sequential entry points and sequential batches
+          use it; pooled batches ignore it (each query allocates its
+          own). *)
 }
 
 val default : t
@@ -35,6 +43,7 @@ val make :
   ?pool:Dbh_util.Pool.t ->
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
+  ?scratch:Scratch.t ->
   unit ->
   t
 

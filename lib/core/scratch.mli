@@ -1,0 +1,56 @@
+(** Reusable per-query workspace: seen mask + candidate buffer + pivot
+    scratch.
+
+    A query marks every candidate it dedupes into the scratch; [reset]
+    clears only the marked bytes (O(candidates), not O(store)), so one
+    scratch amortises the hot path's allocations to zero across queries.
+    Thread one through [Query_opts.make ~scratch] — entry points without
+    one allocate a private scratch per query, which is correct but costs
+    the old per-query allocations.
+
+    A scratch is single-domain state: share it across {e sequential}
+    queries only.  Batch entry points reuse the caller's scratch when
+    running sequentially and ignore it under a pool (each domain
+    allocates its own). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty scratch; [capacity] pre-sizes the seen mask. *)
+
+val ensure : t -> int -> unit
+(** Grow the seen mask to cover ids [0, n).  Called at query start, when
+    the scratch is clean; marks never survive growth. *)
+
+val capacity : t -> int
+
+val mark : t -> int -> bool
+(** [mark t id] is [true] the first time [id] is marked since the last
+    {!reset} (and records it), [false] on every repeat — the query-side
+    dedup test-and-set.  [id] must be below {!capacity}. *)
+
+val mem : t -> int -> bool
+(** Has [id] been marked since the last reset?  (No marking.) *)
+
+val count : t -> int
+(** Ids marked since the last reset. *)
+
+val get : t -> int -> int
+(** [get t i]: the [i]-th marked id, in discovery order, [i < count t].
+    Valid until the next {!reset}. *)
+
+val to_list : t -> int list
+(** The marked ids in discovery order (allocates; diagnostics/tests). *)
+
+val reset : t -> unit
+(** Unmark everything, O(count).  Queries reset on exit — including
+    exceptional exit — so the scratch is always clean between queries. *)
+
+val pivot_dists : t -> int -> float array
+(** A reusable row of at least [m] floats for the pivot-distance cache.
+    Contents are unspecified — the cache constructor re-initialises it.
+    The row is owned by the scratch: at most one live cache per scratch. *)
+
+val bit_row : t -> int -> Bytes.t
+(** A reusable row of at least [m] bytes for per-query hash bits.
+    Contents are unspecified — the caller overwrites before reading. *)

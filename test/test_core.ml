@@ -10,6 +10,7 @@ module Collision = Dbh.Collision
 module Analysis = Dbh.Analysis
 module Params = Dbh.Params
 module Index = Dbh.Index
+module Scratch = Dbh.Scratch
 module Hierarchical = Dbh.Hierarchical
 module Builder = Dbh.Builder
 
@@ -518,8 +519,10 @@ let test_index_query_is_min_of_candidates () =
   for t = 0 to 20 do
     let q = Dbh_datasets.Vectors.perturb ~rng ~sigma:0.1 db.(t * 7) in
     let cache = Hash_family.cache family q in
-    let seen = Bytes.make 300 '\000' in
-    let cands = Index.candidates_into index cache ~seen in
+    let scratch = Scratch.create () in
+    Scratch.ensure scratch 300;
+    Index.candidates_into index cache ~scratch;
+    let cands = Scratch.to_list scratch in
     let r = Index.search index q in
     match (r.Index.nn, cands) with
     | None, [] -> ()
@@ -555,13 +558,15 @@ let test_index_candidates_into_dedupes () =
   let index = Index.build ~rng ~family ~db ~k:3 ~l:10 () in
   let q = db.(5) in
   let cache = Hash_family.cache family q in
-  let seen = Bytes.make 200 '\000' in
-  let first = Index.candidates_into index cache ~seen in
+  let scratch = Scratch.create () in
+  Scratch.ensure scratch 200;
+  Index.candidates_into index cache ~scratch;
+  let first = Scratch.to_list scratch in
   let sorted = List.sort_uniq compare first in
   Alcotest.(check int) "no duplicates" (List.length sorted) (List.length first);
-  (* Second pass with the same mask yields nothing new. *)
-  let second = Index.candidates_into index cache ~seen in
-  Alcotest.(check int) "already seen" 0 (List.length second)
+  (* Second pass with the same seen mask yields nothing new. *)
+  Index.candidates_into index cache ~scratch;
+  Alcotest.(check int) "already seen" (List.length first) (Scratch.count scratch)
 
 let test_index_knn () =
   let db = test_db 48 300 in

@@ -1,0 +1,556 @@
+(* Storage-engine tests: the compact layout (packed keys, frozen CSR
+   tables, reusable query scratch) must be invisible from the outside.
+
+   The centrepiece is a golden diff — a pinned pen-digit/DTW workload
+   whose per-query answers, hex-float distances and logical cost
+   counters were recorded before the storage refactor
+   (test/fixtures/golden_storage.txt); any layout change that perturbs a
+   single bit of any answer fails here.  Around it: Key codec
+   properties, CSR freeze/compaction invariants fuzzed against fresh
+   rebuilds, scratch-reuse equivalence, and migration of a pinned
+   pre-refactor (v1) durable directory to the packed v2 snapshot
+   format. *)
+
+module Rng = Dbh_util.Rng
+module Pool = Dbh_util.Pool
+module Binio = Dbh_util.Binio
+module Envelope = Dbh_persist.Envelope
+module Layout = Dbh_persist.Layout
+module Pen = Dbh_datasets.Pen_digits
+module Minkowski = Dbh_metrics.Minkowski
+module Key = Dbh.Key
+module Csr = Dbh.Csr
+module Scratch = Dbh.Scratch
+module Index = Dbh.Index
+module Hash_family = Dbh.Hash_family
+module Hierarchical = Dbh.Hierarchical
+module Builder = Dbh.Builder
+module Online = Dbh.Online
+module Durable = Dbh.Online.Durable
+module Query_opts = Dbh.Query_opts
+module Diagnostics = Dbh.Diagnostics
+
+let domains =
+  match Sys.getenv_opt "DBH_TEST_DOMAINS" with
+  | None -> 2
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> d
+      | _ -> invalid_arg "DBH_TEST_DOMAINS must be a positive integer")
+
+let l2 = Minkowski.l2_space
+
+(* ------------------------------------------------- golden workload
+   Copied verbatim from the one-shot generator that produced
+   test/fixtures/golden_storage.txt on the pre-refactor engine.  Do not
+   edit without regenerating the fixture. *)
+
+let golden_workload () =
+  let db = Pen.generate_set ~rng:(Rng.create 7) 300 in
+  let queries = Pen.generate_set ~rng:(Rng.create 8) 25 in
+  let family =
+    Hash_family.make ~rng:(Rng.create 9) ~space:Pen.space ~num_pivots:40
+      ~threshold_sample:150 db
+  in
+  let index = Index.build ~rng:(Rng.create 10) ~family ~db ~k:8 ~l:6 () in
+  let config =
+    {
+      Builder.default_config with
+      num_pivots = 40;
+      threshold_sample = 150;
+      num_sample_queries = 60;
+      num_fns = 120;
+      db_sample = 150;
+      levels = 3;
+    }
+  in
+  let prepared = Builder.prepare ~rng:(Rng.create 11) ~space:Pen.space ~config db in
+  let hier =
+    Builder.hierarchical ~rng:(Rng.create 12) ~prepared ~db ~target_accuracy:0.9
+      ~config ()
+  in
+  (queries, index, hier)
+
+let golden_result_line tag qi (r : _ Index.result) =
+  let nn =
+    match r.Index.nn with
+    | None -> "- -"
+    | Some (id, d) -> Printf.sprintf "%d %h" id d
+  in
+  Printf.sprintf "%s %d %s %d %d %d %d %b" tag qi nn r.Index.stats.Index.hash_cost
+    r.Index.stats.Index.lookup_cost r.Index.stats.Index.probes r.Index.levels_probed
+    r.Index.truncated
+
+let golden_knn_line qi (hits : (int * float) array) (stats : Index.stats) =
+  let hits =
+    Array.to_list hits
+    |> List.map (fun (id, d) -> Printf.sprintf "%d:%h" id d)
+    |> String.concat ","
+  in
+  Printf.sprintf "knn5 %d [%s] %d %d %d" qi
+    (if hits = "" then "-" else hits)
+    stats.Index.hash_cost stats.Index.lookup_cost stats.Index.probes
+
+let golden_range_line qi (hits : (int * float) list) (stats : Index.stats) =
+  let hits =
+    List.map (fun (id, d) -> Printf.sprintf "%d:%h" id d) hits |> String.concat ","
+  in
+  Printf.sprintf "range %d [%s] %d %d %d" qi
+    (if hits = "" then "-" else hits)
+    stats.Index.hash_cost stats.Index.lookup_cost stats.Index.probes
+
+let golden_lines ?opts () =
+  let queries, index, hier = golden_workload () in
+  let budgeted =
+    match opts with
+    | None -> Query_opts.budgeted 40
+    | Some o -> { o with Query_opts.budget = Some 40 }
+  in
+  let lines = ref [] in
+  let emit l = lines := l :: !lines in
+  Array.iteri
+    (fun qi q ->
+      emit (golden_result_line "single" qi (Index.search ?opts index q));
+      emit (golden_result_line "single-b40" qi (Index.search ~opts:budgeted index q));
+      emit (golden_result_line "multi2" qi (Index.query_multiprobe index ~probes:2 q));
+      emit (golden_result_line "budg10" qi (Index.query_budgeted index ~max_candidates:10 q));
+      (let hits, stats = Index.query_knn index 5 q in
+       emit (golden_knn_line qi hits stats));
+      (let hits, stats = Index.query_range index 1.5 q in
+       emit (golden_range_line qi hits stats));
+      emit (golden_result_line "hier" qi (Hierarchical.search ?opts hier q));
+      emit (golden_result_line "hier-b40" qi (Hierarchical.search ~opts:budgeted hier q)))
+    queries;
+  List.rev !lines
+
+(* ------------------------------------------------------ fixture diff *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+(* Fixtures are declared as test deps, so they sit next to the test
+   executable in _build — resolve them there, not via the cwd. *)
+let fixture_path name =
+  Filename.concat (Filename.concat (Filename.dirname Sys.executable_name) "fixtures") name
+
+let check_against_golden label actual =
+  let expected = read_lines (fixture_path "golden_storage.txt") in
+  Alcotest.(check int) (label ^ ": line count") (List.length expected) (List.length actual);
+  List.iteri
+    (fun i (e, a) ->
+      if e <> a then
+        Alcotest.failf "%s: line %d diverges from golden fixture\nexpected: %s\nactual:   %s"
+          label (i + 1) e a)
+    (List.combine expected actual)
+
+let test_golden_bit_identity () = check_against_golden "fresh scratch" (golden_lines ())
+
+let test_golden_with_shared_scratch () =
+  (* Same workload through one long-lived scratch: zero-alloc reuse must
+     not change a bit of any answer. *)
+  let scratch = Scratch.create () in
+  let opts = Query_opts.make ~scratch () in
+  check_against_golden "shared scratch" (golden_lines ~opts ())
+
+let test_golden_batches_match_pool () =
+  (* search_batch — sequential (shared scratch inside) and fanned over a
+     pool — must agree with the golden per-query "single"/"hier" lines. *)
+  let queries, index, hier = golden_workload () in
+  let golden = read_lines (fixture_path "golden_storage.txt") in
+  let expect tag =
+    List.filter (fun l -> String.length l > String.length tag
+                          && String.sub l 0 (String.length tag + 1) = tag ^ " ")
+      golden
+  in
+  let check label tag lines =
+    List.iteri
+      (fun i (e, a) ->
+        if e <> a then
+          Alcotest.failf "%s: %s query %d diverges\nexpected: %s\nactual:   %s" label tag i
+            e a)
+      (List.combine (expect tag) lines)
+  in
+  let run opts =
+    let single =
+      Index.search_batch ~opts index queries
+      |> Array.to_list
+      |> List.mapi (fun qi r -> golden_result_line "single" qi r)
+    in
+    let hier_lines =
+      Hierarchical.search_batch ~opts hier queries
+      |> Array.to_list
+      |> List.mapi (fun qi r -> golden_result_line "hier" qi r)
+    in
+    (single, hier_lines)
+  in
+  let s_seq, h_seq = run (Query_opts.make ()) in
+  check "sequential batch" "single" s_seq;
+  check "sequential batch" "hier" h_seq;
+  Pool.with_pool ~domains (fun pool ->
+      let s_par, h_par = run (Query_opts.make ~pool ()) in
+      check (Printf.sprintf "%d-domain batch" domains) "single" s_par;
+      check (Printf.sprintf "%d-domain batch" domains) "hier" h_par)
+
+(* ------------------------------------------------------- Key properties *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let arb_bits =
+  QCheck.Gen.(1 -- Key.max_bits >>= fun w -> array_size (return w) bool)
+  |> QCheck.make ~print:(fun bits ->
+         String.concat "" (Array.to_list (Array.map (fun b -> if b then "1" else "0") bits)))
+
+let key_roundtrip =
+  QCheck.Test.make ~name:"of_bits |> to_bits round-trips at every width <= 62" ~count:500
+    arb_bits (fun bits ->
+      let w = Array.length bits in
+      let key = Key.of_bits bits in
+      let back = Key.to_bits ~width:w key in
+      back = bits
+      && Key.of_int ~width:w (Key.to_int key) = key
+      && Key.equal key (Array.fold_left Key.push_bit Key.zero bits))
+
+let key_order_is_lexicographic =
+  QCheck.Test.make ~name:"int order = lexicographic bit order" ~count:500
+    (QCheck.pair arb_bits arb_bits) (fun (a, b) ->
+      (* Compare at equal width only — pad the shorter to the longer. *)
+      let w = max (Array.length a) (Array.length b) in
+      let pad bits = Array.append (Array.make (w - Array.length bits) false) bits in
+      let a = pad a and b = pad b in
+      let lex = compare a b in
+      compare (Key.compare (Key.of_bits a) (Key.of_bits b)) 0 = compare lex 0)
+
+let test_key_width_limits () =
+  Alcotest.check_raises "width 63 rejected"
+    (Invalid_argument "Key: width must be in [1, 62], got 63") (fun () ->
+      Key.check_width 63);
+  Alcotest.check_raises "width 0 rejected"
+    (Invalid_argument "Key: width must be in [1, 62], got 0") (fun () ->
+      Key.check_width 0);
+  Key.check_width 1;
+  Key.check_width Key.max_bits;
+  (try
+     ignore (Key.of_bits (Array.make 63 true));
+     Alcotest.fail "63-bit code accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Key.of_int ~width:4 16);
+     Alcotest.fail "out-of-range int accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Key.of_int ~width:4 (-1));
+     Alcotest.fail "negative int accepted"
+   with Invalid_argument _ -> ());
+  (* All-ones max-width code survives intact — no sign-bit trouble. *)
+  let all = Array.make Key.max_bits true in
+  Alcotest.(check bool) "62 ones round-trip" true
+    (Key.to_bits ~width:Key.max_bits (Key.of_bits all) = all)
+
+let test_index_rejects_wide_k () =
+  let db = Array.init 20 (fun i -> [| float_of_int i; 0. |]) in
+  let rng = Rng.create 3 in
+  let family = Hash_family.make ~rng ~space:l2 ~num_pivots:8 ~threshold_sample:20 db in
+  try
+    ignore (Index.build ~rng ~family ~db ~k:63 ~l:1 ());
+    Alcotest.fail "k = 63 accepted"
+  with Invalid_argument msg ->
+    Alcotest.(check bool) "message names the limit" true
+      (String.length msg > 0 && msg = Printf.sprintf "Index.build: k must be in [1, %d]" Key.max_bits)
+
+(* ------------------------------------------------------------ CSR fuzz *)
+
+(* Reference model: plain cons-list buckets.  The CSR (frozen base +
+   delta + compaction) must present exactly the same buckets in exactly
+   the same query order. *)
+let csr_fuzz =
+  QCheck.Test.make ~name:"csr = cons-list model under inserts/deletes/compaction" ~count:60
+    QCheck.(small_int) (fun seed ->
+      let rng = Rng.create (1000 + seed) in
+      let n_initial = 1 + Rng.int rng 60 in
+      let n_ops = Rng.int rng 120 in
+      let key_space = 1 + Rng.int rng 16 in
+      let model : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+      let next_id = ref 0 in
+      let dead = Hashtbl.create 16 in
+      let model_add key id =
+        let b = try Hashtbl.find model key with Not_found -> [] in
+        Hashtbl.replace model key (id :: b)
+      in
+      (* Seed the frozen base. *)
+      let base = Hashtbl.create 16 in
+      for _ = 1 to n_initial do
+        let key = Rng.int rng key_space and id = !next_id in
+        incr next_id;
+        let b = try Hashtbl.find base key with Not_found -> [] in
+        Hashtbl.replace base key (id :: b);
+        model_add key id
+      done;
+      let csr = Csr.freeze base in
+      let is_alive id = not (Hashtbl.mem dead id) in
+      (* Random deltas, deletions and occasional compactions. *)
+      for _ = 1 to n_ops do
+        match Rng.int rng 4 with
+        | 0 | 1 ->
+            let key = Rng.int rng key_space and id = !next_id in
+            incr next_id;
+            Csr.add csr key id;
+            model_add key id
+        | 2 -> if !next_id > 0 then Hashtbl.replace dead (Rng.int rng !next_id) ()
+        | _ -> Csr.compact ~is_alive csr
+      done;
+      (* Same buckets, same live contents, same iteration order. *)
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) model [] |> List.sort compare in
+      List.for_all
+        (fun key ->
+          let expect = Hashtbl.find model key |> List.filter is_alive in
+          let got = ref [] in
+          Csr.iter_bucket csr key (fun id -> if is_alive id then got := id :: !got);
+          List.rev !got = expect)
+        keys
+      && Csr.bucket_size csr (key_space + 1) = 0)
+
+let test_online_compaction_vs_rebuild () =
+  (* An online index after insert/delete churn + compact answers every
+     query identically to the same index without compaction, and its
+     diagnostics report the reclaimed space. *)
+  let rng = Rng.create 77 in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:6 ~dim:4 200 in
+  let config =
+    { Builder.default_config with num_pivots = 20; num_sample_queries = 60; db_sample = 150 }
+  in
+  let make () =
+    Online.create ~rng:(Rng.create 78) ~space:l2 ~config ~rebuild_factor:100.
+      ~target_accuracy:0.9 db
+  in
+  let a = make () and b = make () in
+  let churn t =
+    let rng = Rng.create 79 in
+    for i = 0 to 59 do
+      let v = Array.init 4 (fun _ -> Rng.float_in rng (-1.) 1.) in
+      let h = Online.insert t v in
+      if i mod 4 = 3 then Online.delete t (h - 1)
+    done
+  in
+  churn a;
+  churn b;
+  Alcotest.(check bool) "delta pending" true (Online.delta_size a > 0);
+  Alcotest.(check bool) "tombstones pending" true (Online.tombstones a > 0);
+  let stats = Diagnostics.online_stats a in
+  Alcotest.(check int) "live" (Online.size a) stats.Diagnostics.live;
+  Alcotest.(check int) "tombstones" (Online.tombstones a) stats.Diagnostics.tombstones;
+  Alcotest.(check int) "delta" (Online.delta_size a) stats.Diagnostics.delta_size;
+  Online.compact a;
+  Alcotest.(check int) "delta folded" 0 (Online.delta_size a);
+  let qrng = Rng.create 80 in
+  for _ = 1 to 40 do
+    let q = Array.init 4 (fun _ -> Rng.float_in qrng (-1.) 1.) in
+    let ra = Online.search a q and rb = Online.search b q in
+    if ra.Online.nn <> rb.Online.nn then Alcotest.fail "compaction changed the neighbor";
+    Alcotest.(check int) "hash cost" rb.Online.stats.Index.hash_cost
+      ra.Online.stats.Index.hash_cost
+  done
+
+(* -------------------------------------------------------- scratch reuse *)
+
+let test_scratch_reuse_is_clean () =
+  let s = Scratch.create () in
+  Scratch.ensure s 100;
+  Alcotest.(check bool) "first mark" true (Scratch.mark s 7);
+  Alcotest.(check bool) "repeat mark" false (Scratch.mark s 7);
+  Alcotest.(check bool) "mem" true (Scratch.mem s 7);
+  ignore (Scratch.mark s 42);
+  Alcotest.(check int) "count" 2 (Scratch.count s);
+  Alcotest.(check (list int)) "discovery order" [ 7; 42 ] (Scratch.to_list s);
+  Scratch.reset s;
+  Alcotest.(check int) "reset clears count" 0 (Scratch.count s);
+  Alcotest.(check bool) "reset clears marks" true (Scratch.mark s 7);
+  Scratch.reset s;
+  (* Growth keeps the mask clean. *)
+  Scratch.ensure s 10_000;
+  for i = 0 to 9_999 do
+    if not (Scratch.mark s i) then Alcotest.failf "stale mark at %d after growth" i
+  done;
+  Scratch.reset s;
+  let row = Scratch.pivot_dists s 32 in
+  Alcotest.(check bool) "pivot row big enough" true (Array.length row >= 32)
+
+let test_scratch_exception_safety () =
+  (* A budget blow-up mid-query must still leave a shared scratch clean
+     for the next query. *)
+  let db = Pen.generate_set ~rng:(Rng.create 21) 120 in
+  let family =
+    Hash_family.make ~rng:(Rng.create 22) ~space:Pen.space ~num_pivots:15
+      ~threshold_sample:80 db
+  in
+  let index = Index.build ~rng:(Rng.create 23) ~family ~db ~k:4 ~l:5 () in
+  let scratch = Scratch.create () in
+  let q = Pen.generate_set ~rng:(Rng.create 24) 1 in
+  let tight = Query_opts.make ~budget:3 ~scratch () in
+  let r1 = Index.search ~opts:tight index q.(0) in
+  Alcotest.(check bool) "budget truncated" true r1.Index.truncated;
+  Alcotest.(check int) "scratch clean after truncation" 0 (Scratch.count scratch);
+  let free = Query_opts.make ~scratch () in
+  let r2 = Index.search ~opts:free index q.(0) in
+  let r3 = Index.search index q.(0) in
+  if r2.Index.nn <> r3.Index.nn then Alcotest.fail "shared scratch changed the answer"
+
+(* ------------------------------------------------- v1 -> v2 migration *)
+
+let fresh_dir =
+  let dir_counter = ref 0 in
+  fun () ->
+    incr dir_counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dbh-storage-%d-%d" (Unix.getpid ()) !dir_counter)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let encode (v : float array) =
+  let buf = Buffer.create 64 in
+  Binio.write_float_array buf v;
+  Buffer.contents buf
+
+let decode s =
+  let r = Binio.reader s in
+  let v = Binio.read_float_array r in
+  if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes in vector");
+  v
+
+let test_v1_snapshot_migrates_to_v2 () =
+  (* The pinned fixture directory was written by the pre-refactor engine
+     (snapshot version 1, bit-packed key blocks) via
+     `dbh-cli persist <dir> -n 120 --ops 30 -q 5 -s 42`.  It must open
+     cleanly, replay its WAL, serve queries, and migrate to a packed v2
+     snapshot on the first checkpoint. *)
+  let src = fixture_path "v1_online" in
+  let dir = fresh_dir () in
+  List.iter
+    (fun f -> copy_file (Filename.concat src f) (Filename.concat dir f))
+    [ "snapshot-000001.dbh"; "wal-000001.log" ];
+  let v1_path = Layout.snapshot_path ~dir 1 in
+  let hdr, _ = Envelope.read ~path:v1_path in
+  Alcotest.(check int) "fixture is version 1" 1 hdr.Envelope.version;
+  let info = Durable.inspect_snapshot ~path:v1_path in
+  Alcotest.(check int) "inspect sees v1" 1 info.Durable.format_version;
+  (* Same open parameters as dbh-cli's durable subcommands. *)
+  let t, recovery =
+    Durable.open_or_create ~rng:(Rng.create 42) ~space:l2
+      ~config:
+        { Builder.default_config with num_pivots = 50; num_sample_queries = 100 }
+      ~target_accuracy:0.9 ~encode ~decode ~dir ()
+  in
+  (match recovery.Durable.source with
+  | `Snapshot 1 -> ()
+  | _ -> Alcotest.fail "expected recovery from the v1 snapshot");
+  Alcotest.(check (list (pair int string))) "no generation skipped" []
+    recovery.Durable.skipped;
+  Alcotest.(check int) "WAL replayed" 36 recovery.Durable.replayed_ops;
+  Alcotest.(check int) "alive objects" (120 + 30 - 6) (Durable.size t);
+  let q = Array.init 16 (fun i -> float_of_int i /. 16.) in
+  let r = Durable.search t q in
+  Alcotest.(check bool) "v1-recovered index answers" true (r.Online.nn <> None);
+  Durable.checkpoint t;
+  let gen = Durable.generation t in
+  let v2_path = Layout.snapshot_path ~dir gen in
+  let hdr2, _ = Envelope.read ~path:v2_path in
+  Alcotest.(check int) "first checkpoint writes version 2" 2 hdr2.Envelope.version;
+  let total, alive = Durable.verify_snapshot ~path:v2_path in
+  Alcotest.(check int) "v2 verifies: total handles" 150 total;
+  Alcotest.(check int) "v2 verifies: alive" 144 alive;
+  let info2 = Durable.inspect_snapshot ~path:v2_path in
+  Alcotest.(check int) "inspect sees v2" 2 info2.Durable.format_version;
+  Alcotest.(check int) "registry carried over" 150 info2.Durable.registry_len;
+  Alcotest.(check int) "tombstones carried over" 6 info2.Durable.dead_handles;
+  Durable.close t;
+  (* Reopen from the migrated snapshot: answers must match the handle. *)
+  let t2, recovery2 =
+    Durable.open_or_create ~rng:(Rng.create 42) ~space:l2
+      ~config:
+        { Builder.default_config with num_pivots = 50; num_sample_queries = 100 }
+      ~target_accuracy:0.9 ~encode ~decode ~dir ()
+  in
+  (match recovery2.Durable.source with
+  | `Snapshot g when g = gen -> ()
+  | _ -> Alcotest.fail "expected recovery from the migrated v2 snapshot");
+  let r2 = Durable.search t2 q in
+  if r.Online.nn <> r2.Online.nn then Alcotest.fail "v2 reopen changed the answer";
+  Durable.close t2
+
+(* ------------------------------------------------------- diagnostics *)
+
+let test_diagnostics_storage_fields () =
+  let db = Pen.generate_set ~rng:(Rng.create 31) 150 in
+  let family =
+    Hash_family.make ~rng:(Rng.create 32) ~space:Pen.space ~num_pivots:15
+      ~threshold_sample:80 db
+  in
+  let index = Index.build ~rng:(Rng.create 33) ~family ~db ~k:4 ~l:5 () in
+  let s = Diagnostics.index_stats index in
+  Alcotest.(check int) "no delta right after build" 0 s.Diagnostics.delta_entries;
+  Alcotest.(check bool) "fill in (0,1]" true
+    (s.Diagnostics.directory_fill > 0. && s.Diagnostics.directory_fill <= 1.);
+  Alcotest.(check bool) "memory estimate positive" true (s.Diagnostics.approx_table_bytes > 0);
+  let hist = Diagnostics.bucket_histogram index in
+  Alcotest.(check bool) "histogram non-empty" true (Array.length hist > 0);
+  let buckets = Array.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  Alcotest.(check int) "histogram covers every bucket" s.Diagnostics.non_empty_buckets
+    buckets;
+  let entries = Array.fold_left (fun acc (sz, n) -> acc + (sz * n)) 0 hist in
+  Alcotest.(check int) "histogram mass = l * n" (5 * 150) entries
+
+let () =
+  Alcotest.run "dbh_storage"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "bit-identical to pre-refactor engine" `Slow
+            test_golden_bit_identity;
+          Alcotest.test_case "shared scratch changes nothing" `Slow
+            test_golden_with_shared_scratch;
+          Alcotest.test_case "batches (sequential + pool) match" `Slow
+            test_golden_batches_match_pool;
+        ] );
+      ( "key",
+        Alcotest.test_case "width limits" `Quick test_key_width_limits
+        :: Alcotest.test_case "index rejects wide k" `Quick test_index_rejects_wide_k
+        :: qsuite [ key_roundtrip; key_order_is_lexicographic ] );
+      ( "csr",
+        Alcotest.test_case "online compaction vs uncompacted twin" `Quick
+          test_online_compaction_vs_rebuild
+        :: qsuite [ csr_fuzz ] );
+      ( "scratch",
+        [
+          Alcotest.test_case "reuse stays clean" `Quick test_scratch_reuse_is_clean;
+          Alcotest.test_case "exception safety" `Quick test_scratch_exception_safety;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "v1 fixture opens and migrates to v2" `Slow
+            test_v1_snapshot_migrates_to_v2;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "storage fields" `Quick test_diagnostics_storage_fields;
+        ] );
+    ]
