@@ -20,6 +20,7 @@
      persist              (D1)  snapshot/WAL durability cost, writes BENCH_persist.json
      obs                  (O1)  instrumentation overhead, writes BENCH_obs.json
      storage              (S1)  packed CSR vs list buckets, writes BENCH_storage.json
+     replication          (W1)  WAL-shipping follower lag, writes BENCH_replication.json
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
@@ -1316,6 +1317,181 @@ let storage_section () =
       (Printf.sprintf "storage (S1): packed engine slower than list layout (%.2fx)"
          speedup)
 
+(* ------------------------------------------------- W1 replication lag *)
+
+(* What WAL shipping buys and costs: a follower catches up from a
+   shipped snapshot + journal, then tails the leader live while serving
+   reads from another domain.  The caught-up replica must be a
+   bit-identical twin of the leader (rng state and query results both
+   times it is checked) or the section fails; numbers land in
+   BENCH_replication.json. *)
+
+let replication_section () =
+  Report.print_heading
+    "replication (W1): WAL shipping, catch-up and steady-state follower lag";
+  let module Binio = Dbh_util.Binio in
+  let module Durable = Dbh.Online.Durable in
+  let module Replica = Dbh_replica.Replica in
+  let space = Dbh_metrics.Minkowski.l2_space in
+  let vectors seed n =
+    let db, _ =
+      Dbh_datasets.Vectors.gaussian_mixture ~rng:(Rng.create seed) ~num_clusters:8
+        ~dim:16 n
+    in
+    db
+  in
+  let db = vectors 110 (sc 300) in
+  let ops = vectors 111 (sc 400) in
+  let live_ops = vectors 112 (sc 200) in
+  let queries = vectors 113 (sc 50) in
+  let encode (v : float array) =
+    let buf = Buffer.create 64 in
+    Binio.write_float_array buf v;
+    Buffer.contents buf
+  in
+  let decode s =
+    let r = Binio.reader s in
+    let v = Binio.read_float_array r in
+    if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes in vector");
+    v
+  in
+  let config =
+    {
+      Dbh.Builder.default_config with
+      num_pivots = sc 40;
+      num_sample_queries = sc 80;
+      db_sample = sc 200;
+    }
+  in
+  let base = Filename.temp_file "dbh_bench_replication" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o755;
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let leader_dir = Filename.concat base "leader" in
+  let follower_dir = Filename.concat base "follower" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf leader_dir;
+      rm_rf follower_dir;
+      rm_rf base)
+    (fun () ->
+      let leader, _ =
+        Durable.open_or_create ~fsync:false ~rng:(Rng.create 114) ~space ~config
+          ~rebuild_factor:2.0 ~target_accuracy:0.9 ~encode ~decode ~dir:leader_dir
+          ~data:db ()
+      in
+      Array.iter (fun o -> ignore (Durable.insert leader o)) ops;
+      (* Cold catch-up: ship everything once, open the follower, replay
+         the full journal. *)
+      let ship_bytes, ship_s =
+        seconds (fun () -> Replica.ship ~src:leader_dir ~dst:follower_dir ())
+      in
+      let follower, open_s =
+        seconds (fun () ->
+            Replica.open_ ~config ~rebuild_factor:2.0 ~space ~target_accuracy:0.9
+              ~decode ~dir:follower_dir ())
+      in
+      let caught_up, catch_up_s = seconds (fun () -> Replica.catch_up follower) in
+      if caught_up <> Array.length ops then
+        failwith "replication (W1): catch-up lost journaled operations";
+      let assert_twin label (r : _ Replica.t) =
+        if Replica.rng_state r <> Dbh.Online.rng_state (Durable.online leader) then
+          failwith (Printf.sprintf "replication (W1): %s rng state diverged" label);
+        if Replica.search_batch r queries <> Durable.search_batch leader queries then
+          failwith (Printf.sprintf "replication (W1): %s query results diverged" label)
+      in
+      assert_twin "caught-up follower" follower;
+      (* Steady state: a second replica tails the leader's own directory
+         live while one domain hammers it with reads; the leader keeps
+         inserting and the replica polls every few operations. *)
+      let tail =
+        Replica.open_ ~config ~rebuild_factor:2.0 ~space ~target_accuracy:0.9 ~decode
+          ~dir:leader_dir ()
+      in
+      ignore (Replica.catch_up tail);
+      let stop = Atomic.make false in
+      let reader =
+        Domain.spawn (fun () ->
+            let n = ref 0 in
+            let t0 = Unix.gettimeofday () in
+            while not (Atomic.get stop) do
+              ignore (Replica.search tail queries.(!n mod Array.length queries));
+              incr n
+            done;
+            (!n, Unix.gettimeofday () -. t0))
+      in
+      let lag_samples = ref [] in
+      let (), live_s =
+        seconds (fun () ->
+            Array.iteri
+              (fun i o ->
+                ignore (Durable.insert leader o);
+                if i mod 5 = 4 then begin
+                  lag_samples := Replica.lag_records tail :: !lag_samples;
+                  ignore (Replica.poll tail)
+                end)
+              live_ops;
+            ignore (Replica.catch_up tail))
+      in
+      Atomic.set stop true;
+      let reads, read_s = Domain.join reader in
+      assert_twin "live-tailing replica" tail;
+      let lags = Array.of_list (List.rev_map float_of_int !lag_samples) in
+      let final_lag = Replica.lag_records tail in
+      Durable.close leader;
+      let n_ops = float_of_int (Array.length ops) in
+      let n_live = float_of_int (Array.length live_ops) in
+      Printf.printf "  db %d, %d journaled + %d live inserts, %d queries (L2, dim 16)\n"
+        (Array.length db) (Array.length ops) (Array.length live_ops)
+        (Array.length queries);
+      Printf.printf "  %-34s %10d bytes  (%.3f s)\n" "initial ship" ship_bytes ship_s;
+      Printf.printf "  %-34s %10.3f s\n" "follower snapshot load" open_s;
+      Printf.printf "  %-34s %10.1f records/s  (%d records)\n" "cold catch-up"
+        (n_ops /. catch_up_s) caught_up;
+      Printf.printf "  %-34s %10.1f ops/s\n" "live apply (leader + tail)"
+        (n_live /. live_s);
+      Printf.printf "  %-34s %10.1f qps  (%d queries)\n" "follower reads while applying"
+        (float_of_int reads /. read_s)
+        reads;
+      Printf.printf "  %-34s mean %.1f, max %.0f, final %d\n" "steady-state lag (records)"
+        (Stats.mean lags) (Stats.maximum lags) final_lag;
+      Printf.printf "  follower is a bit-identical twin of the leader: true\n";
+      let oc = open_out "BENCH_replication.json" in
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+      Printf.fprintf oc
+        "  \"dataset\": { \"db_size\": %d, \"journaled_ops\": %d, \"live_ops\": %d, \
+         \"queries\": %d, \"space\": \"l2-16d\" },\n"
+        (Array.length db) (Array.length ops) (Array.length live_ops)
+        (Array.length queries);
+      Printf.fprintf oc "  \"ship\": { \"bytes\": %d, \"seconds\": %.6f },\n" ship_bytes
+        ship_s;
+      Printf.fprintf oc "  \"follower_open_s\": %.6f,\n" open_s;
+      Printf.fprintf oc
+        "  \"catch_up\": { \"records\": %d, \"seconds\": %.6f, \"records_per_s\": %.1f \
+         },\n"
+        caught_up catch_up_s (n_ops /. catch_up_s);
+      Printf.fprintf oc
+        "  \"steady_state\": { \"ops\": %d, \"apply_ops_per_s\": %.1f, \
+         \"mean_lag_records\": %.2f, \"max_lag_records\": %.0f, \"final_lag_records\": \
+         %d },\n"
+        (Array.length live_ops) (n_live /. live_s) (Stats.mean lags)
+        (Stats.maximum lags) final_lag;
+      Printf.fprintf oc
+        "  \"follower_reads\": { \"queries\": %d, \"seconds\": %.6f, \"queries_per_s\": \
+         %.1f },\n"
+        reads read_s
+        (float_of_int reads /. read_s);
+      Printf.fprintf oc "  \"bit_identical\": true\n";
+      Printf.fprintf oc "}\n";
+      close_out oc;
+      Printf.printf "  wrote BENCH_replication.json\n")
+
 (* ------------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -1411,6 +1587,7 @@ let sections =
     ("persist", persist_section);
     ("obs", obs_section);
     ("storage", storage_section);
+    ("replication", replication_section);
     ("micro", micro_benchmarks);
   ]
 

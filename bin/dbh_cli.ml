@@ -485,6 +485,85 @@ let run_checkpoint dir seed =
       Printf.eprintf "dbh-cli: %s\n" msg;
       1
 
+(* WAL shipping: mirror a leader directory into a follower directory and
+   tail the copy.  The leader's files are only ever read; the follower
+   directory receives shipped bytes and (under --verify) nothing else. *)
+let run_replicate leader_dir follower_dir seed follow verify num_queries =
+  let module Replica = Dbh_replica.Replica in
+  let same_dir = leader_dir = follower_dir in
+  let ship () =
+    if same_dir then 0 else Replica.ship ~src:leader_dir ~dst:follower_dir ()
+  in
+  match
+    let shipped = ship () in
+    if not same_dir then Printf.printf "shipped  : %d bytes\n%!" shipped;
+    let r =
+      Replica.open_
+        ~config:(builder_config ~pivots:50 ~sample_queries:100)
+        ~space:Dbh_metrics.Minkowski.l2_space ~target_accuracy:0.9 ~decode:decode_vec
+        ~dir:follower_dir ()
+    in
+    let report () =
+      let s = Replica.status r in
+      Printf.printf
+        "follower : generation %d, %d objects, %d records applied, lag %d records\n%!"
+        s.Replica.generation (Replica.size r) s.Replica.applied s.Replica.lag_records
+    in
+    ignore (Replica.catch_up r);
+    report ();
+    while follow do
+      Unix.sleepf 1.;
+      let shipped = ship () in
+      let applied = Replica.catch_up r in
+      if shipped > 0 || applied > 0 then report ()
+    done;
+    if not verify then 0
+    else begin
+      (* Twin check: recover the leader's directory the way the leader
+         itself would, and demand bit-identity — same rng state, same
+         size, same answer to every probe query. *)
+      let t, _recovery = open_durable ~seed leader_dir in
+      let qrng = Rng.create (seed + 2) in
+      let queries, _ =
+        Dbh_datasets.Vectors.gaussian_mixture ~rng:qrng ~num_clusters:25 ~dim:16
+          num_queries
+      in
+      let leader_results = Durable.search_batch t queries in
+      let follower_results = Replica.search_batch r queries in
+      let mismatches = ref [] in
+      if Durable.size t <> Replica.size r then
+        mismatches :=
+          Printf.sprintf "size: leader %d, follower %d" (Durable.size t)
+            (Replica.size r)
+          :: !mismatches;
+      if Dbh.Online.rng_state (Durable.online t) <> Replica.rng_state r then
+        mismatches := "rng state differs" :: !mismatches;
+      Array.iteri
+        (fun i (lr : _ Dbh.Online.result) ->
+          let fr = follower_results.(i) in
+          if lr.Dbh.Online.nn <> fr.Dbh.Online.nn then
+            mismatches := Printf.sprintf "query %d: nearest neighbor differs" i
+                          :: !mismatches)
+        leader_results;
+      Durable.close t;
+      match List.rev !mismatches with
+      | [] ->
+          Printf.printf "verify   : follower is a bit-identical twin (%d queries)\n"
+            num_queries;
+          0
+      | ms ->
+          List.iter (fun m -> Printf.eprintf "dbh-cli: divergence: %s\n" m) ms;
+          1
+    end
+  with
+  | code -> code
+  | exception Binio.Corrupt msg ->
+      Printf.eprintf "dbh-cli: corrupt state: %s\n" msg;
+      1
+  | exception Failure msg ->
+      Printf.eprintf "dbh-cli: %s\n" msg;
+      1
+
 let verify_file path =
   let read_all () =
     let ic = open_in_bin path in
@@ -824,6 +903,36 @@ let ops_arg =
   let doc = "Number of updates to journal through the write-ahead log." in
   Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc)
 
+let leader_pos_arg =
+  let doc = "Leader durable index directory (read-only source)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LEADER" ~doc)
+
+let follower_pos_arg =
+  let doc = "Follower directory the leader's files are shipped into and tailed from." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"FOLLOWER" ~doc)
+
+let follow_arg =
+  let doc = "Keep shipping and tailing forever instead of exiting once caught up." in
+  Arg.(value & flag & info [ "follow" ] ~doc)
+
+let replicate_verify_arg =
+  let doc =
+    "After catching up, recover the leader directory and check the follower is a \
+     bit-identical twin (rng state, size, probe query answers); exit 1 on divergence."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let replicate_cmd =
+  let doc =
+    "ship a leader's snapshots and write-ahead logs into a follower directory and tail \
+     them into a read-only replica"
+  in
+  Cmd.v
+    (Cmd.info "replicate" ~doc)
+    Term.(
+      const run_replicate $ leader_pos_arg $ follower_pos_arg $ seed_arg $ follow_arg
+      $ replicate_verify_arg $ queries_arg 50)
+
 let persist_cmd =
   let doc = "run a durable index in a directory: journaled updates, crash-safe close" in
   Cmd.v
@@ -855,7 +964,7 @@ let main_cmd =
   Cmd.group (Cmd.info "dbh-cli" ~version:"1.0.0" ~doc)
     [
       demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; trace_cmd;
-      persist_cmd; checkpoint_cmd; verify_cmd; index_stats_cmd;
+      persist_cmd; checkpoint_cmd; verify_cmd; index_stats_cmd; replicate_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -14,32 +14,50 @@
    for tables frozen from cons-built buckets that is precisely the old
    all-list iteration order, which the bit-identity tests rely on.
    [compact] folds the delta into a fresh frozen base and drops dead
-   ids. *)
+   ids.
+
+   Concurrent reads: the frozen base lives behind a single [base]
+   record and the delta is a persistent map in a mutable field, so a
+   reader that loads each field once sees an internally consistent
+   value whatever a concurrent single writer does — an insert swaps the
+   delta pointer (old map = before, new map = after, both valid), and a
+   compaction swaps the base pointer (a reader pairing the old delta
+   with the new base sees ids twice, which the query layer's seen-mask
+   dedups; the reverse pairing sees the pre-compaction view).  The
+   bookkeeping counters ([delta_size] etc.) are diagnostics and are not
+   read on the query path. *)
+
+module Intmap = Map.Make (Int)
+
+type base = {
+  keys : int array;  (* sorted ascending, distinct *)
+  offsets : int array;  (* |keys| + 1, offsets.(0) = 0 *)
+  ids : int array;  (* concatenated bucket segments *)
+}
 
 type t = {
-  mutable keys : int array;  (* sorted ascending, distinct *)
-  mutable offsets : int array;  (* |keys| + 1, offsets.(0) = 0 *)
-  mutable ids : int array;  (* concatenated bucket segments *)
-  delta : (int, int list) Hashtbl.t;  (* key -> ids, newest first *)
+  mutable base : base;
+  mutable delta : int list Intmap.t;  (* key -> ids, newest first *)
   mutable delta_size : int;  (* total ids across delta buckets *)
   mutable extra_keys : int;  (* delta keys absent from the directory *)
   mutable largest : int;  (* max combined bucket size (incl. dead) *)
 }
 
 (* Index of [key] in the directory, or -1. *)
-let find_key t key =
-  let lo = ref 0 and hi = ref (Array.length t.keys - 1) and found = ref (-1) in
+let find_key base key =
+  let keys = base.keys in
+  let lo = ref 0 and hi = ref (Array.length keys - 1) and found = ref (-1) in
   while !found < 0 && !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let k = Array.unsafe_get t.keys mid in
+    let k = Array.unsafe_get keys mid in
     if k = key then found := mid else if k < key then lo := mid + 1 else hi := mid - 1
   done;
   !found
 
-let base_segment t key =
-  match find_key t key with
+let base_segment base key =
+  match find_key base key with
   | -1 -> (0, 0)
-  | i -> (t.offsets.(i), t.offsets.(i + 1))
+  | i -> (base.offsets.(i), base.offsets.(i + 1))
 
 let freeze tbl =
   let keys = Array.of_seq (Hashtbl.to_seq_keys tbl) in
@@ -63,10 +81,8 @@ let freeze tbl =
       (Hashtbl.find tbl keys.(i))
   done;
   {
-    keys;
-    offsets;
-    ids;
-    delta = Hashtbl.create 16;
+    base = { keys; offsets; ids };
+    delta = Intmap.empty;
     delta_size = 0;
     extra_keys = 0;
     largest = !largest;
@@ -75,61 +91,72 @@ let freeze tbl =
 let empty () = freeze (Hashtbl.create 1)
 
 let add t key id =
-  let old = try Hashtbl.find t.delta key with Not_found -> [] in
-  Hashtbl.replace t.delta key (id :: old);
+  let old = try Intmap.find key t.delta with Not_found -> [] in
+  (* Persistent-map update: readers holding the old map still see a
+     valid (pre-insert) bucket; the pointer swap is the publication. *)
+  t.delta <- Intmap.add key (id :: old) t.delta;
   t.delta_size <- t.delta_size + 1;
-  let lo, hi = base_segment t key in
+  let lo, hi = base_segment t.base key in
   let combined = hi - lo + 1 + List.length old in
   if old = [] && hi = lo then t.extra_keys <- t.extra_keys + 1;
   if combined > t.largest then t.largest <- combined
 
-(* Combined bucket iteration: delta (newest first), then frozen. *)
+(* Combined bucket iteration: delta (newest first), then frozen.  Each
+   mutable field is loaded exactly once (see the header note). *)
 let iter_bucket t key f =
-  if t.delta_size > 0 then
-    List.iter f (try Hashtbl.find t.delta key with Not_found -> []);
-  let lo, hi = base_segment t key in
+  let delta = t.delta in
+  if not (Intmap.is_empty delta) then
+    (match Intmap.find_opt key delta with Some l -> List.iter f l | None -> ());
+  let base = t.base in
+  let lo, hi = base_segment base key in
+  let ids = base.ids in
   for i = lo to hi - 1 do
-    f (Array.unsafe_get t.ids i)
+    f (Array.unsafe_get ids i)
   done
 
 let bucket_size t key =
-  let lo, hi = base_segment t key in
+  let delta = t.delta in
+  let base = t.base in
+  let lo, hi = base_segment base key in
   let d =
-    if t.delta_size = 0 then 0
-    else List.length (try Hashtbl.find t.delta key with Not_found -> [])
+    match Intmap.find_opt key delta with Some l -> List.length l | None -> 0
   in
   hi - lo + d
 
-let bucket_count t = Array.length t.keys + t.extra_keys
+let bucket_count t = Array.length t.base.keys + t.extra_keys
 let largest_bucket t = t.largest
-let entry_count t = Array.length t.ids + t.delta_size
+let entry_count t = Array.length t.base.ids + t.delta_size
 let delta_size t = t.delta_size
 
 (* Every combined bucket in ascending key order (allocates the lists;
    cold paths only: persistence, diagnostics, rebuilds). *)
 let iter_buckets t f =
+  let base = t.base in
+  let delta = t.delta in
   let extra =
-    Hashtbl.fold (fun key _ acc -> if find_key t key = -1 then key :: acc else acc) t.delta []
-    |> List.sort Int.compare
+    Intmap.fold
+      (fun key _ acc -> if find_key base key = -1 then key :: acc else acc)
+      delta []
+    |> List.rev (* fold ascends, so reversing the consed list re-sorts *)
   in
   let bucket_of key =
-    let d = try Hashtbl.find t.delta key with Not_found -> [] in
-    let lo, hi = base_segment t key in
-    let base = ref [] in
+    let d = match Intmap.find_opt key delta with Some l -> l | None -> [] in
+    let lo, hi = base_segment base key in
+    let b = ref [] in
     for i = hi - 1 downto lo do
-      base := t.ids.(i) :: !base
+      b := base.ids.(i) :: !b
     done;
-    d @ !base
+    d @ !b
   in
   (* Merge the sorted directory with the sorted extra delta keys. *)
   let rec go i extra =
     match extra with
-    | e :: rest when i >= Array.length t.keys || e < t.keys.(i) ->
+    | e :: rest when i >= Array.length base.keys || e < base.keys.(i) ->
         f e (bucket_of e);
         go i rest
     | _ ->
-        if i < Array.length t.keys then begin
-          f t.keys.(i) (bucket_of t.keys.(i));
+        if i < Array.length base.keys then begin
+          f base.keys.(i) (bucket_of base.keys.(i));
           go (i + 1) extra
         end
   in
@@ -162,38 +189,52 @@ let live_view ~is_alive t =
         seg;
       offsets.(i + 1) <- !pos)
     (List.rev !rev_buckets);
-  (keys, offsets, ids)
+  { keys; offsets; ids }
 
-let compact ~is_alive t =
-  let keys, offsets, ids = live_view ~is_alive t in
-  t.keys <- keys;
-  t.offsets <- offsets;
-  t.ids <- ids;
-  Hashtbl.reset t.delta;
-  t.delta_size <- 0;
-  t.extra_keys <- 0;
+let largest_of base =
   let largest = ref 0 in
-  for i = 0 to Array.length keys - 1 do
-    let len = offsets.(i + 1) - offsets.(i) in
+  for i = 0 to Array.length base.keys - 1 do
+    let len = base.offsets.(i + 1) - base.offsets.(i) in
     if len > !largest then largest := len
   done;
-  t.largest <- !largest
+  !largest
 
-(* Rough resident size in words: the three arrays plus ~4 words per
-   delta entry (cons cell + amortised hashtable slot). *)
+(* Pure compaction: a fresh table the caller can publish atomically
+   while readers keep using [t]. *)
+let compacted ~is_alive t =
+  let base = live_view ~is_alive t in
+  {
+    base;
+    delta = Intmap.empty;
+    delta_size = 0;
+    extra_keys = 0;
+    largest = largest_of base;
+  }
+
+let compact ~is_alive t =
+  let c = compacted ~is_alive t in
+  t.base <- c.base;
+  t.delta <- Intmap.empty;
+  t.delta_size <- 0;
+  t.extra_keys <- 0;
+  t.largest <- c.largest
+
+(* Rough resident size in words: the three arrays plus ~5 words per
+   delta entry (cons cell + amortised map node share). *)
 let approx_words t =
-  Array.length t.keys + Array.length t.offsets + Array.length t.ids + 9
-  + (4 * t.delta_size)
+  let base = t.base in
+  Array.length base.keys + Array.length base.offsets + Array.length base.ids + 9
+  + (5 * t.delta_size)
 
 (* ------------------------------------------------------------- binary io *)
 
 module Binio = Dbh_util.Binio
 
 let write buf ~is_alive t =
-  let keys, offsets, ids = live_view ~is_alive t in
-  Binio.write_int_array buf keys;
-  Binio.write_int_array buf offsets;
-  Binio.write_int_array buf ids
+  let base = live_view ~is_alive t in
+  Binio.write_int_array buf base.keys;
+  Binio.write_int_array buf base.offsets;
+  Binio.write_int_array buf base.ids
 
 (* [validate_key] checks directory entries (packed-key range); [max_id]
    bounds bucket ids; [seen] (caller-provided, store-length, reset here)
@@ -216,23 +257,17 @@ let read r ~validate_key ~max_id ~seen =
   if nk > 0 && offsets.(nk) <> Array.length ids then
     raise (Binio.Corrupt "csr: offsets do not cover ids");
   Bytes.fill seen 0 (Bytes.length seen) '\000';
-  let largest = ref 0 in
   Array.iter
     (fun id ->
       if id < 0 || id >= max_id then raise (Binio.Corrupt "csr: object id out of range");
       if Bytes.get seen id <> '\000' then raise (Binio.Corrupt "csr: duplicate id in table");
       Bytes.set seen id '\001')
     ids;
-  for i = 0 to nk - 1 do
-    let len = offsets.(i + 1) - offsets.(i) in
-    if len > !largest then largest := len
-  done;
+  let base = { keys; offsets; ids } in
   {
-    keys;
-    offsets;
-    ids;
-    delta = Hashtbl.create 16;
+    base;
+    delta = Intmap.empty;
     delta_size = 0;
     extra_keys = 0;
-    largest = !largest;
+    largest = largest_of base;
   }

@@ -9,7 +9,17 @@
     A bucket iterates delta first (newest first), then the frozen
     segment in frozen order.  Tables frozen from cons-built bucket lists
     therefore iterate in exactly the historical list order — the
-    bit-identity guarantee the query layer depends on. *)
+    bit-identity guarantee the query layer depends on.
+
+    {b Single-writer concurrent reads.}  The frozen base is one
+    immutable record behind a mutable field and the delta is a
+    persistent map, so a reader racing a single writer sees, per field,
+    either the before or the after value — both valid bucket sets (an
+    insert pointer-swaps the delta; {!compact} pointer-swaps the base,
+    and a reader pairing an old delta with a new base merely revisits
+    ids the query layer's seen-mask dedups).  Writers must still be
+    serialized externally, and concurrency-sensitive callers should
+    prefer publishing {!compacted} tables over in-place {!compact}. *)
 
 type t
 
@@ -52,6 +62,11 @@ val compact : is_alive:(int -> bool) -> t -> unit
     [is_alive] is false and then-empty buckets.  Bucket-internal order
     is preserved, so queries see identical candidates before and after
     (dead ids were skipped, and never charged, either way). *)
+
+val compacted : is_alive:(int -> bool) -> t -> t
+(** Pure {!compact}: a fresh fully-frozen table with an empty delta,
+    leaving [t] untouched — for callers that publish the result through
+    an atomic pointer while concurrent readers drain the old table. *)
 
 val approx_words : t -> int
 (** Rough resident heap words (arrays + delta estimate). *)

@@ -97,7 +97,7 @@ let build ?pool ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(level
    end-of-query metrics recording follow the same conventions as
    [Index.query_with]; this entry point records the query (not the
    per-level indexes), so cascaded queries count once. *)
-let query_with ?budget ?metrics ?trace ?scratch t q =
+let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   (match trace with
@@ -136,7 +136,7 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
                marks (from [start]) are ranked here, newest first — the
                order the consed per-level lists were visited in. *)
             let start = Scratch.count scratch in
-            Index.candidates_into ?trace ~level:li lev.index cache ~scratch;
+            Index.candidates_into ?trace ~level:li ?limit lev.index cache ~scratch;
             for i = Scratch.count scratch - 1 downto start do
               let id = Scratch.get scratch i in
               (match budget with Some b -> Budget.charge b | None -> ());
@@ -244,6 +244,9 @@ let insert t obj =
 let delete t id = Store.delete t.store id
 
 let compact t = Array.iter (fun lev -> Index.compact lev.index) t.levels
+
+let compacted t =
+  { t with levels = Array.map (fun lev -> { lev with index = Index.compacted lev.index }) t.levels }
 let delta_size t = Array.fold_left (fun acc lev -> acc + Index.delta_size lev.index) 0 t.levels
 
 (* ----------------------------------------------------------- persistence *)

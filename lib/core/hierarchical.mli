@@ -104,6 +104,11 @@ val compact : 'a t -> unit
     tombstoned ids from the tables ({!Index.compact} per level).
     Queries see identical candidates before and after. *)
 
+val compacted : 'a t -> 'a t
+(** Pure {!compact}: a cascade with freshly compacted tables
+    ({!Index.compacted} per level) sharing the store and family of [t],
+    which is left untouched — for atomic publication. *)
+
 val delta_size : 'a t -> int
 (** Entries sitting in the levels' insert deltas — the compaction
     pressure across the cascade. *)
@@ -153,6 +158,10 @@ val query_with :
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
   ?scratch:Scratch.t ->
+  ?limit:int ->
   'a t ->
   'a ->
   'a Index.result
+(* [limit] bounds candidate admission to ids below it — the visibility
+   bound a concurrent reader pins before probing (see
+   [Index.candidates_into]).  Sequential callers omit it. *)

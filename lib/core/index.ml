@@ -198,6 +198,12 @@ let compact t =
   let is_alive = Store.is_alive t.store in
   Array.iter (fun tbl -> Csr.compact ~is_alive tbl) t.tables
 
+(* Pure counterpart for atomic publication: fresh tables, everything
+   else (store, family, function choices) shared. *)
+let compacted t =
+  let is_alive = Store.is_alive t.store in
+  { t with tables = Array.map (Csr.compacted ~is_alive) t.tables }
+
 let iter_buckets t f =
   Array.iteri (fun row tbl -> Csr.iter_buckets tbl (fun key ids -> f row key ids)) t.tables
 
@@ -215,12 +221,22 @@ let cache_for ?budget ?trace t scratch q =
     ~dists:(Scratch.pivot_dists scratch (Hash_family.num_pivots t.family))
     q
 
-let candidates_into ?trace ?(level = 0) t cache ~scratch =
-  if Scratch.capacity scratch < Store.length t.store then
+let candidates_into ?trace ?(level = 0) ?(limit = max_int) t cache ~scratch =
+  (* The live store length can exceed the capacity the caller ensured
+     when a writer inserts mid-query; admission is bounded by [limit]
+     then, so only the visible prefix must fit the mask. *)
+  if Scratch.capacity scratch < min limit (Store.length t.store) then
     invalid_arg "Index.candidates_into: scratch smaller than the store";
   let bits = Scratch.bit_row scratch (Array.length t.distinct_fns) in
   eval_bits t cache bits;
-  let visit id = if Store.is_alive t.store id then ignore (Scratch.mark scratch id) in
+  (* Ids at or past the mask capacity — or past the caller's published
+     visibility bound — were inserted by a concurrent writer after this
+     query started; skipping them linearizes the query before those
+     inserts.  Sequentially neither guard ever fires. *)
+  let cap = min (Scratch.capacity scratch) limit in
+  let visit id =
+    if id < cap && Store.is_alive t.store id then ignore (Scratch.mark scratch id)
+  in
   for row = 0 to t.l - 1 do
     let key = key_of_slots t bits row in
     (match trace with
@@ -308,9 +324,12 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
         let bits = Scratch.bit_row scratch (Array.length t.distinct_fns) in
         eval_bits t cache bits;
         (* One visitor closure for the whole query: allocating it inside
-           the row loop would cost a closure per probe. *)
+           the row loop would cost a closure per probe.  The capacity
+           guard skips ids a concurrent writer inserted after the seen
+           mask was sized — never taken sequentially. *)
+        let cap = Scratch.capacity scratch in
         let visit id =
-          if Store.is_alive t.store id && Scratch.mark scratch id then begin
+          if id < cap && Store.is_alive t.store id && Scratch.mark scratch id then begin
             (match budget with Some b -> Budget.charge b | None -> ());
             incr lookup;
             let d = space.Space.distance q (Store.get t.store id) in
@@ -494,7 +513,8 @@ let query_multiprobe ?(opts = Query_opts.default) t ~probes q =
             (fun key ->
               incr probe_count;
               Csr.iter_bucket t.tables.(row) key (fun id ->
-                  if Store.is_alive t.store id then ignore (Scratch.mark scratch id)))
+                  if id < Scratch.capacity scratch && Store.is_alive t.store id then
+                    ignore (Scratch.mark scratch id)))
             keys
         done;
         let space = Hash_family.space t.family in

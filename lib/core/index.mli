@@ -108,6 +108,12 @@ val compact : 'a t -> unit
     (dead ids were skipped, and never charged, either way); only the
     diagnostics change — deltas empty, dead entries no longer counted. *)
 
+val compacted : 'a t -> 'a t
+(** Pure {!compact}: an index with freshly compacted tables sharing the
+    store, family and function choices of [t], which is left untouched.
+    For publishing through an atomic pointer while concurrent readers
+    drain the old tables. *)
+
 val iter_buckets : 'a t -> (int -> int -> int list -> unit) -> unit
 (** [iter_buckets t f] calls [f table key bucket] for every non-empty
     bucket, tables in order, keys ascending, each bucket in query
@@ -206,6 +212,7 @@ val delete : 'a t -> int -> unit
 val candidates_into :
   ?trace:Dbh_obs.Trace.t ->
   ?level:int ->
+  ?limit:int ->
   'a t ->
   'a Hash_family.cache ->
   scratch:Scratch.t ->
@@ -217,7 +224,9 @@ val candidates_into :
     multi-index schemes can share the candidate dedup across indexes —
     record [Scratch.count] before the call to delimit the fresh range.
     [trace] records one [Bucket_probe] per table, tagged with [level]
-    (default 0). *)
+    (default 0).  [limit] (default unbounded) drops ids at or past it —
+    the visibility bound concurrent readers pin before probing, so ids a
+    racing writer published mid-query never enter the candidate set. *)
 
 (** {1 Persistence}
 

@@ -8,6 +8,26 @@ type 'a result = {
   levels_probed : int;
 }
 
+(* One generation of query-visible state, published wholesale through
+   an [Atomic.t]: readers load the pointer once and work against an
+   internally consistent generation however many rebuilds, compactions
+   or updates the (single) writer performs meanwhile.  The writer
+   re-publishes after every in-place mutation — the atomic store is the
+   release fence that makes the mutation visible to subsequent reader
+   loads. *)
+type 'a state = {
+  index : 'a Hierarchical.t;
+  external_of_internal : int Vec.t;  (* internal id -> handle *)
+  internal_of_external : (int, int) Hashtbl.t;  (* writer-only *)
+  (* Internal ids fully published in this generation.  The writer
+     release-stores the new count as the LAST step of an insert;
+     readers acquire-load it before probing and skip any id at or past
+     it.  The resulting happens-before edge is what makes every
+     store/table/handle-map write for an admitted id visible — a plain
+     [Vec.length] read would race with the push it is meant to cover. *)
+  visible : int Atomic.t;
+}
+
 type 'a t = {
   rng : Rng.t;
   space : 'a Dbh_space.Space.t;
@@ -18,21 +38,29 @@ type 'a t = {
   (* Stable registry: external handles never change. *)
   registry : 'a Vec.t;
   dead : (int, unit) Hashtbl.t;
-  (* Current generation. *)
-  mutable index : 'a Hierarchical.t;
-  mutable external_of_internal : int Vec.t;  (* internal id -> handle *)
-  mutable internal_of_external : (int, int) Hashtbl.t;
+  (* Current generation, swapped RCU-style. *)
+  published : 'a state Atomic.t;
   mutable built_size : int;
   mutable rebuild_count : int;
 }
 
+let current t = Atomic.get t.published
+
 let size t = Vec.length t.registry - Hashtbl.length t.dead
 let tombstones t = Hashtbl.length t.dead
-let delta_size t = Hierarchical.delta_size t.index
-let compact t = Hierarchical.compact t.index
+let delta_size t = Hierarchical.delta_size (current t).index
+
+let compact t =
+  (* Publish a freshly compacted cascade instead of compacting in
+     place: concurrent readers drain the old tables while new queries
+     see the folded ones — both answer identically. *)
+  let s = current t in
+  Atomic.set t.published { s with index = Hierarchical.compacted s.index }
+
 let rebuilds t = t.rebuild_count
 let space t = t.space
-let index t = t.index
+let index t = (current t).index
+let rng_state t = Rng.state t.rng
 
 let get t handle =
   if handle < 0 || handle >= Vec.length t.registry || Hashtbl.mem t.dead handle then
@@ -59,17 +87,20 @@ let build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles
       ignore (Vec.push external_of_internal handle);
       Hashtbl.replace internal_of_external handle internal)
     handles;
-  (index, external_of_internal, internal_of_external)
+  {
+    index;
+    external_of_internal;
+    internal_of_external;
+    visible = Atomic.make (Array.length handles);
+  }
 
 let rebuild t =
   let handles = Array.of_list (alive_handles t) in
-  let index, external_of_internal, internal_of_external =
+  let s =
     build_generation ?pool:t.pool ~rng:t.rng ~space:t.space ~config:t.config
       ~target_accuracy:t.target_accuracy t.registry handles
   in
-  t.index <- index;
-  t.external_of_internal <- external_of_internal;
-  t.internal_of_external <- internal_of_external;
+  Atomic.set t.published s;
   t.built_size <- Array.length handles
 
 let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor = 2.0)
@@ -78,9 +109,7 @@ let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor
   if rebuild_factor <= 1.0 then invalid_arg "Online.create: rebuild_factor must exceed 1";
   let registry = Vec.of_array db in
   let handles = Array.init (Array.length db) Fun.id in
-  let index, external_of_internal, internal_of_external =
-    build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles
-  in
+  let state = build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles in
   {
     rng;
     space;
@@ -90,9 +119,7 @@ let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor
     target_accuracy;
     registry;
     dead = Hashtbl.create 16;
-    index;
-    external_of_internal;
-    internal_of_external;
+    published = Atomic.make state;
     built_size = Array.length db;
     rebuild_count = 0;
   }
@@ -119,9 +146,18 @@ let maybe_rebuild t =
 
 let insert t obj =
   let handle = Vec.push t.registry obj in
-  let internal = Hierarchical.insert t.index obj in
-  ignore (Vec.push t.external_of_internal handle);
-  Hashtbl.replace t.internal_of_external handle internal;
+  let s = current t in
+  let internal = Hierarchical.insert s.index obj in
+  ignore (Vec.push s.external_of_internal handle);
+  Hashtbl.replace s.internal_of_external handle internal;
+  (* Last step: release the new id to readers.  Everything above —
+     registry slot, store slot, bucket entry, handle-map slot — is
+     sequenced before this store, so a reader whose acquire load covers
+     [internal] sees all of it. *)
+  Atomic.set s.visible (internal + 1);
+  (* Republish the same generation: the atomic store releases the
+     in-place delta/store/map writes above to reader domains. *)
+  Atomic.set t.published s;
   record_counter (fun m -> m.Dbh_obs.Metrics.online_inserts_total);
   maybe_rebuild t;
   handle
@@ -131,17 +167,19 @@ let delete t handle =
     invalid_arg "Online.delete: unknown handle";
   if not (Hashtbl.mem t.dead handle) then begin
     Hashtbl.replace t.dead handle ();
-    (match Hashtbl.find_opt t.internal_of_external handle with
-    | Some internal -> Hierarchical.delete t.index internal
+    let s = current t in
+    (match Hashtbl.find_opt s.internal_of_external handle with
+    | Some internal -> Hierarchical.delete s.index internal
     | None -> ());
+    Atomic.set t.published s;
     record_counter (fun m -> m.Dbh_obs.Metrics.online_deletes_total);
     maybe_rebuild t
   end
 
-let translate t (r : 'a Index.result) =
+let translate s (r : 'a Index.result) =
   let nn =
     Option.map
-      (fun (internal, d) -> (Vec.get t.external_of_internal internal, d))
+      (fun (internal, d) -> (Vec.get s.external_of_internal internal, d))
       r.Index.nn
   in
   {
@@ -152,7 +190,13 @@ let translate t (r : 'a Index.result) =
   }
 
 let query_with ?budget ?metrics ?trace ?scratch t q =
-  translate t (Hierarchical.query_with ?budget ?metrics ?trace ?scratch t.index q)
+  (* One pointer load pins the whole generation — the cascade queried
+     and the handle map translated against can never mix generations,
+     whatever the writer does concurrently.  The acquire load of the
+     visibility bound then makes every admitted id's state readable. *)
+  let s = current t in
+  let limit = Atomic.get s.visible in
+  translate s (Hierarchical.query_with ?budget ?metrics ?trace ?scratch ~limit s.index q)
 
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
@@ -162,8 +206,10 @@ let search ?(opts = Query_opts.default) t q =
 let search_batch ?(opts = Query_opts.default) t qs =
   let pool = match opts.Query_opts.pool with Some _ as p -> p | None -> t.pool in
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
-  (* Handle translation reads generation state that only updates mutate,
-     so a pure query batch is safe to fan out. *)
+  (* The generation is pinned once for the whole batch; handle
+     translation then reads the same state the queries ran against. *)
+  let s = current t in
+  let limit = Atomic.get s.visible in
   let results =
     match pool with
     | None ->
@@ -173,16 +219,16 @@ let search_batch ?(opts = Query_opts.default) t qs =
         Array.map
           (fun q ->
             let budget = Option.map Budget.create opts.Query_opts.budget in
-            Hierarchical.query_with ?budget ?metrics ~scratch t.index q)
+            Hierarchical.query_with ?budget ?metrics ~scratch ~limit s.index q)
           qs
     | Some pool ->
         Dbh_util.Pool.parallel_map_array pool
           (fun q ->
             let budget = Option.map Budget.create opts.Query_opts.budget in
-            Hierarchical.query_with ?budget ?metrics t.index q)
+            Hierarchical.query_with ?budget ?metrics ~limit s.index q)
           qs
   in
-  Array.map (translate t) results
+  Array.map (translate s) results
 
 let query ?budget t q = query_with ?budget t q
 
@@ -232,15 +278,16 @@ module Durable = struct
      equivalence is bit-for-bit, not approximate. *)
 
   let write_payload ~encode (o : 'a online) =
+    let s = current o in
     let buf = Buffer.create 4096 in
     Array.iter (Binio.write_int64 buf) (Rng.state o.rng);
     Binio.write_int buf (Vec.length o.registry);
     let dead = List.sort compare (Hashtbl.fold (fun h () acc -> h :: acc) o.dead []) in
     Binio.write_int_array buf (Array.of_list dead);
-    Binio.write_int_array buf (Vec.to_array o.external_of_internal);
+    Binio.write_int_array buf (Vec.to_array s.external_of_internal);
     Binio.write_int buf o.built_size;
     Binio.write_int buf o.rebuild_count;
-    Hierarchical.write_packed ~encode buf o.index;
+    Hierarchical.write_packed ~encode buf s.index;
     Buffer.contents buf
 
   (* Structural decode shared by recovery and [verify_snapshot]: every
@@ -347,9 +394,14 @@ module Durable = struct
       target_accuracy;
       registry;
       dead;
-      index;
-      external_of_internal;
-      internal_of_external;
+      published =
+        Atomic.make
+          {
+            index;
+            external_of_internal;
+            internal_of_external;
+            visible = Atomic.make (Vec.length external_of_internal);
+          };
       built_size;
       rebuild_count;
     }
@@ -637,4 +689,42 @@ module Durable = struct
               corrupt "no loadable snapshot in %s: %s" dir
                 (String.concat "; "
                    (List.map (fun (g, m) -> Printf.sprintf "gen %d: %s" g m) skipped)))
+
+  (* ------------------------------------------- hooks for dbh.replica *)
+
+  (* The replica library lives outside this one and needs three pieces
+     of the durable machinery the public API deliberately hides: load a
+     snapshot file into an online index, apply one WAL record, and turn
+     a caught-up follower into a leader by fencing a fresh generation. *)
+
+  let online_of_snapshot ?pool ~space ?(config = Builder.default_config)
+      ?(rebuild_factor = 2.0) ~target_accuracy ~decode ~path () =
+    let _version, payload = read_expect_any ~path in
+    online_of_payload ?pool ~space ~config ~rebuild_factor ~target_accuracy ~decode payload
+
+  let apply_record ~decode o payload = apply_op ~decode o payload
+
+  let attach ?(fsync = true) ~encode ~decode ~dir ~generation o =
+    if generation < 1 then invalid_arg "Online.Durable.attach: generation must be >= 1";
+    Layout.ensure_dir dir;
+    (* Fencing: writing snapshot [generation] plus a fresh WAL makes
+       every older generation's log superseded history — a recovery (or
+       another follower) now loads this state and ignores records the
+       old leader might still try to append behind our back. *)
+    save_snapshot_raw ~dir ~encode o generation;
+    let t =
+      {
+        online = o;
+        dir;
+        encode;
+        decode;
+        fsync;
+        generation;
+        wal = Wal.create ~fsync ~path:(Layout.wal_path ~dir generation) ();
+        wal_ops = 0;
+        closed = false;
+      }
+    in
+    cleanup_before t generation;
+    t
 end

@@ -79,14 +79,23 @@ val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
 (** Approximate nearest neighbor among alive objects.  [opts.budget]
     bounds the distance computations spent, as in {!Index.search};
     [opts.metrics]/[opts.trace] instrument the query.  [opts.pool] is
-    ignored (single query). *)
+    ignored (single query).
+
+    Reads are {e lock-free}: the whole query-visible generation (the
+    cascade and the handle map) sits behind one atomic pointer, loaded
+    once per query, and the single writer re-publishes it after every
+    {!insert}/{!delete}/{!compact}/rebuild — so reader domains may call
+    {!search}/{!search_batch} concurrently with one updating domain and
+    always see an internally consistent generation, linearized at the
+    pointer load.  Writers must still be serialized by the caller. *)
 
 val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
 (** One {!search} per element, in input order, each under its own fresh
     budget of [opts.budget] distance computations.  Fans out over
     [opts.pool] when given, else over the pool remembered at {!create},
-    else runs sequentially.  [opts.trace] is ignored.  Do not
-    interleave with {!insert}/{!delete}. *)
+    else runs sequentially.  [opts.trace] is ignored.  The generation
+    is pinned once for the whole batch (see {!search} on lock-free
+    reads); a concurrent writer's updates land in later batches. *)
 
 val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
   [@@ocaml.deprecated "use Online.search (with Query_opts) instead"]
@@ -111,6 +120,13 @@ val index : 'a t -> 'a Hierarchical.t
 
 val alive_handles : 'a t -> int list
 (** All alive stable handles, ascending. *)
+
+val rng_state : 'a t -> int64 array
+(** The four state words of the index's generator
+    ({!Dbh_util.Rng.state}) — the bit-identity fingerprint: two indexes
+    that evolved through the same operations (including replayed or
+    replicated ones) have equal rng states exactly when their stochastic
+    histories matched draw for draw. *)
 
 val rebuild_now : 'a t -> unit
 (** Re-run the whole offline pipeline immediately on the alive snapshot,
@@ -260,6 +276,39 @@ module Durable : sig
       without the real codec or space.  Same validation as
       {!verify_snapshot}.  Raises [Dbh_util.Binio.Corrupt] on any
       corruption. *)
+
+  (**/**)
+
+  (* Internal hooks for the replica layer (dbh.replica) — not a stable
+     API.  [online_of_snapshot] loads one snapshot file (full structural
+     validation, raises Corrupt); [apply_record] applies one WAL record
+     exactly as recovery replay would; [attach] turns an online index
+     into a leader over [dir] by writing snapshot [generation] plus a
+     fresh WAL — the promotion fence. *)
+
+  val online_of_snapshot :
+    ?pool:Dbh_util.Pool.t ->
+    space:'a Dbh_space.Space.t ->
+    ?config:Builder.config ->
+    ?rebuild_factor:float ->
+    target_accuracy:float ->
+    decode:(string -> 'a) ->
+    path:string ->
+    unit ->
+    'a online
+
+  val apply_record : decode:(string -> 'a) -> 'a online -> string -> unit
+
+  val attach :
+    ?fsync:bool ->
+    encode:('a -> string) ->
+    decode:(string -> 'a) ->
+    dir:string ->
+    generation:int ->
+    'a online ->
+    'a t
+
+  (**/**)
 end
 
 (**/**)

@@ -34,6 +34,12 @@ type t = {
   pool_tasks_total : Registry.counter;
   pool_queue_depth : Registry.gauge;
   pool_task_seconds : Registry.histogram;
+  replica_applied_total : Registry.counter;
+  replica_retries_total : Registry.counter;
+  replica_reopens_total : Registry.counter;
+  replica_promotions_total : Registry.counter;
+  replica_lag_records : Registry.gauge;
+  replica_lag_seconds : Registry.gauge;
 }
 
 let cost_buckets =
@@ -96,6 +102,20 @@ let on registry =
     pool_tasks_total = counter "dbh_pool_tasks_total" "tasks executed by domain pools";
     pool_queue_depth = gauge "dbh_pool_queue_depth" "tasks in the batch currently draining";
     pool_task_seconds = histogram "dbh_pool_task_seconds" "per-task busy time on pool domains";
+    replica_applied_total =
+      counter "dbh_replica_applied_total" "WAL records applied by the replica";
+    replica_retries_total =
+      counter "dbh_replica_retries_total" "replica polls backed off on a torn or stalled tail";
+    replica_reopens_total =
+      counter "dbh_replica_reopens_total"
+        "full replica reopens after the leader truncated or replaced the tailed state";
+    replica_promotions_total =
+      counter "dbh_replica_promotions_total" "followers promoted to leader";
+    replica_lag_records =
+      gauge "dbh_replica_lag_records" "leader records visible on disk but not yet applied";
+    replica_lag_seconds =
+      gauge "dbh_replica_lag_seconds"
+        "whole seconds since the newest leader WAL write the replica has not caught up to";
   }
 
 let create () = on (Registry.create ())

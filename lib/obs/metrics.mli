@@ -70,6 +70,18 @@ type t = {
   pool_tasks_total : Registry.counter;
   pool_queue_depth : Registry.gauge;  (** tasks of the batch currently being drained *)
   pool_task_seconds : Registry.histogram;  (** per-domain busy time, one sample per task *)
+  (* replication *)
+  replica_applied_total : Registry.counter;
+  replica_retries_total : Registry.counter;
+      (** polls that backed off on a torn or stalled WAL tail *)
+  replica_reopens_total : Registry.counter;
+      (** full reopens after the tailed state was truncated or replaced *)
+  replica_promotions_total : Registry.counter;
+  replica_lag_records : Registry.gauge;
+      (** leader records visible on disk but not yet applied *)
+  replica_lag_seconds : Registry.gauge;
+      (** whole seconds of staleness against the newest leader WAL write
+          (0 when caught up) *)
 }
 
 val create : unit -> t

@@ -33,34 +33,42 @@ let encode_record ~seq payload =
   Buffer.add_string buf payload;
   Buffer.contents buf
 
-let scan_string data =
+(* Validate records in [data] starting at [off] (absolute offsets are
+   [base] + relative position, for resumable reads), expecting sequence
+   numbers from [seq] on.  Returns the payloads in order plus where and
+   why scanning stopped. *)
+let scan_chunk data ~base ~seq0 =
   let total = String.length data in
   let records = ref [] in
   let rec loop off seq =
     let remaining = total - off in
     if remaining = 0 then (off, false, None)
     else if remaining < header_bytes then
-      (off, true, Some (Printf.sprintf "torn record header at offset %d" off))
+      (off, true, Some (Printf.sprintf "torn record header at offset %d" (base + off)))
     else
       let rseq = Int64.to_int (bytes_to_le64 data off) in
       let len = Int64.to_int (bytes_to_le64 data (off + 8)) in
       let crc = Int64.to_int (bytes_to_le64 data (off + 16)) in
       if rseq <> seq then
-        (off, true, Some (Printf.sprintf "sequence gap at offset %d: expected %d, found %d" off seq rseq))
+        (off, true, Some (Printf.sprintf "sequence gap at offset %d: expected %d, found %d" (base + off) seq rseq))
       else if len < 0 || len > remaining - header_bytes then
-        (off, true, Some (Printf.sprintf "torn or invalid record length %d at offset %d" len off))
+        (off, true, Some (Printf.sprintf "torn or invalid record length %d at offset %d" len (base + off)))
       else
         let seq_crc = Crc32.sub data ~pos:off ~len:8 in
         let actual = Crc32.sub data ~crc:seq_crc ~pos:(off + header_bytes) ~len in
         if actual <> crc then
-          (off, true, Some (Printf.sprintf "checksum mismatch in record %d at offset %d" seq off))
+          (off, true, Some (Printf.sprintf "checksum mismatch in record %d at offset %d" seq (base + off)))
         else begin
           records := String.sub data (off + header_bytes) len :: !records;
           loop (off + header_bytes + len) (seq + 1)
         end
   in
-  let valid_bytes, torn, torn_reason = loop 0 1 in
-  { records = Array.of_list (List.rev !records); valid_bytes; torn; torn_reason }
+  let valid_rel, torn, torn_reason = loop 0 seq0 in
+  (Array.of_list (List.rev !records), valid_rel, torn, torn_reason)
+
+let scan_string data =
+  let records, valid_bytes, torn, torn_reason = scan_chunk data ~base:0 ~seq0:1 in
+  { records; valid_bytes; torn; torn_reason }
 
 let scan ~path =
   if not (Sys.file_exists path) then
@@ -73,6 +81,71 @@ let scan ~path =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     scan_string data
+
+(* ------------------------------------------------- read-only tailing *)
+
+type prefix = {
+  payloads : string array;
+  next_offset : int;
+  next_seq : int;
+  file_bytes : int;
+  prefix_torn : bool;
+  prefix_torn_reason : string option;
+}
+
+let read_valid_prefix ?(from = (0, 1)) ~path () =
+  let offset, seq0 = from in
+  if offset < 0 then invalid_arg "Wal.read_valid_prefix: negative offset";
+  if seq0 < 1 then invalid_arg "Wal.read_valid_prefix: next_seq must be >= 1";
+  if not (Sys.file_exists path) then
+    {
+      payloads = [||];
+      next_offset = offset;
+      next_seq = seq0;
+      file_bytes = 0;
+      prefix_torn = false;
+      prefix_torn_reason = None;
+    }
+  else begin
+    (* Strictly read-only: the file may belong to a live leader still
+       appending to it, so — unlike [open_append] — a torn tail is
+       reported, never truncated, and the caller resumes from
+       [next_offset] once more bytes land. *)
+    let ic = open_in_bin path in
+    let file_bytes, data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let total = in_channel_length ic in
+          if offset >= total then (total, "")
+          else begin
+            seek_in ic offset;
+            (total, really_input_string ic (total - offset))
+          end)
+    in
+    if offset > file_bytes then
+      (* The file shrank below our cursor: a new writer truncated or
+         replaced it.  Nothing here can be applied incrementally. *)
+      {
+        payloads = [||];
+        next_offset = offset;
+        next_seq = seq0;
+        file_bytes;
+        prefix_torn = true;
+        prefix_torn_reason =
+          Some (Printf.sprintf "file shrank to %d bytes below read offset %d" file_bytes offset);
+      }
+    else
+      let payloads, valid_rel, torn, torn_reason = scan_chunk data ~base:offset ~seq0 in
+      {
+        payloads;
+        next_offset = offset + valid_rel;
+        next_seq = seq0 + Array.length payloads;
+        file_bytes;
+        prefix_torn = torn;
+        prefix_torn_reason = torn_reason;
+      }
+  end
 
 type t = {
   path : string;

@@ -23,6 +23,31 @@ val scan : path:string -> scan_result
 val scan_string : string -> scan_result
 (** {!scan} over in-memory bytes (for tests and verification tools). *)
 
+type prefix = {
+  payloads : string array;  (** newly validated records, in order *)
+  next_offset : int;  (** where the next read should resume *)
+  next_seq : int;  (** sequence the next record must carry *)
+  file_bytes : int;  (** file size observed by this read *)
+  prefix_torn : bool;
+      (** bytes past [next_offset] failed validation — possibly just a
+          record the writer is mid-append on *)
+  prefix_torn_reason : string option;
+}
+
+val read_valid_prefix : ?from:int * int -> path:string -> unit -> prefix
+(** Incrementally read the valid records of a log that another process
+    may still be appending to.  [from] is the [(next_offset, next_seq)]
+    cursor of a previous call (default [(0, 1)] — the whole file).
+
+    Strictly read-only: unlike {!open_append} this never truncates a
+    torn tail — a follower tailing a leader's live log must not modify
+    it, and an incomplete record at EOF is usually just an append in
+    flight, valid on the next read.  A missing file reads as empty and
+    intact; a file shorter than [from]'s offset reads as torn with no
+    payloads (the log was truncated or replaced — restart from scratch).
+    Raises [Invalid_argument] on a negative offset or a sequence below
+    1. *)
+
 val create : ?fsync:bool -> path:string -> unit -> t
 (** Create or truncate a log for appending.  [fsync] (default [true])
     makes every {!append} durable before returning; turn it off only

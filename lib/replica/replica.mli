@@ -1,0 +1,135 @@
+(** WAL-shipping read replicas over a {!Dbh.Online.Durable} directory.
+
+    A replica opens the durability directory of another instance — the
+    live directory over a shared filesystem, or a copy maintained by
+    {!ship} — {e strictly read-only}: it loads the newest snapshot that
+    verifies, then tails the write-ahead-log chain, applying records as
+    they become visible and following generation rollovers as the
+    leader checkpoints.  Because snapshots carry the index rng state
+    and WAL replay consumes exactly the leader's random draws, a
+    caught-up replica is a {e bit-identical twin} of the leader: same
+    rng state, same answers to every query.
+
+    Fault model, in increasing severity:
+
+    - {b Torn tail / append in flight}: {!poll} stops at the last valid
+      record and retries from there next time; {!catch_up} sleeps a
+      jittered exponential backoff ({!Dbh_util.Retry}) between retries.
+    - {b Generation rollover}: when [wal-(g+1)] appears the leader has
+      checkpointed, which closes [wal-g] exactly at the state its next
+      snapshot captured — the replica drains [wal-g] fully and switches
+      logs, no snapshot reload needed.
+    - {b History rewritten} (log shrank below the cursor, tailed log
+      GC'd, closed log torn): incremental state is unusable, so the
+      replica reloads from the newest snapshot (a {e reopen}) and
+      re-tails.  Reopens are capped at one per poll.
+
+    The replica serves {!search}/{!search_batch} throughout: applying
+    records uses the leader's lock-free publication path, so reads from
+    other domains never block on catch-up.
+
+    All calls that touch files are single-threaded per replica: drive
+    each [t] from one domain (searches may come from any domain). *)
+
+type 'a t
+
+type status = {
+  generation : int;  (** WAL generation currently tailed *)
+  wal_offset : int;  (** byte offset of the cursor into it *)
+  applied : int;  (** records applied since [open_] (reapplies included) *)
+  retries : int;  (** unproductive polls with visible lag *)
+  reopens : int;  (** full snapshot reloads forced by rewritten history *)
+  lag_records : int;  (** valid records visible on disk but not applied *)
+  last_error : string option;  (** most recent torn-prefix reason, if any *)
+}
+
+val open_ :
+  ?pool:Dbh_util.Pool.t ->
+  ?config:Dbh.Builder.config ->
+  ?rebuild_factor:float ->
+  ?retry:Dbh_util.Retry.policy ->
+  ?jitter_seed:int ->
+  space:'a Dbh_space.Space.t ->
+  target_accuracy:float ->
+  decode:(string -> 'a) ->
+  dir:string ->
+  unit ->
+  'a t
+(** Open [dir] as a follower: load the newest snapshot that verifies
+    (corrupt ones are skipped, never deleted) and position the WAL
+    cursor after it.  No record is applied yet — call {!poll} or
+    {!catch_up}.  [space]/[config]/[target_accuracy] must match the
+    leader's or the twin guarantee is void.  [retry] paces
+    {!catch_up}'s sleeps (seconds); [jitter_seed] seeds the backoff
+    jitter rng (never the index rng).  Raises [Failure] when [dir]
+    holds no loadable snapshot. *)
+
+val poll : 'a t -> int
+(** Apply every record currently visible past the cursor, following
+    rollovers (and reopening at most once if history was rewritten).
+    Returns the number of records applied; never sleeps.  Raises
+    [Invalid_argument] after {!promote}. *)
+
+val catch_up : ?stall_limit:int -> 'a t -> int
+(** {!poll} in a loop until no visible lag remains, sleeping a jittered
+    exponential backoff between unproductive polls.  Gives up after
+    [stall_limit] (default 8) consecutive unproductive polls — e.g. a
+    dead leader behind a permanently torn tail — leaving the survivors
+    applied; check {!status} for remaining lag.  Returns total records
+    applied. *)
+
+val lag_records : 'a t -> int
+(** Valid records visible on disk past the cursor right now, without
+    applying anything.  Reads the log tail; cost is proportional to the
+    unapplied bytes.  Updates the [dbh_replica_lag_records] gauge. *)
+
+val lag_seconds : 'a t -> float
+(** Age of the newest leader WAL write ([0.] when {!lag_records} is 0):
+    now minus the newest log mtime.  Updates [dbh_replica_lag_seconds]. *)
+
+val status : 'a t -> status
+
+(** {1 Reads}
+
+    Plain {!Dbh.Online} reads over the replica's index — valid
+    concurrently with {!poll} from another domain (lock-free
+    publication), and always reflecting some applied prefix of the
+    leader's history. *)
+
+val search : ?opts:Dbh.Query_opts.t -> 'a t -> 'a -> 'a Dbh.Online.result
+val search_batch : ?opts:Dbh.Query_opts.t -> 'a t -> 'a array -> 'a Dbh.Online.result array
+val get : 'a t -> int -> 'a
+val size : 'a t -> int
+val rng_state : 'a t -> int64 array
+(** Bit-identity fingerprint — equal to the leader's when caught up. *)
+
+val online : 'a t -> 'a Dbh.Online.t
+(** The underlying index.  Treat it as read-only: inserting or deleting
+    through it forks the replica from the leader's history. *)
+
+val generation : 'a t -> int
+val applied : 'a t -> int
+val dir : 'a t -> string
+
+(** {1 Promotion} *)
+
+val promote :
+  ?fsync:bool -> encode:('a -> string) -> 'a t -> 'a Dbh.Online.Durable.t
+(** Failover: apply everything already visible, then fence the old
+    timeline by writing a snapshot and fresh WAL one generation above
+    anything the old leader wrote, and return a leader handle rooted
+    there.  Records a zombie leader might still append to older logs
+    are behind the fence — no future recovery or replica will replay
+    them over the new timeline.  The replica itself becomes inert:
+    {!poll}/{!catch_up}/[promote] raise afterwards; use the returned
+    {!Dbh.Online.Durable.t} (which shares the live index) instead. *)
+
+(** {1 Shipping} *)
+
+val ship : src:string -> dst:string -> unit -> int
+(** One sync step of durability files from [src] into [dst] (created if
+    needed), for followers that cannot read the leader's filesystem
+    directly: snapshots are copied once per generation, logs appended
+    incrementally, and a log that shrank in [src] (post-crash
+    truncation) is recopied wholesale.  [src] is only ever read.
+    Returns bytes copied; call repeatedly to keep [dst] fresh. *)
