@@ -490,6 +490,14 @@ let run_checkpoint dir seed =
    directory receives shipped bytes and (under --verify) nothing else. *)
 let run_replicate leader_dir follower_dir seed follow verify num_queries =
   let module Replica = Dbh_replica.Replica in
+  if follow && verify then begin
+    (* --follow never returns, so a trailing verify step would be dead
+       code (and its exit-1-on-divergence contract unreachable). *)
+    Printf.eprintf
+      "dbh-cli: --follow and --verify cannot be combined: --follow tails forever, so \
+       the verify step would never run; stop following first, then run with --verify\n";
+    exit 2
+  end;
   let same_dir = leader_dir = follower_dir in
   let ship () =
     if same_dir then 0 else Replica.ship ~src:leader_dir ~dst:follower_dir ()
@@ -912,13 +920,17 @@ let follower_pos_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"FOLLOWER" ~doc)
 
 let follow_arg =
-  let doc = "Keep shipping and tailing forever instead of exiting once caught up." in
+  let doc =
+    "Keep shipping and tailing forever instead of exiting once caught up.  Cannot be \
+     combined with $(b,--verify), which only runs after tailing stops."
+  in
   Arg.(value & flag & info [ "follow" ] ~doc)
 
 let replicate_verify_arg =
   let doc =
     "After catching up, recover the leader directory and check the follower is a \
-     bit-identical twin (rng state, size, probe query answers); exit 1 on divergence."
+     bit-identical twin (rng state, size, probe query answers); exit 1 on divergence.  \
+     Cannot be combined with $(b,--follow)."
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 

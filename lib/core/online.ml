@@ -1,6 +1,42 @@
 module Rng = Dbh_util.Rng
 module Vec = Dbh_util.Vec
 
+(* Dead-handle set as a growable monotone byte map, mirroring [Store]'s
+   tombstones: membership probes from reader domains ([get],
+   [alive_handles], [size]) race writer-side deletes, and single-byte
+   0->1 flips over a grow-by-copy [Bytes.t] are benign where a
+   hash-table resize is not.  A reader observing a stale '\000'
+   linearizes its call before the delete; the map pointer is published
+   only after the old contents are copied in, and maps only ever grow,
+   so a bounds check against one observed map stays valid for any
+   later-observed one. *)
+module Deadmap = struct
+  type t = { mutable map : Bytes.t; mutable count : int }
+
+  let create () = { map = Bytes.empty; count = 0 }
+
+  let mem t h =
+    let m = t.map in
+    h >= 0 && h < Bytes.length m && Bytes.get m h = '\001'
+
+  (* Writer-only. *)
+  let add t h =
+    if not (mem t h) then begin
+      if h >= Bytes.length t.map then begin
+        let grown = Bytes.make (max 16 (max (h + 1) (2 * Bytes.length t.map))) '\000' in
+        Bytes.blit t.map 0 grown 0 (Bytes.length t.map);
+        t.map <- grown
+      end;
+      Bytes.set t.map h '\001';
+      t.count <- t.count + 1
+    end
+
+  let count t = t.count
+
+  (* Ascending handle order; writer-side only. *)
+  let iter f t = Bytes.iteri (fun h c -> if c = '\001' then f h) t.map
+end
+
 type 'a result = {
   nn : (int * float) option;
   stats : Index.stats;
@@ -37,7 +73,7 @@ type 'a t = {
   target_accuracy : float;
   (* Stable registry: external handles never change. *)
   registry : 'a Vec.t;
-  dead : (int, unit) Hashtbl.t;
+  dead : Deadmap.t;
   (* Current generation, swapped RCU-style. *)
   published : 'a state Atomic.t;
   mutable built_size : int;
@@ -46,8 +82,8 @@ type 'a t = {
 
 let current t = Atomic.get t.published
 
-let size t = Vec.length t.registry - Hashtbl.length t.dead
-let tombstones t = Hashtbl.length t.dead
+let size t = Vec.length t.registry - Deadmap.count t.dead
+let tombstones t = Deadmap.count t.dead
 let delta_size t = Hierarchical.delta_size (current t).index
 
 let compact t =
@@ -63,14 +99,14 @@ let index t = (current t).index
 let rng_state t = Rng.state t.rng
 
 let get t handle =
-  if handle < 0 || handle >= Vec.length t.registry || Hashtbl.mem t.dead handle then
+  if handle < 0 || handle >= Vec.length t.registry || Deadmap.mem t.dead handle then
     invalid_arg "Online.get: dead or unknown handle";
   Vec.get t.registry handle
 
 let alive_handles t =
   let out = ref [] in
   for h = Vec.length t.registry - 1 downto 0 do
-    if not (Hashtbl.mem t.dead h) then out := h :: !out
+    if not (Deadmap.mem t.dead h) then out := h :: !out
   done;
   !out
 
@@ -118,7 +154,7 @@ let create ?pool ~rng ~space ?(config = Builder.default_config) ?(rebuild_factor
     rebuild_factor;
     target_accuracy;
     registry;
-    dead = Hashtbl.create 16;
+    dead = Deadmap.create ();
     published = Atomic.make state;
     built_size = Array.length db;
     rebuild_count = 0;
@@ -165,8 +201,8 @@ let insert t obj =
 let delete t handle =
   if handle < 0 || handle >= Vec.length t.registry then
     invalid_arg "Online.delete: unknown handle";
-  if not (Hashtbl.mem t.dead handle) then begin
-    Hashtbl.replace t.dead handle ();
+  if not (Deadmap.mem t.dead handle) then begin
+    Deadmap.add t.dead handle;
     let s = current t in
     (match Hashtbl.find_opt s.internal_of_external handle with
     | Some internal -> Hierarchical.delete s.index internal
@@ -282,8 +318,9 @@ module Durable = struct
     let buf = Buffer.create 4096 in
     Array.iter (Binio.write_int64 buf) (Rng.state o.rng);
     Binio.write_int buf (Vec.length o.registry);
-    let dead = List.sort compare (Hashtbl.fold (fun h () acc -> h :: acc) o.dead []) in
-    Binio.write_int_array buf (Array.of_list dead);
+    let dead = ref [] in
+    Deadmap.iter (fun h -> dead := h :: !dead) o.dead;
+    Binio.write_int_array buf (Array.of_list (List.rev !dead));
     Binio.write_int_array buf (Vec.to_array s.external_of_internal);
     Binio.write_int buf o.built_size;
     Binio.write_int buf o.rebuild_count;
@@ -321,19 +358,19 @@ module Durable = struct
     if Array.length eoi <> Store.length store then
       corrupt "handle map covers %d ids but store has %d" (Array.length eoi)
         (Store.length store);
-    let dead = Hashtbl.create 16 in
-    Array.iter (fun h -> Hashtbl.replace dead h ()) dead_handles;
+    let dead = Deadmap.create () in
+    Array.iter (Deadmap.add dead) dead_handles;
     let internal_of_external = Hashtbl.create (Array.length eoi) in
     Array.iteri
       (fun internal h ->
         if h < 0 || h >= registry_len then corrupt "mapped handle %d out of range" h;
         if Hashtbl.mem internal_of_external h then corrupt "handle %d mapped twice" h;
         Hashtbl.replace internal_of_external h internal;
-        if Hashtbl.mem dead h = Store.is_alive store internal then
+        if Deadmap.mem dead h = Store.is_alive store internal then
           corrupt "liveness of handle %d disagrees between registry and store" h)
       eoi;
     for h = 0 to registry_len - 1 do
-      if not (Hashtbl.mem internal_of_external h) && not (Hashtbl.mem dead h) then
+      if not (Hashtbl.mem internal_of_external h) && not (Deadmap.mem dead h) then
         corrupt "alive handle %d missing from the index" h
     done;
     (rng, registry_len, dead, eoi, internal_of_external, built_size, rebuild_count, index)
@@ -342,7 +379,7 @@ module Durable = struct
     let _version, payload = read_expect_any ~path in
     let space = Dbh_space.Space.make ~name:"verify" (fun (_ : string) _ -> 0.) in
     let _, registry_len, dead, _, _, _, _, _ = read_payload ~decode:Fun.id ~space payload in
-    (registry_len, registry_len - Hashtbl.length dead)
+    (registry_len, registry_len - Deadmap.count dead)
 
   (* Structural open for diagnostics (dbh-cli index-stats): the payload
      decoded with an identity codec and a distance that must never run.
@@ -364,7 +401,7 @@ module Durable = struct
     {
       format_version = version;
       registry_len;
-      dead_handles = Hashtbl.length dead;
+      dead_handles = Deadmap.count dead;
       cascade = index;
     }
 

@@ -51,7 +51,13 @@ type 'a t = {
   mutable attempt : int;  (* consecutive unproductive polls *)
   mutable promoted : bool;
   mutable last_error : string option;
+  (* Fired between a WAL read and the decision taken on it — lets the
+     chaos tests interleave a leader append+checkpoint at exactly the
+     racy instant.  Never set outside tests. *)
+  mutable after_read_for_testing : (unit -> unit) option;
 }
+
+let set_after_read_hook_for_testing t hook = t.after_read_for_testing <- hook
 
 let record_counter pick =
   match Dbh_obs.Metrics.get () with
@@ -127,12 +133,25 @@ let apply_payloads t payloads =
 (* Apply every record currently visible, following generation
    rollovers.  [reopened] caps full reloads at one per poll so a
    directory in a bad state degrades to periodic retries instead of a
-   reopen storm. *)
+   reopen storm.
+
+   Rollover discipline: [wal-(g+1)] appearing means the leader
+   checkpointed and will never append to [wal-g] again — but only an
+   observation taken BEFORE reading [wal-g] proves the read covered
+   the closed log in full.  Deciding on an observation taken after
+   the read races the checkpoint: the leader may append tail records
+   to gen [g] and roll over between our read and the check, and
+   switching logs then would silently skip those records (with
+   generation GC free to delete the evidence).  So we observe first
+   and read second; when the newer log appears only after a clean-EOF
+   read, gen [g] is re-read one final time before switching. *)
 let rec drain t ~reopened =
   let off, seq = t.cursor in
   let path = wal_path t t.wal_gen in
+  (* Before the read, so a clean EOF below proves full coverage. *)
+  let closed_before_read = newer_wal_exists t in
   if not (Sys.file_exists path) then begin
-    if (off > 0 || newer_wal_exists t) && not reopened then begin
+    if (off > 0 || closed_before_read) && not reopened then begin
       (* Mid-tail the log vanished (generation GC or post-crash
          cleanup): the records between our cursor and the present are
          only reachable through a newer snapshot. *)
@@ -141,8 +160,9 @@ let rec drain t ~reopened =
     end
     else 0 (* nothing on disk yet for this generation *)
   end
-  else
+  else begin
     let p = Wal.read_valid_prefix ~from:(off, seq) ~path () in
+    (match t.after_read_for_testing with Some hook -> hook () | None -> ());
     if p.Wal.prefix_torn && p.Wal.file_bytes < off then begin
       (* The log shrank below our cursor: a recovering leader truncated
          a torn tail past records we already applied, or replaced the
@@ -158,9 +178,9 @@ let rec drain t ~reopened =
       let n = apply_payloads t p.Wal.payloads in
       t.cursor <- (p.Wal.next_offset, p.Wal.next_seq);
       if p.Wal.prefix_torn then
-        if newer_wal_exists t && not reopened then begin
-          (* A closed log (the leader already rolled past it) should
-             never be torn — this is real corruption, not an append in
+        if closed_before_read && not reopened then begin
+          (* A log already closed when we started reading should never
+             be torn — this is real corruption, not an append in
              flight.  Reload to get past it. *)
           t.last_error <- p.Wal.prefix_torn_reason;
           reopen t;
@@ -172,19 +192,29 @@ let rec drain t ~reopened =
           t.last_error <- p.Wal.prefix_torn_reason;
           n
         end
-      else if newer_wal_exists t then begin
-        (* Generation rollover: the leader checkpointed, closing this
-           log exactly at the state its next snapshot captured, so
-           applying it fully and switching logs IS the checkpoint. *)
+      else if closed_before_read then begin
+        (* Generation rollover: the log was closed before we read it
+           and we read it to a clean EOF, so every record the leader
+           put into gen [t.wal_gen] is applied — switching logs IS the
+           checkpoint. *)
         t.wal_gen <- t.wal_gen + 1;
         t.cursor <- (0, 1);
         n + drain t ~reopened
       end
+      else if newer_wal_exists t then
+        (* The leader checkpointed while we were reading: our clean
+           EOF may predate tail records appended to this gen just
+           before the rollover.  Go around once more — the newer log
+           is now observed up front, so the next read drains the
+           closed log and rolls over (or reopens if GC already
+           removed it). *)
+        n + drain t ~reopened
       else begin
         if n > 0 then t.last_error <- None;
         n
       end
     end
+  end
 
 (* Records visible on disk past the cursor, without applying anything —
    the instantaneous replication lag. *)
@@ -312,6 +342,7 @@ let open_ ?pool ?config ?rebuild_factor ?(retry = Retry.default) ?(jitter_seed =
     attempt = 0;
     promoted = false;
     last_error = None;
+    after_read_for_testing = None;
   }
 
 (* ----------------------------------------------------------- promotion *)
@@ -348,6 +379,12 @@ let promote ?fsync ~encode t =
    shrank or diverged in [src] (post-crash truncation) is recopied
    wholesale. *)
 
+(* Trailing bytes of an already-shipped WAL prefix re-verified against
+   [src] before appending — large enough that re-appended records
+   byte-matching the torn garbage they replaced across the whole window
+   is not a realistic coincidence. *)
+let ship_overlap_bytes = 65536
+
 let read_file path ~from =
   let ic = open_in_bin path in
   Fun.protect
@@ -359,6 +396,14 @@ let read_file path ~from =
         seek_in ic from;
         really_input_string ic (len - from)
       end)
+
+let read_slice path ~pos ~len =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic pos;
+      really_input_string ic len)
 
 let file_size path = match Unix.stat path with
   | st -> Some st.Unix.st_size
@@ -397,16 +442,31 @@ let ship ~src ~dst () =
       | None -> ()
       | Some src_len ->
           let dst_len = Option.value ~default:0 (file_size d) in
-          if src_len > dst_len then begin
-            let data = read_file s ~from:dst_len in
-            append_file d data ~truncate:false;
-            copied := !copied + String.length data
-          end
-          else if src_len < dst_len then begin
-            (* The leader truncated a torn tail below what we already
-               shipped: replace our copy with the valid history. *)
+          (* Growth alone does not prove pure append: a crash-recovering
+             leader can truncate a torn tail and re-append past the
+             shipped length within one ship interval.  A rewrite below
+             [dst_len] starts at the old valid-prefix boundary and
+             rewrites everything after it, so it always reaches into the
+             trailing window of what we shipped — re-read that window
+             from both sides and recopy wholesale on any mismatch, as
+             for shrinkage. *)
+          let overlap = min dst_len ship_overlap_bytes in
+          let prefix_intact =
+            src_len >= dst_len
+            && (overlap = 0
+                || read_slice s ~pos:(dst_len - overlap) ~len:overlap
+                   = read_slice d ~pos:(dst_len - overlap) ~len:overlap)
+          in
+          if not prefix_intact then begin
+            (* Shrunk or diverged in [src]: our copy's tail is not the
+               leader's history — replace it wholesale. *)
             let data = read_file s ~from:0 in
             append_file d data ~truncate:true;
+            copied := !copied + String.length data
+          end
+          else if src_len > dst_len then begin
+            let data = read_file s ~from:dst_len in
+            append_file d data ~truncate:false;
             copied := !copied + String.length data
           end)
     (Layout.wal_generations ~dir:src);

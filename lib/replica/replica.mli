@@ -124,12 +124,22 @@ val promote :
     {!poll}/{!catch_up}/[promote] raise afterwards; use the returned
     {!Dbh.Online.Durable.t} (which shares the live index) instead. *)
 
+(** {1 Test hooks} *)
+
+val set_after_read_hook_for_testing : 'a t -> (unit -> unit) option -> unit
+(** Install a callback fired between each WAL read and the decision
+    taken on it, so the chaos tests can interleave a leader
+    append+checkpoint at exactly the instant a naive rollover check
+    would lose records.  Testing only — never set this in production. *)
+
 (** {1 Shipping} *)
 
 val ship : src:string -> dst:string -> unit -> int
 (** One sync step of durability files from [src] into [dst] (created if
     needed), for followers that cannot read the leader's filesystem
     directly: snapshots are copied once per generation, logs appended
-    incrementally, and a log that shrank in [src] (post-crash
-    truncation) is recopied wholesale.  [src] is only ever read.
-    Returns bytes copied; call repeatedly to keep [dst] fresh. *)
+    incrementally after re-verifying a trailing window of the shipped
+    prefix, and a log that shrank or diverged in [src] (post-crash
+    truncation, even when re-appends already grew it past the shipped
+    length) is recopied wholesale.  [src] is only ever read.  Returns
+    bytes copied; call repeatedly to keep [dst] fresh. *)

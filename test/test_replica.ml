@@ -366,6 +366,76 @@ let test_live_tailing_follows_rollover () =
   check_twin "after rollover" twin r;
   Durable.close d
 
+(* Regression: the leader appends tail records to the tailed log and
+   checkpoints in the window between the replica's read of that log and
+   its rollover decision.  A rollover decided on a post-read observation
+   of wal-(g+1) would switch logs without the tail records — silent
+   divergence; drain must re-read the closed log before switching. *)
+let test_rollover_race_does_not_skip_tail_records () =
+  let dir = fresh_dir () in
+  let twin = make_twin () in
+  let d, _ = make_durable dir in
+  let r = open_replica dir in
+  let ops1 = op_stream 105 10 in
+  List.iter (apply_online twin) ops1;
+  List.iter (apply_durable d) ops1;
+  Alcotest.(check int) "first batch" (List.length ops1) (Replica.poll r);
+  let tail = op_stream 106 5 in
+  let fired = ref false in
+  Replica.set_after_read_hook_for_testing r
+    (Some
+       (fun () ->
+         if not !fired then begin
+           fired := true;
+           List.iter (apply_online twin) tail;
+           List.iter (apply_durable d) tail;
+           Durable.checkpoint d
+         end));
+  let n = Replica.poll r in
+  Replica.set_after_read_hook_for_testing r None;
+  Alcotest.(check bool) "race fired" true !fired;
+  Alcotest.(check int) "tail records applied, not skipped" (List.length tail) n;
+  let s = Replica.status r in
+  Alcotest.(check int) "rolled to the new generation" (Durable.generation d)
+    s.Replica.generation;
+  Alcotest.(check int) "no reopen needed" 0 s.Replica.reopens;
+  check_twin "twin across racy rollover" twin r;
+  Durable.close d
+
+(* Same race, but generation GC deletes the tailed log before the
+   re-read: the tail records are only reachable through the newer
+   snapshot, so the replica must fall back to a full reopen — detected
+   recovery, never silent loss. *)
+let test_rollover_race_with_gc_forces_reopen () =
+  let dir = fresh_dir () in
+  let twin = make_twin () in
+  let d, _ = make_durable dir in
+  let r = open_replica dir in
+  let ops1 = op_stream 107 10 in
+  List.iter (apply_online twin) ops1;
+  List.iter (apply_durable d) ops1;
+  ignore (Replica.poll r);
+  let tail = op_stream 108 5 in
+  let fired = ref false in
+  Replica.set_after_read_hook_for_testing r
+    (Some
+       (fun () ->
+         if not !fired then begin
+           fired := true;
+           List.iter (apply_online twin) tail;
+           List.iter (apply_durable d) tail;
+           (* Two checkpoints: the second GCs the log the replica is
+              mid-decision on. *)
+           Durable.checkpoint d;
+           Durable.checkpoint d
+         end));
+  ignore (Replica.poll r);
+  Replica.set_after_read_hook_for_testing r None;
+  Alcotest.(check bool) "race fired" true !fired;
+  Alcotest.(check int) "reopened" 1 (Replica.status r).Replica.reopens;
+  check_twin "twin after GC'd rollover" twin r;
+  Durable.close d
+
 let test_torn_tail_applies_valid_prefix_then_resumes () =
   let dir = fresh_dir () in
   let d, _ = make_durable dir in
@@ -444,6 +514,40 @@ let test_ship_and_tail_copy () =
   Alcotest.(check bool) "shipping never touched the leader" true
     (leader_files ldir = before);
   Durable.close d
+
+(* Regression: the leader crash-recovers between two ship calls —
+   truncates a torn tail and re-appends new records past the previously
+   shipped length.  Treating the growth as pure append would leave the
+   follower's copy with mixed old/new bytes and a permanently torn
+   tail; ship must notice the diverged prefix and recopy wholesale. *)
+let test_ship_detects_rewritten_history () =
+  let ldir = fresh_dir () and fdir = fresh_dir () in
+  let src_wal = Layout.wal_path ~dir:ldir 1 in
+  let dst_wal = Layout.wal_path ~dir:fdir 1 in
+  let w = Wal.create ~fsync:false ~path:src_wal () in
+  List.iter (fun p -> ignore (Wal.append w p)) [ "alpha"; "bravo"; "charlie" ];
+  Wal.close w;
+  let valid = read_file src_wal in
+  write_file src_wal (valid ^ "half-written record torn by the crash");
+  ignore (Replica.ship ~src:ldir ~dst:fdir ());
+  Alcotest.(check string) "first ship mirrors src" (read_file src_wal)
+    (read_file dst_wal);
+  (* Crash recovery on the leader: torn tail truncated, then new records
+     re-appended well past the shipped length before the next ship. *)
+  write_file src_wal valid;
+  let w, _ = Wal.open_append ~fsync:false ~path:src_wal () in
+  List.iter
+    (fun p -> ignore (Wal.append w p))
+    [ "delta-replacement-one"; "echo-replacement-two"; "foxtrot-replacement-three" ];
+  Wal.close w;
+  Alcotest.(check bool) "src grew past the shipped length" true
+    (String.length (read_file src_wal) > String.length (read_file dst_wal));
+  ignore (Replica.ship ~src:ldir ~dst:fdir ());
+  Alcotest.(check string) "diverged log recopied wholesale" (read_file src_wal)
+    (read_file dst_wal);
+  let p = Wal.read_valid_prefix ~path:dst_wal () in
+  Alcotest.(check bool) "follower copy is clean" false p.Wal.prefix_torn;
+  Alcotest.(check int) "all records present" 6 (Array.length p.Wal.payloads)
 
 (* The heart of the failover harness: kill the leader at every WAL byte
    offset; whatever survives on disk, the replica must come up as the
@@ -589,6 +693,12 @@ let test_concurrent_reads_while_applying () =
               | { Online.nn = Some (_, dist); _ } ->
                   if Float.is_nan dist then failwith "nan distance"
               | { Online.nn = None; _ } -> ());
+              (* Handle reads race the applier's deletes: a dead handle
+                 must raise cleanly, never crash or misbehave (the dead
+                 set is a monotone byte map, not a resizing table). *)
+              (match Replica.get r (!n mod Array.length seed_db) with
+              | (_ : float array) -> ()
+              | exception Invalid_argument _ -> ());
               incr n
             done;
             (k, !n)))
@@ -638,11 +748,17 @@ let () =
             test_tailing_never_modifies_leader_files;
           Alcotest.test_case "live tailing follows rollover" `Quick
             test_live_tailing_follows_rollover;
+          Alcotest.test_case "rollover race does not skip tail records" `Quick
+            test_rollover_race_does_not_skip_tail_records;
+          Alcotest.test_case "rollover race with GC forces reopen" `Quick
+            test_rollover_race_with_gc_forces_reopen;
           Alcotest.test_case "torn tail: apply prefix, then resume" `Quick
             test_torn_tail_applies_valid_prefix_then_resumes;
           Alcotest.test_case "shrunken wal forces reopen" `Quick
             test_shrunken_wal_forces_reopen;
           Alcotest.test_case "ship and tail a copy" `Quick test_ship_and_tail_copy;
+          Alcotest.test_case "ship detects rewritten history" `Quick
+            test_ship_detects_rewritten_history;
           Alcotest.test_case "metrics wired" `Quick test_replica_metrics_wired;
           Alcotest.test_case "concurrent reads while applying" `Quick
             test_concurrent_reads_while_applying;
