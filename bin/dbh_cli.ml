@@ -159,6 +159,7 @@ let run_experiment dataset seed db_size num_queries csv_path domains metrics =
           [
             result.Dbh_eval.Figure5.vp;
             result.Dbh_eval.Figure5.single;
+            result.Dbh_eval.Figure5.multiprobe;
             result.Dbh_eval.Figure5.hierarchical;
           ]
       in
@@ -178,6 +179,7 @@ let run_experiment dataset seed db_size num_queries csv_path domains metrics =
          count. *)
       let reported =
         sum_reported_cost result.Dbh_eval.Figure5.single
+        + sum_reported_cost result.Dbh_eval.Figure5.multiprobe
         + sum_reported_cost result.Dbh_eval.Figure5.hierarchical
       in
       let counted =
@@ -685,6 +687,9 @@ let print_level_stats label index =
     s.Diagnostics.delta_entries
     (100. *. s.Diagnostics.directory_fill)
     (s.Diagnostics.approx_table_bytes / 1024);
+  Array.iter
+    (fun p -> Format.printf "  %a@." Diagnostics.pp_table_profile p)
+    (Diagnostics.table_profiles index);
   print_histogram (Diagnostics.bucket_histogram index)
 
 let stats_of_cascade h =

@@ -48,23 +48,33 @@ val nn_distance : t -> int -> float
 val nn_collision : t -> int -> float
 (** Estimated [C(Q_i, N(Q_i))]. *)
 
-val accuracy : t -> k:int -> l:int -> float
+val accuracy : ?probes:int -> ?radius:int -> t -> k:int -> l:int -> float
 (** Predicted retrieval accuracy (Eq. 11): mean over sample queries of
-    [C_{k,l}(Q, N(Q))]. *)
+    [C_{k,l}(Q, N(Q))].  [probes]/[radius] (defaults [1]/[0]) switch the
+    per-rate map to {!Collision.c_kl_probed} — the multi-probe cascade;
+    at the defaults the estimate is bit-identical to the historical
+    one. *)
 
-val accuracy_of_query : t -> int -> k:int -> l:int -> float
+val accuracy_of_query : ?probes:int -> ?radius:int -> t -> int -> k:int -> l:int -> float
 (** Per-query success probability [C_{k,l}(Q_i, N(Q_i))]. *)
 
-val lookup_cost : t -> k:int -> l:int -> float
-(** Predicted mean lookup cost (Eq. 12), scaled to the full database. *)
+val lookup_cost : ?probes:int -> ?radius:int -> t -> k:int -> l:int -> float
+(** Predicted mean lookup cost (Eq. 12), scaled to the full database.
+    Multi-probe raises it: probed buckets admit extra candidates at the
+    probed per-table rate. *)
 
 val hash_cost : t -> k:int -> l:int -> float
 (** Expected number of distinct pivots referenced by [k·l] functions
     drawn with replacement — the expected [HashCost_{k,l}] (Sec. V-B),
-    never exceeding the number of pivots. *)
+    never exceeding the number of pivots.  Multi-probe leaves this
+    unchanged: extra probes reuse the base key's cached pivot
+    distances. *)
 
-val total_cost : t -> k:int -> l:int -> float
+val total_cost : ?probes:int -> ?radius:int -> t -> k:int -> l:int -> float
 (** [lookup_cost + hash_cost] (Eq. 13/14, averaged over queries). *)
+
+val lookup_cost_of_query : ?probes:int -> ?radius:int -> t -> int -> k:int -> l:int -> float
+(** Per-query Eq. 12 term (scaled to the full database). *)
 
 val restrict : t -> int array -> t
 (** Model restricted to a subset of its sample queries (by position,

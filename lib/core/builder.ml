@@ -59,10 +59,11 @@ let prepare ?pool ~rng ~space ?(config = default_config) db =
         (Hash_family.num_pivots family));
   { family; analysis; sample_query_indices = query_indices; pivot_table }
 
-let single ?pool ~rng ~prepared ~db ~target_accuracy ?(config = default_config) () =
+let single ?pool ?probes ?radius ~rng ~prepared ~db ~target_accuracy
+    ?(config = default_config) () =
   match
-    Params.optimize prepared.analysis ~target_accuracy ~k_min:config.k_min
-      ~k_max:config.k_max ~l_max:config.l_max ()
+    Params.optimize ?probes ?radius prepared.analysis ~target_accuracy
+      ~k_min:config.k_min ~k_max:config.k_max ~l_max:config.l_max ()
   with
   | None -> None
   | Some choice ->

@@ -48,6 +48,8 @@ val prepare :
 
 val single :
   ?pool:Dbh_util.Pool.t ->
+  ?probes:int ->
+  ?radius:int ->
   rng:Dbh_util.Rng.t ->
   prepared:'a prepared ->
   db:'a array ->
@@ -56,7 +58,11 @@ val single :
   unit ->
   ('a Index.t * Params.choice) option
 (** Tuned single-level index, or [None] when the target accuracy is
-    unreachable under the model within [l_max]. *)
+    unreachable under the model within [l_max].  [probes]/[radius]
+    (defaults [1]/[0]) tune under the multi-probe model
+    ({!Params.optimize}): the returned choice typically needs fewer
+    tables, on the understanding that queries will run with
+    [Query_opts.multiprobe] knobs to make up the recall. *)
 
 val hierarchical :
   ?pool:Dbh_util.Pool.t ->

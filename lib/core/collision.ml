@@ -25,6 +25,57 @@ let l_for_target c ~k ~target =
     if Float.is_integer l && l >= 0. && l < 1e9 then Some (max 1 (int_of_float l)) else None
   end
 
+(* How many extra probes land on 1-flip vs 2-flip keys.  The probe
+   sequence visits cheapest subsets first, but which mix of sizes a
+   margin-driven walk picks is query-dependent; the model assumes the
+   radius-1 shell fills before any radius-2 key — the dominant regime,
+   since single flips are (weakly) cheaper than any pair containing
+   them.  The range-scan path probes the full ball, which this same
+   split covers with extra >= ball. *)
+let probe_split ~k ~probes ~radius =
+  if probes < 1 then invalid_arg "Collision: probes must be >= 1";
+  if radius < 0 || radius > 2 then invalid_arg "Collision: radius must be in [0, 2]";
+  if k < 0 then invalid_arg "Collision: negative k";
+  let extra = probes - 1 in
+  let n1 = if radius >= 1 then min extra k else 0 in
+  let n2 = if radius >= 2 then min (extra - n1) (k * (k - 1) / 2) else 0 in
+  (n1, n2)
+
+(* Eq. 9 extended to multi-probe: a probed bucket at Hamming distance m
+   from the base key collides with the query's neighbor exactly when the
+   m flipped bits all disagree (probability (1-c) each) and the other
+   k-m agree.  The events are disjoint across distinct flip subsets, so
+   the per-table collision probability is the plain c^k plus one term
+   per probed key. *)
+let c_k_probed c ~k ~probes ~radius =
+  check_rate c;
+  let n1, n2 = probe_split ~k ~probes ~radius in
+  let base = c_k c k in
+  let miss = 1. -. c in
+  let one = if n1 = 0 then 0. else float_of_int n1 *. (c ** float_of_int (k - 1)) *. miss in
+  let two =
+    if n2 = 0 then 0.
+    else float_of_int n2 *. (c ** float_of_int (k - 2)) *. miss *. miss
+  in
+  Float.min 1. (base +. one +. two)
+
+(* Eq. 10 with the probed per-table rate. *)
+let c_kl_probed c ~k ~l ~probes ~radius =
+  if l < 0 then invalid_arg "Collision.c_kl_probed: negative l";
+  let ck = c_k_probed c ~k ~probes ~radius in
+  1. -. ((1. -. ck) ** float_of_int l)
+
+let l_for_target_probed c ~k ~probes ~radius ~target =
+  check_rate target;
+  let ck = c_k_probed c ~k ~probes ~radius in
+  if ck >= 1. then Some 1
+  else if target <= 0. then Some 0
+  else if ck <= 0. then None
+  else begin
+    let l = Float.ceil (log (1. -. target) /. log (1. -. ck)) in
+    if Float.is_integer l && l >= 0. && l < 1e9 then Some (max 1 (int_of_float l)) else None
+  end
+
 let estimate ~rng ?(num_fns = 200) family x1 x2 =
   let fn_indices = Hash_family.sample_fn_indices ~rng family num_fns in
   let s1 = Hash_family.signature family ~fn_indices x1 in

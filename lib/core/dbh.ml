@@ -27,7 +27,10 @@
     - {!Analysis}: sample-based accuracy and cost estimation (Eq. 11–14)
     - {!Params}: optimal (k, l) search (Sec. IV-D)
     - {!Store}: dynamic object store shared between indexes
-    - {!Key}: packed k-bit bucket keys (one tagged int each)
+    - {!Key}: packed k-bit bucket keys (one tagged int each) with
+      Hamming-ball enumeration for multi-probe
+    - {!Probe_seq}: the multi-probe sequence generator (penalty-ordered
+      Hamming-adjacent keys)
     - {!Csr}: frozen CSR hash tables with a mutable insert delta
     - {!Scratch}: reusable per-query workspace (zero-alloc hot path)
     - {!Budget}: per-query distance-computation budgets
@@ -48,6 +51,7 @@ module Analysis = Analysis
 module Params = Params
 module Store = Store
 module Key = Key
+module Probe_seq = Probe_seq
 module Csr = Csr
 module Scratch = Scratch
 module Budget = Budget

@@ -47,6 +47,53 @@ let bucket_histogram index =
   let hist = Hashtbl.fold (fun size n acc -> (size, n) :: acc) counts [] in
   Array.of_list (List.sort compare hist)
 
+type table_profile = {
+  table : int;
+  directory_keys : int;
+  key_density : float;
+  empty_bucket_rate : float;
+  mean_alive_bucket : float;
+}
+
+(* Per-table bucket census in one pass over the directories.  A bucket
+   whose entries are all tombstoned still occupies its key (entries are
+   skipped lazily at query time), so the empty-bucket rate is the
+   fraction of directory keys a probe can hit and find nothing alive —
+   exactly the sparsity signal that makes extra Hamming probes pay. *)
+let table_profiles index =
+  let l = Index.l index and k = Index.k index in
+  let keys = Array.make l 0 in
+  let dead = Array.make l 0 in
+  let alive = Array.make l 0 in
+  let store = Index.store index in
+  Index.iter_buckets index (fun table _key bucket ->
+      keys.(table) <- keys.(table) + 1;
+      let live =
+        List.fold_left
+          (fun acc id -> if Store.is_alive store id then acc + 1 else acc)
+          0 bucket
+      in
+      if live = 0 then dead.(table) <- dead.(table) + 1;
+      alive.(table) <- alive.(table) + live);
+  let key_space = 2. ** float_of_int k in
+  Array.init l (fun t ->
+      {
+        table = t;
+        directory_keys = keys.(t);
+        key_density = float_of_int keys.(t) /. key_space;
+        empty_bucket_rate =
+          (if keys.(t) = 0 then 0. else float_of_int dead.(t) /. float_of_int keys.(t));
+        mean_alive_bucket =
+          (if keys.(t) = 0 then 0. else float_of_int alive.(t) /. float_of_int keys.(t));
+      })
+
+let pp_table_profile ppf p =
+  Format.fprintf ppf
+    "table %d: keys=%d density=%.2e empty=%.1f%% mean alive bucket=%.2f" p.table
+    p.directory_keys p.key_density
+    (100. *. p.empty_bucket_rate)
+    p.mean_alive_bucket
+
 let pp_table_stats ppf s =
   Format.fprintf ppf
     "l=%d k=%d objects=%d buckets=%d largest=%d (%.1f%% of objects) mean occupancy=%.2f"

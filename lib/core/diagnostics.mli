@@ -29,6 +29,24 @@ type table_stats = {
 val index_stats : 'a Index.t -> table_stats
 val pp_table_stats : Format.formatter -> table_stats -> unit
 
+type table_profile = {
+  table : int;  (** table (row) number, [0 .. l-1] *)
+  directory_keys : int;  (** keys holding a bucket in this table *)
+  key_density : float;  (** directory keys / 2^k *)
+  empty_bucket_rate : float;
+      (** fraction of this table's buckets with no alive entry — what a
+          probe can hit and find nothing; high rates are the sparsity
+          regime where multi-probe pays *)
+  mean_alive_bucket : float;  (** mean alive entries per bucket *)
+}
+
+val table_profiles : 'a Index.t -> table_profile array
+(** One profile per table, in table order — the per-table breakdown
+    behind {!table_stats} (which aggregates across tables and counts
+    dead entries). *)
+
+val pp_table_profile : Format.formatter -> table_profile -> unit
+
 val bucket_histogram : 'a Index.t -> (int * int) array
 (** Sorted [(bucket_size, bucket_count)] pairs aggregated across every
     table (dead entries included, like {!table_stats}). *)

@@ -97,7 +97,10 @@ let build ?pool ~rng ~family ~db ~analysis ~target_accuracy ?pivot_table ?(level
    end-of-query metrics recording follow the same conventions as
    [Index.query_with]; this entry point records the query (not the
    per-level indexes), so cascaded queries count once. *)
-let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
+(* As in [Index], the probe knobs are required labels on the core so the
+   single-probe path never boxes a [Some] per query; [query_with] below
+   is the optional-argument wrapper. *)
+let query_probed ?budget ?metrics ?trace ?scratch ?limit ~probes ~radius t q =
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   (match trace with
@@ -117,7 +120,7 @@ let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
   let best_id = ref (-1) in
   let best_d = ref infinity in
   let lookup = ref 0 in
-  let probes = ref 0 in
+  let probed = ref 0 in
   let levels_probed = ref 0 in
   Fun.protect
     ~finally:(fun () -> Scratch.reset scratch)
@@ -131,12 +134,15 @@ let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
                 Dbh_obs.Trace.record tr
                   (Dbh_obs.Trace.Level_enter { level = li; threshold = lev.info.d_threshold })
             | None -> ());
-            probes := !probes + Index.l lev.index;
             (* The scratch dedups across levels: only this level's fresh
                marks (from [start]) are ranked here, newest first — the
-               order the consed per-level lists were visited in. *)
+               order the consed per-level lists were visited in.
+               [candidates_into] claims the level's l base probes into
+               [probes] before evaluating any hash, preserving the
+               historical accounting under mid-hash budget death. *)
             let start = Scratch.count scratch in
-            Index.candidates_into ?trace ~level:li ?limit lev.index cache ~scratch;
+            Index.candidates_into ?trace ~level:li ?limit ~probes ~radius
+              ~probe_counter:probed lev.index cache ~scratch;
             for i = Scratch.count scratch - 1 downto start do
               let id = Scratch.get scratch i in
               (match budget with Some b -> Budget.charge b | None -> ());
@@ -175,7 +181,7 @@ let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
     {
       Index.hash_cost = Hash_family.cache_cost cache;
       lookup_cost = !lookup;
-      probes = !probes;
+      probes = !probed;
     }
   in
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
@@ -203,13 +209,19 @@ let query_with ?budget ?metrics ?trace ?scratch ?limit t q =
     levels_probed = !levels_probed;
   }
 
+let query_with ?budget ?metrics ?trace ?scratch ?limit ?(probes = 1) ?(radius = 0) t q =
+  query_probed ?budget ?metrics ?trace ?scratch ?limit ~probes ~radius t q
+
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
-    ?scratch:opts.Query_opts.scratch t q
+  query_probed ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch ~probes:opts.Query_opts.probes_per_table
+    ~radius:opts.Query_opts.hamming_radius t q
 
 let search_batch ?(opts = Query_opts.default) t qs =
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let probes = opts.Query_opts.probes_per_table in
+  let radius = opts.Query_opts.hamming_radius in
   match opts.Query_opts.pool with
   | None ->
       let scratch =
@@ -218,13 +230,13 @@ let search_batch ?(opts = Query_opts.default) t qs =
       Array.map
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
-          query_with ?budget ?metrics ~scratch t q)
+          query_probed ?budget ?metrics ~scratch ~probes ~radius t q)
         qs
   | Some pool ->
       Dbh_util.Pool.parallel_map_array pool
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
-          query_with ?budget ?metrics t q)
+          query_probed ?budget ?metrics ~probes ~radius t q)
         qs
 
 let query ?budget t q = query_with ?budget t q

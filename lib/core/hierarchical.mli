@@ -159,6 +159,23 @@ val query_with :
   ?trace:Dbh_obs.Trace.t ->
   ?scratch:Scratch.t ->
   ?limit:int ->
+  ?probes:int ->
+  ?radius:int ->
+  'a t ->
+  'a ->
+  'a Index.result
+
+(* Same core with the probe knobs as required labels: hot callers that
+   already hold plain ints (Online, the robust layer) use this to avoid
+   boxing a [Some] per knob per query. *)
+val query_probed :
+  ?budget:Budget.t ->
+  ?metrics:Dbh_obs.Metrics.t ->
+  ?trace:Dbh_obs.Trace.t ->
+  ?scratch:Scratch.t ->
+  ?limit:int ->
+  probes:int ->
+  radius:int ->
   'a t ->
   'a ->
   'a Index.result

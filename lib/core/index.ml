@@ -109,6 +109,14 @@ let key_of_slots t bits row : Key.t =
   done;
   !key
 
+(* Per-bit flip margins, filled after [eval_bits]: every projection the
+   margins need was just computed through the same cache, so this costs
+   zero additional distance computations (and charges no budget). *)
+let eval_margins t cache margins =
+  Array.iteri
+    (fun i fn_id -> margins.(i) <- Hash_family.margin t.family cache fn_id)
+    t.distinct_fns
+
 let insert_id t cache id =
   let bit_of = bits_of_cache t cache in
   for row = 0 to t.l - 1 do
@@ -221,12 +229,85 @@ let cache_for ?budget ?trace t scratch q =
     ~dists:(Scratch.pivot_dists scratch (Hash_family.num_pivots t.family))
     q
 
-let candidates_into ?trace ?(level = 0) ?(limit = max_int) t cache ~scratch =
+let check_probe_knobs ~probes ~radius =
+  if probes < 1 then invalid_arg "Index: probes_per_table must be >= 1";
+  if radius < 0 || radius > Key.max_radius then
+    invalid_arg
+      (Printf.sprintf "Index: hamming_radius must be in [0, %d]" Key.max_radius)
+
+(* The extra-probe engine, shared by every query path.  After the base
+   buckets, each table probes up to [probes - 1] Hamming-adjacent keys
+   within [radius] bit flips of its base key.  When the probe budget
+   covers the whole radius ball the keys are served by code-only range
+   scans over the sorted directory (one scan per consecutive-key run);
+   otherwise the probe heap emits keys one by one in increasing
+   flip-penalty order, cheapest bits — the projections that landed
+   nearest their thresholds — first.  Margins reuse the pivot distances
+   [eval_bits] already cached, so extra probes cost zero additional
+   hash distance computations.  [counter] counts probed buckets: one
+   per emitted key on the heap path, the full ball (claimed upfront) on
+   the range path. *)
+let probe_extras ?trace ~level t cache scratch bits ~probes ~radius ~counter visit =
+  let extra = probes - 1 in
+  let margins = Scratch.margin_row scratch (Array.length t.distinct_fns) in
+  eval_margins t cache margins;
+  let ball = Key.ball_size ~width:t.k ~radius in
+  let ps = Scratch.probe_seq scratch in
+  for row = 0 to t.l - 1 do
+    let base = key_of_slots t bits row in
+    let table = t.tables.(row) in
+    if extra >= ball then begin
+      counter := !counter + ball;
+      match trace with
+      | None ->
+          Csr.iter_within table ~width:t.k ~radius (base :> int) (fun _ id -> visit id)
+      | Some tr ->
+          (* The range scan only surfaces non-empty keys; record one
+             probe event per distinct key it visits. *)
+          let last = ref min_int in
+          Csr.iter_within table ~width:t.k ~radius (base :> int) (fun key id ->
+              if key <> !last then begin
+                last := key;
+                Dbh_obs.Trace.record tr
+                  (Dbh_obs.Trace.Bucket_probe
+                     { level; table = row; key; found = Csr.bucket_size table key })
+              end;
+              visit id)
+    end
+    else begin
+      let slots = t.fn_slots.(row) in
+      let penalty j = margins.(Array.unsafe_get slots j) in
+      Probe_seq.generate ps ~base ~width:t.k ~radius ~max_probes:extra ~penalty
+        ~emit:(fun pk ->
+          incr counter;
+          (match trace with
+          | Some tr ->
+              Dbh_obs.Trace.record tr
+                (Dbh_obs.Trace.Bucket_probe
+                   {
+                     level;
+                     table = row;
+                     key = (pk :> int);
+                     found = Csr.bucket_size table (pk :> int);
+                   })
+          | None -> ());
+          Csr.iter_bucket table (pk :> int) visit)
+    end
+  done
+
+let candidates_into ?trace ?(level = 0) ?(limit = max_int) ?(probes = 1) ?(radius = 0)
+    ?probe_counter t cache ~scratch =
+  check_probe_knobs ~probes ~radius;
   (* The live store length can exceed the capacity the caller ensured
      when a writer inserts mid-query; admission is bounded by [limit]
      then, so only the visible prefix must fit the mask. *)
   if Scratch.capacity scratch < min limit (Store.length t.store) then
     invalid_arg "Index.candidates_into: scratch smaller than the store";
+  (* Base probes are claimed before any hash evaluation — the historical
+     accounting: a budget that dies inside [eval_bits] still counts this
+     index's l probes. *)
+  let counter = match probe_counter with Some c -> c | None -> ref 0 in
+  counter := !counter + t.l;
   let bits = Scratch.bit_row scratch (Array.length t.distinct_fns) in
   eval_bits t cache bits;
   (* Ids at or past the mask capacity — or past the caller's published
@@ -251,22 +332,28 @@ let candidates_into ?trace ?(level = 0) ?(limit = max_int) t cache ~scratch =
              })
     | None -> ());
     Csr.iter_bucket t.tables.(row) (key :> int) visit
-  done
+  done;
+  if probes > 1 && radius > 0 then
+    probe_extras ?trace ~level t cache scratch bits ~probes ~radius ~counter visit
 
-let with_candidates ?metrics ?trace ?scratch t q f =
+let with_candidates ?metrics ?trace ?scratch ~probes ~radius t q f =
+  check_probe_knobs ~probes ~radius;
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   let scratch = scratch_of scratch in
   Scratch.ensure scratch (Store.length t.store);
   let cache = cache_for ?trace t scratch q in
+  let probed = ref 0 in
   let value, lookup_cost =
     Fun.protect
       ~finally:(fun () -> Scratch.reset scratch)
       (fun () ->
-        candidates_into t cache ~scratch;
+        candidates_into ~probes ~radius ~probe_counter:probed t cache ~scratch;
         f scratch)
   in
-  let stats = { hash_cost = Hash_family.cache_cost cache; lookup_cost; probes = t.l } in
+  let stats =
+    { hash_cost = Hash_family.cache_cost cache; lookup_cost; probes = !probed }
+  in
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
@@ -299,7 +386,13 @@ let best_of_candidates t q candidates =
 (* The single-level query core.  Trace events are recorded only behind a
    [match] on the trace option, so the untraced path allocates nothing
    for them; metrics are recorded once at the end from the final stats. *)
-let query_with ?budget ?metrics ?trace ?scratch t q =
+(* The body of [query_with] with the probe knobs as required labels:
+   passing an int through an optional argument boxes a [Some] per call,
+   and on the plain single-probe path (the storage bench's alloc gate)
+   those two words per query are measurable.  [query_with] below is the
+   optional-argument wrapper for external callers. *)
+let query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q =
+  check_probe_knobs ~probes ~radius;
   let metrics = Dbh_obs.Metrics.resolve metrics in
   let t0 = match metrics with Some _ -> Dbh_obs.Metrics.now () | None -> 0. in
   (match trace with
@@ -316,7 +409,7 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
   let best_id = ref (-1) in
   let best_d = ref infinity in
   let lookup = ref 0 in
-  let probes = ref 0 in
+  let probed = ref 0 in
   Fun.protect
     ~finally:(fun () -> Scratch.reset scratch)
     (fun () ->
@@ -346,7 +439,7 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
           end
         in
         for row = 0 to t.l - 1 do
-          incr probes;
+          incr probed;
           let key = key_of_slots t bits row in
           (match trace with
           | Some tr ->
@@ -360,7 +453,10 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
                    })
           | None -> ());
           Csr.iter_bucket t.tables.(row) (key :> int) visit
-        done
+        done;
+        if probes > 1 && radius > 0 then
+          probe_extras ?trace ~level:0 t cache scratch bits ~probes ~radius
+            ~counter:probed visit
       with Budget.Exhausted -> (
         match trace with
         | Some tr ->
@@ -370,7 +466,7 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
         | None -> ()));
   let truncated = match budget with Some b -> Budget.exhausted b | None -> false in
   let stats =
-    { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probes }
+    { hash_cost = Hash_family.cache_cost cache; lookup_cost = !lookup; probes = !probed }
   in
   (match trace with
   | Some tr ->
@@ -396,10 +492,14 @@ let query_with ?budget ?metrics ?trace ?scratch t q =
     levels_probed = 1;
   }
 
+let query_with ?budget ?metrics ?trace ?scratch ?(probes = 1) ?(radius = 0) t q =
+  query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q
+
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
-    ?scratch:opts.Query_opts.scratch t q
+  query_probed ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch ~probes:opts.Query_opts.probes_per_table
+    ~radius:opts.Query_opts.hamming_radius t q
 
 (* Queries only read the index (tables, store, family), so a batch fans
    out with no shared mutable state beyond the atomic counters.  The
@@ -410,19 +510,21 @@ let search ?(opts = Query_opts.default) t q =
    (a scratch is single-domain state). *)
 let search_batch ?(opts = Query_opts.default) t qs =
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let probes = opts.Query_opts.probes_per_table in
+  let radius = opts.Query_opts.hamming_radius in
   match opts.Query_opts.pool with
   | None ->
       let scratch = scratch_of opts.Query_opts.scratch in
       Array.map
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
-          query_with ?budget ?metrics ~scratch t q)
+          query_probed ?budget ?metrics ~scratch ~probes ~radius t q)
         qs
   | Some pool ->
       Dbh_util.Pool.parallel_map_array pool
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
-          query_with ?budget ?metrics t q)
+          query_probed ?budget ?metrics ~probes ~radius t q)
         qs
 
 let query ?budget t q = query_with ?budget t q
@@ -437,7 +539,8 @@ let query_knn ?(opts = Query_opts.default) t m q =
   if m < 1 then invalid_arg "Index.query_knn: m must be >= 1";
   let space = Hash_family.space t.family in
   with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
-    ?scratch:opts.Query_opts.scratch t q (fun scratch ->
+    ?scratch:opts.Query_opts.scratch ~probes:opts.Query_opts.probes_per_table
+    ~radius:opts.Query_opts.hamming_radius t q (fun scratch ->
       let heap = Dbh_util.Bounded_heap.create m in
       let count = ref 0 in
       for i = Scratch.count scratch - 1 downto 0 do
@@ -455,7 +558,8 @@ let query_range ?(opts = Query_opts.default) t radius q =
   if radius < 0. then invalid_arg "Index.query_range: negative radius";
   let space = Hash_family.space t.family in
   with_candidates ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
-    ?scratch:opts.Query_opts.scratch t q (fun scratch ->
+    ?scratch:opts.Query_opts.scratch ~probes:opts.Query_opts.probes_per_table
+    ~radius:opts.Query_opts.hamming_radius t q (fun scratch ->
       let hits = ref [] in
       let count = ref 0 in
       for i = Scratch.count scratch - 1 downto 0 do

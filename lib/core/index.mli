@@ -139,7 +139,14 @@ val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
     candidate comparisons) this query may spend.  The budget is charged
     before every evaluation, so the cap is never exceeded; when it runs
     out the result carries the best candidate found so far and
-    [truncated = true].  [opts.pool] is ignored (single query). *)
+    [truncated = true].  [opts.pool] is ignored (single query).
+
+    [opts.probes_per_table] with [opts.hamming_radius] turns on the
+    multi-probe path ({!Query_opts.multiprobe}): each table also probes
+    its lowest-flip-penalty Hamming-adjacent buckets, trading a few
+    extra bucket reads for recall that would otherwise require more
+    tables.  At the defaults the query is bit-identical to the
+    single-probe engine. *)
 
 val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
 (** One {!search} per element, in input order.  [opts.budget] caps the
@@ -213,6 +220,9 @@ val candidates_into :
   ?trace:Dbh_obs.Trace.t ->
   ?level:int ->
   ?limit:int ->
+  ?probes:int ->
+  ?radius:int ->
+  ?probe_counter:int ref ->
   'a t ->
   'a Hash_family.cache ->
   scratch:Scratch.t ->
@@ -226,7 +236,20 @@ val candidates_into :
     [trace] records one [Bucket_probe] per table, tagged with [level]
     (default 0).  [limit] (default unbounded) drops ids at or past it —
     the visibility bound concurrent readers pin before probing, so ids a
-    racing writer published mid-query never enter the candidate set. *)
+    racing writer published mid-query never enter the candidate set.
+
+    [probes] (default [1]) and [radius] (default [0]) enable the
+    multi-probe path when [probes > 1] and [radius > 0]: after the base
+    buckets, each table probes up to [probes - 1] extra keys within
+    [radius] bit flips of its base key, cheapest flips first (the bits
+    whose projections landed nearest their thresholds); when the probe
+    budget covers the whole Hamming ball the ball is served by sorted
+    range scans over the table directory instead.  At the defaults the
+    marked set is bit-identical to the historical single-probe walk.
+    [probe_counter] accumulates probed buckets: the base [l] claimed
+    upfront (before any hash evaluation, so a budget that dies mid-hash
+    still counts them — the historical accounting), plus one per extra
+    probed key (the full ball when range scans serve it). *)
 
 (** {1 Persistence}
 
@@ -268,6 +291,8 @@ val query_with :
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
   ?scratch:Scratch.t ->
+  ?probes:int ->
+  ?radius:int ->
   'a t ->
   'a ->
   'a result

@@ -29,3 +29,49 @@ let of_int ~width key =
 
 let compare : t -> t -> int = Int.compare
 let equal : t -> t -> bool = Int.equal
+
+let popcount key =
+  let n = ref 0 and x = ref key in
+  while !x <> 0 do
+    incr n;
+    x := !x land (!x - 1)
+  done;
+  !n
+
+let hamming a b = popcount (a lxor b)
+
+let max_radius = 2
+
+let check_radius radius =
+  if radius < 0 || radius > max_radius then
+    invalid_arg
+      (Printf.sprintf "Key: Hamming radius must be in [0, %d], got %d" max_radius radius)
+
+let ball_size ~width ~radius =
+  check_width width;
+  check_radius radius;
+  match radius with
+  | 0 -> 0
+  | 1 -> width
+  | _ -> width + (width * (width - 1) / 2)
+
+let enumerate_within ~width ~radius key =
+  ignore (of_int ~width key : t);
+  check_radius radius;
+  if radius = 0 then [||]
+  else begin
+    let out = Array.make (ball_size ~width ~radius) 0 in
+    let n = ref 0 in
+    for j = 0 to width - 1 do
+      let m1 = 1 lsl j in
+      out.(!n) <- key lxor m1;
+      incr n;
+      if radius >= 2 then
+        for j2 = j + 1 to width - 1 do
+          out.(!n) <- key lxor m1 lxor (1 lsl j2);
+          incr n
+        done
+    done;
+    Array.sort Int.compare out;
+    out
+  end

@@ -50,3 +50,34 @@ val compare : t -> t -> int
     the underlying bit strings. *)
 
 val equal : t -> t -> bool
+
+(** {1 Hamming geometry}
+
+    Codes are points of the k-bit Hamming cube; the multi-probe query
+    path perturbs them.  All of these are pure bit arithmetic — no
+    allocation except the array {!enumerate_within} returns. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val hamming : t -> t -> int
+(** Hamming distance between two codes (callers are responsible for
+    comparing codes of the same width, as with {!compare}). *)
+
+val max_radius : int
+(** 2: the largest supported Hamming-ball radius.  Balls grow as
+    [O(width^radius)]; radius 2 already covers every probe budget the
+    multi-probe model optimises over. *)
+
+val ball_size : width:int -> radius:int -> int
+(** Number of distinct codes at Hamming distance in [\[1, radius\]] of
+    any [width]-bit code: [0], [width], or [width + width(width-1)/2].
+    Raises [Invalid_argument] on a bad width or a radius outside
+    [\[0, max_radius\]]. *)
+
+val enumerate_within : width:int -> radius:int -> t -> t array
+(** All codes at Hamming distance in [\[1, radius\]] of [key] (the
+    center itself is excluded), sorted ascending — i.e. in directory
+    order, so consecutive runs of the result coalesce into CSR range
+    scans.  Raises [Invalid_argument] when [key] does not fit [width] or
+    the radius is outside [\[0, max_radius\]]. *)

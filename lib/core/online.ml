@@ -225,23 +225,31 @@ let translate s (r : 'a Index.result) =
     levels_probed = r.Index.levels_probed;
   }
 
-let query_with ?budget ?metrics ?trace ?scratch t q =
+let query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q =
   (* One pointer load pins the whole generation — the cascade queried
      and the handle map translated against can never mix generations,
      whatever the writer does concurrently.  The acquire load of the
      visibility bound then makes every admitted id's state readable. *)
   let s = current t in
   let limit = Atomic.get s.visible in
-  translate s (Hierarchical.query_with ?budget ?metrics ?trace ?scratch ~limit s.index q)
+  translate s
+    (Hierarchical.query_probed ?budget ?metrics ?trace ?scratch ~limit ~probes ~radius
+       s.index q)
+
+let query_with ?budget ?metrics ?trace ?scratch ?(probes = 1) ?(radius = 0) t q =
+  query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q
 
 let search ?(opts = Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
-    ?scratch:opts.Query_opts.scratch t q
+  query_probed ?budget ?metrics:opts.Query_opts.metrics ?trace:opts.Query_opts.trace
+    ?scratch:opts.Query_opts.scratch ~probes:opts.Query_opts.probes_per_table
+    ~radius:opts.Query_opts.hamming_radius t q
 
 let search_batch ?(opts = Query_opts.default) t qs =
   let pool = match opts.Query_opts.pool with Some _ as p -> p | None -> t.pool in
   let metrics = Dbh_obs.Metrics.resolve opts.Query_opts.metrics in
+  let probes = opts.Query_opts.probes_per_table in
+  let radius = opts.Query_opts.hamming_radius in
   (* The generation is pinned once for the whole batch; handle
      translation then reads the same state the queries ran against. *)
   let s = current t in
@@ -255,13 +263,14 @@ let search_batch ?(opts = Query_opts.default) t qs =
         Array.map
           (fun q ->
             let budget = Option.map Budget.create opts.Query_opts.budget in
-            Hierarchical.query_with ?budget ?metrics ~scratch ~limit s.index q)
+            Hierarchical.query_probed ?budget ?metrics ~scratch ~limit ~probes ~radius
+              s.index q)
           qs
     | Some pool ->
         Dbh_util.Pool.parallel_map_array pool
           (fun q ->
             let budget = Option.map Budget.create opts.Query_opts.budget in
-            Hierarchical.query_with ?budget ?metrics ~limit s.index q)
+            Hierarchical.query_probed ?budget ?metrics ~limit ~probes ~radius s.index q)
           qs
   in
   Array.map (translate s) results

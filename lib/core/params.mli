@@ -18,11 +18,18 @@ type choice = {
 val pp_choice : Format.formatter -> choice -> unit
 
 val min_l_for_accuracy :
-  Analysis.t -> k:int -> target:float -> l_max:int -> int option
+  ?probes:int -> ?radius:int -> Analysis.t -> k:int -> target:float -> l_max:int -> int option
 (** Smallest [l <= l_max] whose predicted accuracy reaches [target]
-    (binary search over the monotone accuracy-in-[l] curve), or [None]. *)
+    (binary search over the monotone accuracy-in-[l] curve), or [None].
+    [probes]/[radius] (defaults [1]/[0]) evaluate the multi-probe model
+    instead — the analytical handle on the tables multi-probing saves. *)
+
+val choice_of : ?probes:int -> ?radius:int -> Analysis.t -> k:int -> l:int -> choice
+(** The model's full prediction at a fixed [(k,l)]. *)
 
 val optimize :
+  ?probes:int ->
+  ?radius:int ->
   Analysis.t ->
   target_accuracy:float ->
   ?k_min:int ->
@@ -35,9 +42,14 @@ val optimize :
     and keep the choice minimizing predicted total cost.  [None] when no
     [(k,l)] reaches the target.  Requires [0 <= target_accuracy < 1]
     (an exact 1.0 target is unreachable under the model whenever any
-    query has a collision rate below 1). *)
+    query has a collision rate below 1).  With [probes]/[radius] the
+    whole search runs under the multi-probe model, so the returned
+    choice is the operating point for an engine that will actually
+    probe that way. *)
 
 val landscape :
+  ?probes:int ->
+  ?radius:int ->
   Analysis.t ->
   target_accuracy:float ->
   ?k_min:int ->

@@ -1,0 +1,40 @@
+(** Multi-probe sequences over packed keys (multi-probe LSH, Lv et al.,
+    the paper's citation [11], transplanted to DBH codes).
+
+    Given per-bit flip penalties — how decisively each of a key's [k]
+    projections cleared its [t1, t2] thresholds — the generator
+    enumerates perturbed keys in non-decreasing order of summed penalty
+    using the shift/expand heap walk, visiting every non-empty bit
+    subset of size at most [radius] exactly once.  The cheapest probes
+    flip only the lowest-margin bits: the buckets a near-miss neighbor
+    most likely fell into. *)
+
+type t
+(** Reusable workspace (penalty-sorted positions + the probe heap).
+    Single-domain state, like {!Scratch.t}: share across sequential
+    queries only. *)
+
+val create : unit -> t
+(** Empty workspace; grows on first use and is then allocation-free for
+    any query of the same or smaller width/probe count. *)
+
+val generate :
+  t ->
+  base:Key.t ->
+  width:int ->
+  radius:int ->
+  max_probes:int ->
+  penalty:(int -> float) ->
+  emit:(Key.t -> unit) ->
+  unit
+(** [generate t ~base ~width ~radius ~max_probes ~penalty ~emit] calls
+    [emit] on up to [max_probes] distinct keys obtained by XOR-flipping
+    non-empty subsets of at most [radius] bits of [base], in
+    non-decreasing order of summed flip penalty ([penalty j] is the
+    cost of flipping code bit [j], [0 <= j < width]; ties resolve to
+    lower bit positions first, so the sequence is deterministic).
+    [base] itself is never emitted.  Emits fewer than [max_probes] keys
+    when the radius-[radius] ball is smaller ({!Key.ball_size}); emits
+    nothing when [max_probes <= 0] or [radius = 0].  Raises
+    [Invalid_argument] on a bad width or a radius outside
+    [\[0, Key.max_radius\]]. *)

@@ -4,11 +4,26 @@ type t = {
   metrics : Dbh_obs.Metrics.t option;
   trace : Dbh_obs.Trace.t option;
   scratch : Scratch.t option;
+  probes_per_table : int;
+  hamming_radius : int;
 }
 
-let default = { budget = None; pool = None; metrics = None; trace = None; scratch = None }
+let default =
+  {
+    budget = None;
+    pool = None;
+    metrics = None;
+    trace = None;
+    scratch = None;
+    probes_per_table = 1;
+    hamming_radius = 0;
+  }
 
-let make ?budget ?pool ?metrics ?trace ?scratch () =
-  { budget; pool; metrics; trace; scratch }
+let make ?budget ?pool ?metrics ?trace ?scratch ?(probes_per_table = 1)
+    ?(hamming_radius = 0) () =
+  { budget; pool; metrics; trace; scratch; probes_per_table; hamming_radius }
 
 let budgeted n = { default with budget = Some n }
+
+let multiprobe ?(hamming_radius = 2) probes_per_table =
+  { default with probes_per_table; hamming_radius }

@@ -33,10 +33,24 @@ type t = {
           Single-domain: sequential entry points and sequential batches
           use it; pooled batches ignore it (each query allocates its
           own). *)
+  probes_per_table : int;
+      (** Buckets probed per table, base bucket included (default [1]).
+          Values above 1 enable the multi-probe path: after each table's
+          own bucket, up to [probes_per_table - 1] Hamming-adjacent
+          buckets are probed in increasing flip-penalty order, flipping
+          the bits whose projections landed nearest their thresholds.
+          Requires [hamming_radius >= 1] to take effect. *)
+  hamming_radius : int;
+      (** Largest Hamming distance of probed keys from the base key
+          (default [0] = multi-probe off; at most {!Key.max_radius}).
+          With [probes_per_table = 1] {e and} [hamming_radius = 0] —
+          the defaults — every query path is bit-identical to the
+          single-probe engine. *)
 }
 
 val default : t
-(** All fields [None] — plain, unobserved, unbounded queries. *)
+(** All fields [None] — plain, unobserved, unbounded queries — and the
+    single-probe knobs ([probes_per_table = 1], [hamming_radius = 0]). *)
 
 val make :
   ?budget:int ->
@@ -44,8 +58,15 @@ val make :
   ?metrics:Dbh_obs.Metrics.t ->
   ?trace:Dbh_obs.Trace.t ->
   ?scratch:Scratch.t ->
+  ?probes_per_table:int ->
+  ?hamming_radius:int ->
   unit ->
   t
 
 val budgeted : int -> t
 (** [budgeted n] is [make ~budget:n ()] — the most common non-default. *)
+
+val multiprobe : ?hamming_radius:int -> int -> t
+(** [multiprobe n] is [make ~probes_per_table:n ~hamming_radius:2 ()] —
+    the standard multi-probe setting (radius defaults to
+    {!Key.max_radius}). *)

@@ -11,6 +11,8 @@ type t = {
   mutable len : int;
   mutable dists : float array;  (* pivot-distance workspace *)
   mutable bits : Bytes.t;  (* hash-bit workspace, one byte per distinct fn *)
+  mutable margins : float array;  (* per-bit flip margins, one per distinct fn *)
+  probe : Probe_seq.t;  (* reusable multi-probe heap *)
 }
 
 let create ?(capacity = 0) () =
@@ -20,6 +22,8 @@ let create ?(capacity = 0) () =
     len = 0;
     dists = [||];
     bits = Bytes.empty;
+    margins = [||];
+    probe = Probe_seq.create ();
   }
 
 (* Invariant: every non-'\000' byte of [seen] is listed in [buf.(0..len)],
@@ -68,3 +72,11 @@ let pivot_dists t m =
 let bit_row t m =
   if Bytes.length t.bits < m then t.bits <- Bytes.create m;
   t.bits
+
+(* Margin rows likewise: the multi-probe path fills every slot it reads
+   (Index.eval_margins) before handing penalties to the probe heap. *)
+let margin_row t m =
+  if Array.length t.margins < m then t.margins <- Array.make m 0.;
+  t.margins
+
+let probe_seq t = t.probe

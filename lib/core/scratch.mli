@@ -54,3 +54,13 @@ val pivot_dists : t -> int -> float array
 val bit_row : t -> int -> Bytes.t
 (** A reusable row of at least [m] bytes for per-query hash bits.
     Contents are unspecified — the caller overwrites before reading. *)
+
+val margin_row : t -> int -> float array
+(** A reusable row of at least [m] floats for per-bit flip margins
+    (multi-probe path).  Contents are unspecified — the caller
+    overwrites before reading. *)
+
+val probe_seq : t -> Probe_seq.t
+(** The scratch's reusable multi-probe workspace (penalty-sorted bits +
+    probe heap) — like the other rows, single-domain and reused across
+    sequential queries. *)

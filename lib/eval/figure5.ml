@@ -4,6 +4,8 @@ type config = {
   targets : float array;
   vp_budget_fractions : float array;
   builder : Dbh.Builder.config;
+  multiprobe_probes : int;
+  multiprobe_radius : int;
 }
 
 let default_config =
@@ -11,6 +13,8 @@ let default_config =
     targets = [| 0.80; 0.85; 0.90; 0.95; 0.975; 0.99 |];
     vp_budget_fractions = [| 0.02; 0.05; 0.1; 0.2; 0.35; 0.5; 0.75; 1.0 |];
     builder = Dbh.Builder.default_config;
+    multiprobe_probes = 8;
+    multiprobe_radius = 2;
   }
 
 type result = {
@@ -19,6 +23,7 @@ type result = {
   num_queries : int;
   vp : Tradeoff.series;
   single : Tradeoff.series;
+  multiprobe : Tradeoff.series;
   hierarchical : Tradeoff.series;
   brute_force_cost : int;
 }
@@ -63,6 +68,32 @@ let run ?pool ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
                  (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
            })
   in
+  (* Multi-probe series: each target is re-tuned under the probed
+     collision model — typically landing on fewer tables — and queried
+     with the matching runtime knobs, so the curve shows what the probe
+     path buys at equal accuracy. *)
+  let mp_probes = config.multiprobe_probes in
+  let mp_radius = config.multiprobe_radius in
+  let mp_opts = Dbh.Query_opts.multiprobe ~hamming_radius:mp_radius mp_probes in
+  let multiprobe_methods =
+    Array.to_list config.targets
+    |> List.filter_map (fun target ->
+           match
+             Dbh.Builder.single ?pool ~probes:mp_probes ~radius:mp_radius ~rng ~prepared
+               ~db ~target_accuracy:target ~config:config.builder ()
+           with
+           | None -> None
+           | Some (index, _choice) ->
+               Some
+                 {
+                   Tradeoff.label = "multi-probe DBH";
+                   setting = Printf.sprintf "target=%.3f" target;
+                   run =
+                     (fun q ->
+                       let r = Dbh.Index.search ~opts:mp_opts index q in
+                       (r.Dbh.Index.nn, Dbh.Index.total_cost r.Dbh.Index.stats));
+                 })
+  in
   let vp_tree = Dbh_vptree.Vp_tree.build ~rng ~space db in
   let vp_methods =
     Array.to_list config.vp_budget_fractions
@@ -83,6 +114,7 @@ let run ?pool ~rng ~dataset ~space ~db ~queries ?(config = default_config) () =
     num_queries = Array.length queries;
     vp = Tradeoff.sweep ~queries ~truth ~label:"VP-tree" vp_methods;
     single = Tradeoff.sweep ~queries ~truth ~label:"single-level DBH" single_methods;
+    multiprobe = Tradeoff.sweep ~queries ~truth ~label:"multi-probe DBH" multiprobe_methods;
     hierarchical = Tradeoff.sweep ~queries ~truth ~label:"hierarchical DBH" hier_methods;
     brute_force_cost = truth.Ground_truth.cost_per_query;
   }

@@ -13,6 +13,10 @@ type config = {
   vp_budget_fractions : float array;
       (** VP-tree budgets as fractions of the database size *)
   builder : Dbh.Builder.config;
+  multiprobe_probes : int;
+      (** buckets probed per table for the multi-probe series
+          (default 8) *)
+  multiprobe_radius : int;  (** Hamming radius of the probes (default 2) *)
 }
 
 val default_config : config
@@ -23,6 +27,9 @@ type result = {
   num_queries : int;
   vp : Tradeoff.series;
   single : Tradeoff.series;
+  multiprobe : Tradeoff.series;
+      (** single-level indexes re-tuned under the probed collision model
+          and queried with the multi-probe knobs *)
   hierarchical : Tradeoff.series;
   brute_force_cost : int;  (** distance computations of the exact scan *)
 }

@@ -81,9 +81,11 @@ let print_figure5 (r : Figure5.result) =
       ("brute-force cost/query", string_of_int r.Figure5.brute_force_cost);
     ];
   print_newline ();
-  print_series_table [ r.Figure5.vp; r.Figure5.single; r.Figure5.hierarchical ];
+  print_series_table
+    [ r.Figure5.vp; r.Figure5.single; r.Figure5.multiprobe; r.Figure5.hierarchical ];
   print_newline ();
-  ascii_plot [ r.Figure5.vp; r.Figure5.single; r.Figure5.hierarchical ];
+  ascii_plot
+    [ r.Figure5.vp; r.Figure5.single; r.Figure5.multiprobe; r.Figure5.hierarchical ];
   List.iter
     (fun acc ->
       match Figure5.speedup_at r ~accuracy:acc with

@@ -191,10 +191,12 @@ let serve_linear ?budget ?metrics ?trace t q =
 
 let breached t snapshot = rate_since t snapshot > t.config.anomaly_threshold
 
-let rec query_with ?budget ?metrics ?trace ?scratch t q =
+let rec query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q =
   match t.state with
   | Closed ->
-      let result = Online.query_with ?budget ?metrics ?trace ?scratch t.online q in
+      let result =
+        Online.query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t.online q
+      in
       t.window_queries <- t.window_queries + 1;
       if t.window_queries >= t.config.window then
         if breached t (t.window_calls0, t.window_anoms0) || structurally_unhealthy t then
@@ -216,10 +218,12 @@ let rec query_with ?budget ?metrics ?trace ?scratch t q =
         let calls, anoms = guard_snapshot t in
         t.probe_calls0 <- calls;
         t.probe_anoms0 <- anoms;
-        query_with ?budget ?metrics ?trace ?scratch t q
+        query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q
       end
   | Half_open ->
-      let result = Online.query_with ?budget ?metrics ?trace ?scratch t.online q in
+      let result =
+        Online.query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t.online q
+      in
       t.probes_left <- t.probes_left - 1;
       if t.probes_left <= 0 then
         if breached t (t.probe_calls0, t.probe_anoms0) || structurally_unhealthy t then
@@ -234,9 +238,14 @@ let rec query_with ?budget ?metrics ?trace ?scratch t q =
         end;
       { result; served_by = `Index; state_after = t.state }
 
+let query_with ?budget ?metrics ?trace ?scratch ?(probes = 1) ?(radius = 0) t q =
+  query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q
+
 let search ?(opts = Dbh.Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Dbh.Query_opts.budget in
-  query_with ?budget ?metrics:opts.Dbh.Query_opts.metrics ?trace:opts.Dbh.Query_opts.trace
-    ?scratch:opts.Dbh.Query_opts.scratch t q
+  query_probed ?budget ?metrics:opts.Dbh.Query_opts.metrics
+    ?trace:opts.Dbh.Query_opts.trace ?scratch:opts.Dbh.Query_opts.scratch
+    ~probes:opts.Dbh.Query_opts.probes_per_table
+    ~radius:opts.Dbh.Query_opts.hamming_radius t q
 
 let query ?budget t q = query_with ?budget t q

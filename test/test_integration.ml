@@ -197,6 +197,8 @@ let test_figure5_runner_small () =
       Figure5.targets = [| 0.8; 0.9 |];
       vp_budget_fractions = [| 0.1; 0.5 |];
       builder = small_config;
+      multiprobe_probes = 4;
+      multiprobe_radius = 2;
     }
   in
   let result =
