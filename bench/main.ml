@@ -22,6 +22,7 @@
      storage              (S1)  packed CSR vs list buckets, writes BENCH_storage.json
      multiprobe           (A4)  multi-probe vs plain tables, writes BENCH_multiprobe.json
      replication          (W1)  WAL-shipping follower lag, writes BENCH_replication.json
+     serve                (N1)  network tier goodput across saturation, writes BENCH_serve.json
      micro/*                    Bechamel micro-benchmarks
 
    DBH_BENCH_SCALE=quick shrinks every workload ~4x for smoke runs;
@@ -1699,6 +1700,211 @@ let replication_section () =
       close_out oc;
       Printf.printf "  wrote BENCH_replication.json\n")
 
+(* --------------------------------------------------------------- serve *)
+
+(* N1: the network tier across its saturation point.  First a
+   closed-loop run finds peak goodput; then an open-loop run offers a
+   multiple of that rate.  Admission control must shed the excess with
+   explicit [Overloaded] replies while goodput stays within 80% of peak
+   — "shed, don't collapse" — and a violation fails the run.  Numbers
+   land in BENCH_serve.json. *)
+
+let serve_section () =
+  Report.print_heading "serve (N1): admission-controlled network tier across saturation";
+  let module Binio = Dbh_util.Binio in
+  let module Shards = Dbh_serve.Shards in
+  let module Server = Dbh_serve.Server in
+  let module Admission = Dbh_serve.Admission in
+  let module Loadgen = Dbh_serve.Loadgen in
+  let space = Dbh_metrics.Minkowski.l2_space in
+  let vectors seed n =
+    let db, _ =
+      Dbh_datasets.Vectors.gaussian_mixture ~rng:(Rng.create seed) ~num_clusters:8
+        ~dim:16 n
+    in
+    db
+  in
+  let db = vectors 120 (sc 2000) in
+  let queries = vectors 121 (sc 200) in
+  let encode (v : float array) =
+    let buf = Buffer.create 64 in
+    Binio.write_float_array buf v;
+    Buffer.contents buf
+  in
+  let decode s =
+    let r = Binio.reader s in
+    let v = Binio.read_float_array r in
+    if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes in vector");
+    v
+  in
+  let build =
+    {
+      Dbh.Builder.default_config with
+      num_pivots = sc 40;
+      num_sample_queries = sc 80;
+      db_sample = sc 200;
+    }
+  in
+  let dir = Filename.temp_file "dbh_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm_rf d =
+    if Sys.file_exists d then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat d f in
+          if Sys.is_directory p then rm_rf p else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    end
+  in
+  (* The load generator runs in a forked child so its worker threads
+     never share a runtime (GC, master lock, scheduler) with the server
+     under measurement.  Fork BEFORE any domain is spawned; stages are
+     shipped over pipes as marshalled configs, reports come back the
+     same way. *)
+  let p2c_r, p2c_w = Unix.pipe ~cloexec:false () in
+  let c2p_r, c2p_w = Unix.pipe ~cloexec:false () in
+  let child =
+    match Unix.fork () with
+    | 0 ->
+        Unix.close p2c_w;
+        Unix.close c2p_r;
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let inc = Unix.in_channel_of_descr p2c_r in
+        let outc = Unix.out_channel_of_descr c2p_w in
+        let rec serve_stages () =
+          match (Marshal.from_channel inc : Loadgen.config option) with
+          | None -> exit 0
+          | Some config ->
+              let report = Loadgen.run config in
+              Marshal.to_channel outc report [];
+              flush outc;
+              serve_stages ()
+        in
+        (try serve_stages () with _ -> exit 1)
+    | pid ->
+        Unix.close p2c_r;
+        Unix.close c2p_w;
+        pid
+  in
+  let to_child = Unix.out_channel_of_descr p2c_w in
+  let from_child = Unix.in_channel_of_descr c2p_r in
+  let run_stage config =
+    Marshal.to_channel to_child (Some config) [];
+    flush to_child;
+    (Marshal.from_channel from_child : Loadgen.report)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Marshal.to_channel to_child (None : Loadgen.config option) [];
+         flush to_child
+       with Sys_error _ -> ());
+      (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ());
+      rm_rf dir)
+    (fun () ->
+      let shards, _ =
+        Shards.open_or_create ~fsync:false ~build ~seed:122 ~shards:2
+          ~target_accuracy:0.9 ~space ~encode ~decode ~dir ~data:db ()
+      in
+      let admission =
+        {
+          Admission.default_config with
+          queue_capacity = 16;
+          default_deadline = 1.0;
+          default_class =
+            { Admission.rate = 1_000_000.; burst = 1_000_000.; max_budget = 20_000 };
+        }
+      in
+      (* The shard fan-out runs on its own domains: the loadgen's worker
+         threads live in this process, and without the pool they would
+         contend with the batcher for one runtime lock, measuring the
+         bench instead of the server. *)
+      Dbh_util.Pool.with_pool ~domains:2 @@ fun pool ->
+      let server =
+        Server.start ~pool ~decode { Server.default_config with admission } shards
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let payloads = Array.map encode queries in
+          let duration = if quick then 1.5 else 4.0 in
+          let stage ?(connections = 8) rate =
+            run_stage
+              {
+                Loadgen.host = "127.0.0.1";
+                port = Server.port server;
+                connections;
+                duration;
+                rate;
+                tenants = [];
+                deadline_ms = 1_000;
+                budget = 2_000;
+                probes = 0;
+                radius = 0;
+                payloads;
+                seed = 123;
+              }
+          in
+          let print_stage label (r : Loadgen.report) =
+            Printf.printf
+              "  %-22s %8.0f qps offered, %8.0f qps goodput, %6d shed, %4d timed \
+               out  (p50 %.1f ms, p99 %.1f ms, p99.9 %.1f ms)\n"
+              label r.Loadgen.qps r.Loadgen.goodput_qps r.Loadgen.shed
+              r.Loadgen.timed_out r.Loadgen.p50_ms r.Loadgen.p99_ms r.Loadgen.p999_ms
+          in
+          Printf.printf "  db %d over 2 shards, %d query payloads (L2, dim 16)\n"
+            (Array.length db) (Array.length queries);
+          (* Warm up the JIT-free but cache-cold path, then measure. *)
+          ignore (stage (Some 100.));
+          let peak = stage ~connections:16 None in
+          print_stage "closed-loop peak" peak;
+          let peak_qps = peak.Loadgen.goodput_qps in
+          (* Past saturation the workers must not be latency-bound, or
+             the open loop can never actually offer 3x peak: give the
+             overload stage enough connections to hold its schedule. *)
+          let overload = stage ~connections:32 (Some (3.0 *. peak_qps)) in
+          print_stage "overload (3x peak)" overload;
+          let ratio = overload.Loadgen.goodput_qps /. peak_qps in
+          Printf.printf "  %-22s %8.2f   (gate: >= 0.80)\n" "goodput ratio" ratio;
+          if overload.Loadgen.shed = 0 then
+            Printf.printf
+              "  note: overload run shed nothing — offered load stayed within \
+               capacity\n";
+          if overload.Loadgen.errors > 0 then
+            failwith "serve (N1): transport errors under overload";
+          if ratio < 0.8 then
+            failwith
+              (Printf.sprintf
+                 "serve (N1): goodput collapsed beyond saturation (%.2f of peak)" ratio);
+          let oc = open_out "BENCH_serve.json" in
+          let stage_json label (r : Loadgen.report) =
+            Printf.sprintf
+              "{ \"label\": %S, \"duration_s\": %.3f, \"sent\": %d, \"ok\": %d, \
+               \"shed\": %d, \"timed_out\": %d, \"errors\": %d, \"offered_qps\": %.1f, \
+               \"goodput_qps\": %.1f, \"p50_ms\": %.2f, \"p99_ms\": %.2f, \
+               \"p999_ms\": %.2f }"
+              label r.Loadgen.duration r.Loadgen.sent r.Loadgen.ok r.Loadgen.shed
+              r.Loadgen.timed_out r.Loadgen.errors r.Loadgen.qps r.Loadgen.goodput_qps
+              r.Loadgen.p50_ms r.Loadgen.p99_ms r.Loadgen.p999_ms
+          in
+          Printf.fprintf oc "{\n";
+          Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
+          Printf.fprintf oc
+            "  \"dataset\": { \"db_size\": %d, \"queries\": %d, \"shards\": 2, \
+             \"space\": \"l2-16d\" },\n"
+            (Array.length db) (Array.length queries);
+          Printf.fprintf oc "  \"stages\": [\n    %s,\n    %s\n  ],\n"
+            (stage_json "closed_loop_peak" peak)
+            (stage_json "overload_3x_peak" overload);
+          Printf.fprintf oc "  \"peak_goodput_qps\": %.1f,\n" peak_qps;
+          Printf.fprintf oc "  \"overload_goodput_ratio\": %.3f,\n" ratio;
+          Printf.fprintf oc "  \"goodput_gate_ok\": %b\n" (ratio >= 0.8);
+          Printf.fprintf oc "}\n";
+          close_out oc;
+          Printf.printf "  wrote BENCH_serve.json\n"))
+
 (* ------------------------------------------------- Bechamel micro-benches *)
 
 let micro_benchmarks () =
@@ -1795,6 +2001,7 @@ let sections =
     ("obs", obs_section);
     ("storage", storage_section);
     ("replication", replication_section);
+    ("serve", serve_section);
     ("micro", micro_benchmarks);
   ]
 

@@ -521,12 +521,30 @@ let run_replicate leader_dir follower_dir seed follow verify num_queries =
     in
     ignore (Replica.catch_up r);
     report ();
-    while follow do
-      Unix.sleepf 1.;
-      let shipped = ship () in
-      let applied = Replica.catch_up r in
-      if shipped > 0 || applied > 0 then report ()
-    done;
+    if follow then begin
+      (* Tail until SIGINT/SIGTERM, then shut down cleanly: close the
+         WAL cursor, flush the lag gauges to zero, exit 0 — so process
+         managers see an orderly stop, not a kill. *)
+      let stop = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      let previous =
+        List.map
+          (fun s -> (s, Sys.signal s handler))
+          [ Sys.sigint; Sys.sigterm ]
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun (s, b) -> Sys.set_signal s b) previous)
+        (fun () ->
+          Replica.follow
+            ?ship_from:(if same_dir then None else Some leader_dir)
+            ~interval:1.0
+            ~should_stop:(fun () -> Atomic.get stop)
+            ~on_round:(fun ~shipped ~applied ->
+              if shipped > 0 || applied > 0 then report ())
+            r);
+      Printf.printf "stopped  : follow loop closed cleanly\n%!"
+    end;
     if not verify then 0
     else begin
       (* Twin check: recover the leader's directory the way the leader
@@ -573,6 +591,87 @@ let run_replicate leader_dir follower_dir seed follow verify num_queries =
   | exception Failure msg ->
       Printf.eprintf "dbh-cli: %s\n" msg;
       1
+
+(* ------------------------------------------------------------- loadgen *)
+
+(* Drive a running dbh-serve with the shared generator: synthetic vector
+   payloads matching the durable fixture codec, a weighted tenant mix,
+   open or closed loop.  Prints a summary and the report as one JSON
+   line (also written to --out for the bench/CI artifact). *)
+let run_loadgen host port connections duration rate tenants deadline_ms budget
+    probes radius dim payload_count seed out =
+  let rate = if rate <= 0. then None else Some rate in
+  let tenant_mix =
+    match String.trim tenants with
+    | "" -> []
+    | spec ->
+        List.map
+          (fun part ->
+            match String.index_opt part '=' with
+            | Some i ->
+                ( String.sub part 0 i,
+                  float_of_string (String.sub part (i + 1) (String.length part - i - 1))
+                )
+            | None -> (part, 1.))
+          (String.split_on_char ',' spec)
+  in
+  let rng = Rng.create (seed + 2) in
+  let qs, _ =
+    Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:25 ~dim payload_count
+  in
+  let payloads = Array.map encode_vec qs in
+  match
+    Dbh_serve.Loadgen.run
+      {
+        Dbh_serve.Loadgen.host;
+        port;
+        connections;
+        duration;
+        rate;
+        tenants = tenant_mix;
+        deadline_ms;
+        budget;
+        probes;
+        radius;
+        payloads;
+        seed;
+      }
+  with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "dbh-cli: %s\n" msg;
+      2
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "dbh-cli: cannot reach %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+  | r ->
+      let open Dbh_serve.Loadgen in
+      Printf.printf
+        "sent     : %d in %.2fs (%.1f qps, %d connections, %s loop)\n"
+        r.sent r.duration r.qps connections
+        (match rate with Some _ -> "open" | None -> "closed");
+      Printf.printf "served   : %d (%.1f qps goodput)\n" r.ok r.goodput_qps;
+      Printf.printf "shed     : %d overloaded, %d timed out, %d errors\n" r.shed
+        r.timed_out r.errors;
+      if r.ok > 0 then
+        Printf.printf "latency  : p50 %.2fms  p90 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n"
+          r.p50_ms r.p90_ms r.p99_ms r.p999_ms r.max_ms;
+      List.iter
+        (fun (tenant, sent, ok) ->
+          Printf.printf "tenant   : %-12s sent %6d  served %6d\n"
+            (if tenant = "" then "(anonymous)" else tenant)
+            sent ok)
+        r.per_tenant;
+      let json = report_json r in
+      (match out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc json;
+          output_string oc "\n";
+          close_out oc
+      | None -> ());
+      Printf.printf "%s\n" json;
+      if r.ok > 0 then 0 else 1
 
 let verify_file path =
   let read_all () =
@@ -950,6 +1049,72 @@ let replicate_cmd =
       const run_replicate $ leader_pos_arg $ follower_pos_arg $ seed_arg $ follow_arg
       $ replicate_verify_arg $ queries_arg 50)
 
+let host_arg =
+  let doc = "Server host to connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "Server port." in
+  Arg.(value & opt int 7471 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let connections_arg =
+  let doc = "Concurrent client connections." in
+  Arg.(value & opt int 8 & info [ "c"; "connections" ] ~docv:"N" ~doc)
+
+let duration_arg =
+  let doc = "Seconds to run." in
+  Arg.(value & opt float 5. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let rate_arg =
+  let doc =
+    "Open-loop target QPS across all connections (0 = closed loop: each \
+     connection fires as soon as the previous reply lands)."
+  in
+  Arg.(value & opt float 0. & info [ "rate" ] ~docv:"QPS" ~doc)
+
+let tenants_arg =
+  let doc =
+    "Weighted tenant mix, e.g. $(b,gold=3,free=1).  Empty = anonymous requests \
+     (the server's shared default bucket)."
+  in
+  Arg.(value & opt string "" & info [ "tenants" ] ~docv:"MIX" ~doc)
+
+let deadline_ms_arg =
+  let doc = "Per-request deadline in milliseconds sent to the server (0 = server default)." in
+  Arg.(value & opt int 200 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let probes_arg =
+  let doc = "Probes per table sent with each search (0 = server default)." in
+  Arg.(value & opt int 0 & info [ "probes" ] ~docv:"N" ~doc)
+
+let radius_arg =
+  let doc = "Hamming radius sent with each search (0 = single-probe)." in
+  Arg.(value & opt int 0 & info [ "radius" ] ~docv:"R" ~doc)
+
+let dim_arg =
+  let doc = "Dimensionality of generated query vectors (must match the served index)." in
+  Arg.(value & opt int 16 & info [ "dim" ] ~docv:"D" ~doc)
+
+let payloads_arg =
+  let doc = "Distinct query payloads generated and cycled through." in
+  Arg.(value & opt int 128 & info [ "payloads" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Also write the JSON report to this file." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"PATH" ~doc)
+
+let loadgen_cmd =
+  let doc =
+    "drive a running dbh-serve: open/closed loop, weighted tenant mix, latency \
+     percentiles, JSON report"
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run_loadgen $ host_arg $ port_arg $ connections_arg $ duration_arg
+      $ rate_arg $ tenants_arg $ deadline_ms_arg $ budget_arg $ probes_arg
+      $ radius_arg $ dim_arg $ payloads_arg $ seed_arg $ out_arg)
+
 let persist_cmd =
   let doc = "run a durable index in a directory: journaled updates, crash-safe close" in
   Cmd.v
@@ -982,6 +1147,7 @@ let main_cmd =
     [
       demo_cmd; experiment_cmd; tune_cmd; render_cmd; health_cmd; stress_cmd; trace_cmd;
       persist_cmd; checkpoint_cmd; verify_cmd; index_stats_cmd; replicate_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -50,6 +50,7 @@ type 'a t = {
   mutable reopens : int;
   mutable attempt : int;  (* consecutive unproductive polls *)
   mutable promoted : bool;
+  mutable closed : bool;
   mutable last_error : string option;
   (* Fired between a WAL read and the decision taken on it — lets the
      chaos tests interleave a leader append+checkpoint at exactly the
@@ -70,7 +71,8 @@ let set_gauge pick v =
   | Some m -> Dbh_obs.Registry.set (pick m) v
 
 let ensure_follower t =
-  if t.promoted then invalid_arg "Replica: already promoted to leader"
+  if t.promoted then invalid_arg "Replica: already promoted to leader";
+  if t.closed then invalid_arg "Replica: closed"
 
 (* ------------------------------------------------------------- loading *)
 
@@ -219,7 +221,7 @@ let rec drain t ~reopened =
 (* Records visible on disk past the cursor, without applying anything —
    the instantaneous replication lag. *)
 let lag_records t =
-  if t.promoted then 0
+  if t.promoted || t.closed then 0
   else begin
     let rec count gen from acc =
       let path = wal_path t gen in
@@ -239,7 +241,7 @@ let lag_records t =
 (* Staleness in seconds: age of the newest leader WAL write we have not
    applied.  0 when caught up. *)
 let lag_seconds t =
-  if t.promoted || lag_records t = 0 then 0.
+  if t.promoted || t.closed || lag_records t = 0 then 0.
   else begin
     let newest =
       List.fold_left
@@ -273,8 +275,9 @@ let poll t =
 
 let backoff t = Retry.backoff ~rng:t.jitter_rng t.retry ~attempt:(max 1 t.attempt)
 
-let catch_up ?(stall_limit = 8) t =
+let catch_up ?(stall_limit = 8) ?deadline t =
   ensure_follower t;
+  let started = Unix.gettimeofday () in
   let total = ref 0 in
   let stalled = ref 0 in
   let continue = ref true in
@@ -285,7 +288,22 @@ let catch_up ?(stall_limit = 8) t =
     else begin
       if n = 0 then incr stalled else stalled := 0;
       if !stalled >= stall_limit then continue := false
-      else Unix.sleepf (backoff t)
+      else begin
+        (* Under a caller deadline the backoff ladder is capped so the
+           whole catch-up never exceeds the time budget: the last sleep
+           is clamped to the remaining window, and a spent budget stops
+           the loop with the lag still unapplied (see [status]). *)
+        match deadline with
+        | None -> Unix.sleepf (backoff t)
+        | Some deadline -> (
+            let elapsed = Unix.gettimeofday () -. started in
+            match
+              Retry.backoff_within ~rng:t.jitter_rng ~deadline ~elapsed t.retry
+                ~attempt:(max 1 t.attempt)
+            with
+            | None -> continue := false
+            | Some d -> Unix.sleepf d)
+      end
     end
   done;
   ignore (lag_seconds t);
@@ -341,6 +359,7 @@ let open_ ?pool ?config ?rebuild_factor ?(retry = Retry.default) ?(jitter_seed =
     reopens = 0;
     attempt = 0;
     promoted = false;
+    closed = false;
     last_error = None;
     after_read_for_testing = None;
   }
@@ -471,3 +490,43 @@ let ship ~src ~dst () =
           end)
     (Layout.wal_generations ~dir:src);
   !copied
+
+(* ----------------------------------------------------- follow & close *)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (* The cursor state is dropped with the handle; flush the lag gauges
+       so a scraper never keeps reading stale lag from a dead follower. *)
+    set_gauge (fun m -> m.Dbh_obs.Metrics.replica_lag_records) 0;
+    set_gauge (fun m -> m.Dbh_obs.Metrics.replica_lag_seconds) 0
+  end
+
+let closed t = t.closed
+
+(* The tail-forever loop `dbh-cli replicate --follow` runs, factored
+   here so a signal-driven shutdown can be regression-tested without a
+   subprocess: [should_stop] is polled between small sleep slices (a
+   SIGINT/SIGTERM handler flips an atomic), and returning — instead of
+   dying mid-poll — closes the replica and flushes its gauges. *)
+let follow ?ship_from ?(interval = 1.0) ?(should_stop = fun () -> false)
+    ?(on_round = fun ~shipped:_ ~applied:_ -> ()) t =
+  ensure_follower t;
+  let sleep_slice = 0.05 in
+  let sleep_interruptible total =
+    let remaining = ref total in
+    while !remaining > 0. && not (should_stop ()) do
+      let step = Float.min sleep_slice !remaining in
+      (try Unix.sleepf step with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      remaining := !remaining -. step
+    done
+  in
+  while not (should_stop ()) do
+    let shipped =
+      match ship_from with None -> 0 | Some src -> ship ~src ~dst:t.dir ()
+    in
+    let applied = poll t in
+    on_round ~shipped ~applied;
+    if not (should_stop ()) then sleep_interruptible interval
+  done;
+  close t

@@ -70,13 +70,16 @@ val poll : 'a t -> int
     Returns the number of records applied; never sleeps.  Raises
     [Invalid_argument] after {!promote}. *)
 
-val catch_up : ?stall_limit:int -> 'a t -> int
+val catch_up : ?stall_limit:int -> ?deadline:float -> 'a t -> int
 (** {!poll} in a loop until no visible lag remains, sleeping a jittered
     exponential backoff between unproductive polls.  Gives up after
     [stall_limit] (default 8) consecutive unproductive polls — e.g. a
     dead leader behind a permanently torn tail — leaving the survivors
-    applied; check {!status} for remaining lag.  Returns total records
-    applied. *)
+    applied; check {!status} for remaining lag.  [deadline] caps the
+    whole catch-up in seconds ({!Dbh_util.Retry.backoff_within}): the
+    backoff ladder is clamped to the remaining budget and the loop
+    stops once it is spent, however much lag remains.  Returns total
+    records applied. *)
 
 val lag_records : 'a t -> int
 (** Valid records visible on disk past the cursor right now, without
@@ -123,6 +126,31 @@ val promote :
     them over the new timeline.  The replica itself becomes inert:
     {!poll}/{!catch_up}/[promote] raise afterwards; use the returned
     {!Dbh.Online.Durable.t} (which shares the live index) instead. *)
+
+(** {1 Following} *)
+
+val follow :
+  ?ship_from:string ->
+  ?interval:float ->
+  ?should_stop:(unit -> bool) ->
+  ?on_round:(shipped:int -> applied:int -> unit) ->
+  'a t ->
+  unit
+(** Tail forever: every [interval] (default 1s) seconds, optionally
+    {!ship} from [ship_from] into the replica's directory, then {!poll},
+    then report the round to [on_round].  [should_stop] is polled
+    between 50ms sleep slices and before every round, so a signal
+    handler that flips an atomic stops the loop promptly; on exit the
+    replica is {!close}d — WAL cursors dropped, lag gauges flushed —
+    instead of dying mid-poll.  Raises like {!poll} on corrupt state. *)
+
+val close : 'a t -> unit
+(** Drop the WAL cursor state and flush the lag gauges to 0; the replica
+    becomes inert ({!poll}/{!catch_up}/{!follow}/{!promote} raise
+    [Invalid_argument] afterwards).  Reads keep working on whatever was
+    applied.  Idempotent. *)
+
+val closed : 'a t -> bool
 
 (** {1 Test hooks} *)
 

@@ -249,3 +249,9 @@ let search ?(opts = Dbh.Query_opts.default) t q =
     ~radius:opts.Dbh.Query_opts.hamming_radius t q
 
 let query ?budget t q = query_with ?budget t q
+
+let search_batch ?opts t qs =
+  (* Sequential on purpose: every query may advance the breaker's state
+     machine, and transitions must observe queries in order — the
+     outcome sequence is identical to calling {search} in a loop. *)
+  Array.map (fun q -> search ?opts t q) qs

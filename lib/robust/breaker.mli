@@ -91,3 +91,10 @@ val fallback_queries : 'a t -> int
 (** Queries served by the exact linear scan. *)
 
 val pp_state : Format.formatter -> state -> unit
+
+val search_batch : ?opts:Dbh.Query_opts.t -> 'a t -> 'a array -> 'a outcome array
+(** One {!search} per element, in input order, sharing the breaker's
+    state machine: outcome [i] reflects transitions caused by queries
+    [0..i-1], exactly as a hand-written loop over {!search} would.
+    Deliberately sequential ([opts.pool] is ignored): the breaker is a
+    stateful health monitor, not a data-parallel kernel. *)

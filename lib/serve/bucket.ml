@@ -1,0 +1,34 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable level : float;
+  mutable last : float;  (* clock of the last refill *)
+}
+
+let create ~rate ~burst ~now =
+  if rate <= 0. || Float.is_nan rate then invalid_arg "Bucket.create: rate must be > 0";
+  if burst < 1. || Float.is_nan burst then invalid_arg "Bucket.create: burst must be >= 1";
+  { rate; burst; level = burst; last = now }
+
+let refill t ~now =
+  (* A clock that jumped backwards must not mint tokens or freeze the
+     bucket: clamp the elapsed time at zero and adopt the new clock. *)
+  let elapsed = Float.max 0. (now -. t.last) in
+  t.level <- Float.min t.burst (t.level +. (elapsed *. t.rate));
+  t.last <- now
+
+let try_take ?(cost = 1.) t ~now =
+  refill t ~now;
+  if t.level >= cost then begin
+    t.level <- t.level -. cost;
+    true
+  end
+  else false
+
+let tokens t ~now =
+  refill t ~now;
+  t.level
+
+let seconds_until ?(cost = 1.) t ~now =
+  refill t ~now;
+  if t.level >= cost then 0. else (cost -. t.level) /. t.rate

@@ -1,0 +1,24 @@
+(** Token bucket for per-tenant admission.
+
+    Pure arithmetic over an explicit clock — the caller passes [now], so
+    admission decisions are deterministic under test and need no
+    background refill thread.  Not thread-safe on its own: the admission
+    layer serializes access under its queue lock. *)
+
+type t
+
+val create : rate:float -> burst:float -> now:float -> t
+(** [rate] tokens accrue per second up to [burst] in reserve; the bucket
+    starts full.  Raises [Invalid_argument] unless [rate > 0] and
+    [burst >= 1]. *)
+
+val try_take : ?cost:float -> t -> now:float -> bool
+(** Refill to [now], then take [cost] (default 1) tokens if available.
+    False = shed. *)
+
+val tokens : t -> now:float -> float
+(** Current reserve after refilling to [now]. *)
+
+val seconds_until : ?cost:float -> t -> now:float -> float
+(** Time until [cost] tokens will be available — the honest
+    [retry_after] for an [Overloaded] reply.  0 when available now. *)

@@ -1,0 +1,66 @@
+(** Blocking client for the [dbh-serve] wire protocol — used by the CLI,
+    the load generator and the test suites.
+
+    One connection, synchronous by default ({!request} = send + wait for
+    the matching correlation id), with the pipelined primitives
+    ({!send}/{!recv}) exposed for tests that interleave.  Also exposes
+    {!send_raw} and {!fd} so chaos tests can write torn, truncated or
+    bit-flipped bytes on a real connection. *)
+
+type t
+
+val connect :
+  ?timeout:float ->
+  ?retry:Dbh_util.Retry.policy ->
+  ?deadline:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  t
+(** TCP connect.  [timeout] (default 10 s) is the per-reply receive
+    window.  When [deadline] (seconds of connect budget) is given,
+    refused connections are retried under [retry] (default
+    {!Dbh_util.Retry.default}) with {!Dbh_util.Retry.backoff_within}
+    capping every sleep to the remaining budget — so a client racing a
+    server's bind never waits past its deadline.  Raises the last
+    [Unix.Unix_error] when the budget runs out. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send and wait for the reply with the matching id (out-of-order
+    replies for other ids are parked, not lost).  Raises [End_of_file]
+    when the server closes mid-reply and [Failure] on framing errors. *)
+
+val ping : t -> bool
+(** [request Ping] returned [Pong]; false on connection failure. *)
+
+val search :
+  ?tenant:string ->
+  ?deadline_ms:int ->
+  ?budget:int ->
+  ?probes:int ->
+  ?radius:int ->
+  t ->
+  payload:string ->
+  Protocol.response
+
+val insert : ?tenant:string -> ?deadline_ms:int -> t -> payload:string -> Protocol.response
+val delete : ?tenant:string -> ?deadline_ms:int -> t -> handle:int -> Protocol.response
+val stats : t -> Protocol.response
+
+(** {1 Pipelining} *)
+
+val send : t -> Protocol.request -> int64
+(** Write one request frame, returning its correlation id. *)
+
+val recv : t -> int64 * Protocol.response
+(** Next reply off the wire (or parked), in arrival order. *)
+
+(** {1 Chaos hooks} *)
+
+val send_raw : t -> string -> unit
+(** Write raw bytes as-is. *)
+
+val fd : t -> Unix.file_descr
+val next_id : t -> int64  (** the id {!send} would use next *)
+
+val close : t -> unit  (** idempotent *)

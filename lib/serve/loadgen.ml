@@ -1,0 +1,224 @@
+module Rng = Dbh_util.Rng
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  duration : float;
+  rate : float option;
+  tenants : (string * float) list;
+  deadline_ms : int;
+  budget : int;
+  probes : int;
+  radius : int;
+  payloads : string array;
+  seed : int;
+}
+
+type report = {
+  duration : float;
+  sent : int;
+  ok : int;
+  shed : int;
+  timed_out : int;
+  errors : int;
+  qps : float;
+  goodput_qps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+  per_tenant : (string * int * int) list;
+}
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then Float.nan
+  else begin
+    let s = Array.copy samples in
+    Array.sort compare s;
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    s.(max 0 (min (n - 1) i))
+  end
+
+type worker = {
+  mutable w_sent : int;
+  mutable w_ok : int;
+  mutable w_shed : int;
+  mutable w_timed_out : int;
+  mutable w_errors : int;
+  latencies : float list ref;  (* Result replies, seconds *)
+  by_tenant : (string, int * int) Hashtbl.t;
+}
+
+let pick_tenant rng tenants total_weight =
+  if tenants = [] then ""
+  else begin
+    let r = float_of_int (Rng.int rng 1_000_000) /. 1_000_000. *. total_weight in
+    let rec walk acc = function
+      | [] -> fst (List.hd tenants)
+      | (name, w) :: rest ->
+          let acc = acc +. w in
+          if r < acc then name else walk acc rest
+    in
+    walk 0. tenants
+  end
+
+let run config =
+  if config.connections < 1 then invalid_arg "Loadgen: connections must be >= 1";
+  if config.duration <= 0. then invalid_arg "Loadgen: duration must be > 0";
+  if Array.length config.payloads = 0 then invalid_arg "Loadgen: no payloads";
+  List.iter
+    (fun (_, w) ->
+      if w <= 0. || Float.is_nan w then
+        invalid_arg "Loadgen: tenant weights must be positive")
+    config.tenants;
+  let total_weight = List.fold_left (fun a (_, w) -> a +. w) 0. config.tenants in
+  let per_conn_interval =
+    Option.map (fun r -> float_of_int config.connections /. r) config.rate
+  in
+  let started = Unix.gettimeofday () in
+  let t_end = started +. config.duration in
+  let workers =
+    Array.init config.connections (fun _ ->
+        {
+          w_sent = 0;
+          w_ok = 0;
+          w_shed = 0;
+          w_timed_out = 0;
+          w_errors = 0;
+          latencies = ref [];
+          by_tenant = Hashtbl.create 8;
+        })
+  in
+  let body i w () =
+    let rng = Rng.create (config.seed + (i * 7919)) in
+    match
+      Client.connect ~host:config.host ~port:config.port
+        ~deadline:(Float.min 5. config.duration) ()
+    with
+    | exception _ -> w.w_errors <- w.w_errors + 1
+    | client ->
+        let payload_at = ref (Rng.int rng (Array.length config.payloads)) in
+        let tick = ref 0 in
+        (try
+           let continue = ref true in
+           while !continue do
+             let now = Unix.gettimeofday () in
+             if now >= t_end then continue := false
+             else begin
+               (match per_conn_interval with
+               | Some interval ->
+                   (* Open loop: hold the arrival schedule; when behind,
+                      fire immediately rather than compressing future
+                      ticks (no catching up in bursts). *)
+                   let due = started +. (float_of_int !tick *. interval) in
+                   incr tick;
+                   if due > now then Unix.sleepf (Float.min (due -. now) (t_end -. now))
+               | None -> ());
+               if Unix.gettimeofday () < t_end then begin
+                 let tenant = pick_tenant rng config.tenants total_weight in
+                 let payload =
+                   config.payloads.(!payload_at mod Array.length config.payloads)
+                 in
+                 incr payload_at;
+                 let t0 = Unix.gettimeofday () in
+                 w.w_sent <- w.w_sent + 1;
+                 let s, o = try Hashtbl.find w.by_tenant tenant with Not_found -> (0, 0) in
+                 (match
+                    Client.search ~tenant ~deadline_ms:config.deadline_ms
+                      ~budget:config.budget ~probes:config.probes
+                      ~radius:config.radius client ~payload
+                  with
+                 | Protocol.Result _ ->
+                     w.w_ok <- w.w_ok + 1;
+                     Hashtbl.replace w.by_tenant tenant (s + 1, o + 1);
+                     w.latencies := (Unix.gettimeofday () -. t0) :: !(w.latencies)
+                 | Protocol.Overloaded _ ->
+                     w.w_shed <- w.w_shed + 1;
+                     Hashtbl.replace w.by_tenant tenant (s + 1, o)
+                 | Protocol.Timed_out ->
+                     w.w_timed_out <- w.w_timed_out + 1;
+                     Hashtbl.replace w.by_tenant tenant (s + 1, o)
+                 | _ ->
+                     w.w_errors <- w.w_errors + 1;
+                     Hashtbl.replace w.by_tenant tenant (s + 1, o)
+                 | exception _ ->
+                     w.w_errors <- w.w_errors + 1;
+                     Hashtbl.replace w.by_tenant tenant (s + 1, o);
+                     continue := false)
+               end
+             end
+           done
+         with _ -> w.w_errors <- w.w_errors + 1);
+        Client.close client
+  in
+  let threads =
+    Array.to_list (Array.mapi (fun i w -> Thread.create (body i w) ()) workers)
+  in
+  List.iter Thread.join threads;
+  let duration = Unix.gettimeofday () -. started in
+  let sum f = Array.fold_left (fun a w -> a + f w) 0 workers in
+  let sent = sum (fun w -> w.w_sent)
+  and ok = sum (fun w -> w.w_ok)
+  and shed = sum (fun w -> w.w_shed)
+  and timed_out = sum (fun w -> w.w_timed_out)
+  and errors = sum (fun w -> w.w_errors) in
+  let latencies =
+    Array.of_list
+      (Array.fold_left (fun acc w -> List.rev_append !(w.latencies) acc) [] workers)
+  in
+  let ms p = percentile latencies p *. 1000. in
+  let per_tenant =
+    let merged = Hashtbl.create 8 in
+    Array.iter
+      (fun w ->
+        Hashtbl.iter
+          (fun tenant (s, o) ->
+            let s0, o0 = try Hashtbl.find merged tenant with Not_found -> (0, 0) in
+            Hashtbl.replace merged tenant (s0 + s, o0 + o))
+          w.by_tenant)
+      workers;
+    List.sort compare
+      (Hashtbl.fold (fun tenant (s, o) acc -> (tenant, s, o) :: acc) merged [])
+  in
+  {
+    duration;
+    sent;
+    ok;
+    shed;
+    timed_out;
+    errors;
+    qps = float_of_int sent /. duration;
+    goodput_qps = float_of_int ok /. duration;
+    p50_ms = ms 0.5;
+    p90_ms = ms 0.9;
+    p99_ms = ms 0.99;
+    p999_ms = ms 0.999;
+    max_ms =
+      (if Array.length latencies = 0 then Float.nan
+       else Array.fold_left Float.max neg_infinity latencies *. 1000.);
+    per_tenant;
+  }
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.3f" f
+
+let report_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"duration\":%.3f,\"sent\":%d,\"ok\":%d,\"shed\":%d,\"timed_out\":%d,\
+        \"errors\":%d,\"qps\":%.1f,\"goodput_qps\":%.1f,\"p50_ms\":%s,\
+        \"p90_ms\":%s,\"p99_ms\":%s,\"p999_ms\":%s,\"max_ms\":%s,\"per_tenant\":["
+       r.duration r.sent r.ok r.shed r.timed_out r.errors r.qps r.goodput_qps
+       (json_float r.p50_ms) (json_float r.p90_ms) (json_float r.p99_ms)
+       (json_float r.p999_ms) (json_float r.max_ms));
+  List.iteri
+    (fun i (tenant, s, o) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"tenant\":%S,\"sent\":%d,\"ok\":%d}" tenant s o))
+    r.per_tenant;
+  Buffer.add_string b "]}";
+  Buffer.contents b

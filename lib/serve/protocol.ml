@@ -1,0 +1,302 @@
+(* Binary wire framing for dbh-serve.
+
+   Reuses the persistence layer's primitives — Crc32 for the frame
+   checksum, Binio for payload bodies — so the server's corruption
+   detection is the same machinery the snapshot chaos tests already
+   hammer.  Decoding is total: any byte string yields `Need_more,
+   `Corrupt or a verified frame, never an exception. *)
+
+module Binio = Dbh_util.Binio
+module Crc32 = Dbh_util.Crc32
+
+let magic = "DBHS"
+let header_bytes = 17 (* magic 4 + kind 1 + id 8 + length 4 *)
+let overhead_bytes = header_bytes + 4
+let default_max_payload = 1 lsl 20
+
+type request =
+  | Ping
+  | Search of {
+      tenant : string;
+      deadline_ms : int;
+      budget : int;
+      probes : int;
+      radius : int;
+      payload : string;
+    }
+  | Insert of { tenant : string; deadline_ms : int; payload : string }
+  | Delete of { tenant : string; deadline_ms : int; handle : int }
+  | Stats
+
+type response =
+  | Pong
+  | Result of { found : bool; handle : int; dist : float; cost : int; truncated : bool }
+  | Inserted of { handle : int }
+  | Deleted
+  | Stats_reply of string
+  | Overloaded of { retry_after_ms : int }
+  | Bad_request of string
+  | Timed_out
+  | Server_error of string
+
+let equal_request (a : request) (b : request) = a = b
+let equal_response (a : response) (b : response) = a = b
+
+let pp_request ppf = function
+  | Ping -> Format.fprintf ppf "Ping"
+  | Search { tenant; deadline_ms; budget; probes; radius; payload } ->
+      Format.fprintf ppf
+        "Search{tenant=%S; deadline_ms=%d; budget=%d; probes=%d; radius=%d; %d payload \
+         bytes}"
+        tenant deadline_ms budget probes radius (String.length payload)
+  | Insert { tenant; deadline_ms; payload } ->
+      Format.fprintf ppf "Insert{tenant=%S; deadline_ms=%d; %d payload bytes}" tenant
+        deadline_ms (String.length payload)
+  | Delete { tenant; deadline_ms; handle } ->
+      Format.fprintf ppf "Delete{tenant=%S; deadline_ms=%d; handle=%d}" tenant deadline_ms
+        handle
+  | Stats -> Format.fprintf ppf "Stats"
+
+let pp_response ppf = function
+  | Pong -> Format.fprintf ppf "Pong"
+  | Result { found; handle; dist; cost; truncated } ->
+      Format.fprintf ppf "Result{found=%b; handle=%d; dist=%g; cost=%d; truncated=%b}"
+        found handle dist cost truncated
+  | Inserted { handle } -> Format.fprintf ppf "Inserted{handle=%d}" handle
+  | Deleted -> Format.fprintf ppf "Deleted"
+  | Stats_reply s -> Format.fprintf ppf "Stats_reply(%d bytes)" (String.length s)
+  | Overloaded { retry_after_ms } ->
+      Format.fprintf ppf "Overloaded{retry_after_ms=%d}" retry_after_ms
+  | Bad_request msg -> Format.fprintf ppf "Bad_request(%S)" msg
+  | Timed_out -> Format.fprintf ppf "Timed_out"
+  | Server_error msg -> Format.fprintf ppf "Server_error(%S)" msg
+
+(* ------------------------------------------------------------- kinds *)
+
+let kind_ping = 0x01
+let kind_search = 0x02
+let kind_insert = 0x03
+let kind_delete = 0x04
+let kind_stats = 0x05
+let kind_pong = 0x11
+let kind_result = 0x12
+let kind_inserted = 0x13
+let kind_deleted = 0x14
+let kind_stats_reply = 0x15
+let kind_overloaded = 0x21
+let kind_bad_request = 0x22
+let kind_timed_out = 0x23
+let kind_server_error = 0x24
+
+(* ---------------------------------------------------- payload bodies *)
+
+(* Tenant names are bounded so a hostile client cannot smuggle a huge
+   allocation through an otherwise small frame. *)
+let max_tenant_bytes = 256
+
+let body_of_request = function
+  | Ping -> (kind_ping, "")
+  | Search { tenant; deadline_ms; budget; probes; radius; payload } ->
+      let buf = Buffer.create (String.length payload + 64) in
+      Binio.write_string buf tenant;
+      Binio.write_int buf deadline_ms;
+      Binio.write_int buf budget;
+      Binio.write_int buf probes;
+      Binio.write_int buf radius;
+      Binio.write_string buf payload;
+      (kind_search, Buffer.contents buf)
+  | Insert { tenant; deadline_ms; payload } ->
+      let buf = Buffer.create (String.length payload + 32) in
+      Binio.write_string buf tenant;
+      Binio.write_int buf deadline_ms;
+      Binio.write_string buf payload;
+      (kind_insert, Buffer.contents buf)
+  | Delete { tenant; deadline_ms; handle } ->
+      let buf = Buffer.create 32 in
+      Binio.write_string buf tenant;
+      Binio.write_int buf deadline_ms;
+      Binio.write_int buf handle;
+      (kind_delete, Buffer.contents buf)
+  | Stats -> (kind_stats, "")
+
+let body_of_response = function
+  | Pong -> (kind_pong, "")
+  | Result { found; handle; dist; cost; truncated } ->
+      let buf = Buffer.create 40 in
+      Binio.write_int buf (if found then 1 else 0);
+      Binio.write_int buf handle;
+      Binio.write_float buf dist;
+      Binio.write_int buf cost;
+      Binio.write_int buf (if truncated then 1 else 0);
+      (kind_result, Buffer.contents buf)
+  | Inserted { handle } ->
+      let buf = Buffer.create 8 in
+      Binio.write_int buf handle;
+      (kind_inserted, Buffer.contents buf)
+  | Deleted -> (kind_deleted, "")
+  | Stats_reply s ->
+      let buf = Buffer.create (String.length s + 8) in
+      Binio.write_string buf s;
+      (kind_stats_reply, Buffer.contents buf)
+  | Overloaded { retry_after_ms } ->
+      let buf = Buffer.create 8 in
+      Binio.write_int buf retry_after_ms;
+      (kind_overloaded, Buffer.contents buf)
+  | Bad_request msg ->
+      let buf = Buffer.create (String.length msg + 8) in
+      Binio.write_string buf msg;
+      (kind_bad_request, Buffer.contents buf)
+  | Timed_out -> (kind_timed_out, "")
+  | Server_error msg ->
+      let buf = Buffer.create (String.length msg + 8) in
+      Binio.write_string buf msg;
+      (kind_server_error, Buffer.contents buf)
+
+(* Body parsers run under Binio's reader, which raises Corrupt on any
+   truncation or impossible length — caught at the [of_frame] boundary
+   and converted into a per-request error, never an exception. *)
+
+let read_tenant r =
+  let tenant = Binio.read_string r in
+  if String.length tenant > max_tenant_bytes then
+    raise (Binio.Corrupt "tenant name too long");
+  tenant
+
+let finish r v =
+  if not (Binio.at_end r) then raise (Binio.Corrupt "trailing bytes in body");
+  v
+
+let non_negative what n = if n < 0 then raise (Binio.Corrupt (what ^ " negative")) else n
+
+let request_of_body kind body =
+  let r = Binio.reader body in
+  if kind = kind_ping then finish r Ping
+  else if kind = kind_search then begin
+    let tenant = read_tenant r in
+    let deadline_ms = non_negative "deadline_ms" (Binio.read_int r) in
+    let budget = non_negative "budget" (Binio.read_int r) in
+    let probes = non_negative "probes" (Binio.read_int r) in
+    let radius = non_negative "radius" (Binio.read_int r) in
+    let payload = Binio.read_string r in
+    finish r (Search { tenant; deadline_ms; budget; probes; radius; payload })
+  end
+  else if kind = kind_insert then begin
+    let tenant = read_tenant r in
+    let deadline_ms = non_negative "deadline_ms" (Binio.read_int r) in
+    let payload = Binio.read_string r in
+    finish r (Insert { tenant; deadline_ms; payload })
+  end
+  else if kind = kind_delete then begin
+    let tenant = read_tenant r in
+    let deadline_ms = non_negative "deadline_ms" (Binio.read_int r) in
+    let handle = non_negative "handle" (Binio.read_int r) in
+    finish r (Delete { tenant; deadline_ms; handle })
+  end
+  else if kind = kind_stats then finish r Stats
+  else raise (Binio.Corrupt (Printf.sprintf "unknown request kind 0x%02x" kind))
+
+let response_of_body kind body =
+  let r = Binio.reader body in
+  if kind = kind_pong then finish r Pong
+  else if kind = kind_result then begin
+    let found = Binio.read_int r <> 0 in
+    let handle = Binio.read_int r in
+    let dist = Binio.read_float r in
+    let cost = non_negative "cost" (Binio.read_int r) in
+    let truncated = Binio.read_int r <> 0 in
+    finish r (Result { found; handle; dist; cost; truncated })
+  end
+  else if kind = kind_inserted then begin
+    let handle = non_negative "handle" (Binio.read_int r) in
+    finish r (Inserted { handle })
+  end
+  else if kind = kind_deleted then finish r Deleted
+  else if kind = kind_stats_reply then finish r (Stats_reply (Binio.read_string r))
+  else if kind = kind_overloaded then begin
+    let retry_after_ms = non_negative "retry_after_ms" (Binio.read_int r) in
+    finish r (Overloaded { retry_after_ms })
+  end
+  else if kind = kind_bad_request then finish r (Bad_request (Binio.read_string r))
+  else if kind = kind_timed_out then finish r Timed_out
+  else if kind = kind_server_error then finish r (Server_error (Binio.read_string r))
+  else raise (Binio.Corrupt (Printf.sprintf "unknown response kind 0x%02x" kind))
+
+(* ------------------------------------------------------------ framing *)
+
+let encode_frame ~kind ~id body =
+  let len = String.length body in
+  let b = Bytes.create (overhead_bytes + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr (kind land 0xff));
+  Bytes.set_int64_le b 5 id;
+  Bytes.set_int32_le b 13 (Int32.of_int len);
+  Bytes.blit_string body 0 b header_bytes len;
+  let s = Bytes.unsafe_to_string b in
+  (* CRC over kind..payload; the trailer slot is still zero here, which
+     is fine because the checksum stops before it. *)
+  let crc = Crc32.sub s ~pos:4 ~len:(header_bytes - 4 + len) in
+  Bytes.set_int32_le b (header_bytes + len) (Int32.of_int crc);
+  Bytes.unsafe_to_string b
+
+let encode_request ~id req =
+  let kind, body = body_of_request req in
+  encode_frame ~kind ~id body
+
+let encode_response ~id resp =
+  let kind, body = body_of_response resp in
+  encode_frame ~kind ~id body
+
+type frame = { kind : int; id : int64; payload : string }
+
+let decode_frame ?(max_payload = default_max_payload) buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    `Corrupt "decode window out of bounds"
+  else begin
+    (* Check whatever prefix of the magic is visible first, so garbage
+       streams die immediately instead of stalling on `Need_more. *)
+    let magic_visible = min len 4 in
+    let magic_ok = ref true in
+    for i = 0 to magic_visible - 1 do
+      if Bytes.get buf (off + i) <> magic.[i] then magic_ok := false
+    done;
+    if not !magic_ok then `Corrupt "bad magic"
+    else if len < header_bytes then `Need_more
+    else begin
+      let plen = Int32.to_int (Bytes.get_int32_le buf (off + 13)) land 0xffffffff in
+      if plen > max_payload then
+        `Corrupt (Printf.sprintf "declared payload %d exceeds limit %d" plen max_payload)
+      else begin
+        let total = overhead_bytes + plen in
+        if len < total then `Need_more
+        else begin
+          let crc_stored =
+            Int32.to_int (Bytes.get_int32_le buf (off + header_bytes + plen))
+            land 0xffffffff
+          in
+          let crc =
+            Crc32.sub
+              (Bytes.unsafe_to_string buf)
+              ~pos:(off + 4)
+              ~len:(header_bytes - 4 + plen)
+          in
+          if crc <> crc_stored then `Corrupt "frame checksum mismatch"
+          else begin
+            let kind = Char.code (Bytes.get buf (off + 4)) in
+            let id = Bytes.get_int64_le buf (off + 5) in
+            let payload = Bytes.sub_string buf (off + header_bytes) plen in
+            `Frame ({ kind; id; payload }, total)
+          end
+        end
+      end
+    end
+  end
+
+let request_of_frame f =
+  match request_of_body f.kind f.payload with
+  | req -> Ok req
+  | exception Binio.Corrupt msg -> Error msg
+
+let response_of_frame f =
+  match response_of_body f.kind f.payload with
+  | resp -> Ok resp
+  | exception Binio.Corrupt msg -> Error msg

@@ -1,0 +1,63 @@
+module Registry = Dbh_obs.Registry
+
+type t = {
+  registry : Registry.t;
+  connections_total : Registry.counter;
+  connections_open : Registry.gauge;
+  connections_killed_total : Registry.counter;
+  requests_total : Registry.counter;
+  accepted_total : Registry.counter;
+  shed_rate_total : Registry.counter;
+  shed_queue_total : Registry.counter;
+  shed_drain_total : Registry.counter;
+  timed_out_total : Registry.counter;
+  bad_frames_total : Registry.counter;
+  bad_requests_total : Registry.counter;
+  queue_depth : Registry.gauge;
+  batches_total : Registry.counter;
+  batch_size : Registry.histogram;
+  request_seconds : Registry.histogram;
+  draining : Registry.gauge;
+  tenant_tokens : (string * Registry.gauge) list;
+}
+
+let on registry ~tenants =
+  let c name help = Registry.counter registry ~help ("dbh_serve_" ^ name) in
+  let g name help = Registry.gauge registry ~help ("dbh_serve_" ^ name) in
+  let tenant_names =
+    (* "default" is the shared bucket of every unconfigured tenant. *)
+    List.filter (fun n -> n <> "default") tenants @ [ "default" ]
+  in
+  {
+    registry;
+    connections_total = c "connections_total" "connections ever accepted";
+    connections_open = g "connections_open" "connections currently open";
+    connections_killed_total =
+      c "connections_killed_total"
+        "connections killed for idling, slow frames, oversize frames or corrupt streams";
+    requests_total = c "requests_total" "request frames decoded";
+    accepted_total = c "accepted_total" "requests admitted into the work queue";
+    shed_rate_total = c "shed_rate_total" "requests shed by a tenant token bucket";
+    shed_queue_total = c "shed_queue_total" "requests shed because the queue was full";
+    shed_drain_total = c "shed_drain_total" "requests shed during graceful drain";
+    timed_out_total = c "timed_out_total" "requests whose deadline expired before execution";
+    bad_frames_total = c "bad_frames_total" "unrecoverable framing errors (connection closed)";
+    bad_requests_total = c "bad_requests_total" "well-framed requests that failed to parse";
+    queue_depth = g "queue_depth" "admitted requests waiting for a worker";
+    batches_total = c "batches_total" "micro-batches executed";
+    batch_size =
+      Registry.histogram registry ~help:"requests per micro-batch"
+        ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+        "dbh_serve_batch_size";
+    request_seconds =
+      Registry.histogram registry ~help:"admission to reply-written latency"
+        "dbh_serve_request_seconds";
+    draining = g "draining" "1 while gracefully draining";
+    tenant_tokens =
+      List.map
+        (fun n ->
+          ( n,
+            Registry.gauge registry ~help:"token reserve (rounded down)"
+              ~labels:[ ("tenant", n) ] "dbh_serve_tenant_tokens" ))
+        tenant_names;
+  }

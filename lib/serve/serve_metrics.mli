@@ -1,0 +1,32 @@
+(** The [dbh_serve_*] metric set: network-tier counters and gauges
+    registered next to the library's own [dbh_*] metrics on one
+    {!Dbh_obs.Registry}, so a single [/metrics] scrape shows queries,
+    WAL activity and admission behavior together. *)
+
+type t = {
+  registry : Dbh_obs.Registry.t;
+  connections_total : Dbh_obs.Registry.counter;
+  connections_open : Dbh_obs.Registry.gauge;
+  connections_killed_total : Dbh_obs.Registry.counter;
+      (** idle/slow-loris/oversize/corrupt-stream kills *)
+  requests_total : Dbh_obs.Registry.counter;  (** every decoded request frame *)
+  accepted_total : Dbh_obs.Registry.counter;  (** admitted into the queue *)
+  shed_rate_total : Dbh_obs.Registry.counter;  (** token bucket refusals *)
+  shed_queue_total : Dbh_obs.Registry.counter;  (** queue-at-capacity refusals *)
+  shed_drain_total : Dbh_obs.Registry.counter;  (** refused while draining *)
+  timed_out_total : Dbh_obs.Registry.counter;  (** deadline expired pre-execution *)
+  bad_frames_total : Dbh_obs.Registry.counter;  (** unrecoverable framing *)
+  bad_requests_total : Dbh_obs.Registry.counter;  (** parse/validation failures *)
+  queue_depth : Dbh_obs.Registry.gauge;
+  batches_total : Dbh_obs.Registry.counter;
+  batch_size : Dbh_obs.Registry.histogram;
+  request_seconds : Dbh_obs.Registry.histogram;  (** admission → reply written *)
+  draining : Dbh_obs.Registry.gauge;  (** 1 during graceful shutdown *)
+  tenant_tokens : (string * Dbh_obs.Registry.gauge) list;
+      (** token reserve per configured tenant class, plus ["default"] *)
+}
+
+val on : Dbh_obs.Registry.t -> tenants:string list -> t
+(** Register the set (names prefixed [dbh_serve_]).  [tenants] are the
+    configured class names; a ["default"] gauge is always added.  Raises
+    [Invalid_argument] when names are already taken. *)

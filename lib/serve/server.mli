@@ -1,0 +1,75 @@
+(** The TCP tier: framed requests over {!Shards}, behind {!Admission}.
+
+    One accept thread hands each connection to its own (OS) thread; the
+    connection thread decodes frames under strict limits (payload cap,
+    receive timeout, partial-frame deadline against slow loris) and
+    either answers trivial requests inline (ping, stats) or offers the
+    work to the admission queue.  A single batcher thread pops
+    micro-batches, drops entries whose deadline already passed, executes
+    searches through {!Shards.search_many} (fanning shards over the
+    domain pool) and writes replies back on the owning connection.  The
+    measured distance throughput of each batch feeds the admission
+    queue's deadline→budget conversion.
+
+    Corrupt streams close the connection; well-framed garbage gets a
+    [Bad_request] and the connection lives on; overload gets an explicit
+    [Overloaded] with honest retry-after.  {!stop} is the graceful
+    drain: stop accepting, let the queue empty (shedding whatever
+    outlives the drain window), checkpoint every shard, close. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port — see {!port} *)
+  metrics_port : int option;  (** serve Prometheus [/metrics] when set (0 ok) *)
+  admission : Admission.config;
+  max_payload : int;  (** frame payload cap; larger frames kill the connection *)
+  idle_timeout : float;
+      (** receive window, seconds: no bytes, or a frame still incomplete,
+          for this long kills the connection *)
+  max_connections : int;  (** accepted sockets beyond this are closed at once *)
+  batch_max : int;  (** micro-batch size cap *)
+  drain_timeout : float;  (** seconds {!stop} waits before shedding the queue *)
+}
+
+val default_config : config
+(** Loopback, ephemeral port, no metrics listener, default admission,
+    1 MiB payloads, 10 s idle, 256 connections, batches of 32, 5 s
+    drain. *)
+
+type 'a t
+
+val start :
+  ?pool:Dbh_util.Pool.t ->
+  ?registry:Dbh_obs.Registry.t ->
+  decode:(string -> 'a) ->
+  config ->
+  'a Shards.t ->
+  'a t
+(** Bind, start the accept / batcher / metrics threads, return
+    immediately.  [decode] turns request payloads into query objects
+    (failures become [Bad_request]).  [registry] receives the
+    [dbh_serve_*] metric set (default: a fresh registry); the metrics
+    listener exposes whatever else is registered on it too.  The server
+    owns [pool] while running: nothing else may submit to it until
+    {!stop} returns.  Raises [Unix.Unix_error] when the bind fails. *)
+
+val port : 'a t -> int  (** the bound port (useful with [port = 0]) *)
+
+val metrics_port : 'a t -> int option
+
+val registry : 'a t -> Dbh_obs.Registry.t
+
+val metrics : 'a t -> Serve_metrics.t
+
+val draining : 'a t -> bool
+
+val stop : ?kill:Dbh.Online.Durable.kill_point -> 'a t -> unit
+(** Graceful drain, idempotent: stop accepting, shed new work with
+    [Overloaded], wait up to [drain_timeout] for the queue to empty then
+    shed the rest, join the batcher, close every connection, checkpoint
+    every shard ([kill] injects a crash there, for recovery tests) and
+    close them.  Returns when everything is down. *)
+
+val wait : 'a t -> unit
+(** Block until {!stop} (called from another thread or a signal handler
+    flag) has completed. *)

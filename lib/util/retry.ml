@@ -45,3 +45,17 @@ let backoff ?rng policy ~attempt =
       (* Symmetric jitter: uniform in [base·(1-j), base·(1+j)]. *)
       base *. (1. -. policy.jitter +. Rng.float rng (2. *. policy.jitter))
   | Some _ -> base
+
+(* The same ladder under an overall time budget: jitter is drawn first
+   (same rng consumption as the uncapped ladder, so adding a generous
+   deadline never perturbs a deterministic test), then the delay is
+   clamped to whatever budget remains, and a spent budget stops the
+   ladder outright. *)
+let backoff_within ?rng ~deadline ~elapsed policy ~attempt =
+  if deadline <= 0. || Float.is_nan deadline then
+    invalid_arg "Retry.backoff_within: deadline must be positive";
+  if elapsed < 0. || Float.is_nan elapsed then
+    invalid_arg "Retry.backoff_within: elapsed must be non-negative";
+  let d = backoff ?rng policy ~attempt in
+  let remaining = deadline -. elapsed in
+  if remaining <= 0. then None else Some (Float.min d remaining)

@@ -31,3 +31,15 @@ val backoff : ?rng:Rng.t -> policy -> attempt:int -> float
     [attempt] up to [max_delay]; never overflows for huge attempt
     counts.  Without [rng] (or with zero [jitter]) the result is
     deterministic.  Raises [Invalid_argument] when [attempt < 1]. *)
+
+val backoff_within :
+  ?rng:Rng.t -> deadline:float -> elapsed:float -> policy -> attempt:int -> float option
+(** {!backoff} under an overall deadline cap: the whole retry ladder may
+    spend at most [deadline] units, of which [elapsed] are already gone.
+    [None] once the budget is spent ([elapsed >= deadline] — stop
+    retrying); otherwise [Some d], the jittered {!backoff} delay clamped
+    to the remaining [deadline -. elapsed] so the ladder can never
+    overshoot the caller's time budget.  Jitter draws happen exactly as
+    in {!backoff} (same rng consumption), so ladders that stay inside
+    the budget are unchanged.  Raises [Invalid_argument] when [deadline]
+    is not positive, [elapsed] is negative, or [attempt < 1]. *)

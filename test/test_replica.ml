@@ -162,6 +162,51 @@ let test_retry_rejects_bad_policies () =
   bad (fun () -> Retry.make ~initial:2.0 ~max_delay:1.0 ());
   bad (fun () -> Retry.make ~jitter:1.0 ())
 
+let test_retry_backoff_within_caps_and_stops () =
+  let p = Retry.make ~initial:0.1 ~multiplier:2.0 ~max_delay:1.0 ~jitter:0. () in
+  (match Retry.backoff_within ~deadline:10. ~elapsed:0. p ~attempt:3 with
+  | Some d -> Alcotest.(check (float 1e-9)) "uncapped = backoff" 0.4 d
+  | None -> Alcotest.fail "expected Some inside the budget");
+  (match Retry.backoff_within ~deadline:1.0 ~elapsed:0.85 p ~attempt:3 with
+  | Some d -> Alcotest.(check (float 1e-9)) "clamped to remaining" 0.15 d
+  | None -> Alcotest.fail "expected Some while budget remains");
+  (match Retry.backoff_within ~deadline:1.0 ~elapsed:1.0 p ~attempt:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None at the deadline");
+  (match Retry.backoff_within ~deadline:1.0 ~elapsed:2.5 p ~attempt:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None past the deadline");
+  let bad f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  bad (fun () -> Retry.backoff_within ~deadline:0. ~elapsed:0. p ~attempt:1);
+  bad (fun () -> Retry.backoff_within ~deadline:1. ~elapsed:(-0.1) p ~attempt:1);
+  bad (fun () -> Retry.backoff_within ~deadline:1. ~elapsed:0. p ~attempt:0)
+
+(* The deadline cap must not change how jitter is drawn: ladders that
+   stay inside the budget are bit-identical to the uncapped ones, and
+   even a capped-out call consumes the rng exactly once. *)
+let test_retry_backoff_within_preserves_jitter_stream () =
+  let p = Retry.make ~initial:0.1 ~multiplier:2.0 ~max_delay:1.0 ~jitter:0.25 () in
+  let r1 = Rng.create 11 and r2 = Rng.create 11 in
+  for attempt = 1 to 12 do
+    let plain = Retry.backoff ~rng:r1 p ~attempt in
+    match Retry.backoff_within ~rng:r2 ~deadline:1e6 ~elapsed:0. p ~attempt with
+    | Some capped ->
+        if plain <> capped then
+          Alcotest.failf "attempt %d: %.17g <> %.17g" attempt plain capped
+    | None -> Alcotest.fail "huge budget must not exhaust"
+  done;
+  let r3 = Rng.create 12 and r4 = Rng.create 12 in
+  ignore (Retry.backoff ~rng:r3 p ~attempt:1);
+  (match Retry.backoff_within ~rng:r4 ~deadline:1. ~elapsed:5. p ~attempt:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None");
+  Alcotest.(check bool) "rng advanced identically" true
+    (Rng.int r3 1_000_000 = Rng.int r4 1_000_000)
+
 (* ------------------------------------------------- read-only tailing *)
 
 let wal_payloads = [ "alpha"; "bravo"; "charlie"; "delta"; "echo" ]
@@ -717,6 +762,86 @@ let test_concurrent_reads_while_applying () =
   ignore (Replica.catch_up r);
   check_twin "twin despite concurrent readers" twin r
 
+(* A permanently torn tail behind a dead leader used to stall catch_up
+   for the full stall_limit ladder; ~deadline must cap the whole loop
+   regardless of how generous stall_limit is. *)
+let test_catch_up_deadline_bounds_stall () =
+  let dir = fresh_dir () in
+  let d, _ = make_durable dir in
+  let ops = op_stream 111 8 in
+  List.iter (apply_durable d) ops;
+  Durable.close d;
+  let wal_path = Layout.wal_path ~dir 1 in
+  let full = read_file wal_path in
+  let scan = Wal.scan ~path:wal_path in
+  write_file wal_path (String.sub full 0 (scan.Wal.valid_bytes - 7));
+  let r = open_replica dir in
+  let t0 = Unix.gettimeofday () in
+  let applied = Replica.catch_up ~stall_limit:1_000_000 ~deadline:0.25 r in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "valid prefix applied" true
+    (applied > 0 && applied < List.length ops);
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline held (%.2fs)" elapsed)
+    true (elapsed < 2.0);
+  Alcotest.(check bool) "torn tail reported" true
+    ((Replica.status r).Replica.last_error <> None)
+
+(* dbh-cli replicate --follow regression: a follow loop told to stop
+   (the CLI flips an atomic from its SIGINT/SIGTERM handler) must exit
+   promptly, having shipped + applied what the leader wrote, and leave
+   the replica closed with the lag gauges flushed to 0. *)
+let test_follow_stops_cleanly () =
+  let ldir = fresh_dir () and fdir = fresh_dir () in
+  let twin = make_twin () in
+  let d, _ = make_durable ldir in
+  let ops = op_stream 112 12 in
+  List.iter (apply_online twin) ops;
+  List.iter (apply_durable d) ops;
+  ignore (Replica.ship ~src:ldir ~dst:fdir ());
+  let m = Metrics.create () in
+  Metrics.with_installed m (fun () ->
+      let r = open_replica fdir in
+      let stop = Atomic.make false in
+      let rounds = Atomic.make 0 and applied = Atomic.make 0 in
+      let follower =
+        Thread.create
+          (fun () ->
+            Replica.follow ~ship_from:ldir ~interval:0.02
+              ~should_stop:(fun () -> Atomic.get stop)
+              ~on_round:(fun ~shipped:_ ~applied:n ->
+                Atomic.incr rounds;
+                ignore (Atomic.fetch_and_add applied n))
+              r)
+          ()
+      in
+      (* The leader keeps writing while the loop runs; wait until the
+         follower has observed everything, then ask it to stop. *)
+      let tail = op_stream 113 6 in
+      List.iter (apply_online twin) tail;
+      List.iter (apply_durable d) tail;
+      let want = Online.size twin in
+      let t0 = Unix.gettimeofday () in
+      while Replica.size r <> want && Unix.gettimeofday () -. t0 < 10. do
+        Thread.yield ();
+        Unix.sleepf 0.01
+      done;
+      Atomic.set stop true;
+      Thread.join follower;
+      Alcotest.(check bool) "rounds ran" true (Atomic.get rounds > 0);
+      Alcotest.(check int) "every record applied through follow"
+        (List.length ops + List.length tail)
+        (Atomic.get applied);
+      Alcotest.(check bool) "replica closed on exit" true (Replica.closed r);
+      Alcotest.(check int) "lag gauge flushed" 0
+        (Registry.gauge_value m.Metrics.replica_lag_records);
+      (* Reads survive close; the applied state is the twin. *)
+      check_twin "twin after follow stop" twin r;
+      (match Replica.poll r with
+      | _ -> Alcotest.fail "poll after close must raise"
+      | exception Invalid_argument _ -> ()));
+  Durable.close d
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -728,6 +853,10 @@ let () =
             test_retry_deterministic_geometric;
           Alcotest.test_case "jitter stays bounded" `Quick test_retry_jitter_bounded;
           Alcotest.test_case "bad policies rejected" `Quick test_retry_rejects_bad_policies;
+          Alcotest.test_case "backoff_within caps and stops" `Quick
+            test_retry_backoff_within_caps_and_stops;
+          Alcotest.test_case "backoff_within preserves the jitter stream" `Quick
+            test_retry_backoff_within_preserves_jitter_stream;
         ] );
       ( "wal-tailing",
         [
@@ -762,6 +891,9 @@ let () =
           Alcotest.test_case "metrics wired" `Quick test_replica_metrics_wired;
           Alcotest.test_case "concurrent reads while applying" `Quick
             test_concurrent_reads_while_applying;
+          Alcotest.test_case "catch-up deadline bounds a stall" `Quick
+            test_catch_up_deadline_bounds_stall;
+          Alcotest.test_case "follow stops cleanly" `Quick test_follow_stops_cleanly;
         ] );
       ( "failover",
         [
