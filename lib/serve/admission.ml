@@ -122,11 +122,15 @@ let budget_for t ~tenant ~remaining ~requested =
 let admit t ~now item =
   locked t (fun () ->
       if t.draining || t.closed then Shed_draining
+      else if Queue.length t.queue >= t.config.queue_capacity then
+        (* Capacity before the bucket: a queue shed must not burn the
+           tenant's token, or sustained queue-full overload would
+           double-penalize tenants whose work was never executed. *)
+        Shed_queue
       else begin
         let _, bucket = class_and_bucket t item.tenant in
         if not (Bucket.try_take bucket ~now) then
           Shed_rate (Bucket.seconds_until bucket ~now)
-        else if Queue.length t.queue >= t.config.queue_capacity then Shed_queue
         else begin
           Queue.push item t.queue;
           Condition.signal t.not_empty;

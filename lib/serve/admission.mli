@@ -75,9 +75,11 @@ val set_distances_per_second : t -> float -> unit
 val distances_per_second : t -> float
 
 val admit : t -> now:float -> item -> verdict
-(** Token bucket, then queue capacity, under one lock.  On [Admitted]
-    the item is queued and a waiting worker is woken; on any shed
-    verdict the item is {e not} queued and the caller owns the reply. *)
+(** Queue capacity, then token bucket, under one lock — a [Shed_queue]
+    consumes no token, so queue-full overload cannot also drain the
+    tenant's rate allowance.  On [Admitted] the item is queued and a
+    waiting worker is woken; on any shed verdict the item is {e not}
+    queued and the caller owns the reply. *)
 
 val start_draining : t -> unit
 (** All further {!admit} calls return [Shed_draining]; queued items

@@ -96,6 +96,18 @@ let recv t =
       in
       read_frame ()
 
+let readable ?(timeout = 0.) t =
+  match t.parked with
+  | _ :: _ -> true
+  | [] -> (
+      match Protocol.decode_frame t.buf ~off:0 ~len:t.len with
+      | `Frame _ | `Corrupt _ -> true  (* recv returns (or raises) at once *)
+      | `Need_more -> (
+          match Unix.select [ the_fd t ] [] [] timeout with
+          | [], _, _ -> false
+          | _ -> true
+          | exception Unix.Unix_error (EINTR, _, _) -> false))
+
 let request t req =
   let id = send t req in
   let rec await () =

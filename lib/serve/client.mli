@@ -55,6 +55,12 @@ val send : t -> Protocol.request -> int64
 val recv : t -> int64 * Protocol.response
 (** Next reply off the wire (or parked), in arrival order. *)
 
+val readable : ?timeout:float -> t -> bool
+(** Would {!recv} return promptly?  True when a parked reply or a
+    buffered frame is already in hand, or the socket becomes readable
+    within [timeout] (default 0, a pure poll).  Lets a pipelining caller
+    interleave sends without committing to a blocking read. *)
+
 (** {1 Chaos hooks} *)
 
 val send_raw : t -> string -> unit

@@ -11,6 +11,7 @@ type config = {
   max_connections : int;
   batch_max : int;
   drain_timeout : float;
+  so_sndbuf : int option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     max_connections = 256;
     batch_max = 32;
     drain_timeout = 5.;
+    so_sndbuf = None;
   }
 
 type conn = {
@@ -49,7 +51,8 @@ type 'a t = {
   conns : (int, conn) Hashtbl.t;
   conns_mutex : Mutex.t;
   mutable conn_seq : int;
-  mutable conn_threads : Thread.t list;
+  mutable live_conn_threads : int;  (* guarded by conns_mutex *)
+  conn_threads_done : Condition.t;  (* signalled when live_conn_threads drops *)
   mutable accept_thread : Thread.t option;
   mutable batcher_domain : unit Domain.t option;
   mutable metrics_thread : Thread.t option;
@@ -66,8 +69,12 @@ let write_all fd s =
     off := !off + Unix.write_substring fd s !off (len - !off)
   done
 
-(* Best-effort reply: the peer may be gone, mid-kill or half-open — a
-   failed write must never take a server thread down. *)
+(* Best-effort reply: the peer may be gone, mid-kill, half-open, or a
+   slow reader whose socket buffer filled until SO_SNDTIMEO fired — a
+   failed write must never take a server thread down.  Once a reply
+   cannot be delivered the stream is useless (the peer would see a gap),
+   so the socket is shut down too: that unblocks the connection thread's
+   read so the connection gets reaped instead of lingering. *)
 let send_response c ~id resp =
   Mutex.lock c.wmutex;
   Fun.protect
@@ -75,7 +82,9 @@ let send_response c ~id resp =
     (fun () ->
       if c.writable then
         try write_all c.fd (Protocol.encode_response ~id resp)
-        with Unix.Unix_error _ | Sys_error _ -> c.writable <- false)
+        with Unix.Unix_error _ | Sys_error _ ->
+          c.writable <- false;
+          (try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ()))
 
 let listen_on ~host ~port =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
@@ -112,6 +121,13 @@ let forget_conn srv c =
   let open_now = Hashtbl.length srv.conns in
   Mutex.unlock srv.conns_mutex;
   Registry.set srv.sm.connections_open open_now;
+  (* Shutdown BEFORE taking wmutex: a reply write blocked on a slow
+     reader holds wmutex, and shutdown is what forces that write to fail
+     (EPIPE) — locking first would deadlock behind it with the fd never
+     closed.  After shutdown the in-flight write errors out and releases
+     the lock; once we hold it no new write can start (writable is
+     checked under wmutex), so the close below cannot race a writer. *)
+  (try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   Mutex.lock c.wmutex;
   c.writable <- false;
   Mutex.unlock c.wmutex;
@@ -283,11 +299,35 @@ let accept_loop srv () =
               (try Unix.setsockopt fd TCP_NODELAY true
                with Unix.Unix_error _ -> ());
               Unix.setsockopt_float fd SO_RCVTIMEO srv.config.idle_timeout;
+              (* The send timeout bounds every reply write: a client
+                 that pipelines requests but never reads fills the
+                 kernel send buffer, and without this the batcher would
+                 block forever inside its reply — one slow reader
+                 stalling the whole serving plane. *)
+              Unix.setsockopt_float fd SO_SNDTIMEO srv.config.idle_timeout;
+              (match srv.config.so_sndbuf with
+              | Some b -> (
+                  try Unix.setsockopt_int fd SO_SNDBUF b
+                  with Unix.Unix_error _ -> ())
+              | None -> ());
               let c = register_conn srv fd in
-              let th = Thread.create (conn_loop srv c) () in
               Mutex.lock srv.conns_mutex;
-              srv.conn_threads <- th :: srv.conn_threads;
-              Mutex.unlock srv.conns_mutex
+              srv.live_conn_threads <- srv.live_conn_threads + 1;
+              Mutex.unlock srv.conns_mutex;
+              (* Threads are counted, not retained: OCaml systhreads
+                 need no join to be reclaimed, and keeping a Thread.t
+                 per connection for the server's lifetime leaks memory
+                 proportional to total connections ever accepted. *)
+              ignore
+                (Thread.create
+                   (fun () ->
+                     Fun.protect (conn_loop srv c)
+                       ~finally:(fun () ->
+                         Mutex.lock srv.conns_mutex;
+                         srv.live_conn_threads <- srv.live_conn_threads - 1;
+                         Condition.broadcast srv.conn_threads_done;
+                         Mutex.unlock srv.conns_mutex))
+                   ())
             end)
   done;
   try Unix.close srv.listen_fd with Unix.Unix_error _ -> ()
@@ -438,6 +478,9 @@ let metrics_loop srv fd () =
         | cfd, _ ->
             (try
                Unix.setsockopt_float cfd SO_RCVTIMEO 2.;
+               (* Send timeout too: a scraper that connects and never
+                  reads must not wedge the single metrics thread. *)
+               Unix.setsockopt_float cfd SO_SNDTIMEO 2.;
                let buf = Bytes.create 4096 in
                let n = try Unix.read cfd buf 0 4096 with _ -> 0 in
                let req = Bytes.sub_string buf 0 (max n 0) in
@@ -469,6 +512,9 @@ let start ?pool ?registry ~decode config shards =
   if config.batch_max < 1 then invalid_arg "Server: batch_max must be >= 1";
   if config.drain_timeout < 0. then
     invalid_arg "Server: drain_timeout must be >= 0";
+  (match config.so_sndbuf with
+  | Some b when b < 1 -> invalid_arg "Server: so_sndbuf must be >= 1"
+  | _ -> ());
   (match Sys.os_type with
   | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ());
@@ -507,7 +553,8 @@ let start ?pool ?registry ~decode config shards =
       conns = Hashtbl.create 64;
       conns_mutex = Mutex.create ();
       conn_seq = 0;
-      conn_threads = [];
+      live_conn_threads = 0;
+      conn_threads_done = Condition.create ();
       accept_thread = None;
       batcher_domain = None;
       metrics_thread = None;
@@ -565,20 +612,26 @@ and stop ?kill srv =
     Admission.close srv.admission;
     (match srv.batcher_domain with Some d -> Domain.join d | None -> ());
     (* 3. Take the connections down: no more admissions are possible, so
-       shutting the sockets only interrupts reads. *)
+       shutting the sockets only interrupts reads.  Join the accept
+       thread first so no new connection thread can appear after the
+       snapshot below; shutdown before touching wmutex, because a conn
+       thread blocked writing a shed reply to a slow reader holds it. *)
+    (match srv.accept_thread with Some th -> Thread.join th | None -> ());
     Mutex.lock srv.conns_mutex;
     let open_conns = Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [] in
-    let conn_threads = srv.conn_threads in
     Mutex.unlock srv.conns_mutex;
     List.iter
       (fun c ->
+        (try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ());
         Mutex.lock c.wmutex;
         c.writable <- false;
-        Mutex.unlock c.wmutex;
-        try Unix.shutdown c.fd SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        Mutex.unlock c.wmutex)
       open_conns;
-    List.iter Thread.join conn_threads;
-    (match srv.accept_thread with Some th -> Thread.join th | None -> ());
+    Mutex.lock srv.conns_mutex;
+    while srv.live_conn_threads > 0 do
+      Condition.wait srv.conn_threads_done srv.conns_mutex
+    done;
+    Mutex.unlock srv.conns_mutex;
     (match srv.metrics_thread with Some th -> Thread.join th | None -> ());
     (* 4. Make the on-disk state cheap to reopen, then close it. *)
     Fun.protect

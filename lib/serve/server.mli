@@ -29,12 +29,17 @@ type config = {
   max_connections : int;  (** accepted sockets beyond this are closed at once *)
   batch_max : int;  (** micro-batch size cap *)
   drain_timeout : float;  (** seconds {!stop} waits before shedding the queue *)
+  so_sndbuf : int option;
+      (** per-connection kernel send buffer ([SO_SNDBUF]), bytes.  [None]
+          keeps the kernel default.  A small value bounds the kernel
+          memory a slow-reading client can pin and makes the send
+          timeout trip sooner when a client stops draining replies. *)
 }
 
 val default_config : config
 (** Loopback, ephemeral port, no metrics listener, default admission,
     1 MiB payloads, 10 s idle, 256 connections, batches of 32, 5 s
-    drain. *)
+    drain, kernel-default send buffer. *)
 
 type 'a t
 

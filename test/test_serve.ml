@@ -430,7 +430,8 @@ let test_admission_sheds_dont_collapse () =
   | Admission.Admitted -> ()
   | _ -> Alcotest.fail "second admit");
   Alcotest.(check int) "queue depth" 2 (Admission.depth t);
-  (* Tokens remain (burst 10), so the refusal is the queue's. *)
+  (* Tokens remain (burst 10), so the refusal is the queue's — and a
+     queue shed must not burn a token. *)
   (match admit 0. with
   | Admission.Shed_queue -> ()
   | _ -> Alcotest.fail "third admit must shed on queue");
@@ -438,9 +439,10 @@ let test_admission_sheds_dont_collapse () =
   let batch = Admission.pop_batch t ~max:10 in
   Alcotest.(check int) "popped both" 2 (List.length batch);
   Alcotest.(check int) "drained" 0 (Admission.depth t);
-  (* Burn the default bucket: burst 10, minus the two admits and the
-     token the queue-shed consumed (the bucket is checked first). *)
-  for _ = 1 to 7 do
+  (* Burn the default bucket: burst 10, minus the two admits — the
+     queue-shed above consumed nothing (capacity is checked before the
+     bucket), so exactly 8 tokens remain. *)
+  for _ = 1 to 8 do
     match admit 0. with
     | Admission.Admitted -> ignore (Admission.pop_batch t ~max:1)
     | v ->
@@ -508,7 +510,8 @@ type harness = {
 }
 
 let with_server ?(shards = 2) ?(space = l2) ?admission ?(batch_max = 32)
-    ?(idle_timeout = 10.) ?(metrics_port = None) ?(data = seed_data) f =
+    ?(idle_timeout = 10.) ?(metrics_port = None) ?(so_sndbuf = None)
+    ?(data = seed_data) f =
   let dir = fresh_dir () in
   let sh, _ =
     Shards.open_or_create ~fsync:false ~build:small_config ~seed:42 ~shards
@@ -521,6 +524,7 @@ let with_server ?(shards = 2) ?(space = l2) ?admission ?(batch_max = 32)
       batch_max;
       idle_timeout;
       metrics_port;
+      so_sndbuf;
       drain_timeout = 2.0;
     }
   in
@@ -901,6 +905,150 @@ let test_oversize_declaration_kills_connection () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       let c = connect h in
       Alcotest.(check bool) "alive after oversize" true (Client.ping c);
+      Client.close c)
+
+(* A slow *reader*: pipelines a torrent of admitted work but never
+   drains a single reply, so its socket buffers fill and every reply
+   write to it jams.  SO_SNDTIMEO must convert the jam into a shed (mark
+   unwritable, shut the socket down) instead of wedging whichever thread
+   holds the write mutex — the batcher, i.e. the entire serving plane —
+   and [Server.stop] in the harness finally must complete rather than
+   deadlock behind the stuck write (the historical failure mode:
+   forget_conn locked wmutex before closing the fd).
+
+   The test drives the real jam (batcher blocked in a reply write until
+   the send timeout sheds the connection) and asserts full recovery.
+   Caveat: some sandboxed network stacks apply SO_RCVTIMEO to blocked
+   writes as well, so on those a server *without* the SO_SNDTIMEO fix
+   self-heals too and this test cannot catch its removal; on a stock
+   kernel a blocked write without the fix never returns. *)
+let test_slow_reader_never_stalls_serving () =
+  let admission =
+    {
+      Admission.default_config with
+      queue_capacity = 512;
+      default_class =
+        { Admission.rate = 1_000_000.; burst = 100_000.; max_budget = 500 };
+    }
+  in
+  (* idle_timeout doubles as SO_SNDTIMEO, so the batcher's jammed write
+     sheds the slow reader after at most 2 s — well inside the good
+     client's 3 s pipelined send phase, so by the time the good client
+     stops sending and drains, the plane is unjammed again. *)
+  (* A small server-side send buffer plus the tiny client receive window
+     below make the jam deterministic: a few hundred replies fill both,
+     regardless of kernel buffer autotuning defaults. *)
+  with_server ~admission ~idle_timeout:2.0 ~so_sndbuf:(Some 4096) (fun h ->
+      let port = Server.port h.server in
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      (* Tiny receive window: the reply path jams after a few KB. *)
+      Unix.setsockopt_int fd SO_RCVBUF 1024;
+      Unix.setsockopt_float fd SO_SNDTIMEO 5.0;
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let payload = encode queries.(0) in
+      let wire i =
+        Protocol.encode_request ~id:(Int64.of_int i)
+          (Protocol.Search
+             {
+               tenant = "";
+               deadline_ms = 10_000;
+               budget = 50;
+               probes = 0;
+               radius = 0;
+               payload;
+             })
+      in
+      (* Keep the pipeline saturated until the server sheds us: enough
+         bytes that the replies (results and queue sheds alike) cannot
+         fit in any default socket buffer.  The writes themselves start
+         failing once the server shuts our socket down — that ends the
+         thread. *)
+      let writer =
+        Thread.create
+          (fun () ->
+            let t0 = Unix.gettimeofday () in
+            let i = ref 0 in
+            try
+              while !i < 50_000 && Unix.gettimeofday () -. t0 < 1.5 do
+                incr i;
+                let w = wire !i in
+                ignore (Unix.write_substring fd w 0 (String.length w))
+              done
+            with Unix.Unix_error _ | Sys_error _ -> ())
+          ()
+      in
+      (* Meanwhile a well-formed client keeps *pipelining* — sending
+         without waiting, so its connection is never idle while a jammed
+         write times out — until the slow reader has provably been shed
+         (the connections_open gauge drops back to just us); only then
+         does it stop and drain.  Every id must come back, a result or
+         an honest shed, never silence or an error. *)
+      let m = Server.metrics h.server in
+      let c = connect h in
+      let sent = ref [] in
+      let t0 = Unix.gettimeofday () in
+      let elapsed () = Unix.gettimeofday () -. t0 in
+      while
+        (Registry.gauge_value m.Serve_metrics.connections_open > 1
+        || elapsed () < 2.0)
+        && elapsed () < 30.
+      do
+        sent :=
+          Client.send c
+            (Protocol.Search
+               {
+                 tenant = "";
+                 deadline_ms = 30_000;
+                 budget = 500;
+                 probes = 0;
+                 radius = 0;
+                 payload;
+               })
+          :: !sent;
+        Unix.sleepf 0.02
+      done;
+      Alcotest.(check bool) "slow reader was shed, not tolerated" true
+        (Registry.gauge_value m.Serve_metrics.connections_open <= 1);
+      (* Drain with keep-alive pings: pending searches may still be
+         queued behind the unjammed batcher, and a silent connection
+         would be idle-killed before they complete.  Ping only when no
+         reply is ready — a ping per loop turn would flood the server
+         with pong-writes into the deliberately tiny send buffer and
+         collapse reply throughput to the TCP ack clock. *)
+      let pending = Hashtbl.create 256 in
+      List.iter (fun id -> Hashtbl.replace pending id ()) !sent;
+      let served = ref 0 and shed = ref 0 in
+      let give_up = Unix.gettimeofday () +. 60. in
+      while Hashtbl.length pending > 0 && Unix.gettimeofday () < give_up do
+        if Client.readable ~timeout:0.25 c then begin
+          let id, resp = Client.recv c in
+          if Hashtbl.mem pending id then begin
+            Hashtbl.remove pending id;
+            match resp with
+            | Protocol.Result _ -> incr served
+            | Protocol.Overloaded _ | Protocol.Timed_out -> incr shed
+            | other ->
+                Alcotest.failf "unexpected reply under slow-reader jam: %a"
+                  Protocol.pp_response other
+          end
+        end
+        else
+          (* Idle quarter-second: refresh the server's receive clock. *)
+          ignore (Client.send c Protocol.Ping)
+      done;
+      Alcotest.(check int) "every search answered exactly once" 0
+        (Hashtbl.length pending);
+      ignore !shed;
+      Thread.join writer;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Alcotest.(check bool) "good client served during the jam" true (!served > 0);
+      (* After the slow reader is gone the plane must be fully healthy. *)
+      (match Client.search ~deadline_ms:10_000 ~budget:500 c ~payload with
+      | Protocol.Result _ -> ()
+      | other ->
+          Alcotest.failf "expected Result after jam cleared, got %a"
+            Protocol.pp_response other);
+      Alcotest.(check bool) "alive after slow reader" true (Client.ping c);
       Client.close c)
 
 let test_overload_flood_sheds_explicitly () =
@@ -1307,6 +1455,8 @@ let () =
             test_half_open_sockets_are_reaped;
           Alcotest.test_case "oversize declaration kills the connection" `Quick
             test_oversize_declaration_kills_connection;
+          Alcotest.test_case "slow reader never stalls serving" `Quick
+            test_slow_reader_never_stalls_serving;
           Alcotest.test_case "overload flood sheds explicitly" `Quick
             test_overload_flood_sheds_explicitly;
           Alcotest.test_case "tenant isolation under flood" `Quick
