@@ -139,12 +139,19 @@ let sum_reported_cost (s : Dbh_eval.Tradeoff.series) =
     (fun acc (p : Dbh_eval.Tradeoff.point) -> acc + p.Dbh_eval.Tradeoff.total_cost)
     0 s.Dbh_eval.Tradeoff.points
 
-let run_experiment dataset seed db_size num_queries csv_path domains metrics =
+let run_experiment dataset seed db_size num_queries csv_path domains metrics selector =
   with_domains domains @@ fun pool ->
   let (Bundle { space; db; queries }) = make_bundle dataset ~seed ~db_size ~num_queries in
   let rng = Rng.create (seed + 2) in
   let mset = if metrics then Some (Dbh_obs.Metrics.create ()) else None in
-  let run () = Dbh_eval.Figure5.run ?pool ~rng ~dataset ~space ~db ~queries () in
+  Printf.printf "selector=%s\n%!" (Dbh.Selector.tag selector);
+  let config =
+    {
+      Dbh_eval.Figure5.default_config with
+      builder = { Dbh.Builder.default_config with selector };
+    }
+  in
+  let run () = Dbh_eval.Figure5.run ?pool ~rng ~dataset ~space ~db ~queries ~config () in
   let result =
     match mset with
     | None -> run ()
@@ -272,7 +279,7 @@ module Breaker = Dbh_robust.Breaker
    breaker should serve phase 1 from the index, trip to the linear-scan
    fallback during phase 2, and recover during phase 3. *)
 let run_stress dataset seed db_size num_queries target nan exn_p negative perturb policy
-    budget domains metrics =
+    budget domains metrics selector =
   with_domains domains @@ fun pool ->
   let mset = if metrics then Some (Dbh_obs.Metrics.create ()) else None in
   let with_mset f = match mset with None -> f () | Some m -> Dbh_obs.Metrics.with_installed m f in
@@ -285,16 +292,22 @@ let run_stress dataset seed db_size num_queries target nan exn_p negative pertur
   Faulty_space.set_config faults fault_config;
   Faulty_space.disable faults;
   let guarded, guard = Guard.wrap ~policy faulty_space in
-  let config = builder_config ~pivots:50 ~sample_queries:(min 100 (Array.length db / 2)) in
+  let config =
+    {
+      (builder_config ~pivots:50 ~sample_queries:(min 100 (Array.length db / 2))) with
+      selector;
+    }
+  in
   let online =
     Dbh.Online.create ?pool ~rng:(Rng.create (seed + 2)) ~space:guarded ~config
       ~target_accuracy:target db
   in
   let breaker = Breaker.create ~guard online in
   let truth = Ground_truth.compute ?pool ~space:base ~db ~queries () in
-  Printf.printf "dataset=%s  db=%d  queries/phase=%d  space=%s  budget=%s\n%!" dataset
-    (Array.length db) (Array.length queries) guarded.Space.name
-    (if budget > 0 then string_of_int budget else "none");
+  Printf.printf "dataset=%s  db=%d  queries/phase=%d  space=%s  budget=%s  selector=%s\n%!"
+    dataset (Array.length db) (Array.length queries) guarded.Space.name
+    (if budget > 0 then string_of_int budget else "none")
+    (Dbh.Selector.tag selector);
   let run_phase label =
     let nns = Array.make (Array.length queries) None in
     let linear = ref 0 and truncated = ref 0 and cost = ref 0 in
@@ -791,7 +804,14 @@ let print_level_stats label index =
     (Diagnostics.table_profiles index);
   print_histogram (Diagnostics.bucket_histogram index)
 
+let print_family_line family =
+  Printf.printf "family: %d functions, %d pivots, selector %s\n"
+    (Dbh.Hash_family.size family)
+    (Dbh.Hash_family.num_pivots family)
+    (Dbh.Hash_family.selector_tag family)
+
 let stats_of_cascade h =
+  print_family_line (Dbh.Hierarchical.family h);
   let indexes = Dbh.Hierarchical.indexes h in
   let levels = Dbh.Hierarchical.levels h in
   Array.iteri
@@ -827,6 +847,7 @@ let stats_file path =
     match header.Envelope.kind with
     | "index" ->
         let index = Dbh.Index.read ~decode:Fun.id ~space (Binio.reader payload) in
+        print_family_line (Dbh.Index.family index);
         print_level_stats "single-level index:" index;
         0
     | "hierarchical" ->
@@ -931,13 +952,28 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let selector_arg =
+  let doc =
+    "Pivot-pair/threshold selection strategy for the hash family: $(b,uniform) (the \
+     paper's random draws), $(b,median) (uniform pairs, one-sided median thresholds), \
+     $(b,density) (density-sensitive interval scoring) or $(b,nsh) (neighbor-sensitive \
+     pair scoring)."
+  in
+  let selectors =
+    List.filter_map
+      (fun tag -> Option.map (fun s -> (tag, s)) (Dbh.Selector.of_tag tag))
+      Dbh.Selector.known_tags
+  in
+  Arg.(value & opt (enum selectors) Dbh.Selector.default
+       & info [ "selector" ] ~docv:"SELECTOR" ~doc)
+
 let experiment_cmd =
   let doc = "run a full accuracy-vs-cost comparison (paper Figure 5 panel)" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
       const run_experiment $ dataset_arg $ seed_arg $ db_size_arg 2000 $ queries_arg 200
-      $ csv_arg $ domains_arg $ metrics_arg)
+      $ csv_arg $ domains_arg $ metrics_arg $ selector_arg)
 
 let tune_cmd =
   let doc = "print the offline (k,l) parameter landscape" in
@@ -981,7 +1017,7 @@ let stress_cmd =
     Term.(
       const run_stress $ dataset_arg $ seed_arg $ db_size_arg 1000 $ queries_arg 200
       $ target_arg $ nan_arg $ exn_arg $ negative_arg $ perturb_arg $ policy_arg
-      $ budget_arg $ domains_arg $ metrics_arg)
+      $ budget_arg $ domains_arg $ metrics_arg $ selector_arg)
 
 let query_index_arg =
   let doc = "Index of the (generated) query to trace." in

@@ -8,6 +8,7 @@ type config = {
   num_pivots : int;
   threshold_sample : int;
   max_functions : int option;
+  selector : Selector.t;
   num_sample_queries : int;
   num_fns : int;
   db_sample : int;
@@ -22,6 +23,7 @@ let default_config =
     num_pivots = 100;
     threshold_sample = 500;
     max_functions = None;
+    selector = Selector.default;
     num_sample_queries = 200;
     num_fns = 250;
     db_sample = 500;
@@ -38,13 +40,23 @@ type 'a prepared = {
   pivot_table : float array array;
 }
 
-let prepare ?pool ~rng ~space ?(config = default_config) db =
+let prepare ?pool ?observations ~rng ~space ?(config = default_config) db =
   Log.info (fun m ->
-      m "preparing family over %d objects (space %s, %d pivots)" (Array.length db)
-        space.Dbh_space.Space.name config.num_pivots);
+      m "preparing family over %d objects (space %s, %d pivots, selector %s)"
+        (Array.length db) space.Dbh_space.Space.name config.num_pivots
+        (Selector.tag config.selector));
   let family =
-    Hash_family.make ?pool ~rng ~space ~num_pivots:config.num_pivots
-      ~threshold_sample:config.threshold_sample ?max_functions:config.max_functions db
+    match observations with
+    | None ->
+        Hash_family.make ?pool ~rng ~space ~num_pivots:config.num_pivots
+          ~threshold_sample:config.threshold_sample ?max_functions:config.max_functions
+          ~selector:config.selector db
+    | Some (prior, obs) ->
+        (* Re-tuning path: anchor the data-dependent scoring to the
+           observed traffic strata instead of the sample's own spread. *)
+        Hash_family.retune ?pool ~rng ~num_pivots:config.num_pivots
+          ~threshold_sample:config.threshold_sample ?max_functions:config.max_functions
+          ~selector:config.selector ~observations:obs prior db
   in
   let n = Array.length db in
   let query_indices = Rng.sample_indices rng (min config.num_sample_queries n) n in

@@ -10,6 +10,9 @@ type config = {
   num_pivots : int;  (** |X_small| (default 100) *)
   threshold_sample : int;  (** sample projected per line (default 500) *)
   max_functions : int option;  (** cap on family size (default: all pairs) *)
+  selector : Selector.t;
+      (** how pivot pairs and thresholds are chosen (default
+          {!Selector.default} — the paper's uniform draws) *)
   num_sample_queries : int;  (** database objects used as sample queries (default 200) *)
   num_fns : int;  (** functions sampled for collision estimates (default 250) *)
   db_sample : int;  (** database sample for lookup-cost estimates (default 500) *)
@@ -36,6 +39,7 @@ type 'a prepared = {
 
 val prepare :
   ?pool:Dbh_util.Pool.t ->
+  ?observations:'a Hash_family.t * Hash_family.observations ->
   rng:Dbh_util.Rng.t ->
   space:'a Dbh_space.Space.t ->
   ?config:config ->
@@ -44,7 +48,12 @@ val prepare :
 (** Build family + model from a database.  This is the expensive offline
     step (it brute-forces the sample queries' true nearest neighbors).
     [pool] fans it across domains; the artifacts are bit-identical to the
-    sequential run for the same seed. *)
+    sequential run for the same seed.
+
+    [observations] switches the family build to {!Hash_family.retune}:
+    the given prior family and live-traffic observation set anchor the
+    data-dependent scoring — the re-tuning entry used by
+    [Online.retune]. *)
 
 val single :
   ?pool:Dbh_util.Pool.t ->

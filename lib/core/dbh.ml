@@ -20,8 +20,11 @@
     Module map (paper reference in parentheses):
 
     - {!Projection}: pseudo line projections (Eq. 4)
+    - {!Selector}: pluggable pivot-pair/threshold selection strategies
+      (uniform per the paper; density- and neighbor-sensitive variants)
     - {!Hash_family}: the binary hash function family over a pivot set
-      X_small (Eq. 5–7, Sec. V-B)
+      X_small (Eq. 5–7, Sec. V-B), built through a {!Selector} and
+      re-tunable from live-traffic observations
     - {!Collision}: collision-probability model C, C_k, C_{k,l}
       (Eq. 8–10)
     - {!Analysis}: sample-based accuracy and cost estimation (Eq. 11–14)
@@ -45,6 +48,7 @@
       grows or shrinks *)
 
 module Projection = Projection
+module Selector = Selector
 module Hash_family = Hash_family
 module Collision = Collision
 module Analysis = Analysis

@@ -11,6 +11,13 @@
     capturing half the data mass (Eq. 6) — using the quantiles of the
     projections of a data sample.
 
+    {e Which} pairs and intervals make it into the family is decided by a
+    pluggable {!Selector.t}: the default reproduces the paper's uniform
+    draws bit-for-bit, while the data-dependent selectors score candidate
+    functions against the construction sample.  Every selector emits the
+    same [binary_fn]s, so the collision model, optimal-(k,l) machinery,
+    multi-probe margins and persistence are selector-agnostic.
+
     Query-time evaluations share a {!cache} of distances from the query to
     the pivots, so evaluating any number of binary functions costs at most
     [num_pivots] distance computations — the paper's [HashCost]. *)
@@ -28,15 +35,6 @@ type binary_fn = private {
 
 type 'a t
 
-type threshold_strategy =
-  | Random_interval
-      (** draw [t1,t2] uniformly from (a discretization of) V(X1,X2) —
-          the paper's formulation (Eq. 6) and the default *)
-  | Median_split
-      (** always use the one-sided interval [(−∞, median)] — the simplest
-          member of V(X1,X2); deterministic given the sample, less
-          diverse *)
-
 val make :
   ?pool:Dbh_util.Pool.t ->
   rng:Dbh_util.Rng.t ->
@@ -44,7 +42,7 @@ val make :
   ?num_pivots:int ->
   ?threshold_sample:int ->
   ?max_functions:int ->
-  ?threshold_strategy:threshold_strategy ->
+  ?selector:Selector.t ->
   'a array ->
   'a t
 (** [make ~rng ~space data] builds the family from a database sample.
@@ -54,20 +52,24 @@ val make :
       reports 100 pivots → C(100,2) = 4950 functions.
     - [threshold_sample] (default 500): how many objects are projected on
       each line to estimate the quantiles defining V(X1,X2).
-    - [max_functions]: build only this many functions on distinct random
-      pivot pairs instead of all C(m,2) pairs.
-    - [threshold_strategy] (default {!Random_interval}): how the interval
-      of Eq. 6 is chosen per line; {!Median_split} is the ablation knob
-      for the design choice discussed in DESIGN.md §5.
+    - [max_functions]: build only this many functions.  Under the uniform
+      selector they sit on distinct random pivot pairs; under a
+      data-dependent selector they are the top-scoring pairs of all
+      C(m,2) candidates.
+    - [selector] (default {!Selector.default}): how pairs and intervals
+      are chosen — see {!Selector}.  [Selector.uniform] is bit-identical
+      to the pre-selector builds for the same seed.
 
     Construction cost: at most [num_pivots · threshold_sample] distance
     computations (pivot–sample distances are computed once and shared by
-    every pair), plus C(m,2) pivot–pivot distances.
+    every pair), plus C(m,2) pivot–pivot distances.  Data-dependent
+    selectors pay extra {e arithmetic} (scoring) but no extra distance
+    computations.
 
     [pool] parallelizes the pivot–sample distance matrix and the per-pair
-    projection/sort work across domains; threshold intervals are still
-    drawn from [rng] sequentially in pair order, so the family is
-    bit-identical to the sequential build for the same seed.
+    projection/sort/scoring work across domains; anything that consumes
+    [rng] stays sequential in pair order, so for every selector the
+    family is bit-identical to the sequential build for the same seed.
 
     Raises [Invalid_argument] when [data] has fewer than 2 distinct-
     distance objects (no usable projection line exists). *)
@@ -82,6 +84,61 @@ val pivots : 'a t -> 'a array
 
 val fn : 'a t -> int -> binary_fn
 (** The i-th binary function's definition. *)
+
+val selector : 'a t -> Selector.t
+(** The selector this family was built (or loaded) with.  Families loaded
+    from v1 envelopes report {!Selector.default}. *)
+
+val selector_tag : 'a t -> string
+(** [Selector.tag (selector t)] — the tag recorded in the envelope. *)
+
+(** {1 Re-tuning from live traffic}
+
+    The production loop: serving records per-query observations in the
+    {!Dbh_obs.Metrics} registry; {!observations_of_metrics} distills them
+    into the observed [D(Q,N(Q))] strata and table hit rate; {!retune}
+    rebuilds the family with the data-dependent scoring anchored to the
+    {e observed} distance scale instead of the construction sample's own
+    spread.  [Online.retune] wraps this and hot-swaps the result behind
+    its atomic snapshot pointer. *)
+
+type observations = {
+  nn_distance_strata : (float * int) array;
+      (** observed query→nearest-neighbor distances, as
+          [(representative distance, query count)] strata (histogram
+          buckets of [dbh_query_nn_distance]) *)
+  table_hit_rate : float;
+      (** candidate comparisons per bucket probe — how much lookup work
+          an average probe yields; a trigger signal for when re-tuning
+          is worth it *)
+}
+
+val no_observations : observations
+(** Empty strata; {!retune} with it degrades to a plain rebuild. *)
+
+val observations_of_metrics : Dbh_obs.Metrics.t -> observations
+(** Distill the live-traffic strata out of a metric set's
+    [dbh_query_nn_distance] histogram and probe/lookup counters. *)
+
+val retune :
+  ?pool:Dbh_util.Pool.t ->
+  rng:Dbh_util.Rng.t ->
+  ?num_pivots:int ->
+  ?threshold_sample:int ->
+  ?max_functions:int ->
+  ?selector:Selector.t ->
+  observations:observations ->
+  'a t ->
+  'a array ->
+  'a t
+(** [retune ~rng ~observations t data] builds a replacement family over
+    [data] (same space as [t]).  [selector] defaults to [t]'s selector;
+    [num_pivots] to [t]'s pivot count.  The weighted median of the
+    observed strata becomes the distance scale data-dependent scoring
+    anchors to: boundaries count as safe once their local gap clears the
+    distance at which live queries actually meet their neighbors, and
+    neighbor-sensitive neighborhoods adapt to that radius.  With empty
+    strata (or the uniform selector) this is a plain rebuild. *)
 
 (** {1 Evaluation} *)
 
@@ -112,9 +169,6 @@ val cache_cost : 'a cache -> int
 
 val cache_hits : 'a cache -> int
 (** Pivot-distance lookups served from the cache (no distance paid). *)
-
-val cache_budgeted : 'a t -> budget:Budget.t -> 'a -> 'a cache
-(** [cache_budgeted t ~budget obj] is [cache ~budget t obj]. *)
 
 val pivot_distance : 'a t -> 'a cache -> int -> float
 (** Distance from the cached object to pivot [i], memoized. *)
@@ -161,7 +215,9 @@ val signature : 'a t -> fn_indices:int array -> 'a -> Dbh_util.Bitvec.t
 
 val balance : 'a t -> int -> 'a array -> float
 (** [balance t i sample] is the fraction of [sample] that function [i]
-    maps to 0 — should be close to 0.5 by construction (Eq. 6). *)
+    maps to 0 — should be close to 0.5 by construction (Eq. 6), for
+    {e every} selector: data-dependent selectors only choose {e which}
+    half-mass interval of V(X1,X2) to use, never leave V. *)
 
 (** {1 Persistence}
 
@@ -169,7 +225,11 @@ val balance : 'a t -> int -> 'a array -> float
     a caller-supplied codec since the library cannot know their
     representation.  The space itself is not stored — supply an equivalent
     space when reading (using a different distance silently produces a
-    different index). *)
+    different index).
+
+    v2 envelopes record the selector tag; v1 envelopes (written before
+    the Selector redesign) are still readable and report
+    {!Selector.default}. *)
 
 val write : encode:('a -> string) -> Buffer.t -> 'a t -> unit
 

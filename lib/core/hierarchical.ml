@@ -24,6 +24,7 @@ type 'a t = {
 let levels t = Array.map (fun lev -> lev.info) t.levels
 let indexes t = Array.map (fun lev -> lev.index) t.levels
 let store t = t.store
+let family t = t.family
 
 (* When no (k,l) reaches the target within l_max, retarget to just below
    the best accuracy any (k, l_max) achieves and optimize for cost there —
@@ -200,8 +201,9 @@ let query_probed ?budget ?metrics ?trace ?scratch ?limit ~probes ~radius t q =
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  Index.observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
-    ~truncated ~levels_probed:!levels_probed ();
+  Index.observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache)
+    ?nn_distance:(if !best_id < 0 then None else Some !best_d)
+    ~stats ~truncated ~levels_probed:!levels_probed ();
   {
     Index.nn = (if !best_id < 0 then None else Some (!best_id, !best_d));
     stats;
@@ -238,15 +240,6 @@ let search_batch ?(opts = Query_opts.default) t qs =
           let budget = Option.map Budget.create opts.Query_opts.budget in
           query_probed ?budget ?metrics ~probes ~radius t q)
         qs
-
-let query ?budget t q = query_with ?budget t q
-
-let query_batch ?pool ?budget t qs =
-  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
-
-let query_verbose ?budget t q =
-  let r = query_with ?budget t q in
-  (r, r.Index.levels_probed)
 
 let insert t obj =
   let id = Store.add t.store obj in

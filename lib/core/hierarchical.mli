@@ -48,6 +48,10 @@ val build :
 
 val levels : 'a t -> level_info array
 
+val family : 'a t -> 'a Hash_family.t
+(** The hash family shared by every level — the prior handed to
+    {!Hash_family.retune} when re-tuning from live traffic. *)
+
 val store : 'a t -> 'a Store.t
 (** The object store shared by all levels. *)
 
@@ -74,21 +78,6 @@ val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a Index.result arr
     identical to the per-query calls.  [opts.pool] fans the queries
     across domains; [opts.trace] is ignored (traces are single-domain
     by design). *)
-
-val query : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result
-  [@@ocaml.deprecated "use Hierarchical.search (with Query_opts) instead"]
-(** @deprecated Use {!search}. *)
-
-val query_batch :
-  ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a Index.result array
-  [@@ocaml.deprecated "use Hierarchical.search_batch (with Query_opts) instead"]
-(** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
-
-val query_verbose : ?budget:Budget.t -> 'a t -> 'a -> 'a Index.result * int
-  [@@ocaml.deprecated
-    "use Hierarchical.search; the result's levels_probed field carries the level count"]
-(** @deprecated The level count now lives in [Index.result.levels_probed];
-    this returns [(r, r.levels_probed)]. *)
 
 (** {1 Dynamic updates} *)
 
@@ -151,8 +140,7 @@ val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string ->
 (**/**)
 
 (* Cascade query core taking a caller-managed Budget.t plus explicit
-   observability hooks — what the deprecated wrappers, Online and the
-   robust layer build on without touching the deprecated surface. *)
+   observability hooks — what Online and the robust layer build on. *)
 val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->

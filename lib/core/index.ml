@@ -30,8 +30,8 @@ type 'a result = {
    total_cost, whatever the domain count, and build/baseline distances
    never leak in.  Shared by every serving entry point (single-level,
    cascade, breaker fallback). *)
-let observe_query ?metrics ?seconds ?(cache_hits = 0) ~(stats : stats) ~truncated
-    ~levels_probed () =
+let observe_query ?metrics ?seconds ?(cache_hits = 0) ?nn_distance ~(stats : stats)
+    ~truncated ~levels_probed () =
   match Dbh_obs.Metrics.resolve metrics with
   | None -> ()
   | Some m ->
@@ -46,6 +46,9 @@ let observe_query ?metrics ?seconds ?(cache_hits = 0) ~(stats : stats) ~truncate
       R.add m.Dbh_obs.Metrics.pivot_cache_misses_total stats.hash_cost;
       R.add m.Dbh_obs.Metrics.pivot_cache_hits_total cache_hits;
       R.observe m.Dbh_obs.Metrics.query_cost (float_of_int (total_cost stats));
+      (match nn_distance with
+      | Some d -> R.observe m.Dbh_obs.Metrics.query_nn_distance d
+      | None -> ());
       (match seconds with Some s -> R.observe m.Dbh_obs.Metrics.query_seconds s | None -> ())
 
 type 'a t = {
@@ -483,8 +486,9 @@ let query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q =
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
-    ~truncated ~levels_probed:1 ();
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache)
+    ?nn_distance:(if !best_id < 0 then None else Some !best_d)
+    ~stats ~truncated ~levels_probed:1 ();
   {
     nn = (if !best_id < 0 then None else Some (!best_id, !best_d));
     stats;
@@ -526,11 +530,6 @@ let search_batch ?(opts = Query_opts.default) t qs =
           let budget = Option.map Budget.create opts.Query_opts.budget in
           query_probed ?budget ?metrics ~probes ~radius t q)
         qs
-
-let query ?budget t q = query_with ?budget t q
-
-let query_batch ?pool ?budget t qs =
-  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
 
 (* Candidate consumers iterate the scratch newest-mark-first: that is the
    order the old code visited its consed candidate lists in, and
@@ -640,8 +639,8 @@ let query_multiprobe ?(opts = Query_opts.default) t ~probes q =
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
-    ~truncated:false ~levels_probed:1 ();
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache)
+    ?nn_distance:(Option.map snd nn) ~stats ~truncated:false ~levels_probed:1 ();
   { nn; stats; truncated = false; levels_probed = 1 }
 
 let query_budgeted ?(opts = Query_opts.default) t ~max_candidates q =
@@ -679,8 +678,8 @@ let query_budgeted ?(opts = Query_opts.default) t ~max_candidates q =
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache) ~stats
-    ~truncated:false ~levels_probed:1 ();
+  observe_query ?metrics ?seconds ~cache_hits:(Hash_family.cache_hits cache)
+    ?nn_distance:(Option.map snd nn) ~stats ~truncated:false ~levels_probed:1 ();
   { nn; stats; truncated = false; levels_probed = 1 }
 
 (* -------------------------------------------------------------- updates *)

@@ -124,8 +124,7 @@ val iter_buckets : 'a t -> (int -> int -> int list -> unit) -> unit
 
     The canonical entry points are {!search} and {!search_batch},
     driven by one {!Query_opts.t} record (budget, pool, metrics,
-    trace).  The pre-[Query_opts] spellings remain as thin deprecated
-    wrappers.
+    trace).
 
     When a metric set is reachable (explicit [opts.metrics] or an
     installed ambient set), every completed query records its logical
@@ -157,19 +156,6 @@ val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
     index, so the batch is safe and the results identical to the
     sequential run.  [opts.trace] is ignored: traces are single-domain
     by design. *)
-
-val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
-  [@@ocaml.deprecated "use Index.search (with Query_opts) instead"]
-(** @deprecated Use {!search}; [query ~budget t q] is
-    [search ~opts:(Query_opts.make ...)] with a caller-managed
-    [Budget.t] (sharing one budget across queries gives a query-batch
-    pool — with {!search} each query draws a fresh budget). *)
-
-val query_batch :
-  ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
-  [@@ocaml.deprecated "use Index.search_batch (with Query_opts) instead"]
-(** @deprecated Use {!search_batch} with
-    [Query_opts.make ?pool ?budget ()]. *)
 
 val query_knn : ?opts:Query_opts.t -> 'a t -> int -> 'a -> (int * float) array * stats
 (** [query_knn t m q]: the [m] best candidates (sorted by distance) from
@@ -283,9 +269,8 @@ val load : decode:(string -> 'a) -> space:'a Dbh_space.Space.t -> path:string ->
 
 (* Query plumbing shared with Hierarchical, Online and the robust layer:
    the core query taking a caller-managed Budget.t plus explicit
-   observability hooks (what the deprecated wrappers and the layered
-   search functions are built from), and the one-stop metrics recording
-   for a completed query. *)
+   observability hooks (what the layered search functions are built
+   from), and the one-stop metrics recording for a completed query. *)
 val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->
@@ -301,6 +286,7 @@ val observe_query :
   ?metrics:Dbh_obs.Metrics.t ->
   ?seconds:float ->
   ?cache_hits:int ->
+  ?nn_distance:float ->
   stats:stats ->
   truncated:bool ->
   levels_probed:int ->

@@ -111,10 +111,11 @@ let alive_handles t =
   !out
 
 (* Run the full offline pipeline on a snapshot of alive handles. *)
-let build_generation ?pool ~rng ~space ~config ~target_accuracy registry handles =
+let build_generation ?pool ?observations ~rng ~space ~config ~target_accuracy registry
+    handles =
   if Array.length handles = 0 then invalid_arg "Online: cannot build an empty database";
   let db = Array.map (Vec.get registry) handles in
-  let prepared = Builder.prepare ?pool ~rng ~space ~config db in
+  let prepared = Builder.prepare ?pool ?observations ~rng ~space ~config db in
   let index = Builder.hierarchical ?pool ~rng ~prepared ~db ~target_accuracy ~config () in
   let external_of_internal = Vec.create () in
   let internal_of_external = Hashtbl.create (Array.length handles) in
@@ -169,6 +170,35 @@ let rebuild_now t =
   rebuild t;
   t.rebuild_count <- t.rebuild_count + 1;
   record_counter (fun m -> m.Dbh_obs.Metrics.online_rebuilds_total)
+
+let retune ?metrics ?selector t =
+  (* Observation-driven generation: distill the live-traffic strata from
+     the metrics registry, rebuild the family against them
+     (Hash_family.retune via Builder.prepare), re-fit the collision model
+     and optimal (k,l), and hot-swap the result exactly like [compact] —
+     one atomic store publishes the whole new generation, so concurrent
+     readers see either the old cascade or the new one, never a mix. *)
+  let observations =
+    match Dbh_obs.Metrics.resolve metrics with
+    | Some m -> Hash_family.observations_of_metrics m
+    | None -> Hash_family.no_observations
+  in
+  let config =
+    match selector with
+    | None -> t.config
+    | Some selector -> { t.config with Builder.selector }
+  in
+  let prior = Hierarchical.family (current t).index in
+  let handles = Array.of_list (alive_handles t) in
+  let s =
+    build_generation ?pool:t.pool ~observations:(prior, observations) ~rng:t.rng
+      ~space:t.space ~config ~target_accuracy:t.target_accuracy t.registry handles
+  in
+  Atomic.set t.published s;
+  t.built_size <- Array.length handles;
+  t.rebuild_count <- t.rebuild_count + 1;
+  record_counter (fun m -> m.Dbh_obs.Metrics.online_rebuilds_total);
+  observations
 
 let maybe_rebuild t =
   let alive = size t in
@@ -274,11 +304,6 @@ let search_batch ?(opts = Query_opts.default) t qs =
           qs
   in
   Array.map (translate s) results
-
-let query ?budget t q = query_with ?budget t q
-
-let query_batch ?pool ?budget t qs =
-  search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
 
 (* ------------------------------------------------------------ durability *)
 
@@ -601,10 +626,6 @@ module Durable = struct
 
   let search ?opts t q = search ?opts t.online q
   let search_batch ?opts t qs = search_batch ?opts t.online qs
-  let query ?budget t q = query_with ?budget t.online q
-
-  let query_batch ?pool ?budget t qs =
-    search_batch ~opts:(Query_opts.make ?budget ?pool ()) t qs
   let get t handle = get t.online handle
   let size t = size t.online
 

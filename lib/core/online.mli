@@ -37,7 +37,7 @@ val create :
     [(built / factor, built · factor)].
 
     [pool] is remembered: the initial build, every automatic rebuild and
-    {!query_batch} fan out over it.  The pool must outlive this index (or
+    {!search_batch} fan out over it.  The pool must outlive this index (or
     rather, every rebuild and batch run through it).  Indexes built with
     and without a pool are bit-identical for the same seed. *)
 
@@ -97,14 +97,6 @@ val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
     is pinned once for the whole batch (see {!search} on lock-free
     reads); a concurrent writer's updates land in later batches. *)
 
-val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
-  [@@ocaml.deprecated "use Online.search (with Query_opts) instead"]
-(** @deprecated Use {!search}. *)
-
-val query_batch : ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
-  [@@ocaml.deprecated "use Online.search_batch (with Query_opts) instead"]
-(** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
-
 (** {1 Introspection and control}
 
     Hooks for operational wrappers (health monitors, circuit breakers)
@@ -134,6 +126,20 @@ val rebuild_now : 'a t -> unit
     Handles remain stable.  Used by degradation wrappers to refresh an
     index whose structure went bad (e.g. after a spell of anomalous
     distances polluted its tables). *)
+
+val retune :
+  ?metrics:Dbh_obs.Metrics.t -> ?selector:Selector.t -> 'a t -> Hash_family.observations
+(** Close the production loop: distill the observed [D(Q,N(Q))] strata
+    and table hit rate from [metrics] (default: the installed set) via
+    {!Hash_family.observations_of_metrics}, rebuild family + model +
+    cascade with {!Hash_family.retune} — optionally switching
+    [selector] — and hot-swap the new generation behind the published
+    pointer.  Readers are never blocked and never see a torn state: one
+    atomic store publishes the whole generation, exactly as
+    {!compact}/rebuild do.  Handles remain stable; counts toward
+    {!rebuilds}.  Returns the observation set the rebuild used (empty
+    when no metrics were available).  Writer-side call — serialize it
+    with other mutations. *)
 
 type 'a online = 'a t
 
@@ -214,15 +220,6 @@ module Durable : sig
 
   val search : ?opts:Query_opts.t -> 'a t -> 'a -> 'a result
   val search_batch : ?opts:Query_opts.t -> 'a t -> 'a array -> 'a result array
-
-  val query : ?budget:Budget.t -> 'a t -> 'a -> 'a result
-    [@@ocaml.deprecated "use Durable.search (with Query_opts) instead"]
-  (** @deprecated Use {!search}. *)
-
-  val query_batch :
-    ?pool:Dbh_util.Pool.t -> ?budget:int -> 'a t -> 'a array -> 'a result array
-    [@@ocaml.deprecated "use Durable.search_batch (with Query_opts) instead"]
-  (** @deprecated Use {!search_batch} with [Query_opts.make ?pool ?budget ()]. *)
 
   val get : 'a t -> int -> 'a
   val size : 'a t -> int
@@ -314,9 +311,8 @@ end
 (**/**)
 
 (* Query core taking a caller-managed Budget.t plus explicit
-   observability hooks — what the deprecated wrappers and the robust
-   layer (circuit breaker) build on without touching the deprecated
-   surface. *)
+   observability hooks — what the robust layer (circuit breaker) builds
+   on without paying Query_opts construction per query. *)
 val query_with :
   ?budget:Budget.t ->
   ?metrics:Dbh_obs.Metrics.t ->

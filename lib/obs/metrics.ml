@@ -11,6 +11,7 @@ type t = {
   pivot_cache_misses_total : Registry.counter;
   query_cost : Registry.histogram;
   query_seconds : Registry.histogram;
+  query_nn_distance : Registry.histogram;
   space_distance_calls_total : Registry.counter;
   guard_calls_total : Registry.counter;
   guard_anomalies_nan_total : Registry.counter;
@@ -45,6 +46,13 @@ type t = {
 let cost_buckets =
   [| 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000. |]
 
+(* Distances are dataset-scale-free, so the nn-distance strata use wide
+   log-spaced bounds; re-tuning only needs the weighted median, which is
+   insensitive to the bucket width. *)
+let distance_buckets =
+  [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.;
+     200.; 500.; 1000. |]
+
 let on registry =
   let counter ?labels name help = Registry.counter registry ~help ?labels name in
   let gauge name help = Registry.gauge registry ~help name in
@@ -73,6 +81,9 @@ let on registry =
       histogram ~buckets:cost_buckets "dbh_query_cost"
         "distribution of per-query total distance computations";
     query_seconds = histogram "dbh_query_seconds" "per-query wall time";
+    query_nn_distance =
+      histogram ~buckets:distance_buckets "dbh_query_nn_distance"
+        "observed distance from each answered query to its returned neighbor";
     space_distance_calls_total =
       counter "dbh_space_distance_calls_total"
         "raw distance calls through observed spaces (build + query + baselines)";

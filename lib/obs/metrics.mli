@@ -38,6 +38,9 @@ type t = {
   pivot_cache_misses_total : Registry.counter;
   query_cost : Registry.histogram;  (** per-query total distance computations *)
   query_seconds : Registry.histogram;
+  query_nn_distance : Registry.histogram;
+      (** observed D(Q, N(Q)) per answered query — the live-traffic
+          strata {!Dbh.Hash_family.retune} re-tunes against *)
   (* spaces *)
   space_distance_calls_total : Registry.counter;
       (** raw calls through {!Dbh_space.Space.observed} spaces (includes

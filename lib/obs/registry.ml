@@ -141,6 +141,13 @@ let gauge_value g = Atomic.get g.g_value
 let histogram_count h = Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.buckets
 let histogram_sum h = Atomic.get h.h_sum
 
+let histogram_buckets h =
+  Array.mapi
+    (fun i b ->
+      let upper = if i < Array.length h.uppers then h.uppers.(i) else infinity in
+      (upper, Atomic.get b))
+    h.buckets
+
 let metrics_in_order t =
   Mutex.lock t.mutex;
   let ms = t.metrics in

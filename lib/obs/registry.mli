@@ -55,6 +55,13 @@ val gauge_value : gauge -> int
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+val histogram_buckets : histogram -> (float * int) array
+(** [(upper_bound, count)] per bucket, in bound order, ending with the
+    implicit [+inf] bucket.  Counts are per-bucket (not cumulative) —
+    the typed counterpart of the [_bucket] exposition lines, for code
+    that consumes its own histograms (e.g. re-tuning from observed
+    strata). *)
+
 (** {1 Export} *)
 
 val exposition : t -> string

@@ -182,7 +182,8 @@ let serve_linear ?budget ?metrics ?trace t q =
   let seconds =
     match metrics with Some _ -> Some (Dbh_obs.Metrics.now () -. t0) | None -> None
   in
-  Dbh.Index.observe_query ?metrics ?seconds ~stats ~truncated ~levels_probed:0 ();
+  Dbh.Index.observe_query ?metrics ?seconds ?nn_distance:(Option.map snd !best) ~stats
+    ~truncated ~levels_probed:0 ();
   {
     result = { Online.nn = !best; stats; truncated; levels_probed = 0 };
     served_by = `Linear_scan;
@@ -238,17 +239,12 @@ let rec query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q =
         end;
       { result; served_by = `Index; state_after = t.state }
 
-let query_with ?budget ?metrics ?trace ?scratch ?(probes = 1) ?(radius = 0) t q =
-  query_probed ?budget ?metrics ?trace ?scratch ~probes ~radius t q
-
 let search ?(opts = Dbh.Query_opts.default) t q =
   let budget = Option.map Budget.create opts.Dbh.Query_opts.budget in
   query_probed ?budget ?metrics:opts.Dbh.Query_opts.metrics
     ?trace:opts.Dbh.Query_opts.trace ?scratch:opts.Dbh.Query_opts.scratch
     ~probes:opts.Dbh.Query_opts.probes_per_table
     ~radius:opts.Dbh.Query_opts.hamming_radius t q
-
-let query ?budget t q = query_with ?budget t q
 
 let search_batch ?opts t qs =
   (* Sequential on purpose: every query may advance the breaker's state

@@ -76,10 +76,6 @@ val search : ?opts:Dbh.Query_opts.t -> 'a t -> 'a -> 'a outcome
     (the linear-scan fallback needs no scratch).  [opts.pool] is
     ignored. *)
 
-val query : ?budget:Dbh.Budget.t -> 'a t -> 'a -> 'a outcome
-  [@@ocaml.deprecated "use Breaker.search (with Query_opts) instead"]
-(** @deprecated Use {!search}. *)
-
 val state : 'a t -> state
 val trips : 'a t -> int
 (** Transitions into [Open] (including Half_open relapses). *)

@@ -182,7 +182,7 @@ let test_family_median_split_strategy () =
   let db = Array.sub all 0 400 in
   let family =
     Hash_family.make ~rng ~space:l2 ~num_pivots:20 ~threshold_sample:200
-      ~threshold_strategy:Hash_family.Median_split db
+      ~selector:(Dbh.Selector.uniform ~threshold_strategy:Dbh.Selector.Median_split ()) db
   in
   (* Every interval is one-sided. *)
   for i = 0 to Hash_family.size family - 1 do

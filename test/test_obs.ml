@@ -332,36 +332,24 @@ let test_parallel_logical_counters_identical () =
   Alcotest.(check int) "sequential run used no pool" 0
     (Registry.counter_value m_seq.Metrics.pool_tasks_total)
 
-(* --------------------------------------------- deprecated wrapper compat *)
+(* ------------------------------------------------ Query_opts equivalences *)
 
-(* The pre-Query_opts entry points must keep compiling (with the
-   deprecation silenced) and must behave exactly like their Query_opts
-   replacements. *)
-let test_deprecated_wrappers_compatible () =
-  let module Compat = struct
-    [@@@alert "-deprecated"]
-    [@@@warning "-3"]
-
-    let run () =
-      let index, db, _ = make_index ~seed:75 () in
-      let q = db.(42) in
-      let old_r = Index.query index q in
-      let new_r = Index.search index q in
-      Alcotest.(check bool) "Index.query = Index.search" true (old_r = new_r);
-      let old_b = Index.query ~budget:(Dbh.Budget.create 9) index q in
-      let new_b = Index.search ~opts:(Query_opts.budgeted 9) index q in
-      Alcotest.(check bool) "budgeted agree" true (old_b = new_b);
-      let qs = Array.sub db 0 10 in
-      Alcotest.(check bool) "batch agree" true
-        (Index.query_batch index qs = Index.search_batch index qs);
-      let h, hdb, _ = make_hier ~seed:82 () in
-      let hq = hdb.(3) in
-      let r, levels = Hierarchical.query_verbose h hq in
-      let s = Hierarchical.search h hq in
-      Alcotest.(check bool) "query_verbose result" true (r = s);
-      Alcotest.(check int) "query_verbose levels" s.Index.levels_probed levels
-  end in
-  Compat.run ()
+(* The Query_opts spellings that replaced the old wrapper surface must
+   agree with the explicit query_with plumbing they are built from. *)
+let test_query_opts_equivalences () =
+  let index, db, _ = make_index ~seed:75 () in
+  let q = db.(42) in
+  let old_b = Index.query_with ~budget:(Dbh.Budget.create 9) index q in
+  let new_b = Index.search ~opts:(Query_opts.budgeted 9) index q in
+  Alcotest.(check bool) "budgeted agree" true (old_b = new_b);
+  let qs = Array.sub db 0 10 in
+  Alcotest.(check bool) "batch agrees with per-query" true
+    (Index.search_batch index qs = Array.map (Index.search index) qs);
+  let h, hdb, _ = make_hier ~seed:82 () in
+  let hq = hdb.(3) in
+  let r = Hierarchical.query_with h hq in
+  let s = Hierarchical.search h hq in
+  Alcotest.(check bool) "query_with = search" true (r = s)
 
 let () =
   Alcotest.run "dbh_obs"
@@ -393,6 +381,6 @@ let () =
         ] );
       ( "compat",
         [
-          Alcotest.test_case "deprecated wrappers" `Quick test_deprecated_wrappers_compatible;
+          Alcotest.test_case "query_opts equivalences" `Quick test_query_opts_equivalences;
         ] );
     ]

@@ -1,0 +1,318 @@
+(* Tests for the Selector redesign: golden-fixture bit-identity of the
+   default build, the Eq. 6 balance invariant for every selector,
+   pooled-vs-sequential bit-identity per selector, the versioned
+   family-envelope read path (v1 and v2), and the Online.retune
+   hot-swap under concurrent readers.
+
+   DBH_TEST_DOMAINS picks the pool width (default 2; CI also runs 4). *)
+
+module Rng = Dbh_util.Rng
+module Pool = Dbh_util.Pool
+module Binio = Dbh_util.Binio
+module Minkowski = Dbh_metrics.Minkowski
+module Selector = Dbh.Selector
+module Hash_family = Dbh.Hash_family
+module Builder = Dbh.Builder
+module Online = Dbh.Online
+
+let domains =
+  match Sys.getenv_opt "DBH_TEST_DOMAINS" with
+  | None -> 2
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> d
+      | _ -> invalid_arg "DBH_TEST_DOMAINS must be a positive integer")
+
+let l2 = Minkowski.l2_space
+
+let test_db seed n =
+  let rng = Rng.create seed in
+  let db, _ = Dbh_datasets.Vectors.gaussian_mixture ~rng ~num_clusters:8 ~dim:4 n in
+  db
+
+let encode (v : float array) =
+  let buf = Buffer.create 32 in
+  Binio.write_float_array buf v;
+  Buffer.contents buf
+
+let decode s = Binio.read_float_array (Binio.reader s)
+
+(* Bit-level float comparison: NaN-safe and distinguishes -0. *)
+let check_float_bits what a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %h <> %h" what a b
+
+let check_families_identical label a b =
+  Alcotest.(check int) (label ^ ": size") (Hash_family.size a) (Hash_family.size b);
+  Alcotest.(check int) (label ^ ": num_pivots") (Hash_family.num_pivots a)
+    (Hash_family.num_pivots b);
+  let pa = Hash_family.pivots a and pb = Hash_family.pivots b in
+  Array.iteri
+    (fun i v ->
+      Array.iteri
+        (fun j x -> check_float_bits (Printf.sprintf "%s: pivot %d.%d" label i j) x pb.(i).(j))
+        v)
+    pa;
+  for i = 0 to Hash_family.size a - 1 do
+    let fa = Hash_family.fn a i and fb = Hash_family.fn b i in
+    let ctx = Printf.sprintf "%s: fn %d" label i in
+    Alcotest.(check int) (ctx ^ " p1") fa.Hash_family.p1 fb.Hash_family.p1;
+    Alcotest.(check int) (ctx ^ " p2") fa.Hash_family.p2 fb.Hash_family.p2;
+    check_float_bits (ctx ^ " d12") fa.Hash_family.d12 fb.Hash_family.d12;
+    check_float_bits (ctx ^ " t1") fa.Hash_family.t1 fb.Hash_family.t1;
+    check_float_bits (ctx ^ " t2") fa.Hash_family.t2 fb.Hash_family.t2;
+    check_float_bits (ctx ^ " spread") fa.Hash_family.spread fb.Hash_family.spread
+  done
+
+(* ----------------------------------------------------- golden fixture *)
+
+(* fixtures/family_v1_uniform.bin was written by the pre-Selector code
+   (v1 envelopes, no selector tag) with exactly this recipe.  Today's
+   Selector.uniform builds must reproduce those families bit-for-bit:
+   the redesign may not move a single rng draw on the default path. *)
+let fixture_db () = test_db 42 300
+
+let fixture_path =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "fixtures")
+    "family_v1_uniform.bin"
+
+let test_golden_fixture_bit_identity () =
+  let data =
+    let ic = open_in_bin fixture_path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let r = Binio.reader data in
+  let old1 = Hash_family.read ~decode ~space:l2 r in
+  let old2 = Hash_family.read ~decode ~space:l2 r in
+  (* v1 envelopes predate selector tags and report the default. *)
+  Alcotest.(check string) "v1 selector tag" "uniform" (Hash_family.selector_tag old1);
+  Alcotest.(check string) "v1 selector tag (median family)" "uniform"
+    (Hash_family.selector_tag old2);
+  let db = fixture_db () in
+  let fresh1 =
+    Hash_family.make ~rng:(Rng.create 4242) ~space:l2 ~num_pivots:24
+      ~threshold_sample:200 ~max_functions:150 db
+  in
+  let fresh2 =
+    Hash_family.make ~rng:(Rng.create 777) ~space:l2 ~num_pivots:12
+      ~threshold_sample:150
+      ~selector:(Selector.uniform ~threshold_strategy:Selector.Median_split ())
+      db
+  in
+  Alcotest.(check int) "fixture family 1 size" 150 (Hash_family.size old1);
+  Alcotest.(check int) "fixture family 2 size" 66 (Hash_family.size old2);
+  check_families_identical "random-interval family" old1 fresh1;
+  check_families_identical "median-split family" old2 fresh2
+
+(* ------------------------------------------------------------- balance *)
+
+let all_selectors =
+  [
+    ("uniform", Selector.uniform ());
+    ("median", Selector.uniform ~threshold_strategy:Selector.Median_split ());
+    ("density", Selector.density_sensitive ());
+    ("nsh", Selector.neighbor_sensitive ());
+  ]
+
+(* Eq. 6: every interval carves out half the projection mass, so each
+   function should map about half of held-out data to 0 — for every
+   selector (data-dependent ones only pick WHICH half-mass interval to
+   use, never leave V).  QCheck varies the build seed. *)
+let prop_balance =
+  let all = test_db 7 900 in
+  let db = Array.sub all 0 600 in
+  let holdout = Array.sub all 600 300 in
+  QCheck.Test.make ~count:8 ~name:"every selector balances (Eq. 6)"
+    QCheck.(pair (oneofl all_selectors) small_nat)
+    (fun ((tag, selector), seed) ->
+      let family =
+        Hash_family.make ~rng:(Rng.create (1000 + seed)) ~space:l2 ~num_pivots:16
+          ~threshold_sample:250 ~max_functions:60 ~selector db
+      in
+      let ok = ref true in
+      for i = 0 to Hash_family.size family - 1 do
+        let b = Hash_family.balance family i holdout in
+        (* generous: the quantiles come from a 250-point sample *)
+        if b < 0.25 || b > 0.75 then begin
+          Printf.eprintf "selector %s seed %d fn %d balance %.3f\n" tag seed i b;
+          ok := false
+        end
+      done;
+      !ok)
+
+(* --------------------------------------- pooled/sequential bit-identity *)
+
+let test_pooled_bit_identity () =
+  let db = test_db 11 500 in
+  List.iter
+    (fun (tag, selector) ->
+      let build pool =
+        Hash_family.make ?pool ~rng:(Rng.create 31) ~space:l2 ~num_pivots:20
+          ~threshold_sample:200 ~max_functions:80 ~selector db
+      in
+      let seq = build None in
+      Alcotest.(check string) (tag ^ ": tag") tag (Hash_family.selector_tag seq);
+      Pool.with_pool ~domains (fun pool ->
+          check_families_identical (tag ^ ": pooled = sequential") seq
+            (build (Some pool))))
+    all_selectors
+
+(* --------------------------------------------------- versioned envelopes *)
+
+let test_v2_roundtrip_preserves_selector () =
+  let db = test_db 13 400 in
+  List.iter
+    (fun (tag, selector) ->
+      let family =
+        Hash_family.make ~rng:(Rng.create 17) ~space:l2 ~num_pivots:14
+          ~threshold_sample:150 ~max_functions:40 ~selector db
+      in
+      let buf = Buffer.create 4096 in
+      Hash_family.write ~encode buf family;
+      let back = Hash_family.read ~decode ~space:l2 (Binio.reader (Buffer.contents buf)) in
+      Alcotest.(check string) (tag ^ ": round-trip tag") tag (Hash_family.selector_tag back);
+      check_families_identical (tag ^ ": round-trip") family back)
+    all_selectors
+
+let test_corrupt_selector_tag_rejected () =
+  let db = test_db 13 200 in
+  let family =
+    Hash_family.make ~rng:(Rng.create 19) ~space:l2 ~num_pivots:10 ~threshold_sample:100 db
+  in
+  let buf = Buffer.create 4096 in
+  Hash_family.write ~encode buf family;
+  let s = Buffer.contents buf in
+  (* Corrupt the selector tag: "uniform" -> "unifxrm". *)
+  let rec find_sub i =
+    if i + 7 > String.length s then Alcotest.fail "tag not found in envelope"
+    else if String.sub s i 7 = "uniform" then i
+    else find_sub (i + 1)
+  in
+  let i = find_sub 0 in
+  let bad = Bytes.of_string s in
+  Bytes.set bad (i + 4) 'x';
+  match Hash_family.read ~decode ~space:l2 (Binio.reader (Bytes.to_string bad)) with
+  | exception Binio.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupt selector tag must be rejected"
+
+(* -------------------------------------------------------------- retune *)
+
+let test_retune_from_metrics () =
+  let db = test_db 23 500 in
+  let m = Dbh_obs.Metrics.create () in
+  let config =
+    { Builder.default_config with num_pivots = 20; num_sample_queries = 50; db_sample = 100 }
+  in
+  let t = Online.create ~rng:(Rng.create 29) ~space:l2 ~config ~target_accuracy:0.9 db in
+  (* Drive observed traffic through the metric set so the nn-distance
+     histogram fills. *)
+  let opts = Dbh.Query_opts.make ~metrics:m () in
+  Array.iter (fun q -> ignore (Online.search ~opts t q)) (Array.sub db 0 80);
+  let obs = Hash_family.observations_of_metrics m in
+  Alcotest.(check bool) "observed strata nonempty" true
+    (Array.length obs.Hash_family.nn_distance_strata > 0);
+  let rebuilds_before = Online.rebuilds t in
+  let used = Online.retune ~metrics:m ~selector:(Selector.density_sensitive ()) t in
+  Alcotest.(check bool) "retune consumed the strata" true
+    (Array.length used.Hash_family.nn_distance_strata > 0);
+  Alcotest.(check int) "retune counts as a rebuild" (rebuilds_before + 1)
+    (Online.rebuilds t);
+  (* The swapped-in generation answers correctly and reports the new
+     selector. *)
+  (match (Online.search t db.(3)).Online.nn with
+  | Some (h, d) ->
+      Alcotest.(check int) "self found" 3 h;
+      Alcotest.(check (float 1e-9)) "zero distance" 0. d
+  | None -> Alcotest.fail "retuned index must answer");
+  ()
+
+let test_retune_hot_swap_chaos () =
+  (* Reader domains hammer search while the writer retunes repeatedly:
+     readers must never crash, block, or see a torn generation — every
+     answer must be a live handle with a finite distance. *)
+  let db = test_db 37 400 in
+  let config =
+    { Builder.default_config with num_pivots = 16; num_sample_queries = 40; db_sample = 80 }
+  in
+  let m = Dbh_obs.Metrics.create () in
+  let t = Online.create ~rng:(Rng.create 41) ~space:l2 ~config ~target_accuracy:0.9 db in
+  let opts = Dbh.Query_opts.make ~metrics:m () in
+  Array.iter (fun q -> ignore (Online.search ~opts t q)) (Array.sub db 0 40);
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let readers =
+    List.init (max 2 domains) (fun r ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              let q = db.((!i * 7) + r) in
+              (match (Online.search t q).Online.nn with
+              | Some (h, d) ->
+                  if h < 0 || h >= 400 || not (Float.is_finite d) then
+                    Atomic.incr failures
+              | None -> Atomic.incr failures);
+              i := (!i + 1) mod 50
+            done))
+  in
+  let selectors =
+    [| Selector.density_sensitive (); Selector.uniform (); Selector.neighbor_sensitive () |]
+  in
+  for round = 0 to 2 do
+    ignore (Online.retune ~metrics:m ~selector:selectors.(round) t)
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get failures);
+  Alcotest.(check bool) "retunes counted" true (Online.rebuilds t >= 3)
+
+(* ------------------------------------------------- data-dependent shape *)
+
+let test_data_dependent_selection_differs () =
+  (* Sanity: density/nsh actually change which pairs are kept relative
+     to uniform under the same seed — the scoring is not a no-op. *)
+  let db = test_db 43 500 in
+  let build selector =
+    Hash_family.make ~rng:(Rng.create 47) ~space:l2 ~num_pivots:18 ~threshold_sample:200
+      ~max_functions:50 ~selector db
+  in
+  let pairs fam =
+    List.init (Hash_family.size fam) (fun i ->
+        let f = Hash_family.fn fam i in
+        (f.Hash_family.p1, f.Hash_family.p2))
+  in
+  let uni = pairs (build (Selector.uniform ())) in
+  let den = pairs (build (Selector.density_sensitive ())) in
+  let nsh = pairs (build (Selector.neighbor_sensitive ())) in
+  Alcotest.(check bool) "density selection differs from uniform" true (uni <> den);
+  Alcotest.(check bool) "nsh selection differs from uniform" true (uni <> nsh)
+
+let () =
+  Alcotest.run "dbh_selector"
+    [
+      ( "golden",
+        [ Alcotest.test_case "v1 fixture bit-identity" `Quick test_golden_fixture_bit_identity ] );
+      ("balance", [ QCheck_alcotest.to_alcotest prop_balance ]);
+      ( "parallel",
+        [ Alcotest.test_case "pooled = sequential per selector" `Slow test_pooled_bit_identity ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "v2 round-trip keeps selector" `Quick
+            test_v2_roundtrip_preserves_selector;
+          Alcotest.test_case "corrupt selector tag rejected" `Quick
+            test_corrupt_selector_tag_rejected;
+        ] );
+      ( "retune",
+        [
+          Alcotest.test_case "retune from live metrics" `Slow test_retune_from_metrics;
+          Alcotest.test_case "hot swap under concurrent readers" `Slow
+            test_retune_hot_swap_chaos;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "data-dependent selection differs" `Quick
+            test_data_dependent_selection_differs;
+        ] );
+    ]
