@@ -1096,6 +1096,39 @@ let robust_faults () =
    Speedups are whatever the machine gives — on a single hardware core
    the pool can only add overhead, and the JSON says so honestly. *)
 
+(* Container CPU quotas make nproc a lie: a 2-vCPU box capped by cgroup
+   at one core of runtime can only lose from parallelism, while its
+   recommended_domain_count still says 2.  Read the quota (cgroup v2,
+   then v1) so such rounds are published as advisory rather than as
+   regressions. *)
+let cpu_quota_cores () =
+  let read path =
+    try
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          Some (String.trim (input_line ic)))
+    with _ -> None
+  in
+  let of_ratio quota period =
+    match (int_of_string_opt quota, int_of_string_opt period) with
+    | Some q, Some p when q > 0 && p > 0 ->
+        Some (max 1 ((q + p - 1) / p)) (* ceil: a 1.5-core quota runs 2 domains *)
+    | _ -> None
+  in
+  match read "/sys/fs/cgroup/cpu.max" with
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ "max"; _ ] -> None
+      | [ quota; period ] -> of_ratio quota period
+      | _ -> None)
+  | None -> (
+      match
+        ( read "/sys/fs/cgroup/cpu/cpu.cfs_quota_us",
+          read "/sys/fs/cgroup/cpu/cpu.cfs_period_us" )
+      with
+      | Some quota, Some period -> of_ratio quota period
+      | _ -> None)
+
 let parallel_scaling () =
   Report.print_heading
     "parallel (P1): domain-pool scaling of build, collision estimation and batched queries";
@@ -1142,52 +1175,76 @@ let parallel_scaling () =
     (index, matrix, results, build_s, collision_s, query_s)
   in
   let cores = Domain.recommended_domain_count () in
+  let effective_cores =
+    match cpu_quota_cores () with Some q -> min q cores | None -> cores
+  in
   let widths =
     List.sort_uniq compare [ 1; 2; 4; cores ] |> List.filter (fun d -> d >= 1)
   in
   let rows =
     List.map
       (fun domains ->
-        let index, matrix, results, build_s, collision_s, query_s =
-          if domains = 1 then round None
-          else Pool.with_pool ~domains (fun pool -> round (Some pool))
+        let (index, matrix, results, build_s, collision_s, query_s), tel =
+          if domains = 1 then (round None, None)
+          else
+            Pool.with_pool ~domains (fun pool ->
+                Pool.reset_telemetry pool;
+                let r = round (Some pool) in
+                (r, Some (Pool.telemetry pool)))
         in
-        (domains, index, matrix, results, build_s, collision_s, query_s))
+        (domains, index, matrix, results, build_s, collision_s, query_s, tel))
       widths
   in
   (* Bit-identity of every parallel run against the sequential baseline. *)
-  let _, base_index, base_matrix, base_results, base_build, base_collision, base_query =
+  let _, base_index, base_matrix, base_results, base_build, base_collision, base_query, _ =
     List.hd rows
   in
   let base_blob = serialized base_index in
   let identical =
     List.for_all
-      (fun (_, index, matrix, results, _, _, _) ->
+      (fun (_, index, matrix, results, _, _, _, _) ->
         serialized index = base_blob && matrix = base_matrix && results = base_results)
       (List.tl rows)
   in
+  (* Per-domain busy fraction of the round's pooled wall time, plus the
+     steal/local-pop split — the work-stealing design's vital signs. *)
+  let sum = Array.fold_left ( + ) 0 in
+  let steals_of = function None -> 0 | Some t -> sum t.Pool.steals in
+  let pops_of = function None -> 0 | Some t -> sum t.Pool.local_pops in
+  let busy_fractions tel wall =
+    match tel with
+    | None -> [||]
+    | Some t ->
+        if wall <= 0. then Array.map (fun _ -> 0.) t.Pool.busy_seconds
+        else Array.map (fun b -> b /. wall) t.Pool.busy_seconds
+  in
+  let min_busy fr = Array.fold_left Float.min infinity fr in
   let per_query =
     Array.map (fun q -> Dbh.Index.query_with ~budget:(Dbh.Budget.create 400) base_index q) queries
   in
   let batch_matches = base_results = per_query in
-  Printf.printf "  hardware cores: %d\n" cores;
-  Printf.printf "  %8s %10s %14s %14s %10s %10s %10s\n" "domains" "build(s)" "collision(s)"
-    "queries(s)" "build-x" "coll-x" "query-x";
+  Printf.printf "  hardware cores: %d (effective after cpu quota: %d)\n" cores
+    effective_cores;
+  Printf.printf "  %8s %10s %14s %14s %10s %10s %10s %8s %8s %9s\n" "domains" "build(s)"
+    "collision(s)" "queries(s)" "build-x" "coll-x" "query-x" "steals" "pops" "min-busy";
   List.iter
-    (fun (domains, _, _, _, build_s, collision_s, query_s) ->
-      Printf.printf "  %8d %10.3f %14.3f %14.3f %10.2f %10.2f %10.2f\n" domains build_s
-        collision_s query_s (base_build /. build_s) (base_collision /. collision_s)
-        (base_query /. query_s))
+    (fun (domains, _, _, _, build_s, collision_s, query_s, tel) ->
+      let fr = busy_fractions tel (build_s +. collision_s +. query_s) in
+      Printf.printf "  %8d %10.3f %14.3f %14.3f %10.2f %10.2f %10.2f %8d %8d %8.0f%%\n"
+        domains build_s collision_s query_s (base_build /. build_s)
+        (base_collision /. collision_s) (base_query /. query_s) (steals_of tel)
+        (pops_of tel)
+        (if Array.length fr = 0 then 100. else 100. *. min_busy fr))
     rows;
   (* Speedups from rounds running more domains than the machine has
      hardware cores measure scheduler contention, not the pool: publish
      them as advisory so downstream gates know not to assert on them. *)
-  let advisory domains = domains > cores in
-  if List.exists (fun (domains, _, _, _, _, _, _) -> advisory domains) rows then
+  let advisory domains = domains > effective_cores in
+  if List.exists (fun (domains, _, _, _, _, _, _, _) -> advisory domains) rows then
     Printf.printf
-      "  note: rounds with domains > %d hardware cores are advisory (oversubscribed; \
+      "  note: rounds with domains > %d effective cores are advisory (oversubscribed; \
        speedups not gated)\n"
-      cores;
+      effective_cores;
   Printf.printf "  bit-identical across pool widths: %b\n" identical;
   Printf.printf "  query_batch matches per-query results: %b\n" batch_matches;
   if not (identical && batch_matches) then
@@ -1195,6 +1252,11 @@ let parallel_scaling () =
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"hardware_cores\": %d,\n" cores;
+  Printf.fprintf oc "  \"effective_cores\": %d,\n" effective_cores;
+  (* Top-level advisory: the 4-domain gate rounds are only meaningful on
+     >= 4 effective cores; quick-scale or throttled machines can't
+     regress. *)
+  Printf.fprintf oc "  \"advisory\": %b,\n" (effective_cores < 4);
   Printf.fprintf oc "  \"quick_scale\": %b,\n" quick;
   Printf.fprintf oc
     "  \"dataset\": { \"db_size\": %d, \"queries\": %d, \"dim\": 32, \"space\": \"l2\" },\n"
@@ -1203,15 +1265,22 @@ let parallel_scaling () =
   Printf.fprintf oc "  \"rounds\": [\n";
   let last = List.length rows - 1 in
   List.iteri
-    (fun i (domains, _, _, _, build_s, collision_s, query_s) ->
+    (fun i (domains, _, _, _, build_s, collision_s, query_s, tel) ->
+      let fr = busy_fractions tel (build_s +. collision_s +. query_s) in
+      let fr_json =
+        fr |> Array.to_list
+        |> List.map (Printf.sprintf "%.3f")
+        |> String.concat ", "
+      in
       Printf.fprintf oc
         "    { \"domains\": %d, \"build_s\": %.6f, \"collision_matrix_s\": %.6f, \
          \"query_batch_s\": %.6f, \"build_speedup\": %.3f, \"collision_speedup\": %.3f, \
-         \"query_speedup\": %.3f, \"advisory\": %b }%s\n"
+         \"query_speedup\": %.3f, \"steals\": %d, \"local_pops\": %d, \
+         \"busy_fraction\": [%s], \"advisory\": %b }%s\n"
         domains build_s collision_s query_s (base_build /. build_s)
-        (base_collision /. collision_s) (base_query /. query_s) (advisory domains)
-        (if i = last then "" else ",")
-    )
+        (base_collision /. collision_s) (base_query /. query_s) (steals_of tel)
+        (pops_of tel) fr_json (advisory domains)
+        (if i = last then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
   Printf.fprintf oc "  \"bit_identical_across_widths\": %b,\n" identical;

@@ -99,7 +99,12 @@ let pairwise_matrix ?pool ~rng ?(num_fns = 200) family sample =
   let signatures =
     match pool with
     | None -> Array.map sig_of sample
-    | Some pool -> Dbh_util.Pool.parallel_map_array pool sig_of sample
+    | Some pool ->
+        (* One signature pays pivot distances against a fixed pivot set,
+           so an object's share scales with its own declared cost. *)
+        Dbh_util.Pool.parallel_map_array
+          ?cost:(Dbh_space.Space.cost_estimator (Hash_family.space family) sample)
+          pool sig_of sample
   in
   let n = Array.length sample in
   let m = Array.make_matrix n n 1. in
@@ -117,6 +122,8 @@ let pairwise_matrix ?pool ~rng ?(num_fns = 200) family sample =
       done
   | Some pool ->
       (* Rows write disjoint cells: row task i writes m.(i).(j>i) and the
-         mirror cells m.(j>i).(i), never a cell another row task touches. *)
-      Dbh_util.Pool.parallel_for pool n fill_row);
+         mirror cells m.(j>i).(i), never a cell another row task touches.
+         The triangular loop makes row i cost n-1-i agreements, so chunk
+         by that instead of row count. *)
+      Dbh_util.Pool.parallel_for ~cost:(fun i -> n - i) pool n fill_row);
   m

@@ -3,6 +3,18 @@ module Stats = Dbh_util.Stats
 module Bitvec = Dbh_util.Bitvec
 module Space = Dbh_space.Space
 
+(* Estimated cost of the distance call behind pivot pair [pairs.(idx)]:
+   sequence metrics cost the product of the endpoint lengths, so chunk
+   boundaries in the pair fan-outs balance on that product.  [None]
+   (constant-cost space) keeps the historical fixed-length chunks. *)
+let pair_cost space pivots pairs =
+  if Space.has_item_cost space then
+    Some
+      (fun idx ->
+        let i, j = pairs.(idx) in
+        Space.item_cost space pivots.(i) * Space.item_cost space pivots.(j))
+  else None
+
 type binary_fn = {
   p1 : int;
   p2 : int;
@@ -132,7 +144,7 @@ let build_uniform ?pool ~rng ~space ~pivots ~dist_sp ~s ~max_functions strategy 
          projections, sort) fans out across the pool; the rng-dependent
          thresholds are then drawn sequentially in pair order. *)
       let pre =
-        Dbh_util.Pool.parallel_map_array pool
+        Dbh_util.Pool.parallel_map_array ?cost:(pair_cost space pivots pairs) pool
           (fun (i, j) ->
             let d12 = space.Space.distance pivots.(i) pivots.(j) in
             if not (d12 > 0.) then None
@@ -309,7 +321,9 @@ let build_selected ?pool ~space ~pivots ~dist_sp ~s ~max_functions ~grid ~score_
   let scored =
     match pool with
     | None -> Array.map score_pair pairs
-    | Some pool -> Dbh_util.Pool.parallel_map_array pool score_pair pairs
+    | Some pool ->
+        Dbh_util.Pool.parallel_map_array ?cost:(pair_cost space pivots pairs) pool score_pair
+          pairs
   in
   let valid = ref [] in
   Array.iteri (fun idx -> function Some _ -> valid := idx :: !valid | None -> ()) scored;
@@ -496,7 +510,10 @@ let build ?pool ~rng ~space ~num_pivots ~threshold_sample ~max_functions ~select
       for p = 0 to m - 1 do
         fill_row p
       done
-  | Some pool -> Dbh_util.Pool.parallel_for pool m fill_row);
+  | Some pool ->
+      (* Row [p] computes the same [s] sample distances whatever [p] is,
+         so only the pivot's own length differentiates row costs. *)
+      Dbh_util.Pool.parallel_for ?cost:(Space.cost_estimator space pivots) pool m fill_row);
   let fns =
     match (selector : Selector.t) with
     | Uniform strategy ->
@@ -615,7 +632,8 @@ let pivot_table ?pool t objs =
   let row obj = Array.map (fun p -> t.space.Space.distance obj p) t.pivots in
   match pool with
   | None -> Array.map row objs
-  | Some pool -> Dbh_util.Pool.parallel_map_array pool row objs
+  | Some pool ->
+      Dbh_util.Pool.parallel_map_array ?cost:(Space.cost_estimator t.space objs) pool row objs
 
 let cache_cost c = c.misses
 let cache_hits c = c.hits

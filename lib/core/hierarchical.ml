@@ -235,7 +235,9 @@ let search_batch ?(opts = Query_opts.default) t qs =
           query_probed ?budget ?metrics ~scratch ~probes ~radius t q)
         qs
   | Some pool ->
-      Dbh_util.Pool.parallel_map_array pool
+      Dbh_util.Pool.parallel_map_array
+        ?cost:(Space.cost_estimator (Hash_family.space t.family) qs)
+        pool
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
           query_probed ?budget ?metrics ~probes ~radius t q)

@@ -175,7 +175,15 @@ let build_on ?pool ~rng ~family ~store ?pivot_table ~k ~l () =
          fans out; insertion then replays sequentially in ascending id
          order, reproducing the sequential bucket lists exactly. *)
       let keys = Array.make n [||] in
-      Dbh_util.Pool.parallel_for pool n (fun id ->
+      let space = Hash_family.space family in
+      let cost =
+        if Space.has_item_cost space then
+          Some
+            (fun id ->
+              if Store.is_alive store id then Space.item_cost space (Store.get store id) else 1)
+        else None
+      in
+      Dbh_util.Pool.parallel_for ?cost pool n (fun id ->
           if Store.is_alive store id then keys.(id) <- keys_of id);
       for id = 0 to n - 1 do
         Array.iteri (fun row (key : Key.t) -> push row (key :> int) id) keys.(id)
@@ -525,7 +533,9 @@ let search_batch ?(opts = Query_opts.default) t qs =
           query_probed ?budget ?metrics ~scratch ~probes ~radius t q)
         qs
   | Some pool ->
-      Dbh_util.Pool.parallel_map_array pool
+      Dbh_util.Pool.parallel_map_array
+        ?cost:(Space.cost_estimator (Hash_family.space t.family) qs)
+        pool
         (fun q ->
           let budget = Option.map Budget.create opts.Query_opts.budget in
           query_probed ?budget ?metrics ~probes ~radius t q)

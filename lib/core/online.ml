@@ -297,7 +297,9 @@ let search_batch ?(opts = Query_opts.default) t qs =
               s.index q)
           qs
     | Some pool ->
-        Dbh_util.Pool.parallel_map_array pool
+        Dbh_util.Pool.parallel_map_array
+          ?cost:(Dbh_space.Space.cost_estimator t.space qs)
+          pool
           (fun q ->
             let budget = Option.map Budget.create opts.Query_opts.budget in
             Hierarchical.query_probed ?budget ?metrics ~limit ~probes ~radius s.index q)

@@ -49,10 +49,12 @@ let generate_set ~rng ?(params = default_params) ~num_families count =
       let label = i mod num_families in
       { label; sequence = mutate ~rng ~params ancestors.(label) })
 
+let sequence_cost s = String.length s.sequence
+
 let global_space =
-  Dbh_space.Space.make ~name:"dna/nw-global" (fun a b ->
+  Dbh_space.Space.make ~item_cost:sequence_cost ~name:"dna/nw-global" (fun a b ->
       Dbh_metrics.Alignment.global_distance a.sequence b.sequence)
 
 let local_space =
-  Dbh_space.Space.make ~name:"dna/sw-local" (fun a b ->
+  Dbh_space.Space.make ~item_cost:sequence_cost ~name:"dna/sw-local" (fun a b ->
       Dbh_metrics.Alignment.local_distance a.sequence b.sequence)

@@ -137,4 +137,7 @@ let queries ~rng ?(noise = default_noise) count =
   Array.init count (fun _ -> query ~rng ~noise ())
 
 let space =
-  Space.make ~name:"hands/chamfer" (fun a b -> Dbh_metrics.Chamfer.symmetric a.points b.points)
+  Space.make
+    ~item_cost:(fun s -> Array.length s.points)
+    ~name:"hands/chamfer"
+    (fun a b -> Dbh_metrics.Chamfer.symmetric a.points b.points)

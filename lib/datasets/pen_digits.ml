@@ -90,10 +90,13 @@ let generate_set ~rng ?(params = default_params) count =
   if count < 1 then invalid_arg "Pen_digits.generate_set: count must be positive";
   Array.init count (fun i -> generate ~rng ~params (i mod Digit_templates.num_classes))
 
+let trajectory_cost d = Array.length d.points
+
 let space =
-  Space.make ~name:"pen-digits/DTW" (fun a b -> Dbh_metrics.Dtw.points a.points b.points)
+  Space.make ~item_cost:trajectory_cost ~name:"pen-digits/DTW" (fun a b ->
+      Dbh_metrics.Dtw.points a.points b.points)
 
 let space_banded w =
-  Space.make
+  Space.make ~item_cost:trajectory_cost
     ~name:(Printf.sprintf "pen-digits/DTW(band=%d)" w)
     (fun a b -> Dbh_metrics.Dtw.points ~band:w a.points b.points)

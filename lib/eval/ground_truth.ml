@@ -27,7 +27,12 @@ let compute ?pool ~space ~db ~queries () =
   let pairs =
     match pool with
     | None -> Array.map scan_query queries
-    | Some pool -> Dbh_util.Pool.parallel_map_array pool scan_query queries
+    | Some pool ->
+        (* A scan pays |db| distances against its own query, so a long
+           query costs proportionally more under sequence metrics. *)
+        Dbh_util.Pool.parallel_map_array
+          ?cost:(Space.cost_estimator space queries)
+          pool scan_query queries
   in
   {
     nn_index = Array.map fst pairs;

@@ -59,7 +59,12 @@ let local_distance ?(scoring = default_scoring) a b =
   if saa <= 0. || sbb <= 0. then 1.
   else 1. -. (smith_waterman ~scoring a b /. sqrt (saa *. sbb))
 
+(* Both alignments fill an O(|a|*|b|) table: cost scales with the
+   sequence length. *)
 let global_space =
-  Dbh_space.Space.make ~name:"nw-global" (fun a b -> global_distance a b)
+  Dbh_space.Space.make ~item_cost:String.length ~name:"nw-global" (fun a b ->
+      global_distance a b)
 
-let local_space = Dbh_space.Space.make ~name:"sw-local" (fun a b -> local_distance a b)
+let local_space =
+  Dbh_space.Space.make ~item_cost:String.length ~name:"sw-local" (fun a b ->
+      local_distance a b)

@@ -128,4 +128,5 @@ let directed_to_grid a g =
     a;
   !total /. float_of_int (Array.length a)
 
-let point_space = Dbh_space.Space.make ~name:"chamfer" symmetric
+(* Brute-force chamfer is O(|a|*|b|) nearest-point scans. *)
+let point_space = Dbh_space.Space.make ~item_cost:Array.length ~name:"chamfer" symmetric

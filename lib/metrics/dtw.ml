@@ -79,9 +79,16 @@ let float_cost x y = Float.abs (x -. y)
 let floats ?band a b = distance ?band ~cost:float_cost a b
 let points ?band a b = distance ?band ~cost:Geom.dist a b
 
-let float_space = Dbh_space.Space.make ~name:"DTW-1d" (fun a b -> floats a b)
-let point_space = Dbh_space.Space.make ~name:"DTW-2d" (fun a b -> points a b)
+(* DTW is O(|a|*|b|) (band or not, the band only shaves a constant on
+   these series lengths), so one element's share of a distance call
+   scales with its own length. *)
+let float_space =
+  Dbh_space.Space.make ~item_cost:Array.length ~name:"DTW-1d" (fun a b -> floats a b)
+
+let point_space =
+  Dbh_space.Space.make ~item_cost:Array.length ~name:"DTW-2d" (fun a b -> points a b)
 
 let point_space_banded w =
-  Dbh_space.Space.make ~name:(Printf.sprintf "DTW-2d(band=%d)" w) (fun a b ->
-      points ~band:w a b)
+  Dbh_space.Space.make ~item_cost:Array.length
+    ~name:(Printf.sprintf "DTW-2d(band=%d)" w)
+    (fun a b -> points ~band:w a b)

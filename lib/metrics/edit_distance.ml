@@ -46,7 +46,10 @@ let levenshtein_banded ~band a b =
     prev.(m)
   end
 
-let space = Dbh_space.Space.make ~name:"levenshtein" (fun a b -> levenshtein a b)
+(* O(|a|*|b|) dynamic program: cost scales with the string length. *)
+let space =
+  Dbh_space.Space.make ~item_cost:String.length ~name:"levenshtein" (fun a b ->
+      levenshtein a b)
 
 let substitution_only a b =
   if String.length a <> String.length b then

@@ -19,9 +19,11 @@ let partial ~fraction a b =
   if fraction <= 0. || fraction > 1. then invalid_arg "Hausdorff.partial: fraction in (0,1]";
   Dbh_util.Stats.quantile (nearest_distances a b) fraction
 
-let point_space = Dbh_space.Space.make ~name:"hausdorff" symmetric
+(* All-pairs nearest-point scans: O(|a|*|b|). *)
+let point_space =
+  Dbh_space.Space.make ~item_cost:Array.length ~name:"hausdorff" symmetric
 
 let partial_space ~fraction =
-  Dbh_space.Space.make
+  Dbh_space.Space.make ~item_cost:Array.length
     ~name:(Printf.sprintf "hausdorff-partial(%.2f)" fraction)
     (fun a b -> Float.max (partial ~fraction a b) (partial ~fraction b a))

@@ -35,6 +35,9 @@ type t = {
   pool_tasks_total : Registry.counter;
   pool_queue_depth : Registry.gauge;
   pool_task_seconds : Registry.histogram;
+  pool_steals_total : Registry.counter;
+  pool_local_pops_total : Registry.counter;
+  pool_deque_depth : Registry.gauge array;
   replica_applied_total : Registry.counter;
   replica_retries_total : Registry.counter;
   replica_reopens_total : Registry.counter;
@@ -52,6 +55,12 @@ let cost_buckets =
 let distance_buckets =
   [| 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.;
      200.; 500.; 1000. |]
+
+(* Fixed label space for the per-domain deque gauges: registries are
+   built before any pool exists, so the domain dimension is bounded up
+   front.  Pools wider than this simply leave the extra slots
+   unreported. *)
+let pool_depth_slots = 8
 
 let on registry =
   let counter ?labels name help = Registry.counter registry ~help ?labels name in
@@ -113,6 +122,16 @@ let on registry =
     pool_tasks_total = counter "dbh_pool_tasks_total" "tasks executed by domain pools";
     pool_queue_depth = gauge "dbh_pool_queue_depth" "tasks in the batch currently draining";
     pool_task_seconds = histogram "dbh_pool_task_seconds" "per-task busy time on pool domains";
+    pool_steals_total =
+      counter "dbh_pool_steals_total" "pool tasks obtained by stealing from another domain";
+    pool_local_pops_total =
+      counter "dbh_pool_local_pops_total" "pool tasks served from the owning domain's deque";
+    pool_deque_depth =
+      Array.init pool_depth_slots (fun d ->
+          Registry.gauge registry
+            ~help:"tasks waiting in a domain's work-stealing deque"
+            ~labels:[ ("domain", string_of_int d) ]
+            "dbh_pool_deque_depth");
     replica_applied_total =
       counter "dbh_replica_applied_total" "WAL records applied by the replica";
     replica_retries_total =

@@ -73,6 +73,13 @@ type t = {
   pool_tasks_total : Registry.counter;
   pool_queue_depth : Registry.gauge;  (** tasks of the batch currently being drained *)
   pool_task_seconds : Registry.histogram;  (** per-domain busy time, one sample per task *)
+  pool_steals_total : Registry.counter;
+      (** tasks a domain obtained by stealing from another domain's deque *)
+  pool_local_pops_total : Registry.counter;
+      (** tasks a domain popped from its own deque *)
+  pool_deque_depth : Registry.gauge array;
+      (** per-domain deque depth, labeled [domain="i"]; pools wider than
+          the fixed slot count leave the extra domains unreported *)
   (* replication *)
   replica_applied_total : Registry.counter;
   replica_retries_total : Registry.counter;

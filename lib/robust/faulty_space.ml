@@ -173,4 +173,4 @@ let wrap ~rng ?(config = quiet) space =
     | Perturb factor -> space.Space.distance x y *. Float.abs factor
     | Pass -> space.Space.distance x y
   in
-  ({ Space.name = "faulty:" ^ space.Space.name; distance }, t)
+  ({ Space.name = "faulty:" ^ space.Space.name; distance; item_cost = space.Space.item_cost }, t)

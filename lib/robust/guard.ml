@@ -113,7 +113,7 @@ let wrap ?(policy = Skip) space =
     | exception e when Dbh.Budget.is_exhausted_exn e -> raise e
     | exception e -> resolve t Exn (Printexc.to_string e)
   in
-  ({ Space.name = "guarded:" ^ space.Space.name; distance }, t)
+  ({ Space.name = "guarded:" ^ space.Space.name; distance; item_cost = space.Space.item_cost }, t)
 
 let pp ppf t =
   Format.fprintf ppf "calls=%d anomalies=%d (%.1f%%)" (calls t) (anomalies t)

@@ -112,7 +112,13 @@ let search_many ?pool t items =
   in
   (match pool with
   | Some pool when t.n > 1 && Pool.size pool > 1 ->
-      Pool.parallel_for ~chunk:1 pool t.n (fun i -> run_shard t.shards.(i))
+      (* One task per shard, weighted by shard population: the pool
+         schedules hot shards first instead of letting one of them gate
+         the whole batch from the tail of a size-only layout. *)
+      Pool.parallel_for ~chunk:1
+        ~cost:(fun i -> Durable.size t.shards.(i).durable)
+        pool t.n
+        (fun i -> run_shard t.shards.(i))
   | _ -> Array.iter run_shard t.shards);
   Array.init m (fun q ->
       let nn = ref None and cost = ref 0 in

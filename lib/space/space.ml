@@ -1,10 +1,15 @@
 type 'a t = {
   name : string;
   distance : 'a -> 'a -> float;
+  item_cost : ('a -> int) option;
 }
 
-let make ~name distance = { name; distance }
+let make ?item_cost ~name distance = { name; distance; item_cost }
 let rename name t = { t with name }
+
+let item_cost t x = match t.item_cost with None -> 1 | Some c -> max 1 (c x)
+let has_item_cost t = Option.is_some t.item_cost
+let cost_estimator t arr = Option.map (fun c i -> max 1 (c arr.(i))) t.item_cost
 
 (* Atomic so that parallel paths (Dbh_util.Pool fan-outs hashing and
    candidate evaluation across domains) never undercount: the tally is
@@ -49,7 +54,7 @@ let of_matrix ?(name = "matrix") m =
         row)
     m;
   let distance i j = m.(i).(j) in
-  { name; distance }
+  { name; distance; item_cost = None }
 
 let random_metric_matrix rng n =
   let m = Array.make_matrix n n 0. in
@@ -64,15 +69,26 @@ let random_metric_matrix rng n =
 
 let transform ~name f s =
   let distance x y = s.distance (f x) (f y) in
-  { name; distance }
+  (* Pull the cost estimate back along the feature map too. *)
+  { name; distance; item_cost = Option.map (fun c x -> c (f x)) s.item_cost }
+
+(* Component costs add: evaluating the product distance evaluates both
+   component distances.  With neither side annotated the product stays
+   unannotated (constant cost). *)
+let product_cost a b =
+  match (a.item_cost, b.item_cost) with
+  | None, None -> None
+  | ca, cb ->
+      let get c x = match c with None -> 1 | Some c -> max 1 (c x) in
+      Some (fun (x, y) -> get ca x + get cb y)
 
 let max_product a b =
   let distance (xa, xb) (ya, yb) = Float.max (a.distance xa ya) (b.distance xb yb) in
-  { name = Printf.sprintf "max(%s,%s)" a.name b.name; distance }
+  { name = Printf.sprintf "max(%s,%s)" a.name b.name; distance; item_cost = product_cost a b }
 
 let sum_product a b =
   let distance (xa, xb) (ya, yb) = a.distance xa ya +. b.distance xb yb in
-  { name = Printf.sprintf "sum(%s,%s)" a.name b.name; distance }
+  { name = Printf.sprintf "sum(%s,%s)" a.name b.name; distance; item_cost = product_cost a b }
 
 let is_symmetric ?(tol = 1e-9) t sample =
   let n = Array.length sample in

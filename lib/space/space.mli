@@ -14,12 +14,36 @@
 type 'a t = {
   name : string;  (** Human-readable identifier used in reports. *)
   distance : 'a -> 'a -> float;  (** The black-box distance measure. *)
+  item_cost : ('a -> int) option;
+      (** Optional relative cost of one distance evaluation touching
+          this element, in arbitrary units (see {!item_cost}).  [None]
+          means every evaluation costs about the same. *)
 }
 
-val make : name:string -> ('a -> 'a -> float) -> 'a t
+val make : ?item_cost:('a -> int) -> name:string -> ('a -> 'a -> float) -> 'a t
+(** [make ?item_cost ~name d] is the space measuring with [d].
+    [item_cost x] should scale like the work of [d x _] — e.g. the
+    sequence length for DTW or edit distance, whose cost is the product
+    of the two lengths — so pool fan-outs can balance chunks by
+    estimated distance cost instead of element count.  It must be cheap
+    (it is called once per element per fan-out) and pure. *)
 
 val rename : string -> 'a t -> 'a t
 (** [rename name t] is [t] answering to a different name. *)
+
+(** {1 Cost estimation} *)
+
+val item_cost : 'a t -> 'a -> int
+(** The declared relative cost of [x], clamped to [>= 1]; [1] when the
+    space carries no estimator.  Only ratios matter: the pool uses
+    these to equalize per-chunk totals. *)
+
+val has_item_cost : 'a t -> bool
+
+val cost_estimator : 'a t -> 'a array -> (int -> int) option
+(** [cost_estimator t arr] is [Some (fun i -> item_cost t arr.(i))]
+    when [t] carries an estimator, else [None] — shaped for direct use
+    as the [?cost] argument of the {!Dbh_util.Pool} combinators. *)
 
 (** {1 Distance counting} *)
 

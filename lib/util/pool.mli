@@ -1,4 +1,4 @@
-(** Fixed-size domain pool for data-parallel loops.
+(** Work-stealing domain pool for data-parallel loops.
 
     A dependency-free parallel execution substrate over OCaml 5 domains:
     {!create} spawns [domains - 1] worker domains (the submitting domain
@@ -7,8 +7,28 @@
     argument and runs sequentially without one — so existing call sites
     keep their exact semantics.
 
-    {b Determinism.}  Work is split into chunks whose boundaries depend
-    only on the input size, never on the pool size or on scheduling.
+    {b Scheduling.}  Each batch pre-places its chunk tasks onto
+    per-domain Chase–Lev deques: the owning domain pops LIFO at the
+    bottom with plain reads, other domains steal FIFO at the top
+    through an [Atomic] compare-and-set, and only the race for a
+    deque's last element takes a CAS on the owner's side.  A domain
+    that drains its own deque hunts the others round-robin until a full
+    scan finds every deque empty, so heterogeneous task costs spread
+    across domains instead of gating the batch on the unluckiest one.
+    Initial placement is a deterministic greedy weighted assignment
+    (heaviest chunk first onto the least-loaded slot), so steals only
+    pay for what the cost estimate got wrong.
+
+    {b Cost-aware chunking.}  The combinators accept
+    [?cost:(int -> int)], a relative per-index work estimate (any unit;
+    values are clamped to [>= 1]).  With it, chunk boundaries equalize
+    {e estimated cost} rather than index count, which matters when one
+    index is ~100x another (DTW on long trajectories vs. short ones).
+    Without it the historical fixed-length layout (at most 64 chunks)
+    is used unchanged.
+
+    {b Determinism.}  Chunk boundaries depend only on the input size,
+    [?chunk] and [?cost] — never on the pool size or on scheduling.
     {!parallel_for} and {!parallel_map_array} only run pure-per-index
     work, so their output is identical to the sequential loop;
     {!map_reduce_chunks} merges chunk results strictly in chunk order,
@@ -30,9 +50,14 @@
     and can run further batches.
 
     {b Observability.}  When a {!Dbh_obs.Metrics} set is installed,
-    every batch records its size, queue depth and per-task busy time
-    ([dbh_pool_*]).  With nothing installed the combinators run the raw
-    task function — no timing, no allocation. *)
+    every batch records its size, queue depth, per-task busy time, how
+    many tasks each run served locally vs. by stealing
+    ([dbh_pool_local_pops_total] / [dbh_pool_steals_total]) and the
+    initial per-domain deque depths ([dbh_pool_deque_depth]).  With
+    nothing installed the combinators run the raw task function — no
+    timing wrapper, no allocation.  Independently of metrics, the pool
+    keeps cheap per-domain {!telemetry} counters for benches and
+    tests. *)
 
 type t
 
@@ -58,20 +83,24 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
     afterwards, whether [f] returns or raises. *)
 
-val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+val parallel_for : ?chunk:int -> ?cost:(int -> int) -> t -> int -> (int -> unit) -> unit
 (** [parallel_for pool n f] runs [f i] for every [i] in [[0, n)],
     split into chunks across the pool's domains.  [f] must be safe to
     run concurrently for distinct [i] (e.g. writing only cell [i] of a
-    result array).  [chunk] overrides the chunk length (default: at
-    most 64 chunks, a function of [n] only). *)
+    result array).  [chunk] caps the chunk length (default: at most 64
+    chunks); [cost i] estimates the relative work of index [i] so chunk
+    boundaries equalize estimated cost instead of index count. *)
 
-val parallel_map_array : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map_array :
+  ?chunk:int -> ?cost:(int -> int) -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_array pool f arr] is [Array.map f arr] with the
     applications spread over the pool.  [f] is applied exactly once per
-    element; output order is the input order. *)
+    element; output order is the input order.  [cost i] estimates the
+    work of element [i] of [arr]. *)
 
 val map_reduce_chunks :
   ?chunk:int ->
+  ?cost:(int -> int) ->
   t ->
   n:int ->
   map:(lo:int -> hi:int -> 'c) ->
@@ -82,10 +111,33 @@ val map_reduce_chunks :
     [map ~lo ~hi] on each chunk of [[0, n)] in parallel, then folds the
     chunk results {e in chunk order} sequentially.  Because chunking
     ignores the pool size and the merge order is fixed, the result is
-    bit-identical regardless of scheduling. *)
+    bit-identical regardless of scheduling.  Note that [cost] moves
+    chunk {e boundaries}, so a non-associative [fold] sees different
+    groupings with and without it — pick one layout and keep it. *)
 
-val chunks : ?chunk:int -> int -> (int * int) array
+val chunks : ?chunk:int -> ?cost:(int -> int) -> int -> (int * int) array
 (** The deterministic chunk decomposition [[(lo, hi); ...)] of [[0, n)]
     used by the combinators above.  Exposed so callers can pre-split
     per-chunk state — typically one {!Rng.t} per chunk via
     {!Rng.split_n} — before going parallel. *)
+
+(** {1 Telemetry}
+
+    Cheap per-domain counters accumulated across batches, independent
+    of the metrics registry.  Each cell is written only by the domain
+    owning that slot; read them only while no batch is in flight. *)
+
+type telemetry = {
+  local_pops : int array;  (** tasks served from the slot's own deque *)
+  steals : int array;  (** tasks the slot stole from other deques *)
+  busy_seconds : float array;  (** wall time spent inside task bodies *)
+}
+
+val telemetry : t -> telemetry
+(** A snapshot (copies) of the per-domain counters since {!create} or
+    the last {!reset_telemetry}.  For every batch,
+    [sum local_pops + sum steals] equals the number of tasks run.
+    Sequential fast-path runs count as local pops of slot 0. *)
+
+val reset_telemetry : t -> unit
+(** Zero the counters.  Call only while the pool is quiescent. *)

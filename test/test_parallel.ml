@@ -241,6 +241,119 @@ let test_ground_truth_parallel_identical () =
       let par = Ground_truth.compute ~pool ~space:l2 ~db ~queries () in
       Alcotest.(check bool) "ground truth equal" true (seq = par))
 
+(* ------------------------------------------------------- skew and stealing *)
+
+(* Deterministic busy-work: burns ~[units] fixed quanta of float math and
+   returns a value that depends on the seed, so the work is both
+   schedulable (costly) and checkable (bit-identical across widths). *)
+let spin units seed =
+  let acc = ref seed in
+  for _ = 1 to units do
+    for _ = 1 to 5_000 do
+      acc := (!acc *. 1.000000119) +. 1e-9
+    done
+  done;
+  !acc
+
+(* One index ~100x the rest — the pathological skew the cost-aware
+   layout exists for. *)
+let skew_cost ~heavy i = if i = heavy then 100 else 1
+
+let skew_case =
+  QCheck.make
+    QCheck.Gen.(pair (int_range 10 300) (int_range 0 10_000))
+    ~print:(fun (n, h) -> Printf.sprintf "n=%d heavy=%d" n (h mod n))
+
+let prop_skew_bit_identical =
+  QCheck.Test.make ~name:"skewed cost bit-identical across 1/2/4 domains" ~count:12 skew_case
+    (fun (n, h) ->
+      let heavy = h mod n in
+      let cost = skew_cost ~heavy in
+      let f i = spin (cost i / 10) (float_of_int i) in
+      let arr = Array.init n (fun i -> i) in
+      let expected = Array.map f arr in
+      let reduce pool =
+        (* Non-commutative fold: only a chunk-ordered merge with a
+           width-independent layout reproduces it at every width. *)
+        Pool.map_reduce_chunks ~cost pool ~n
+          ~map:(fun ~lo ~hi -> Printf.sprintf "[%d,%d)" lo hi)
+          ~fold:( ^ ) ~init:""
+      in
+      let expected_reduce = reduce Pool.sequential in
+      List.for_all
+        (fun width ->
+          Pool.with_pool ~domains:width (fun pool ->
+              Pool.parallel_map_array ~cost pool f arr = expected
+              && reduce pool = expected_reduce))
+        [ 1; 2; 4 ])
+
+let chunk_case =
+  QCheck.make
+    QCheck.Gen.(
+      triple (int_range 0 400) (option (int_range 1 50))
+        (array_size (return 400) (int_range (-5) 1_000)))
+    ~print:(fun (n, c, _) ->
+      Printf.sprintf "n=%d chunk=%s" n
+        (match c with None -> "-" | Some c -> string_of_int c))
+
+let prop_cost_chunks_tile =
+  QCheck.Test.make ~name:"cost chunks tile [0,n) in order" ~count:300 chunk_case
+    (fun (n, chunk, costs) ->
+      let cost i = costs.(i) in
+      let cs = Pool.chunks ?chunk ~cost n in
+      let pos = ref 0 and ok = ref true in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo <> !pos || hi <= lo then ok := false;
+          (match chunk with Some c when hi - lo > c -> ok := false | _ -> ());
+          pos := hi)
+        cs;
+      !ok && !pos = n)
+
+(* The steal/pop tally must account for every task exactly once, at any
+   width (sequential fast-path runs count as local pops of slot 0). *)
+let test_telemetry_accounts_every_task () =
+  Pool.with_pool ~domains (fun pool ->
+      let n = 400 in
+      let heavy = 17 in
+      let cost = skew_cost ~heavy in
+      Pool.reset_telemetry pool;
+      let rounds = 3 in
+      let sink = Array.make n 0. in
+      for _ = 1 to rounds do
+        Pool.parallel_for ~cost pool n (fun i -> sink.(i) <- spin (cost i / 10) 1.)
+      done;
+      let tel = Pool.telemetry pool in
+      let sum = Array.fold_left ( + ) 0 in
+      Alcotest.(check int)
+        "pops + steals = chunks run"
+        (rounds * Array.length (Pool.chunks ~cost n))
+        (sum tel.Pool.local_pops + sum tel.Pool.steals))
+
+(* With 4 domains on the synthetic skew workload, cost-aware placement
+   plus stealing must keep every domain at >= 50% of the busiest
+   domain's task time.  Only meaningful when 4 hardware cores exist:
+   oversubscribed domains are scheduled too erratically to assert on. *)
+let test_skew_busy_balance () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let n = 400 in
+      let heavy = 41 in
+      let cost = skew_cost ~heavy in
+      Pool.reset_telemetry pool;
+      let sink = Array.make n 0. in
+      for _ = 1 to 5 do
+        Pool.parallel_for ~cost pool n (fun i -> sink.(i) <- spin (cost i) (float_of_int i))
+      done;
+      let tel = Pool.telemetry pool in
+      let mx = Array.fold_left Float.max 0. tel.Pool.busy_seconds in
+      let mn = Array.fold_left Float.min infinity tel.Pool.busy_seconds in
+      if Domain.recommended_domain_count () >= 4 then begin
+        if mx <= 0. then Alcotest.fail "no busy time recorded";
+        if mn < 0.5 *. mx then
+          Alcotest.failf "imbalanced busy times: min %.4fs < 50%% of max %.4fs" mn mx
+      end
+      else if mx <= 0. then Alcotest.fail "no busy time recorded")
+
 let () =
   Alcotest.run "dbh-parallel"
     [
@@ -278,4 +391,12 @@ let () =
           Alcotest.test_case "online parallel generation" `Quick
             test_online_parallel_generation_matches;
         ] );
+      ( "skew",
+        QCheck_alcotest.to_alcotest prop_skew_bit_identical
+        :: QCheck_alcotest.to_alcotest prop_cost_chunks_tile
+        :: [
+             Alcotest.test_case "telemetry accounts every task" `Quick
+               test_telemetry_accounts_every_task;
+             Alcotest.test_case "skewed busy times balanced" `Quick test_skew_busy_balance;
+           ] );
     ]
